@@ -1,0 +1,107 @@
+"""Ablation 5+ (DESIGN.md): geometry autotuning, roofline placement, and
+the A100 what-if projection.
+
+* The autotuner sweeps the pattern-3 block geometry and must recover the
+  paper's hand-tuned operating point (12 rows → 11k regs, 4 TB/SM) as
+  the modelled optimum;
+* the roofline analysis quantifies the paper's "pattern-1 is cheap /
+  pattern-3 dominates" observation (memory-side vs deep compute-side);
+* the device projection estimates what porting cuZ-Checker to an A100
+  would buy (a forward-looking what-if the model enables).
+"""
+
+from repro.analysis.autotune import project_devices, tune_pattern3_yrows
+from repro.datasets.registry import PAPER_SHAPES
+from repro.gpusim.device import A100, V100
+from repro.gpusim.roofline import roofline_report
+from repro.kernels.pattern1 import plan_pattern1
+from repro.kernels.pattern2 import plan_pattern2
+from repro.kernels.pattern3 import plan_pattern3
+from repro.viz.gnuplot import write_series
+
+
+def test_autotune_recovers_paper_geometry(benchmark, results_dir):
+    def tune_all():
+        return {
+            name: tune_pattern3_yrows(shape)[1]
+            for name, shape in PAPER_SHAPES.items()
+        }
+
+    best = benchmark(tune_all)
+    points, _ = tune_pattern3_yrows(PAPER_SHAPES["hurricane"])
+    write_series(
+        results_dir / "autotune_pattern3_yrows.dat",
+        {
+            "yrows": [float(p.yrows) for p in points],
+            "seconds": [p.seconds for p in points],
+            "concurrent_tb": [float(p.concurrent_blocks_per_sm) for p in points],
+        },
+        comment="pattern-3 geometry sweep on Hurricane (inf = invalid)",
+    )
+    print("\nautotuned yrows per dataset:",
+          {k: v.yrows for k, v in best.items()})
+    # the paper's choice is the optimum on three of four datasets;
+    # Scale-LETKF's very wide xy-planes favour taller blocks (18 rows) —
+    # a per-dataset tuning opportunity the model surfaces
+    for name in ("hurricane", "nyx", "miranda"):
+        assert best[name].yrows == 12, f"{name}: model optimum moved off 12"
+    assert best["scale_letkf"].yrows in (12, 14, 16, 18, 20)
+    # and even there, the paper's geometry is within 20% of the optimum
+    points, _ = tune_pattern3_yrows(PAPER_SHAPES["scale_letkf"])
+    by_rows = {p.yrows: p.seconds for p in points}
+    assert by_rows[12] <= 1.2 * best["scale_letkf"].seconds
+
+
+def test_roofline_placement(benchmark, results_dir):
+    shape = PAPER_SHAPES["hurricane"]
+
+    def analyse():
+        return roofline_report(
+            [plan_pattern1(shape), plan_pattern2(shape), plan_pattern3(shape)]
+        )
+
+    points = benchmark(analyse)
+    write_series(
+        results_dir / "roofline_patterns.dat",
+        {
+            "intensity": [p.arithmetic_intensity for p in points],
+            "attainable": [p.attainable_ops for p in points],
+            "achieved": [p.achieved_ops for p in points],
+        },
+        comment="roofline: pattern1, pattern2, pattern3 (Hurricane)",
+    )
+    by = {p.name: p for p in points}
+    print("\nroofline:", {
+        name: (round(p.arithmetic_intensity, 1), p.limiting_roof)
+        for name, p in by.items()
+    })
+    # pattern 3's intensity dwarfs pattern 1's (the FIFO shares data, but
+    # the window math is heavy); both ends land where the paper says
+    assert by["cuZC.pattern3"].arithmetic_intensity > 10 * by[
+        "cuZC.pattern1"
+    ].arithmetic_intensity
+    assert by["cuZC.pattern3"].limiting_roof == "compute"
+
+
+def test_a100_projection(benchmark, results_dir):
+    def project():
+        out = {}
+        for pattern, planner in (
+            (1, plan_pattern1), (2, plan_pattern2), (3, plan_pattern3)
+        ):
+            times = project_devices(
+                PAPER_SHAPES["nyx"], planner, [V100, A100]
+            )
+            out[pattern] = times["Tesla V100"] / times["A100-SXM4-40GB"]
+        return out
+
+    gains = benchmark(project)
+    (results_dir / "whatif_a100.txt").write_text(
+        "A100 vs V100 modelled per-pattern gains on NYX: "
+        + ", ".join(f"P{p}={g:.2f}x" for p, g in gains.items())
+        + "\n"
+    )
+    print("\nA100/V100 gains:", {p: round(g, 2) for p, g in gains.items()})
+    # A100 helps everywhere; memory-heavier kernels gain more from the
+    # 1.7x bandwidth jump than compute-bound SSIM does from 1.55x ops
+    assert all(1.2 <= g <= 2.0 for g in gains.values())

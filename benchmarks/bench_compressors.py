@@ -1,0 +1,37 @@
+"""Wall-clock compressor benchmarks (compression/decompression
+throughput — Z-checker's auxiliary performance metrics, measured on this
+library's own substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.registry import get_compressor
+
+
+@pytest.mark.parametrize(
+    "codec,kwargs",
+    [
+        ("sz", {"rel_bound": 1e-3}),
+        ("zfp", {"rate": 8}),
+        ("uniform_quant", {"rel_bound": 1e-3}),
+        ("decimate", {"factor": 2}),
+    ],
+)
+def test_compress_throughput(benchmark, bench_field, codec, kwargs):
+    comp = get_compressor(codec, **kwargs)
+    buf = benchmark(comp.compress, bench_field)
+    assert bench_field.nbytes / buf.nbytes > 1.0
+
+
+@pytest.mark.parametrize(
+    "codec,kwargs",
+    [
+        ("sz", {"rel_bound": 1e-3}),
+        ("zfp", {"rate": 8}),
+    ],
+)
+def test_decompress_throughput(benchmark, bench_field, codec, kwargs):
+    comp = get_compressor(codec, **kwargs)
+    buf = comp.compress(bench_field)
+    dec = benchmark(comp.decompress, buf)
+    assert dec.shape == bench_field.shape

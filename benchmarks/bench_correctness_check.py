@@ -1,0 +1,49 @@
+"""Section IV-B correctness check: cuZC's kernels against the reference
+implementations, plus wall-clock timings of the three fused functional
+kernels on a Hurricane-like field.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.pattern1 import execute_pattern1
+from repro.kernels.pattern2 import Pattern2Config, execute_pattern2
+from repro.kernels.pattern3 import Pattern3Config, execute_pattern3
+from repro.metrics import (
+    SsimConfig,
+    derivative_metrics,
+    error_stats,
+    rate_distortion,
+    spatial_autocorrelation,
+    ssim3d,
+)
+
+
+def test_pattern1_kernel_correct_and_timed(benchmark, bench_pair):
+    orig, dec = bench_pair
+    result, _ = benchmark(execute_pattern1, orig, dec)
+    es = error_stats(orig, dec)
+    rd = rate_distortion(orig, dec)
+    assert result.min_err == pytest.approx(es.min_err)
+    assert result.mse == pytest.approx(rd.mse, rel=1e-12)
+    assert result.psnr == pytest.approx(rd.psnr, rel=1e-12)
+
+
+def test_pattern2_kernel_correct_and_timed(benchmark, bench_pair):
+    orig, dec = bench_pair
+    config = Pattern2Config(max_lag=10)
+    result, _ = benchmark(execute_pattern2, orig, dec, config)
+    ref = derivative_metrics(orig, dec, 1)
+    assert result.der1.rms_diff == pytest.approx(ref.rms_diff, rel=1e-10)
+    e = dec.astype(np.float64) - orig.astype(np.float64)
+    assert np.allclose(
+        result.autocorrelation, spatial_autocorrelation(e, 10), atol=1e-9
+    )
+
+
+def test_pattern3_kernel_correct_and_timed(benchmark, bench_pair):
+    orig, dec = bench_pair
+    config = Pattern3Config(window=8, step=1)
+    result, _ = benchmark(execute_pattern3, orig, dec, config)
+    ref = ssim3d(orig, dec, SsimConfig(window=8, step=1))
+    assert result.ssim == pytest.approx(ref.ssim, rel=1e-12)

@@ -1,0 +1,48 @@
+"""Fig. 10: overall speedups of cuZC over ompZC and moZC, all metrics on.
+
+Paper rows reproduced: 22.6-31.2x vs the OpenMP CPU baseline and
+1.49-1.7x vs the metric-oriented GPU baseline, across the four SDRBench
+applications at their true shapes.
+"""
+
+from repro.analysis.speedup import overall_speedups
+from repro.datasets.registry import PAPER_SHAPES
+from repro.viz.gnuplot import write_series
+
+PAPER_FIG10 = {
+    "ompZC": (22.6, 31.2),
+    "moZC": (1.49, 1.7),
+}
+
+
+def test_fig10_overall_speedups(benchmark, results_dir):
+    rows = benchmark(overall_speedups, PAPER_SHAPES)
+
+    by_baseline: dict[str, dict[str, float]] = {}
+    for row in rows:
+        by_baseline.setdefault(row.baseline, {})[row.dataset] = row.speedup
+
+    datasets = list(PAPER_SHAPES)
+    write_series(
+        results_dir / "fig10_overall_speedups.dat",
+        {
+            "dataset_idx": [float(i) for i in range(len(datasets))],
+            "vs_ompZC": [by_baseline["ompZC"][d] for d in datasets],
+            "vs_moZC": [by_baseline["moZC"][d] for d in datasets],
+        },
+        comment=f"Fig 10 | datasets: {', '.join(datasets)} | paper: "
+        "ompZC 22.6-31.2x, moZC 1.49-1.7x",
+    )
+
+    print("\nFig 10 — overall speedups (paper: 22.6-31.2x / 1.49-1.7x):")
+    for baseline, (lo, hi) in PAPER_FIG10.items():
+        ours = by_baseline[baseline]
+        print(f"  vs {baseline}: " + "  ".join(
+            f"{d}={v:.2f}x" for d, v in ours.items()
+        ))
+        tol = 0.05
+        for dataset, value in ours.items():
+            assert lo * (1 - tol) <= value <= hi * (1 + tol), (
+                f"{baseline}/{dataset}: {value:.2f} outside "
+                f"[{lo}, {hi}] (+/-{tol:.0%})"
+            )

@@ -1,0 +1,61 @@
+"""Fig. 11: per-pattern throughput of cuZC, moZC, and ompZC.
+
+Paper rows reproduced: (a) pattern 1 — cuZC 103-137 GB/s, moZC 17-31,
+ompZC 0.44-0.51; (b) pattern 2 — same ordering (absolute values not
+legible in the paper); (c) pattern 3 — cuZC 497-758 MB/s, moZC 351-514,
+ompZC 24.8-26.6.
+"""
+
+import pytest
+
+from repro.analysis.throughput import pattern_throughputs
+from repro.datasets.registry import PAPER_SHAPES
+from repro.viz.gnuplot import write_series
+
+#: (framework -> (lo, hi)) acceptance bands per pattern, bytes/s; None
+#: means ordering-only (paper values unreadable for pattern 2)
+PAPER_FIG11 = {
+    1: {"cuZC": (95e9, 140e9), "moZC": (17e9, 31e9), "ompZC": (0.42e9, 0.52e9)},
+    2: None,
+    3: {"cuZC": (497e6, 758e6), "moZC": (351e6, 514e6), "ompZC": (24e6, 27e6)},
+}
+
+
+@pytest.mark.parametrize("pattern", [1, 2, 3])
+def test_fig11_throughput(benchmark, results_dir, pattern):
+    rows = benchmark(pattern_throughputs, PAPER_SHAPES, pattern)
+
+    by_fw: dict[str, dict[str, float]] = {}
+    for row in rows:
+        by_fw.setdefault(row.framework, {})[row.dataset] = row.bytes_per_second
+
+    datasets = list(PAPER_SHAPES)
+    write_series(
+        results_dir / f"fig11_pattern{pattern}_throughput.dat",
+        {
+            "dataset_idx": [float(i) for i in range(len(datasets))],
+            **{fw: [by_fw[fw][d] for d in datasets] for fw in by_fw},
+        },
+        comment=f"Fig 11 pattern {pattern} throughput [B/s] | datasets: "
+        + ", ".join(datasets),
+    )
+
+    unit = 1e6 if pattern == 3 else 1e9
+    label = "MB/s" if pattern == 3 else "GB/s"
+    print(f"\nFig 11 — pattern-{pattern} throughput [{label}]:")
+    for fw, values in by_fw.items():
+        print(f"  {fw}: " + "  ".join(
+            f"{d}={v / unit:.2f}" for d, v in values.items()
+        ))
+
+    bands = PAPER_FIG11[pattern]
+    if bands is not None:
+        for fw, (lo, hi) in bands.items():
+            for dataset, value in by_fw[fw].items():
+                assert lo <= value <= hi, (
+                    f"P{pattern} {fw}/{dataset}: {value:.3g} outside "
+                    f"[{lo:.3g}, {hi:.3g}]"
+                )
+    # the universal ordering claim
+    for dataset in datasets:
+        assert by_fw["cuZC"][dataset] > by_fw["moZC"][dataset] > by_fw["ompZC"][dataset]

@@ -1,0 +1,66 @@
+"""Fig. 12: per-pattern speedups of cuZC over both baselines.
+
+Paper rows reproduced: (a) pattern 1 — 227-268x vs ompZC, 3.49-6.38x vs
+moZC; (b) pattern 2 — 17.1-47.4x / 1.79-1.86x; (c) pattern 3 —
+19.2-28.5x / 1.42-1.63x.  Dataset-shape effects (Takeaway 2) are
+asserted alongside.
+"""
+
+import pytest
+
+from repro.analysis.speedup import speedup_table
+from repro.datasets.registry import PAPER_SHAPES
+from repro.viz.gnuplot import write_series
+
+#: paper bands with the documented tolerance of our calibrated model
+PAPER_FIG12 = {
+    1: {"ompZC": (215, 290), "moZC": (3.49, 6.38)},
+    2: {"ompZC": (17.1, 47.4), "moZC": (1.70, 1.95)},
+    3: {"ompZC": (19.2, 28.5), "moZC": (1.42, 1.63)},
+}
+
+
+@pytest.mark.parametrize("pattern", [1, 2, 3])
+def test_fig12_speedups(benchmark, results_dir, pattern):
+    rows = benchmark(speedup_table, PAPER_SHAPES, pattern)
+
+    by_baseline: dict[str, dict[str, float]] = {}
+    for row in rows:
+        by_baseline.setdefault(row.baseline, {})[row.dataset] = row.speedup
+
+    datasets = list(PAPER_SHAPES)
+    write_series(
+        results_dir / f"fig12_pattern{pattern}_speedups.dat",
+        {
+            "dataset_idx": [float(i) for i in range(len(datasets))],
+            "vs_ompZC": [by_baseline["ompZC"][d] for d in datasets],
+            "vs_moZC": [by_baseline["moZC"][d] for d in datasets],
+        },
+        comment=f"Fig 12 pattern {pattern} speedups | datasets: "
+        + ", ".join(datasets),
+    )
+
+    print(f"\nFig 12 — pattern-{pattern} speedups:")
+    for baseline, values in by_baseline.items():
+        print(f"  vs {baseline}: " + "  ".join(
+            f"{d}={v:.2f}x" for d, v in values.items()
+        ))
+
+    for baseline, (lo, hi) in PAPER_FIG12[pattern].items():
+        for dataset, value in by_baseline[baseline].items():
+            assert lo <= value <= hi, (
+                f"P{pattern} vs {baseline}/{dataset}: {value:.2f} outside "
+                f"[{lo}, {hi}]"
+            )
+
+    # Takeaway-2 dataset-shape effects
+    omp = by_baseline["ompZC"]
+    if pattern == 3:
+        assert omp["nyx"] == min(omp.values()), (
+            "NYX (longest z) must show the lowest pattern-3 speedup"
+        )
+    if pattern == 1:
+        mo = by_baseline["moZC"]
+        assert min(mo["nyx"], mo["scale_letkf"]) < min(
+            mo["hurricane"], mo["miranda"]
+        ), "large datasets must trail on pattern 1 vs moZC"

@@ -1,0 +1,115 @@
+"""Section I's quantitative motivations, made measurable.
+
+* "lossless compressors ... generally suffer from very low compression
+  ratios (around 2:1 in most of cases)" while "error-bounded lossy
+  compressors can generally get fairly high compression ratios (10:1,
+  100:1 or even higher)";
+* "ZFP's fixed-rate mode could result in 2~3x lower compression ratios
+  than its fixed-accuracy mode, with the same level of data distortion
+  (in terms of PSNR)" (the FRaZ-cited claim motivating GPU-side
+  assessment of cuZFP).
+"""
+
+import numpy as np
+
+from repro.compressors.lossless import LosslessCompressor
+from repro.compressors.sz import SZCompressor
+from repro.compressors.zfp import ZFPCompressor
+from repro.datasets.registry import generate_field, scaled_shape
+from repro.metrics.rate_distortion import rate_distortion
+from repro.viz.gnuplot import write_series
+
+
+def test_lossless_vs_lossy_ratio(benchmark, results_dir):
+    """Lossy at a loose-but-sane bound compresses an order of magnitude
+    beyond lossless on smooth scientific data."""
+    field = generate_field(
+        "miranda", "pressure", shape=scaled_shape("miranda", 0.15)
+    ).data
+
+    def ratios():
+        return {
+            "lossless": LosslessCompressor().ratio(field),
+            "sz_rel_1e-2": SZCompressor(rel_bound=1e-2).ratio(field),
+            "sz_rel_1e-3": SZCompressor(rel_bound=1e-3).ratio(field),
+        }
+
+    out = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    write_series(
+        results_dir / "intro_lossless_vs_lossy.dat",
+        {"idx": [0.0, 1.0, 2.0], "ratio": list(out.values())},
+        comment="ratios: " + ", ".join(out),
+    )
+    print("\nintro claim — compression ratios:", {k: round(v, 2) for k, v in out.items()})
+    assert 1.0 < out["lossless"] < 3.5  # "around 2:1"
+    assert out["sz_rel_1e-2"] > 8.0  # "10:1 ... or even higher"
+    assert out["sz_rel_1e-2"] > 4 * out["lossless"]
+
+
+def test_fixed_rate_quality_penalty(benchmark, results_dir):
+    """At matched PSNR, fixed-rate ZFP needs ~2-3x the bits of
+    error-bounded SZ."""
+    field = generate_field(
+        "miranda", "density", shape=scaled_shape("miranda", 0.15)
+    ).data
+
+    def measure():
+        sz = SZCompressor(rel_bound=1e-3)
+        sz_buf = sz.compress(field)
+        sz_psnr = rate_distortion(field, sz.decompress(sz_buf)).psnr
+        sz_rate = 8.0 * sz_buf.nbytes / field.size
+        # find the cheapest ZFP rate that reaches SZ's PSNR
+        for rate in (4, 6, 8, 10, 12, 14, 16, 20, 24):
+            z = ZFPCompressor(rate=rate)
+            z_buf = z.compress(field)
+            psnr = rate_distortion(field, z.decompress(z_buf)).psnr
+            if psnr >= sz_psnr:
+                return sz_rate, 8.0 * z_buf.nbytes / field.size, sz_psnr, psnr
+        return sz_rate, float("inf"), sz_psnr, float("nan")
+
+    sz_rate, zfp_rate, sz_psnr, zfp_psnr = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    penalty = zfp_rate / sz_rate
+    (results_dir / "intro_fixed_rate_penalty.txt").write_text(
+        f"SZ: {sz_rate:.2f} b/v @ {sz_psnr:.1f} dB | "
+        f"ZFP needs {zfp_rate:.2f} b/v for {zfp_psnr:.1f} dB | "
+        f"penalty {penalty:.2f}x (paper: 2~3x)\n"
+    )
+    print(f"\nfixed-rate penalty at matched PSNR: {penalty:.2f}x "
+          f"(paper claims 2~3x)")
+    assert np.isfinite(zfp_rate)
+    assert 1.5 <= penalty <= 4.0
+
+
+def test_sz2_high_compression_advantage(benchmark, results_dir):
+    """§I: cuSZ 'supports only the design of version 1.4 ... the latest
+    version 2.1 of SZ on CPU has far better compression quality
+    especially for high compression cases, because of the more advanced
+    data prediction algorithm'.  Sweep bounds and show the SZ2-style
+    adaptive predictor's gain concentrating in the loose-bound regime."""
+    from repro.compressors.sz2 import SZ2Compressor
+    from repro.datasets.synthetic import spectral_field
+
+    field = spectral_field((48, 48, 48), slope=3.0, seed=3, mean=5.0, std=2.0)
+    bounds = (1e-1, 3e-2, 1e-2, 1e-3)
+
+    def sweep():
+        return {
+            rel: SZ2Compressor(rel_bound=rel).ratio(field)
+            / SZCompressor(rel_bound=rel).ratio(field)
+            for rel in bounds
+        }
+
+    gains = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_series(
+        results_dir / "intro_sz2_vs_sz14.dat",
+        {"rel_bound": list(bounds), "ratio_gain": [gains[b] for b in bounds]},
+        comment="SZ2-style adaptive prediction vs SZ-1.4 Lorenzo (ratio gain)",
+    )
+    print("\nSZ2/SZ1.4 ratio gains:", {k: round(v, 3) for k, v in gains.items()})
+    # the gain concentrates at high compression (loose bounds) ...
+    assert gains[1e-1] > 1.15
+    assert gains[1e-1] > gains[1e-2]
+    # ... and fades to parity at tight bounds
+    assert 0.85 < gains[1e-3] < 1.1

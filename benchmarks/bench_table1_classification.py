@@ -1,0 +1,34 @@
+"""Table I: the pattern-oriented metric classification.
+
+Regenerates the classification table and benchmarks the coordinator's
+pattern-dispatch path (mapping a metric selection to kernels to launch).
+"""
+
+from repro.core.checker import CuZChecker
+from repro.config.schema import CheckerConfig
+from repro.metrics.base import METRIC_REGISTRY, table1
+
+
+def test_table1_classification(benchmark, results_dir):
+    t = benchmark(table1)
+    # regenerate the table file
+    lines = ["# Table I: pattern-oriented metrics classification"]
+    for category, metrics in t.items():
+        lines.append(f"{category}: {', '.join(metrics)}")
+    (results_dir / "table1_classification.txt").write_text("\n".join(lines) + "\n")
+    # the paper's counts
+    assert len(t["Category I (global reduction)"]) == 14
+    assert len(t["Category II (stencil-like)"]) == 5
+    assert t["Category III (sliding window)"] == ("ssim",)
+
+
+def test_coordinator_dispatch(benchmark):
+    """Mapping user-requested metrics to patterns (the GPU module
+    coordinator's first job)."""
+    config = CheckerConfig(metrics=tuple(METRIC_REGISTRY))
+
+    def dispatch():
+        return CuZChecker(config).needed_patterns()
+
+    patterns = benchmark(dispatch)
+    assert patterns == (1, 2, 3)

@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+Two kinds of benchmarks coexist here:
+
+* **model benchmarks** regenerate the paper's figures/tables from the
+  calibrated performance models at the paper's true dataset shapes (and
+  assert the paper's acceptance bands);
+* **wall-clock benchmarks** measure this library's own functional layer
+  (pytest-benchmark timings of the fused kernels, compressors, and the
+  real fusion/FIFO ablations on the NumPy substrate).
+
+Every benchmark writes its reproduced series under
+``benchmarks/results/`` as gnuplot-compatible ``.dat`` files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_field() -> np.ndarray:
+    """A Hurricane-like field at CI scale (z-thin, xy-wide)."""
+    from repro.datasets.registry import generate_field, scaled_shape
+
+    shape = scaled_shape("hurricane", 0.16)  # (16, 80, 80)
+    return generate_field("hurricane", "TCf48", shape=shape).data
+
+
+@pytest.fixture(scope="session")
+def bench_pair(bench_field) -> tuple[np.ndarray, np.ndarray]:
+    """(orig, dec) via a real SZ round trip at the paper-ish bound."""
+    from repro.compressors.sz import SZCompressor
+
+    comp = SZCompressor(rel_bound=1e-3)
+    return bench_field, comp.decompress(comp.compress(bench_field))

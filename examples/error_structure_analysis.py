@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Error-structure analysis across compressor families.
+
+Why Z-checker exists: different lossy compressors distort data in
+characteristically different ways even at the same RMSE.  This example
+compares the *structure* of the errors — autocorrelation (white-noise
+test, paper §III-B2), error PDF shape, and spectral damage — for four
+codecs on the same field, and writes a self-contained HTML report per
+codec (the Z-server substitution).
+
+Run:  python examples/error_structure_analysis.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.compressors import (
+    DecimateCompressor,
+    SZCompressor,
+    UniformQuantCompressor,
+    ZFPCompressor,
+)
+from repro.core.compare import compare_data
+from repro.datasets import generate_field, scaled_shape
+from repro.metrics import spectral_comparison
+from repro.viz.ascii import ascii_table
+from repro.viz.html import write_report_html
+
+OUT = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("error_structure")
+OUT.mkdir(parents=True, exist_ok=True)
+
+shape = scaled_shape("scale_letkf", 0.05)
+field = generate_field("scale_letkf", "T", shape=shape).data
+print(f"field: scale_letkf/T {shape}\n")
+
+codecs = {
+    "sz (error-bounded)": SZCompressor(rel_bound=1e-3),
+    "uniform_quant": UniformQuantCompressor(rel_bound=1e-3),
+    "zfp (fixed-rate)": ZFPCompressor(rate=10),
+    "decimate": DecimateCompressor(factor=2),
+}
+
+rows = []
+for name, codec in codecs.items():
+    dec = codec.decompress(codec.compress(field))
+    report = compare_data(field, dec, with_baselines=False)
+    spec = spectral_comparison(field, dec)
+    ac = report.pattern2.autocorrelation
+    e = dec.astype(np.float64) - field.astype(np.float64)
+    rows.append({
+        "codec": name,
+        "rmse": f"{report.scalars()['rmse']:.3e}",
+        "ac(1)": f"{ac[1]:+.4f}",
+        "ac(5)": f"{ac[5]:+.4f}",
+        "spectral noise f": f"{spec.noise_frequency:.3f}",
+        "|err| kurtosis-ish": f"{float(np.mean(e**4) / np.mean(e**2)**2):.1f}",
+    })
+    safe = name.split()[0]
+    write_report_html(report, OUT / f"{safe}.html",
+                      title=f"{name} on scale_letkf/T")
+
+print(ascii_table(rows, title="error structure by codec"))
+print("""
+reading the table:
+  * ac(tau) near 0    -> errors behave like white noise (ideal for many
+                          downstream analyses; the paper's §III-B2 concern)
+  * ac(tau) large     -> spatially structured artifacts (interpolation
+                          smears, transform blocks)
+  * spectral noise f  -> lowest frequency whose amplitude is corrupted
+                          >10%; higher is better
+""")
+print(f"HTML reports written under {OUT}/ — open in any browser.")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate every evaluation figure/table of the paper from the models.
+
+Walks the full Section IV evaluation at the paper's true dataset shapes:
+Fig. 10 (overall speedups), Fig. 11 (per-pattern throughput), Fig. 12
+(per-pattern speedups), and Table II (runtime profiling) — rendered as
+ASCII charts/tables.
+
+Run:  python examples/performance_model.py
+"""
+
+from repro.analysis.speedup import overall_speedups, speedup_table
+from repro.analysis.throughput import pattern_throughputs
+from repro.core.profiles import runtime_profile
+from repro.datasets import PAPER_SHAPES
+from repro.viz.ascii import ascii_bar_chart, ascii_table
+
+print("=" * 70)
+print("Fig. 10 — overall speedups (paper: 22.6-31.2x ompZC, 1.49-1.7x moZC)")
+print("=" * 70)
+rows = overall_speedups(PAPER_SHAPES)
+for baseline in ("ompZC", "moZC"):
+    values = {r.dataset: r.speedup for r in rows if r.baseline == baseline}
+    print(ascii_bar_chart(values, title=f"\ncuZC speedup vs {baseline}:",
+                          unit="x"))
+
+for pattern, paper in (
+    (1, "cuZC 103-137 GB/s, moZC 17-31, ompZC 0.44-0.51"),
+    (2, "(ordering only in the paper)"),
+    (3, "cuZC 497-758 MB/s, moZC 351-514, ompZC 24.8-26.6"),
+):
+    print()
+    print("=" * 70)
+    print(f"Fig. 11 — pattern-{pattern} throughput (paper: {paper})")
+    print("=" * 70)
+    unit = 1e6 if pattern == 3 else 1e9
+    label = "MB/s" if pattern == 3 else "GB/s"
+    table = []
+    for row in pattern_throughputs(PAPER_SHAPES, pattern):
+        table.append({
+            "framework": row.framework,
+            "dataset": row.dataset,
+            f"throughput [{label}]": f"{row.bytes_per_second / unit:.2f}",
+        })
+    print(ascii_table(table))
+
+for pattern, paper in (
+    (1, "227-268x ompZC / 3.49-6.38x moZC"),
+    (2, "17.1-47.4x ompZC / 1.79-1.86x moZC"),
+    (3, "19.2-28.5x ompZC / 1.42-1.63x moZC"),
+):
+    print()
+    print("=" * 70)
+    print(f"Fig. 12 — pattern-{pattern} speedups (paper: {paper})")
+    print("=" * 70)
+    for row in speedup_table(PAPER_SHAPES, pattern):
+        print(f"  {row.dataset:<12} vs {row.baseline:<6} {row.speedup:8.2f}x")
+
+print()
+print("=" * 70)
+print("Table II — runtime profiling")
+print("=" * 70)
+print(ascii_table([r.formatted() for r in runtime_profile(PAPER_SHAPES)]))

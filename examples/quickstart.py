@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Quickstart: assess one lossy compression in a dozen lines.
+
+Generates a Miranda-like turbulence field, compresses it with the
+SZ-style error-bounded compressor at REL 1e-3, and runs the full
+cuZ-Checker assessment — every metric plus modelled GPU/CPU execution
+times and speedups.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compressors import SZCompressor
+from repro.core.compare import assess_compressor
+from repro.core.output import report_to_text
+from repro.datasets import generate_field, scaled_shape
+
+# 1. data: a laptop-sized stand-in for the Miranda density field
+shape = scaled_shape("miranda", scale=0.15)  # (39, 58, 58)
+field = generate_field("miranda", "density", shape=shape)
+print(f"field: miranda/density, shape={field.shape}, {field.nbytes / 1e6:.1f} MB")
+
+# 2. compressor under test: error-bounded SZ at REL 1e-3
+compressor = SZCompressor(rel_bound=1e-3)
+
+# 3. one call: compress, decompress, assess everything
+report = assess_compressor(field.data, compressor, with_baselines=True)
+
+print()
+print(report_to_text(report))
+
+# 4. the numbers a compressor user cares about
+s = report.scalars()
+print()
+print(f"compression ratio : {s['compression_ratio']:.2f}:1")
+print(f"PSNR              : {s['psnr']:.2f} dB")
+print(f"SSIM              : {s['ssim']:.6f}")
+print(f"max abs error     : {abs(s['max_err']):.3e} "
+      f"(bound was {s['value_range'] * 1e-3:.3e})")

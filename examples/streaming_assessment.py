@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Streaming assessment of an instrument-style data stream.
+
+The paper's introduction motivates GPU-resident assessment with light
+source acquisition rates (250 GB/s on LCLS-II) that forbid staging whole
+datasets.  This example simulates that pipeline: a detector produces
+z-slabs one at a time, each slab is compressed and decompressed
+immediately (in-situ), and the StreamingChecker folds every slab into
+running assessment state — then the final result is shown to equal a
+batch run on the whole volume.
+
+Run:  python examples/streaming_assessment.py
+"""
+
+import numpy as np
+
+from repro.compressors import SZCompressor
+from repro.core.streaming import StreamingChecker
+from repro.datasets import generate_field, scaled_shape
+from repro.kernels.pattern1 import execute_pattern1
+from repro.kernels.pattern3 import Pattern3Config, execute_pattern3
+
+# the "acquisition": a Scale-LETKF-like field arriving in 4-slice slabs
+shape = scaled_shape("scale_letkf", 0.05)  # (16, 60, 60)
+volume = generate_field("scale_letkf", "P", shape=shape).data
+SLAB = 4
+
+compressor = SZCompressor(rel_bound=1e-3)
+# streaming SSIM needs the dynamic range up front — instruments know
+# their detector's range a priori
+L = float(volume.max() - volume.min())
+checker = StreamingChecker(
+    plane_shape=shape[1:],
+    max_lag=5,
+    ssim=Pattern3Config(window=6, dynamic_range=L),
+)
+
+print(f"streaming {shape[0]} slices in slabs of {SLAB} "
+      f"({volume.nbytes / 1e6:.1f} MB total, "
+      f"carry buffer ≤ {5} slices)...\n")
+
+reconstructed = np.empty_like(volume)
+for z0 in range(0, shape[0], SLAB):
+    slab = volume[z0 : z0 + SLAB]
+    dec = compressor.decompress(compressor.compress(slab))
+    reconstructed[z0 : z0 + SLAB] = dec
+    checker.update(slab, dec)
+    print(f"  slab z={z0:>3}..{z0 + slab.shape[0] - 1:<3} assessed "
+          f"(running elements: {checker._z * shape[1] * shape[2]:,})")
+
+result = checker.finalize()
+
+# ground truth: batch assessment of the fully staged volume
+batch1, _ = execute_pattern1(volume, reconstructed)
+batch3, _ = execute_pattern3(
+    volume, reconstructed, Pattern3Config(window=6, dynamic_range=L)
+)
+
+print("\nstreaming vs batch (must agree exactly):")
+rows = [
+    ("psnr", result.pattern1.psnr, batch1.psnr),
+    ("mse", result.pattern1.mse, batch1.mse),
+    ("max_err", result.pattern1.max_err, batch1.max_err),
+    ("ssim", result.ssim, batch3.ssim),
+]
+for name, streamed, batch in rows:
+    ok = "OK" if np.isclose(streamed, batch, rtol=1e-12) else "MISMATCH"
+    print(f"  {name:<8} streamed={streamed:.10g}  batch={batch:.10g}  [{ok}]")
+print(f"  autocorrelation(1..3): "
+      f"{np.round(result.autocorrelation[1:4], 5)}")
+print("\nNote: the stream was assessed slab-by-slab; per-slab compression "
+      "means slab-boundary prediction resets, exactly like a chunked "
+      "in-situ pipeline.")

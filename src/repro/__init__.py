@@ -1,0 +1,43 @@
+"""cuZ-Checker reproduction — GPU-model-based lossy compression assessment.
+
+This package reproduces the system described in *"cuZ-Checker: A GPU-Based
+Ultra-Fast Assessment System for Lossy Compressions"* (IEEE CLUSTER 2021).
+Because this environment has no physical GPU, the CUDA substrate is
+replaced by :mod:`repro.gpusim`, a functional + analytical execution-model
+simulator of an NVIDIA V100 (see ``DESIGN.md`` for the substitution
+rationale).
+
+Public entry points
+-------------------
+
+:func:`repro.core.compare.compare_data`
+    One-call full assessment of an original/decompressed pair.
+:class:`repro.core.checker.CuZChecker`
+    The pattern-oriented checker (the paper's contribution).
+:class:`repro.core.frameworks.OmpZChecker`, :class:`repro.core.frameworks.MoZChecker`
+    The two baselines used throughout the evaluation.
+:mod:`repro.compressors`
+    Error-bounded (SZ-style) and fixed-rate (ZFP-style) lossy compressors.
+:mod:`repro.datasets`
+    Synthetic stand-ins for the four SDRBench applications.
+"""
+
+from __future__ import annotations
+
+from repro._version import __version__
+from repro import errors
+
+__all__ = ["__version__", "errors", "compare_data", "CuZChecker"]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` cheap and avoid cycles.
+    if name == "compare_data":
+        from repro.core.compare import compare_data
+
+        return compare_data
+    if name == "CuZChecker":
+        from repro.core.checker import CuZChecker
+
+        return CuZChecker
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

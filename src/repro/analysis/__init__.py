@@ -1,0 +1,38 @@
+"""Evaluation-harness helpers: throughput accounting, speedup tables,
+parameter sweeps."""
+
+from repro.analysis.throughput import (
+    ThroughputRow,
+    pattern_throughputs,
+    overall_throughputs,
+)
+from repro.analysis.speedup import SpeedupRow, speedup_table, overall_speedups
+from repro.analysis.sweep import sweep_error_bounds, sweep_ssim_windows, SweepPoint
+from repro.analysis.comparison import (
+    CodecComparison,
+    CodecEntry,
+    compare_codecs,
+)
+from repro.analysis.autotune import (
+    GeometryPoint,
+    tune_pattern3_yrows,
+    project_devices,
+)
+
+__all__ = [
+    "ThroughputRow",
+    "pattern_throughputs",
+    "overall_throughputs",
+    "SpeedupRow",
+    "speedup_table",
+    "overall_speedups",
+    "sweep_error_bounds",
+    "sweep_ssim_windows",
+    "SweepPoint",
+    "GeometryPoint",
+    "tune_pattern3_yrows",
+    "project_devices",
+    "CodecComparison",
+    "CodecEntry",
+    "compare_codecs",
+]

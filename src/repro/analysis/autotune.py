@@ -1,0 +1,111 @@
+"""Kernel-geometry autotuning over the execution model.
+
+The paper hand-picks its kernel geometries ("fine-grained optimizations
+... by thoroughly leveraging the advanced GPU features"); with a cost
+model those choices become a searchable space.  This module sweeps the
+pattern-3 block geometry (``yrows`` — window rows per block) and reports
+the modelled optimum per dataset shape, including whether the paper's
+operating point is on the knee.
+
+The trade-off being searched: more rows per block amortise the y-axis
+ghost regions across more windows (less redundant global traffic) but
+grow the FIFO footprint and per-block registers, cutting the number of
+concurrently resident blocks per SM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.errors import GpuSimError
+from repro.gpusim.costmodel import kernel_time
+from repro.gpusim.device import DeviceSpec, V100
+from repro.gpusim.occupancy import occupancy_for
+from repro.kernels.pattern3 import Pattern3Config, plan_pattern3
+
+__all__ = ["GeometryPoint", "tune_pattern3_yrows", "project_devices"]
+
+
+@dataclass(frozen=True)
+class GeometryPoint:
+    """One candidate geometry and its modelled behaviour."""
+
+    yrows: int
+    seconds: float
+    smem_per_block: int
+    concurrent_blocks_per_sm: int
+    grid_blocks: int
+    valid: bool
+
+    @property
+    def threads_per_block(self) -> int:
+        return 32 * self.yrows
+
+
+def tune_pattern3_yrows(
+    shape: tuple[int, int, int],
+    config: Pattern3Config | None = None,
+    candidates: Sequence[int] | None = None,
+    device: DeviceSpec = V100,
+) -> tuple[list[GeometryPoint], GeometryPoint]:
+    """Sweep ``yrows`` and return (all points, fastest valid point).
+
+    Candidates whose shared-memory demand exceeds the device's per-block
+    limit are reported with ``valid=False`` and excluded from the
+    optimum (Volta can opt in to larger carve-outs, but the paper's
+    kernels stay within the default 48 KB).
+    """
+    config = config or Pattern3Config()
+    if candidates is None:
+        candidates = range(max(config.window, 4), 33, 2)
+    points: list[GeometryPoint] = []
+    for yrows in candidates:
+        if yrows < config.window or not 2 <= yrows <= 32:
+            continue
+        cand = replace(config, yrows=yrows)
+        stats = plan_pattern3(shape, cand)
+        valid = stats.smem_per_block <= device.shared_mem_per_block
+        try:
+            cost = kernel_time(stats, device)
+            occ = occupancy_for(device, stats)
+            seconds = cost.total
+            concurrent = occ.concurrent_blocks_per_sm
+        except GpuSimError:
+            valid = False
+            seconds = float("inf")
+            concurrent = 0
+        points.append(
+            GeometryPoint(
+                yrows=yrows,
+                seconds=seconds,
+                smem_per_block=stats.smem_per_block,
+                concurrent_blocks_per_sm=concurrent,
+                grid_blocks=stats.grid_blocks,
+                valid=valid,
+            )
+        )
+    valid_points = [p for p in points if p.valid]
+    if not valid_points:
+        raise GpuSimError(
+            f"no valid pattern-3 geometry for window {config.window} on "
+            f"{device.name}"
+        )
+    best = min(valid_points, key=lambda p: p.seconds)
+    return points, best
+
+
+def project_devices(
+    shape: tuple[int, int, int],
+    plan_fn,
+    devices: Sequence[DeviceSpec],
+) -> dict[str, float]:
+    """Modelled kernel time of one plan across devices (what-if study).
+
+    ``plan_fn(shape)`` must return a :class:`KernelStats`; the same plan
+    is costed on every device (geometry is device-agnostic here, which is
+    the conservative assumption — retuning could only help the faster
+    device).
+    """
+    stats = plan_fn(shape)
+    return {device.name: kernel_time(stats, device).total for device in devices}

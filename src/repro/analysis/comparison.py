@@ -1,0 +1,145 @@
+"""Multi-codec comparison engine.
+
+The practical question Z-checker answers — *which* compressor should this
+application adopt, at *which* setting — needs many assessments viewed
+side by side.  :func:`compare_codecs` runs a set of configured codecs
+over one field, collects the full reports, ranks the codecs under an
+:class:`~repro.core.acceptance.AcceptanceCriteria`, and summarises who
+wins each axis (ratio at acceptable quality, PSNR per bit, error
+whiteness).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.schema import CheckerConfig
+from repro.core.acceptance import AcceptanceCriteria, Verdict
+from repro.core.compare import assess_compressor
+from repro.core.report import AssessmentReport
+from repro.errors import CheckerError
+
+__all__ = ["CodecEntry", "CodecComparison", "compare_codecs"]
+
+
+@dataclass
+class CodecEntry:
+    """One codec's outcome in a comparison."""
+
+    label: str
+    report: AssessmentReport
+    verdict: Verdict | None
+
+    @property
+    def scalars(self) -> dict[str, float]:
+        return self.report.scalars()
+
+    @property
+    def acceptable(self) -> bool:
+        return self.verdict.passed if self.verdict is not None else True
+
+    @property
+    def ratio(self) -> float:
+        return float(self.scalars.get("compression_ratio", math.nan))
+
+    @property
+    def psnr_per_bit(self) -> float:
+        """Quality bought per stored bit (higher = better R-D position)."""
+        psnr = self.scalars.get("psnr", math.nan)
+        bit_rate = self.scalars.get("bit_rate", math.nan)
+        if not (math.isfinite(psnr) and math.isfinite(bit_rate)) or bit_rate <= 0:
+            return math.nan
+        return psnr / bit_rate
+
+    @property
+    def error_whiteness(self) -> float:
+        """1 - max |AC(τ≥1)|: 1.0 means perfectly white errors."""
+        if self.report.pattern2 is None:
+            return math.nan
+        ac = np.asarray(self.report.pattern2.autocorrelation)
+        if len(ac) < 2:
+            return math.nan
+        return 1.0 - float(np.abs(ac[1:]).max())
+
+
+@dataclass
+class CodecComparison:
+    """All entries plus the per-axis winners."""
+
+    field_label: str
+    entries: list[CodecEntry] = field(default_factory=list)
+
+    def entry(self, label: str) -> CodecEntry:
+        for e in self.entries:
+            if e.label == label:
+                return e
+        raise CheckerError(f"no codec {label!r} in this comparison")
+
+    @property
+    def acceptable_entries(self) -> list[CodecEntry]:
+        return [e for e in self.entries if e.acceptable]
+
+    def best_ratio(self) -> CodecEntry | None:
+        """Highest compression ratio among *acceptable* codecs."""
+        pool = self.acceptable_entries
+        if not pool:
+            return None
+        return max(pool, key=lambda e: e.ratio)
+
+    def best_rate_distortion(self) -> CodecEntry:
+        pool = [e for e in self.entries if math.isfinite(e.psnr_per_bit)]
+        if not pool:
+            raise CheckerError("no codec produced a finite R-D position")
+        return max(pool, key=lambda e: e.psnr_per_bit)
+
+    def whitest_errors(self) -> CodecEntry:
+        pool = [e for e in self.entries if math.isfinite(e.error_whiteness)]
+        if not pool:
+            raise CheckerError("no codec has autocorrelation results")
+        return max(pool, key=lambda e: e.error_whiteness)
+
+    def table_rows(self) -> list[dict[str, str]]:
+        """Summary rows for :func:`repro.viz.ascii.ascii_table`."""
+        rows = []
+        for e in self.entries:
+            s = e.scalars
+            rows.append(
+                {
+                    "codec": e.label,
+                    "ratio": f"{e.ratio:.2f}",
+                    "psnr[dB]": f"{s.get('psnr', math.nan):.2f}",
+                    "ssim": f"{s.get('ssim', math.nan):.5f}",
+                    "whiteness": f"{e.error_whiteness:.4f}",
+                    "acceptable": "yes" if e.acceptable else "NO",
+                }
+            )
+        return rows
+
+
+def compare_codecs(
+    data: np.ndarray,
+    codecs: dict[str, object],
+    config: CheckerConfig | None = None,
+    criteria: AcceptanceCriteria | None = None,
+    field_label: str = "field",
+) -> CodecComparison:
+    """Assess every codec on ``data`` and rank the outcomes.
+
+    ``codecs`` maps display labels to compressor instances; ``criteria``
+    (optional) gates which codecs count as acceptable for the
+    ratio-winner question.
+    """
+    if not codecs:
+        raise CheckerError("no codecs to compare")
+    comparison = CodecComparison(field_label=field_label)
+    for label, codec in codecs.items():
+        report = assess_compressor(data, codec, config=config,
+                                   with_baselines=False)
+        verdict = criteria.evaluate(report) if criteria is not None else None
+        comparison.entries.append(
+            CodecEntry(label=label, report=report, verdict=verdict)
+        )
+    return comparison

@@ -1,0 +1,72 @@
+"""Speedup tables matching the paper's Figs. 10 and 12."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.defaults import default_config
+from repro.config.schema import CheckerConfig
+from repro.core.frameworks import get_framework
+
+__all__ = ["SpeedupRow", "speedup_table", "overall_speedups"]
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """cuZC's speedup over one baseline on one dataset."""
+
+    dataset: str
+    baseline: str
+    pattern: int | None
+    speedup: float
+
+
+def speedup_table(
+    shapes: dict[str, tuple[int, int, int]],
+    pattern: int,
+    config: CheckerConfig | None = None,
+    baselines: tuple[str, ...] = ("ompZC", "moZC"),
+) -> list[SpeedupRow]:
+    """Fig. 12(a/b/c): per-pattern speedups of cuZC over each baseline."""
+    config = (config or default_config()).with_patterns(pattern)
+    cuzc = get_framework("cuZC")
+    rows = []
+    for baseline in baselines:
+        base = get_framework(baseline)
+        for dataset, shape in shapes.items():
+            t_cu = cuzc.estimate(shape, config).pattern_seconds[pattern]
+            t_base = base.estimate(shape, config).pattern_seconds[pattern]
+            rows.append(
+                SpeedupRow(
+                    dataset=dataset,
+                    baseline=baseline,
+                    pattern=pattern,
+                    speedup=t_base / t_cu,
+                )
+            )
+    return rows
+
+
+def overall_speedups(
+    shapes: dict[str, tuple[int, int, int]],
+    config: CheckerConfig | None = None,
+    baselines: tuple[str, ...] = ("ompZC", "moZC"),
+) -> list[SpeedupRow]:
+    """Fig. 10: overall speedups with all metrics enabled."""
+    config = config or default_config()
+    cuzc = get_framework("cuZC")
+    rows = []
+    for baseline in baselines:
+        base = get_framework(baseline)
+        for dataset, shape in shapes.items():
+            t_cu = cuzc.estimate(shape, config).total_seconds
+            t_base = base.estimate(shape, config).total_seconds
+            rows.append(
+                SpeedupRow(
+                    dataset=dataset,
+                    baseline=baseline,
+                    pattern=None,
+                    speedup=t_base / t_cu,
+                )
+            )
+    return rows

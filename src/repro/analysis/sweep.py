@@ -1,0 +1,91 @@
+"""Parameter sweeps: rate-distortion curves and kernel-geometry studies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.config.defaults import default_config
+from repro.core.frameworks import CuZC
+from repro.kernels.pattern3 import Pattern3Config
+from repro.metrics.rate_distortion import rate_distortion
+from repro.metrics.ssim import SsimConfig, ssim3d
+
+__all__ = ["SweepPoint", "sweep_error_bounds", "sweep_ssim_windows"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    parameter: float
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+def sweep_error_bounds(
+    data: np.ndarray,
+    bounds: Sequence[float],
+    compressor_factory=None,
+    ssim_window: int = 8,
+) -> list[SweepPoint]:
+    """Rate-distortion sweep: compress at each relative error bound and
+    record ratio, PSNR, NRMSE and SSIM.
+
+    ``compressor_factory(rel_bound)`` defaults to the SZ compressor.
+    """
+    from repro.compressors.sz import SZCompressor
+
+    if compressor_factory is None:
+        compressor_factory = lambda rb: SZCompressor(rel_bound=rb)  # noqa: E731
+    data = np.asarray(data)
+    points = []
+    for bound in bounds:
+        comp = compressor_factory(bound)
+        buf = comp.compress(data)
+        dec = comp.decompress(buf)
+        rd = rate_distortion(data, dec)
+        metrics = {
+            "ratio": data.size * data.dtype.itemsize / buf.nbytes,
+            "bit_rate": 8.0 * buf.nbytes / data.size,
+            "psnr": rd.psnr,
+            "nrmse": rd.nrmse,
+        }
+        if data.ndim == 3 and min(data.shape) >= ssim_window:
+            metrics["ssim"] = ssim3d(
+                data, dec, SsimConfig(window=ssim_window)
+            ).ssim
+        points.append(SweepPoint(parameter=float(bound), metrics=metrics))
+    return points
+
+
+def sweep_ssim_windows(
+    shape: tuple[int, int, int],
+    windows: Sequence[int] = (4, 5, 6, 8, 10, 12),
+    step: int = 1,
+) -> list[SweepPoint]:
+    """Modelled cuZC SSIM cost as the window size varies (kernel-geometry
+    ablation: larger windows shrink xnum/ynum, raising ghost-region
+    overlap and per-window work).  Windows are capped by the kernel's
+    block row count (12)."""
+    cuzc = CuZC()
+    points = []
+    for window in windows:
+        config = replace(
+            default_config(),
+            patterns=(3,),
+            pattern3=Pattern3Config(window=window, step=step),
+        )
+        seconds = cuzc.estimate(shape, config).pattern_seconds[3]
+        nbytes = 2 * 4 * shape[0] * shape[1] * shape[2]
+        points.append(
+            SweepPoint(
+                parameter=float(window),
+                metrics={
+                    "seconds": seconds,
+                    "throughput_mbps": nbytes / seconds / 1e6,
+                },
+            )
+        )
+    return points

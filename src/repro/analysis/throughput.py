@@ -1,0 +1,83 @@
+"""Throughput accounting identical to the paper's Figs. 11.
+
+Throughput is input bytes (original + decompressed fields) divided by
+framework execution time, evaluated at the paper's true dataset shapes
+via the calibrated performance models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.defaults import default_config
+from repro.config.schema import CheckerConfig
+from repro.core.frameworks import get_framework
+
+__all__ = ["ThroughputRow", "pattern_throughputs", "overall_throughputs"]
+
+FRAMEWORK_ORDER = ("cuZC", "moZC", "ompZC")
+
+
+@dataclass(frozen=True)
+class ThroughputRow:
+    """One bar of Fig. 11: a framework's throughput on one dataset."""
+
+    framework: str
+    dataset: str
+    pattern: int | None
+    bytes_per_second: float
+
+    @property
+    def gbps(self) -> float:
+        return self.bytes_per_second / 1e9
+
+    @property
+    def mbps(self) -> float:
+        return self.bytes_per_second / 1e6
+
+
+def pattern_throughputs(
+    shapes: dict[str, tuple[int, int, int]],
+    pattern: int,
+    config: CheckerConfig | None = None,
+    frameworks: tuple[str, ...] = FRAMEWORK_ORDER,
+) -> list[ThroughputRow]:
+    """Fig. 11(a/b/c): throughput of each framework running one pattern."""
+    config = (config or default_config()).with_patterns(pattern)
+    rows = []
+    for name in frameworks:
+        fw = get_framework(name)
+        for dataset, shape in shapes.items():
+            timing = fw.estimate(shape, config)
+            rows.append(
+                ThroughputRow(
+                    framework=name,
+                    dataset=dataset,
+                    pattern=pattern,
+                    bytes_per_second=timing.throughput(pattern),
+                )
+            )
+    return rows
+
+
+def overall_throughputs(
+    shapes: dict[str, tuple[int, int, int]],
+    config: CheckerConfig | None = None,
+    frameworks: tuple[str, ...] = FRAMEWORK_ORDER,
+) -> list[ThroughputRow]:
+    """All-patterns-enabled throughput per framework per dataset."""
+    config = config or default_config()
+    rows = []
+    for name in frameworks:
+        fw = get_framework(name)
+        for dataset, shape in shapes.items():
+            timing = fw.estimate(shape, config)
+            rows.append(
+                ThroughputRow(
+                    framework=name,
+                    dataset=dataset,
+                    pattern=None,
+                    bytes_per_second=timing.throughput(),
+                )
+            )
+    return rows

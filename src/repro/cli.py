@@ -1,0 +1,377 @@
+"""Command-line front end: ``cuzchecker`` / ``python -m repro``.
+
+Subcommands
+-----------
+
+``analyze``      assess an original/decompressed raw-binary pair
+``assess``       compress a synthetic field with a codec and assess it
+``check``        assess + acceptance criteria (exit code for CI gates)
+``estimate``     predict SZ compression ratio without compressing
+``generate``     synthesise a dataset bundle on disk
+``table1``       print the pattern classification (paper Table I)
+``profile``      print the runtime profile (paper Table II)
+``speedups``     print modelled speedups (paper Figs. 10/12)
+``throughput``   print modelled throughputs (paper Fig. 11)
+``trace``        export a chrome://tracing timeline of a kernel plan
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cuzchecker",
+        description="cuZ-Checker reproduction: GPU-model-based lossy "
+        "compression assessment",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="assess an original/decompressed pair")
+    p.add_argument("original", help="raw float32 binary of the original data")
+    p.add_argument("decompressed", help="raw float32 binary of the decompressed data")
+    p.add_argument("--shape", required=True, help="z,y,x extents, e.g. 100,500,500")
+    p.add_argument("--config", help="Z-checker-style .cfg file")
+    p.add_argument("--json", dest="json_out", help="also write the report as JSON")
+    p.add_argument("--dat-dir", help="also export PDFs/autocorrelation as .dat")
+    p.add_argument("--html", dest="html_out",
+                   help="also write a self-contained HTML report")
+
+    p = sub.add_parser("assess", help="compress a synthetic field and assess it")
+    p.add_argument("--dataset", default="miranda", help="hurricane|nyx|scale_letkf|miranda")
+    p.add_argument("--field", default=None, help="field name (default: first)")
+    p.add_argument("--scale", type=float, default=0.125, help="shape scale factor")
+    p.add_argument("--codec", default="sz", help="sz|zfp|uniform_quant|decimate")
+    p.add_argument("--rel-bound", type=float, default=1e-3)
+    p.add_argument("--rate", type=float, default=8.0, help="zfp bits/value")
+
+    p = sub.add_parser("generate", help="synthesise a dataset bundle")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--out", required=True, help="bundle directory")
+    p.add_argument("--scale", type=float, default=0.125)
+    p.add_argument("--fields", type=int, default=None, help="limit field count")
+
+    sub.add_parser("table1", help="print the metric pattern classification")
+
+    p = sub.add_parser("profile", help="print the Table II runtime profile")
+    p.add_argument("--paper-shapes", action="store_true", default=True)
+
+    p = sub.add_parser("speedups", help="print modelled speedups (Figs. 10/12)")
+    p.add_argument("--pattern", type=int, choices=(1, 2, 3), default=None,
+                   help="per-pattern speedups; omit for overall (Fig. 10)")
+
+    p = sub.add_parser("throughput", help="print modelled throughputs (Fig. 11)")
+    p.add_argument("--pattern", type=int, choices=(1, 2, 3), required=True)
+
+    p = sub.add_parser(
+        "check",
+        help="assess a codec and apply acceptance criteria (exit 1 on fail)",
+    )
+    p.add_argument("--dataset", default="miranda")
+    p.add_argument("--field", default=None)
+    p.add_argument("--scale", type=float, default=0.125)
+    p.add_argument("--codec", default="sz")
+    p.add_argument("--rel-bound", type=float, default=1e-3)
+    p.add_argument("--rate", type=float, default=8.0)
+    p.add_argument("--preset", choices=("lenient", "strict"), default="strict")
+    p.add_argument("--min-psnr", type=float, default=None)
+    p.add_argument("--min-ssim", type=float, default=None)
+
+    p = sub.add_parser(
+        "estimate",
+        help="predict a field's SZ compression ratio without compressing",
+    )
+    p.add_argument("--dataset", default="miranda")
+    p.add_argument("--field", default=None)
+    p.add_argument("--scale", type=float, default=0.125)
+    p.add_argument("--rel-bound", type=float, action="append",
+                   help="repeatable; default 1e-2, 1e-3, 1e-4")
+    p.add_argument("--verify", action="store_true",
+                   help="also run the real compressor and show the error")
+
+    p = sub.add_parser(
+        "trace", help="export a chrome://tracing timeline of a kernel plan"
+    )
+    p.add_argument("--framework", choices=("cuZC", "moZC"), default="cuZC")
+    p.add_argument("--pattern", type=int, choices=(1, 2, 3), default=1)
+    p.add_argument("--dataset", default="hurricane")
+    p.add_argument("--out", required=True, help="trace JSON path")
+
+    return parser
+
+
+def _parse_shape(text: str) -> tuple[int, int, int]:
+    parts = tuple(int(tok) for tok in text.replace("x", ",").split(",") if tok)
+    if len(parts) != 3:
+        raise SystemExit(f"--shape needs three extents, got {text!r}")
+    return parts  # type: ignore[return-value]
+
+
+def _cmd_analyze(args) -> int:
+    from repro.config.parser import load_config
+    from repro.core.compare import compare_data
+    from repro.core.output import report_to_text, write_report_dats, write_report_json
+    from repro.io.raw import read_raw
+
+    shape = _parse_shape(args.shape)
+    orig = read_raw(args.original, shape)
+    dec = read_raw(args.decompressed, shape)
+    config = load_config(args.config) if args.config else None
+    report = compare_data(orig, dec, config=config)
+    print(report_to_text(report))
+    if args.json_out:
+        write_report_json(report, args.json_out)
+        print(f"\nJSON report written to {args.json_out}")
+    if args.dat_dir:
+        paths = write_report_dats(report, args.dat_dir)
+        print(f".dat series written: {', '.join(str(p) for p in paths)}")
+    if args.html_out:
+        from repro.viz.html import write_report_html
+
+        write_report_html(report, args.html_out)
+        print(f"HTML report written to {args.html_out}")
+    return 0
+
+
+def _cmd_assess(args) -> int:
+    from repro.compressors.registry import get_compressor
+    from repro.core.compare import assess_compressor
+    from repro.core.output import report_to_text
+    from repro.datasets.registry import dataset_info, generate_field, scaled_shape
+
+    info = dataset_info(args.dataset)
+    field_name = args.field or info.field_names[0]
+    shape = scaled_shape(args.dataset, args.scale)
+    field = generate_field(args.dataset, field_name, shape=shape)
+    if args.codec == "zfp":
+        codec = get_compressor("zfp", rate=args.rate)
+    elif args.codec == "decimate":
+        codec = get_compressor("decimate")
+    else:
+        codec = get_compressor(args.codec, rel_bound=args.rel_bound)
+    print(
+        f"assessing {args.codec} on {args.dataset}/{field_name} "
+        f"shape={shape} ..."
+    )
+    report = assess_compressor(field.data, codec)
+    print(report_to_text(report))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.datasets.registry import generate_dataset
+    from repro.io.bundle import save_bundle
+
+    ds = generate_dataset(args.dataset, scale=args.scale, n_fields=args.fields)
+    bundle = save_bundle(ds, args.out)
+    print(
+        f"wrote {len(bundle.field_names)} fields of shape {bundle.shape} "
+        f"to {bundle.root}"
+    )
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.metrics.base import table1
+
+    for category, metrics in table1().items():
+        print(f"{category}:")
+        for name in metrics:
+            print(f"  {name}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.core.profiles import runtime_profile
+    from repro.datasets.registry import PAPER_SHAPES
+    from repro.viz.ascii import ascii_table
+
+    rows = [r.formatted() for r in runtime_profile(PAPER_SHAPES)]
+    print(ascii_table(rows, title="Runtime profile (paper Table II)"))
+    return 0
+
+
+def _cmd_speedups(args) -> int:
+    from repro.analysis.speedup import overall_speedups, speedup_table
+    from repro.datasets.registry import PAPER_SHAPES
+    from repro.viz.ascii import ascii_table
+
+    if args.pattern is None:
+        rows = overall_speedups(PAPER_SHAPES)
+        title = "Overall speedups (paper Fig. 10)"
+    else:
+        rows = speedup_table(PAPER_SHAPES, args.pattern)
+        title = f"Pattern-{args.pattern} speedups (paper Fig. 12)"
+    print(
+        ascii_table(
+            [
+                {
+                    "dataset": r.dataset,
+                    "baseline": r.baseline,
+                    "speedup": f"{r.speedup:.2f}x",
+                }
+                for r in rows
+            ],
+            title=title,
+        )
+    )
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    from repro.analysis.throughput import pattern_throughputs
+    from repro.datasets.registry import PAPER_SHAPES
+    from repro.viz.ascii import ascii_table
+
+    rows = pattern_throughputs(PAPER_SHAPES, args.pattern)
+    unit = "MB/s" if args.pattern == 3 else "GB/s"
+    print(
+        ascii_table(
+            [
+                {
+                    "framework": r.framework,
+                    "dataset": r.dataset,
+                    f"throughput [{unit}]": (
+                        f"{r.mbps:.1f}" if args.pattern == 3 else f"{r.gbps:.2f}"
+                    ),
+                }
+                for r in rows
+            ],
+            title=f"Pattern-{args.pattern} throughput (paper Fig. 11)",
+        )
+    )
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.compressors.registry import get_compressor
+    from repro.core.acceptance import AcceptanceCriteria
+    from repro.core.compare import assess_compressor
+    from repro.datasets.registry import dataset_info, generate_field, scaled_shape
+
+    info = dataset_info(args.dataset)
+    field_name = args.field or info.field_names[0]
+    field = generate_field(
+        args.dataset, field_name, shape=scaled_shape(args.dataset, args.scale)
+    )
+    if args.codec == "zfp":
+        codec = get_compressor("zfp", rate=args.rate)
+    elif args.codec == "decimate":
+        codec = get_compressor("decimate")
+    else:
+        codec = get_compressor(args.codec, rel_bound=args.rel_bound)
+    report = assess_compressor(field.data, codec, with_baselines=False)
+
+    criteria = (
+        AcceptanceCriteria.strict()
+        if args.preset == "strict"
+        else AcceptanceCriteria.lenient()
+    )
+    from dataclasses import replace as _replace
+
+    if args.min_psnr is not None:
+        criteria = _replace(criteria, min_psnr=args.min_psnr)
+    if args.min_ssim is not None:
+        criteria = _replace(criteria, min_ssim=args.min_ssim)
+    verdict = criteria.evaluate(report)
+    print(f"codec {args.codec} on {args.dataset}/{field_name}:")
+    print(verdict.describe())
+    return 0 if verdict.passed else 1
+
+
+def _cmd_estimate(args) -> int:
+    from repro.datasets.registry import dataset_info, generate_field, scaled_shape
+    from repro.metrics.compressibility import delta_entropy, estimate_sz_ratio
+    from repro.viz.ascii import ascii_table
+
+    info = dataset_info(args.dataset)
+    field_name = args.field or info.field_names[0]
+    shape = scaled_shape(args.dataset, args.scale)
+    field = generate_field(args.dataset, field_name, shape=shape)
+    bounds = args.rel_bound or [1e-2, 1e-3, 1e-4]
+    rows = []
+    for rel in bounds:
+        row = {
+            "rel bound": f"{rel:g}",
+            "delta entropy [b/v]": f"{delta_entropy(field.data, rel_bound=rel):.2f}",
+            "predicted ratio": f"{estimate_sz_ratio(field.data, rel_bound=rel):.2f}",
+        }
+        if args.verify:
+            from repro.compressors.sz import SZCompressor
+
+            row["actual ratio"] = f"{SZCompressor(rel_bound=rel).ratio(field.data):.2f}"
+        rows.append(row)
+    print(
+        ascii_table(
+            rows,
+            title=f"compressibility of {args.dataset}/{field_name} {shape}",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.config.defaults import default_config
+    from repro.datasets.registry import PAPER_SHAPES
+    from repro.gpusim.trace import write_chrome_trace
+    from repro.kernels.metric_oriented import (
+        plan_mo_pattern1,
+        plan_mo_pattern2,
+        plan_mo_pattern3,
+    )
+    from repro.kernels.pattern1 import plan_pattern1
+    from repro.kernels.pattern2 import plan_pattern2
+    from repro.kernels.pattern3 import plan_pattern3
+
+    config = default_config()
+    shape = PAPER_SHAPES[args.dataset.lower()]
+    if args.framework == "cuZC":
+        planners = {
+            1: lambda: [plan_pattern1(shape, config.pattern1)],
+            2: lambda: [plan_pattern2(shape, config.pattern2)],
+            3: lambda: [plan_pattern3(shape, config.pattern3)],
+        }
+    else:
+        planners = {
+            1: lambda: plan_mo_pattern1(shape, config.pattern1),
+            2: lambda: plan_mo_pattern2(shape, config.pattern2),
+            3: lambda: plan_mo_pattern3(shape, config.pattern3),
+        }
+    plans = planners[args.pattern]()
+    path = write_chrome_trace(
+        plans, args.out,
+        process_name=f"{args.framework} pattern-{args.pattern} ({args.dataset})",
+    )
+    print(f"trace with {len(plans)} kernel plan(s) written to {path}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "assess": _cmd_assess,
+    "generate": _cmd_generate,
+    "table1": _cmd_table1,
+    "profile": _cmd_profile,
+    "speedups": _cmd_speedups,
+    "throughput": _cmd_throughput,
+    "check": _cmd_check,
+    "estimate": _cmd_estimate,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

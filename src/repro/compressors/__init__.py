@@ -1,0 +1,31 @@
+"""Lossy compressor substrate (the systems cuZ-Checker assesses).
+
+* :class:`~repro.compressors.sz.SZCompressor` — error-bounded
+  prediction-based compressor implementing the cuSZ/SZ-1.4 algorithm
+  (pre-quantisation, 3-D Lorenzo prediction, canonical Huffman coding);
+* :class:`~repro.compressors.zfp.ZFPCompressor` — fixed-rate orthogonal
+  block-transform codec in the style of cuZFP;
+* :mod:`repro.compressors.simple` — uniform-quantisation and decimation
+  baselines for contrast experiments.
+"""
+
+from repro.compressors.base import Compressor, CompressedBuffer
+from repro.compressors.sz import SZCompressor
+from repro.compressors.sz2 import SZ2Compressor
+from repro.compressors.zfp import ZFPCompressor
+from repro.compressors.simple import UniformQuantCompressor, DecimateCompressor
+from repro.compressors.lossless import LosslessCompressor
+from repro.compressors.registry import get_compressor, COMPRESSOR_NAMES
+
+__all__ = [
+    "Compressor",
+    "CompressedBuffer",
+    "SZCompressor",
+    "SZ2Compressor",
+    "ZFPCompressor",
+    "UniformQuantCompressor",
+    "DecimateCompressor",
+    "LosslessCompressor",
+    "get_compressor",
+    "COMPRESSOR_NAMES",
+]

@@ -1,0 +1,81 @@
+"""Compressor interface and compressed-buffer container."""
+
+from __future__ import annotations
+
+import abc
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+__all__ = ["Compressor", "CompressedBuffer"]
+
+_MAGIC = b"RPRC"
+
+
+@dataclass
+class CompressedBuffer:
+    """A self-describing compressed payload."""
+
+    codec: str
+    payload: bytes
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Size charged to the compression ratio: payload plus the
+        serialised header."""
+        return len(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        """Serialise to a single byte string (magic, header, payload)."""
+        header = json.dumps({"codec": self.codec, "meta": self.meta}).encode()
+        return _MAGIC + struct.pack("<I", len(header)) + header + self.payload
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CompressedBuffer":
+        if blob[:4] != _MAGIC:
+            raise CompressionError("not a repro compressed buffer (bad magic)")
+        (hlen,) = struct.unpack("<I", blob[4:8])
+        header = json.loads(blob[8 : 8 + hlen].decode())
+        return cls(
+            codec=header["codec"],
+            payload=blob[8 + hlen :],
+            meta=header["meta"],
+        )
+
+
+class Compressor(abc.ABC):
+    """Abstract lossy compressor for 3-D float fields."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compress(self, data: np.ndarray) -> CompressedBuffer:
+        """Compress a float array into a self-describing buffer."""
+
+    @abc.abstractmethod
+    def decompress(self, buf: CompressedBuffer) -> np.ndarray:
+        """Reconstruct the (lossy) array from a buffer."""
+
+    def roundtrip(self, data: np.ndarray) -> tuple[np.ndarray, CompressedBuffer]:
+        """Compress then decompress; returns (reconstruction, buffer)."""
+        buf = self.compress(data)
+        return self.decompress(buf), buf
+
+    def ratio(self, data: np.ndarray) -> float:
+        """Compression ratio achieved on ``data``."""
+        data = np.asarray(data)
+        buf = self.compress(data)
+        return data.size * data.dtype.itemsize / buf.nbytes
+
+    def _check_codec(self, buf: CompressedBuffer) -> None:
+        if buf.codec != self.name:
+            raise CompressionError(
+                f"buffer codec {buf.codec!r} does not match compressor "
+                f"{self.name!r}"
+            )

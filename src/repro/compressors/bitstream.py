@@ -1,0 +1,127 @@
+"""Bit-level writer/reader used by the entropy and transform coders.
+
+Bits are packed LSB-first within each byte (the convention of most
+floating-point compressors, chosen here once and honoured by both
+directions — the round-trip property is hypothesis-tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+__all__ = ["BitWriter", "BitReader", "pack_fixed_width", "unpack_fixed_width"]
+
+
+class BitWriter:
+    """Append-only bit buffer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Write the low ``nbits`` of ``value``."""
+        if nbits < 0:
+            raise ValueError("nbits must be >= 0")
+        if nbits == 0:
+            return
+        value &= (1 << nbits) - 1
+        self._acc |= value << self._nbits
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._bytes.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def write_unary(self, value: int) -> None:
+        """Unary code: ``value`` zero bits then a one bit."""
+        if value < 0:
+            raise ValueError("unary codes are for non-negative integers")
+        self.write(0, value)
+        self.write(1, 1)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._bytes) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        """Finalise (zero-padding the last byte) and return the bytes."""
+        out = bytearray(self._bytes)
+        if self._nbits:
+            out.append(self._acc & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Sequential reader over bytes produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    def read(self, nbits: int) -> int:
+        if nbits < 0:
+            raise ValueError("nbits must be >= 0")
+        if self._pos + nbits > len(self._data) * 8:
+            raise CompressionError("bitstream exhausted")
+        value = 0
+        got = 0
+        while got < nbits:
+            byte = self._data[self._pos >> 3]
+            offset = self._pos & 7
+            take = min(8 - offset, nbits - got)
+            chunk = (byte >> offset) & ((1 << take) - 1)
+            value |= chunk << got
+            got += take
+            self._pos += take
+        return value
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.read(1) == 0:
+            count += 1
+        return count
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+
+def pack_fixed_width(values: np.ndarray, width: int) -> bytes:
+    """Vectorised fixed-width packing of non-negative integers.
+
+    Equivalent to writing each value with ``BitWriter.write(v, width)``;
+    used for the bulk payload of the fixed-rate codec.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    if width < 0 or width > 64:
+        raise ValueError("width must be within [0, 64]")
+    if width == 0 or values.size == 0:
+        return b""
+    if values.size and int(values.max()) >> width:
+        raise CompressionError(f"value exceeds {width} bits")
+    # expand each value into `width` bits, LSB first, then pack
+    shifts = np.arange(width, dtype=np.uint64)
+    bits = ((values[:, None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bits.ravel(), bitorder="little").tobytes()
+
+
+def unpack_fixed_width(blob: bytes, width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_fixed_width`."""
+    if width < 0 or width > 64:
+        raise ValueError("width must be within [0, 64]")
+    if width == 0 or count == 0:
+        return np.zeros(count, dtype=np.uint64)
+    need_bits = width * count
+    avail = len(blob) * 8
+    if avail < need_bits:
+        raise CompressionError("fixed-width payload too short")
+    bits = np.unpackbits(
+        np.frombuffer(blob, dtype=np.uint8), count=need_bits, bitorder="little"
+    )
+    bits = bits.reshape(count, width).astype(np.uint64)
+    shifts = np.arange(width, dtype=np.uint64)
+    return (bits << shifts).sum(axis=1, dtype=np.uint64)

@@ -1,0 +1,271 @@
+"""Canonical Huffman coder for quantisation-code streams.
+
+SZ/cuSZ entropy-code their quantisation bins with Huffman; the bin
+distribution is extremely peaked (most residuals quantise to the zero
+bin), so average code lengths of 1-2 bits are typical.  The coder here is
+canonical: only the per-symbol code lengths are stored in the header and
+both sides rebuild identical codebooks from them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+__all__ = ["HuffmanCode", "huffman_encode", "huffman_decode"]
+
+_MAX_CODE_LEN = 48
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """A canonical code: symbol values and their code lengths."""
+
+    symbols: np.ndarray  # int64, sorted unique symbol values
+    lengths: np.ndarray  # uint8 code length per symbol
+
+    def __post_init__(self):
+        if len(self.symbols) != len(self.lengths):
+            raise CompressionError("symbols/lengths size mismatch")
+
+    def assign_codes(self) -> np.ndarray:
+        """Canonical code values (uint64), ordered like ``symbols``.
+
+        Canonical order: ascending code length, then ascending symbol.
+        """
+        order = np.lexsort((self.symbols, self.lengths))
+        codes = np.zeros(len(self.symbols), dtype=np.uint64)
+        code = 0
+        prev_len = 0
+        for idx in order:
+            length = int(self.lengths[idx])
+            code <<= length - prev_len
+            codes[idx] = code
+            code += 1
+            prev_len = length
+        return codes
+
+
+def _code_lengths(freqs: dict[int, int]) -> HuffmanCode:
+    """Huffman code lengths from symbol frequencies (heap algorithm)."""
+    if not freqs:
+        raise CompressionError("cannot build a Huffman code for no symbols")
+    if len(freqs) == 1:
+        sym = next(iter(freqs))
+        return HuffmanCode(
+            symbols=np.array([sym], dtype=np.int64),
+            lengths=np.array([1], dtype=np.uint8),
+        )
+    heap: list[tuple[int, int, list[int]]] = []
+    for i, (sym, f) in enumerate(sorted(freqs.items())):
+        heapq.heappush(heap, (f, i, [sym]))
+    depth: dict[int, int] = {s: 0 for s in freqs}
+    counter = len(freqs)
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, _, s2 = heapq.heappop(heap)
+        for s in s1 + s2:
+            depth[s] += 1
+        heapq.heappush(heap, (f1 + f2, counter, s1 + s2))
+        counter += 1
+    symbols = np.array(sorted(freqs), dtype=np.int64)
+    lengths = np.array([depth[int(s)] for s in symbols], dtype=np.uint8)
+    if lengths.max() > _MAX_CODE_LEN:
+        raise CompressionError("Huffman code deeper than supported")
+    return HuffmanCode(symbols=symbols, lengths=lengths)
+
+
+def _serialize_code(code: HuffmanCode) -> bytes:
+    n = len(code.symbols)
+    return (
+        struct.pack("<I", n)
+        + code.symbols.astype("<i8").tobytes()
+        + code.lengths.astype("<u1").tobytes()
+    )
+
+
+def _deserialize_code(blob: bytes) -> tuple[HuffmanCode, int]:
+    (n,) = struct.unpack("<I", blob[:4])
+    off = 4
+    symbols = np.frombuffer(blob[off : off + 8 * n], dtype="<i8").astype(np.int64)
+    off += 8 * n
+    lengths = np.frombuffer(blob[off : off + n], dtype="<u1").astype(np.uint8)
+    off += n
+    return HuffmanCode(symbols=symbols, lengths=lengths), off
+
+
+def huffman_encode(values: np.ndarray) -> bytes:
+    """Encode an integer array; returns a self-contained byte string."""
+    values = np.asarray(values).astype(np.int64).ravel()
+    if values.size == 0:
+        return struct.pack("<I", 0) + struct.pack("<Q", 0)
+    uniq, counts = np.unique(values, return_counts=True)
+    code = _code_lengths({int(s): int(c) for s, c in zip(uniq, counts)})
+    codes = code.assign_codes()
+    sym_index = {int(s): i for i, s in enumerate(code.symbols)}
+    idx = np.searchsorted(code.symbols, values)
+
+    lengths = code.lengths[idx].astype(np.int64)
+    codewords = codes[idx]
+
+    # Vectorised bit packing: compute each codeword's bit offset, then
+    # scatter its bits (MSB-first within the codeword so the canonical
+    # decoder can walk the prefix tree).
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    total_bits = int(offsets[-1])
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    max_len = int(lengths.max())
+    for bit_pos in range(max_len):
+        # bit_pos-th bit (from MSB) of each codeword that is long enough
+        mask = lengths > bit_pos
+        shifts = (lengths[mask] - 1 - bit_pos).astype(np.uint64)
+        bit_vals = ((codewords[mask] >> shifts) & 1).astype(np.uint8)
+        positions = offsets[:-1][mask] + bit_pos
+        bits[positions] = bit_vals
+    payload = np.packbits(bits, bitorder="big").tobytes()
+
+    header = _serialize_code(code)
+    return (
+        struct.pack("<I", 1)
+        + struct.pack("<Q", values.size)
+        + header
+        + struct.pack("<Q", total_bits)
+        + payload
+    )
+
+
+#: LUT decoding is used when the deepest code fits this many bits
+_LUT_MAX_BITS = 16
+
+
+def _canonical_tables(code: HuffmanCode):
+    """(sorted symbols, lengths, codes) in canonical order plus the
+    per-length first-code/first-index tables."""
+    codes = code.assign_codes()
+    order = np.lexsort((code.symbols, code.lengths))
+    sorted_lengths = code.lengths[order]
+    sorted_symbols = code.symbols[order]
+    sorted_codes = codes[order]
+    max_len = int(sorted_lengths.max())
+    first_code = np.zeros(max_len + 2, dtype=np.int64)
+    first_index = np.zeros(max_len + 2, dtype=np.int64)
+    count_by_len = np.bincount(sorted_lengths, minlength=max_len + 2)
+    c = 0
+    i = 0
+    for ln in range(1, max_len + 1):
+        first_code[ln] = c
+        first_index[ln] = i
+        c = (c + count_by_len[ln]) << 1
+        i += count_by_len[ln]
+    return (
+        sorted_symbols,
+        sorted_lengths,
+        sorted_codes,
+        first_code,
+        first_index,
+        count_by_len,
+        max_len,
+    )
+
+
+def _decode_lut(payload, total_bits, count, tables) -> np.ndarray:
+    """Table-driven decoder: peek ``max_len`` bits, one lookup per symbol.
+
+    A canonical prefix code of depth L maps every L-bit window starting
+    with a codeword to that codeword, so a 2^L lookup table decodes one
+    whole symbol per step — no per-bit loop.
+    """
+    symbols, lengths, codes, *_rest, max_len = tables
+    lut_sym = np.zeros(1 << max_len, dtype=np.int64)
+    lut_len = np.zeros(1 << max_len, dtype=np.uint8)
+    for sym, ln, cw in zip(symbols, lengths, codes):
+        shift = max_len - int(ln)
+        start = int(cw) << shift
+        span = 1 << shift
+        lut_sym[start : start + span] = sym
+        lut_len[start : start + span] = ln
+    lut_sym_list = lut_sym.tolist()
+    lut_len_list = lut_len.tolist()
+
+    out = np.empty(count, dtype=np.int64)
+    mask = (1 << max_len) - 1
+    acc = 0
+    nbits = 0
+    byte_iter = iter(payload)
+    consumed = 0
+    for produced in range(count):
+        while nbits < max_len:
+            try:
+                acc = (acc << 8) | next(byte_iter)
+                nbits += 8
+            except StopIteration:
+                acc <<= max_len - nbits  # zero-pad the tail window
+                nbits = max_len
+                break
+        window = (acc >> (nbits - max_len)) & mask
+        ln = lut_len_list[window]
+        if ln == 0 or consumed + ln > total_bits:
+            raise CompressionError("invalid or truncated Huffman stream")
+        out[produced] = lut_sym_list[window]
+        consumed += ln
+        nbits -= ln
+        acc &= (1 << nbits) - 1
+    return out
+
+
+def _decode_bitwise(payload, total_bits, count, tables) -> np.ndarray:
+    """Per-bit canonical decoder (fallback for very deep codes)."""
+    symbols, _lengths, _codes, first_code, first_index, count_by_len, max_len = tables
+    bits = np.unpackbits(
+        np.frombuffer(payload, dtype=np.uint8), count=total_bits, bitorder="big"
+    )
+    out = np.empty(count, dtype=np.int64)
+    pos = 0
+    value = 0
+    length = 0
+    produced = 0
+    bitlist = bits.tolist()
+    nbits = len(bitlist)
+    while produced < count:
+        if pos >= nbits:
+            raise CompressionError("Huffman stream truncated")
+        value = (value << 1) | bitlist[pos]
+        pos += 1
+        length += 1
+        if length > max_len:
+            raise CompressionError("invalid Huffman stream")
+        offset = value - int(first_code[length])
+        if 0 <= offset < count_by_len[length]:
+            out[produced] = symbols[int(first_index[length]) + offset]
+            produced += 1
+            value = 0
+            length = 0
+    return out
+
+
+def huffman_decode(blob: bytes) -> np.ndarray:
+    """Decode the byte string produced by :func:`huffman_encode`."""
+    (version,) = struct.unpack("<I", blob[:4])
+    (count,) = struct.unpack("<Q", blob[4:12])
+    if version == 0 or count == 0:
+        return np.zeros(0, dtype=np.int64)
+    code, used = _deserialize_code(blob[12:])
+    off = 12 + used
+    (total_bits,) = struct.unpack("<Q", blob[off : off + 8])
+    off += 8
+    payload = blob[off:]
+    if len(payload) * 8 < total_bits:
+        raise CompressionError(
+            f"Huffman payload truncated: {len(payload) * 8} bits present, "
+            f"{total_bits} recorded"
+        )
+    tables = _canonical_tables(code)
+    max_len = tables[-1]
+    if max_len <= _LUT_MAX_BITS:
+        return _decode_lut(payload, total_bits, count, tables)
+    return _decode_bitwise(payload, total_bits, count, tables)

@@ -1,0 +1,60 @@
+"""Linear-scaling quantisation (the error-bound mechanism of SZ/cuSZ)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+__all__ = ["prequantize", "dequantize", "resolve_error_bound"]
+
+
+def resolve_error_bound(
+    data: np.ndarray,
+    abs_bound: float | None = None,
+    rel_bound: float | None = None,
+) -> float:
+    """Resolve the absolute error bound from abs/value-range-relative input.
+
+    ``rel_bound`` follows the SZ convention: a fraction of the data's
+    value range (``REL 1e-3`` on a field with range 100 means ``ABS 0.1``).
+    Exactly one of the two must be given.
+    """
+    if (abs_bound is None) == (rel_bound is None):
+        raise CompressionError("specify exactly one of abs_bound / rel_bound")
+    if abs_bound is not None:
+        if abs_bound <= 0:
+            raise CompressionError("abs_bound must be positive")
+        return float(abs_bound)
+    if rel_bound <= 0:
+        raise CompressionError("rel_bound must be positive")
+    data = np.asarray(data)
+    value_range = float(data.max()) - float(data.min())
+    if value_range == 0.0:
+        # constant field: any positive bound works; pick the rel bound
+        return float(rel_bound)
+    return float(rel_bound) * value_range
+
+
+def prequantize(data: np.ndarray, abs_bound: float) -> np.ndarray:
+    """Pre-quantise to the integer lattice: ``q = round(f / (2·eb))``.
+
+    Guarantees ``|f - 2·eb·q| <= eb`` pointwise (the error-bound
+    invariant of the whole pipeline).  Raises if the dynamic range would
+    overflow the int64 lattice.
+    """
+    if abs_bound <= 0:
+        raise CompressionError("abs_bound must be positive")
+    scaled = np.asarray(data, dtype=np.float64) / (2.0 * abs_bound)
+    if not np.isfinite(scaled).all():
+        raise CompressionError("data contains non-finite values")
+    if np.abs(scaled).max() >= 2**62:
+        raise CompressionError(
+            "error bound too small for the data's dynamic range (int64 overflow)"
+        )
+    return np.rint(scaled).astype(np.int64)
+
+
+def dequantize(q: np.ndarray, abs_bound: float) -> np.ndarray:
+    """Map lattice integers back to floats: ``f' = 2·eb·q``."""
+    return (np.asarray(q, dtype=np.float64) * (2.0 * abs_bound)).astype(np.float32)

@@ -1,0 +1,47 @@
+"""Compressor factory keyed by codec name."""
+
+from __future__ import annotations
+
+from repro.compressors.base import Compressor
+from repro.compressors.lossless import LosslessCompressor
+from repro.compressors.simple import DecimateCompressor, UniformQuantCompressor
+from repro.compressors.sz import SZCompressor
+from repro.compressors.sz2 import SZ2Compressor
+from repro.compressors.zfp import ZFPCompressor
+from repro.errors import CompressionError
+
+__all__ = ["get_compressor", "COMPRESSOR_NAMES"]
+
+COMPRESSOR_NAMES: tuple[str, ...] = (
+    "sz",
+    "sz2",
+    "zfp",
+    "uniform_quant",
+    "decimate",
+    "lossless",
+)
+
+
+def get_compressor(name: str, **kwargs) -> Compressor:
+    """Instantiate a compressor by name.
+
+    Keyword arguments are forwarded to the constructor, e.g.
+    ``get_compressor("sz", rel_bound=1e-3)`` or
+    ``get_compressor("zfp", rate=8)``.
+    """
+    key = name.lower()
+    if key == "sz":
+        return SZCompressor(**kwargs)
+    if key == "sz2":
+        return SZ2Compressor(**kwargs)
+    if key == "zfp":
+        return ZFPCompressor(**kwargs)
+    if key == "uniform_quant":
+        return UniformQuantCompressor(**kwargs)
+    if key == "decimate":
+        return DecimateCompressor(**kwargs)
+    if key == "lossless":
+        return LosslessCompressor(**kwargs)
+    raise CompressionError(
+        f"unknown compressor {name!r}; known: {COMPRESSOR_NAMES}"
+    )

@@ -1,0 +1,17 @@
+"""Configuration engine (the Z-checker configuration-parser module).
+
+Supports both programmatic :class:`CheckerConfig` construction and
+Z-checker-style ``.cfg`` (INI) files via :func:`load_config`.
+"""
+
+from repro.config.schema import CheckerConfig
+from repro.config.parser import load_config, parse_config_text
+from repro.config.defaults import default_config, PAPER_EVALUATION_CONFIG
+
+__all__ = [
+    "CheckerConfig",
+    "load_config",
+    "parse_config_text",
+    "default_config",
+    "PAPER_EVALUATION_CONFIG",
+]

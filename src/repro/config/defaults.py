@@ -1,0 +1,29 @@
+"""Canonical configurations.
+
+:data:`PAPER_EVALUATION_CONFIG` reproduces the paper's Section IV setup:
+all metrics enabled, first- and second-order derivatives, autocorrelation
+spatial gaps up to 10, SSIM window 8 per side with step length 1, V100.
+"""
+
+from __future__ import annotations
+
+from repro.config.schema import CheckerConfig
+from repro.kernels.pattern1 import Pattern1Config
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+
+__all__ = ["default_config", "PAPER_EVALUATION_CONFIG"]
+
+PAPER_EVALUATION_CONFIG = CheckerConfig(
+    metrics="all",
+    patterns=(1, 2, 3),
+    pattern1=Pattern1Config(pdf_bins=1024),
+    pattern2=Pattern2Config(max_lag=10, orders=(1, 2)),
+    pattern3=Pattern3Config(window=8, step=1),
+    device="V100",
+)
+
+
+def default_config() -> CheckerConfig:
+    """A fresh copy of the paper's evaluation configuration."""
+    return PAPER_EVALUATION_CONFIG

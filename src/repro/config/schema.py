@@ -1,0 +1,60 @@
+"""Typed configuration schema for the assessment frameworks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.kernels.pattern1 import Pattern1Config
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+from repro.metrics.base import METRIC_REGISTRY
+
+__all__ = ["CheckerConfig"]
+
+#: pattern selectors accepted by ``patterns=``
+_VALID_PATTERNS = frozenset({1, 2, 3})
+
+
+@dataclass(frozen=True)
+class CheckerConfig:
+    """Everything a checker run needs besides the data itself."""
+
+    #: metric names to evaluate, or "all"
+    metrics: tuple[str, ...] | str = "all"
+    #: which computational patterns to run (paper benchmarks toggle these)
+    patterns: tuple[int, ...] = (1, 2, 3)
+    pattern1: Pattern1Config = field(default_factory=Pattern1Config)
+    pattern2: Pattern2Config = field(default_factory=Pattern2Config)
+    pattern3: Pattern3Config = field(default_factory=Pattern3Config)
+    #: simulated GPU, by name in repro.gpusim.device (``V100`` or ``A100``)
+    device: str = "V100"
+    #: also compute auxiliary metrics (pearson, entropy, properties)
+    auxiliary: bool = True
+
+    def validate(self) -> None:
+        if isinstance(self.metrics, str):
+            if self.metrics != "all":
+                raise ConfigError(
+                    f'metrics must be a tuple of names or "all", got {self.metrics!r}'
+                )
+        else:
+            unknown = [m for m in self.metrics if m not in METRIC_REGISTRY]
+            if unknown:
+                raise ConfigError(f"unknown metrics requested: {unknown}")
+        bad = [p for p in self.patterns if p not in _VALID_PATTERNS]
+        if bad:
+            raise ConfigError(f"patterns must be within {{1,2,3}}, got {bad}")
+        if self.device not in ("V100", "A100"):
+            raise ConfigError(f"unknown device {self.device!r}")
+
+    def with_patterns(self, *patterns: int) -> "CheckerConfig":
+        """Copy restricted to the given patterns (benchmark convenience)."""
+        return replace(self, patterns=tuple(patterns))
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        """Concrete metric list after expanding "all"."""
+        if self.metrics == "all":
+            return tuple(METRIC_REGISTRY)
+        return tuple(self.metrics)  # type: ignore[arg-type]

@@ -1,0 +1,38 @@
+"""Assessment core: checker, baselines, reports, and the compare API."""
+
+from repro.core.frameworks import (
+    AssessmentFramework,
+    CuZC,
+    MoZC,
+    OmpZC,
+    FrameworkTiming,
+    get_framework,
+)
+from repro.core.checker import CuZChecker
+from repro.core.compare import compare_data
+from repro.core.report import AssessmentReport, MetricValue
+from repro.core.profiles import runtime_profile, ProfileRow
+from repro.core.batch import BatchAssessment, assess_dataset
+from repro.core.streaming import StreamingChecker, StreamingResult
+from repro.core.acceptance import AcceptanceCriteria, Verdict
+
+__all__ = [
+    "AssessmentFramework",
+    "CuZC",
+    "MoZC",
+    "OmpZC",
+    "FrameworkTiming",
+    "get_framework",
+    "CuZChecker",
+    "compare_data",
+    "AssessmentReport",
+    "MetricValue",
+    "runtime_profile",
+    "ProfileRow",
+    "BatchAssessment",
+    "assess_dataset",
+    "StreamingChecker",
+    "StreamingResult",
+    "AcceptanceCriteria",
+    "Verdict",
+]

@@ -1,0 +1,162 @@
+"""Acceptance criteria: turning assessments into decisions.
+
+Z-checker exists so users can decide whether a lossy configuration is
+*acceptable* for their science.  This module encodes that final step:
+declarative thresholds over the assessment report, evaluated into a
+verdict that lists exactly which criteria failed and by how much.
+
+Two presets bracket common practice: :meth:`AcceptanceCriteria.lenient`
+(visualisation-grade) and :meth:`AcceptanceCriteria.strict`
+(analysis-grade, following the acceptability guidance in the Z-checker
+literature: PSNR ≥ 60 dB, Pearson ≥ 0.99999, near-white error
+autocorrelation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.report import AssessmentReport
+from repro.errors import CheckerError
+
+__all__ = ["AcceptanceCriteria", "CriterionResult", "Verdict"]
+
+
+@dataclass(frozen=True)
+class CriterionResult:
+    """One evaluated threshold."""
+
+    name: str
+    threshold: float
+    observed: float
+    passed: bool
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: observed {self.observed:.6g} vs {self.threshold:.6g}"
+
+
+@dataclass
+class Verdict:
+    """Outcome of evaluating all configured criteria."""
+
+    results: list[CriterionResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> list[CriterionResult]:
+        return [r for r in self.results if not r.passed]
+
+    def describe(self) -> str:
+        lines = [r.describe() for r in self.results]
+        lines.append(
+            f"verdict: {'ACCEPTABLE' if self.passed else 'NOT ACCEPTABLE'} "
+            f"({len(self.results) - len(self.failures)}/{len(self.results)} "
+            f"criteria met)"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AcceptanceCriteria:
+    """Thresholds over a report's metrics; ``None`` disables a check."""
+
+    min_psnr: float | None = None
+    min_ssim: float | None = None
+    max_nrmse: float | None = None
+    min_pearson: float | None = None
+    #: |AC(τ)| for τ >= 1 must stay below this (white-noise-like errors)
+    max_abs_autocorr: float | None = None
+    #: pointwise |error| must stay below this (the bound actually held)
+    max_abs_err: float | None = None
+    #: spectrum must stay faithful up to this normalised frequency
+    min_noise_frequency: float | None = None
+
+    @classmethod
+    def lenient(cls) -> "AcceptanceCriteria":
+        """Visualisation-grade acceptability."""
+        return cls(min_psnr=40.0, min_ssim=0.98, max_nrmse=1e-2)
+
+    @classmethod
+    def strict(cls) -> "AcceptanceCriteria":
+        """Analysis-grade acceptability (Z-checker guidance)."""
+        return cls(
+            min_psnr=60.0,
+            min_ssim=0.999,
+            max_nrmse=1e-3,
+            min_pearson=0.99999,
+            max_abs_autocorr=0.1,
+        )
+
+    def evaluate(self, report: AssessmentReport) -> Verdict:
+        """Check every configured criterion against one report."""
+        scalars = report.scalars()
+        verdict = Verdict()
+
+        def need(key: str) -> float:
+            if key not in scalars:
+                raise CheckerError(
+                    f"criterion needs metric {key!r}, which the report "
+                    f"does not contain (was its pattern enabled?)"
+                )
+            return float(scalars[key])
+
+        def check(name, threshold, observed, ok):
+            verdict.results.append(
+                CriterionResult(
+                    name=name,
+                    threshold=threshold,
+                    observed=observed,
+                    passed=bool(ok),
+                )
+            )
+
+        if self.min_psnr is not None:
+            psnr = need("psnr")
+            ok = (not math.isnan(psnr)) and psnr >= self.min_psnr
+            check("psnr >=", self.min_psnr, psnr, ok)
+        if self.min_ssim is not None:
+            ssim = need("ssim")
+            check("ssim >=", self.min_ssim, ssim, ssim >= self.min_ssim)
+        if self.max_nrmse is not None:
+            nrmse = need("nrmse")
+            ok = (not math.isnan(nrmse)) and nrmse <= self.max_nrmse
+            check("nrmse <=", self.max_nrmse, nrmse, ok)
+        if self.min_pearson is not None:
+            rho = need("pearson")
+            ok = (not math.isnan(rho)) and rho >= self.min_pearson
+            check("pearson >=", self.min_pearson, rho, ok)
+        if self.max_abs_autocorr is not None:
+            if report.pattern2 is None:
+                raise CheckerError(
+                    "autocorrelation criterion needs pattern 2 enabled"
+                )
+            ac = np.asarray(report.pattern2.autocorrelation)
+            worst = float(np.abs(ac[1:]).max()) if len(ac) > 1 else 0.0
+            check(
+                "max |autocorr(tau>=1)| <=",
+                self.max_abs_autocorr,
+                worst,
+                worst <= self.max_abs_autocorr,
+            )
+        if self.max_abs_err is not None:
+            worst = max(abs(need("min_err")), abs(need("max_err")))
+            check("max |err| <=", self.max_abs_err, worst,
+                  worst <= self.max_abs_err)
+        if self.min_noise_frequency is not None:
+            freq = need("spectral_noise_frequency")
+            check(
+                "spectral noise frequency >=",
+                self.min_noise_frequency,
+                freq,
+                freq >= self.min_noise_frequency,
+            )
+        if not verdict.results:
+            raise CheckerError("no acceptance criteria were configured")
+        return verdict

@@ -1,0 +1,130 @@
+"""Dataset-level batch assessment (whole-application runs).
+
+The paper evaluates per application, averaging over every field of each
+dataset ("We show the average performance calculated over all fields for
+each dataset in Figure 10").  :class:`BatchAssessment` runs one
+compressor over all fields of a :class:`~repro.datasets.fields.Dataset`,
+keeps the per-field reports, and aggregates the application-level
+summary the paper's figures are built from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.schema import CheckerConfig
+from repro.core.compare import assess_compressor
+from repro.core.report import AssessmentReport
+from repro.datasets.fields import Dataset
+from repro.errors import CheckerError
+
+__all__ = ["FieldSummary", "BatchAssessment", "assess_dataset"]
+
+
+@dataclass(frozen=True)
+class FieldSummary:
+    """One field's headline numbers."""
+
+    field_name: str
+    compression_ratio: float
+    psnr: float
+    ssim: float
+    nrmse: float
+    max_abs_err: float
+    pearson: float
+
+
+@dataclass
+class BatchAssessment:
+    """All per-field reports of one application plus aggregates."""
+
+    dataset_name: str
+    reports: dict[str, AssessmentReport] = field(default_factory=dict)
+
+    def summaries(self) -> list[FieldSummary]:
+        rows = []
+        for name, report in self.reports.items():
+            s = report.scalars()
+            rows.append(
+                FieldSummary(
+                    field_name=name,
+                    compression_ratio=s.get("compression_ratio", math.nan),
+                    psnr=s["psnr"],
+                    ssim=s.get("ssim", math.nan),
+                    nrmse=s["nrmse"],
+                    max_abs_err=max(abs(s["min_err"]), abs(s["max_err"])),
+                    pearson=s.get("pearson", math.nan),
+                )
+            )
+        return rows
+
+    # -- application-level aggregates (the paper's per-dataset numbers) --
+
+    @property
+    def n_fields(self) -> int:
+        return len(self.reports)
+
+    def mean_psnr(self) -> float:
+        finite = [
+            r.scalars()["psnr"]
+            for r in self.reports.values()
+            if math.isfinite(r.scalars()["psnr"])
+        ]
+        if not finite:
+            return math.inf
+        return float(np.mean(finite))
+
+    def min_ssim(self) -> float:
+        """The worst field drives acceptability decisions."""
+        vals = [r.scalars().get("ssim") for r in self.reports.values()]
+        vals = [v for v in vals if v is not None]
+        if not vals:
+            raise CheckerError("no SSIM values in this batch")
+        return min(vals)
+
+    def overall_ratio(self) -> float:
+        """Size-weighted compression ratio across all fields."""
+        total_orig = 0.0
+        total_comp = 0.0
+        for report in self.reports.values():
+            s = report.scalars()
+            if "compression_ratio" not in s:
+                raise CheckerError("batch was not run through a compressor")
+            nz, ny, nx = report.shape
+            nbytes = nz * ny * nx * 4
+            total_orig += nbytes
+            total_comp += nbytes / s["compression_ratio"]
+        return total_orig / total_comp
+
+    def mean_speedup(self, baseline: str) -> float:
+        """Average modelled cuZC speedup over a baseline (Fig. 10 style)."""
+        values = []
+        for report in self.reports.values():
+            if baseline in report.timings and "cuZC" in report.timings:
+                values.append(report.speedup(baseline))
+        if not values:
+            raise CheckerError(
+                f"no {baseline} timings in this batch; pass "
+                "with_baselines=True to assess_dataset"
+            )
+        return float(np.mean(values))
+
+
+def assess_dataset(
+    dataset: Dataset,
+    compressor,
+    config: CheckerConfig | None = None,
+    with_baselines: bool = False,
+) -> BatchAssessment:
+    """Compress + assess every field of an application dataset."""
+    if len(dataset) == 0:
+        raise CheckerError(f"dataset {dataset.name!r} has no fields")
+    batch = BatchAssessment(dataset_name=dataset.name)
+    for f in dataset:
+        batch.reports[f.name] = assess_compressor(
+            f.data, compressor, config=config, with_baselines=with_baselines
+        )
+    return batch

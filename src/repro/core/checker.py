@@ -1,0 +1,133 @@
+"""CuZChecker: the pattern-oriented assessment coordinator.
+
+This is the reproduction of the paper's "GPU module coordinator": it
+inspects the requested metrics, maps them onto the three computational
+patterns (Table I), launches the corresponding fused kernel once per
+pattern, and stitches the results — including the cross-pattern data
+reuse where the autocorrelation normalisation consumes the error moments
+the pattern-1 kernel already produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.defaults import default_config
+from repro.config.schema import CheckerConfig
+from repro.core.frameworks import CuZC, FrameworkTiming, MoZC, OmpZC
+from repro.core.report import AssessmentReport
+from repro.errors import ShapeError
+from repro.kernels.pattern1 import execute_pattern1
+from repro.kernels.pattern2 import execute_pattern2
+from repro.kernels.pattern3 import execute_pattern3
+from repro.metrics.base import METRIC_REGISTRY, Pattern
+from repro.metrics.correlation import pearson
+from repro.metrics.properties import data_properties
+from repro.metrics.spectral import spectral_comparison
+
+__all__ = ["CuZChecker"]
+
+_PATTERN_IDS = {
+    Pattern.GLOBAL_REDUCTION: 1,
+    Pattern.STENCIL: 2,
+    Pattern.SLIDING_WINDOW: 3,
+}
+
+
+class CuZChecker:
+    """Pattern-oriented lossy compression assessment (the paper's cuZC).
+
+    Parameters
+    ----------
+    config:
+        Assessment configuration; defaults to the paper's evaluation
+        setup (all metrics, autocorr lags ≤ 10, SSIM window 8 step 1).
+    with_baselines:
+        If true, reports also carry modelled moZC / ompZC timings so that
+        speedups can be read directly off each report.
+    """
+
+    def __init__(
+        self,
+        config: CheckerConfig | None = None,
+        with_baselines: bool = False,
+    ):
+        self.config = config or default_config()
+        self.config.validate()
+        self.with_baselines = with_baselines
+        self._cuzc = CuZC()
+        self._mozc = MoZC()
+        self._ompzc = OmpZC()
+
+    # -- coordinator ------------------------------------------------------
+
+    def needed_patterns(self) -> tuple[int, ...]:
+        """Patterns required by the configured metric selection."""
+        enabled = set(self.config.patterns)
+        if self.config.metrics == "all":
+            return tuple(sorted(enabled))
+        wanted = set()
+        for name in self.config.metric_names:
+            pattern = METRIC_REGISTRY[name].pattern
+            pid = _PATTERN_IDS.get(pattern)
+            if pid is not None:
+                wanted.add(pid)
+        return tuple(sorted(wanted & enabled))
+
+    def assess(self, orig: np.ndarray, dec: np.ndarray) -> AssessmentReport:
+        """Run the configured assessment on one data pair."""
+        orig = np.asarray(orig)
+        dec = np.asarray(dec)
+        if orig.shape != dec.shape:
+            raise ShapeError(
+                f"original {orig.shape} and decompressed {dec.shape} differ"
+            )
+        if orig.ndim != 3:
+            raise ShapeError(f"cuZ-Checker assesses 3-D fields, got {orig.shape}")
+
+        report = AssessmentReport(shape=orig.shape, config=self.config)
+        patterns = self.needed_patterns()
+
+        if 1 in patterns:
+            report.pattern1, _ = execute_pattern1(orig, dec, self.config.pattern1)
+        if 2 in patterns:
+            # cross-pattern reuse: error moments from the fused reductions
+            err_mean = err_var = None
+            if report.pattern1 is not None:
+                err_mean = report.pattern1.avg_err
+                err_var = max(
+                    report.pattern1.mse - report.pattern1.avg_err**2, 0.0
+                )
+            report.pattern2, _ = execute_pattern2(
+                orig,
+                dec,
+                self.config.pattern2,
+                err_mean=err_mean,
+                err_var=err_var,
+            )
+        if 3 in patterns:
+            report.pattern3, _ = execute_pattern3(orig, dec, self.config.pattern3)
+
+        if self.config.auxiliary:
+            props = data_properties(orig)
+            spectral = spectral_comparison(orig, dec)
+            report.auxiliary.update(
+                {
+                    "pearson": pearson(orig, dec),
+                    "entropy": props.entropy,
+                    "mean": props.mean,
+                    "std": props.std,
+                    "spectral_mean_rel_err": spectral.mean_rel_err,
+                    "spectral_noise_frequency": spectral.noise_frequency,
+                }
+            )
+
+        report.timings["cuZC"] = self.estimate(orig.shape)
+        if self.with_baselines:
+            report.timings["moZC"] = self._mozc.estimate(orig.shape, self.config)
+            report.timings["ompZC"] = self._ompzc.estimate(orig.shape, self.config)
+        return report
+
+    def estimate(self, shape: tuple[int, int, int]) -> FrameworkTiming:
+        """Modelled cuZC execution time for a dataset shape."""
+        return self._cuzc.estimate(shape, self.config)

@@ -1,0 +1,122 @@
+"""One-call assessment APIs (Z-checker's ``compareData`` equivalents)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.config.schema import CheckerConfig
+from repro.core.checker import CuZChecker
+from repro.core.report import AssessmentReport
+
+__all__ = ["compare_data", "compare_data_2d", "assess_compressor"]
+
+
+def compare_data(
+    orig: np.ndarray,
+    dec: np.ndarray,
+    config: CheckerConfig | None = None,
+    with_baselines: bool = True,
+) -> AssessmentReport:
+    """Assess an original/decompressed pair with every configured metric.
+
+    The single-call analogue of Z-checker's ``compareData``: returns a
+    report holding every metric value plus modelled execution times for
+    cuZC (and, by default, the moZC / ompZC baselines so speedups are
+    directly readable).
+    """
+    checker = CuZChecker(config=config, with_baselines=with_baselines)
+    return checker.assess(orig, dec)
+
+
+def compare_data_2d(
+    orig: np.ndarray,
+    dec: np.ndarray,
+    window: int = 8,
+    step: int = 1,
+    max_lag: int = 10,
+) -> dict[str, object]:
+    """Assess a 2-D field pair (slices, images, single-level model output).
+
+    The paper's kernels are 3-D, but its design "can be easily extended
+    to other dimensions"; this convenience runs the 2-D metric variants
+    plus the dimension-agnostic ones and returns a flat result dict:
+    error stats, rate-distortion, 2-D SSIM, 2-D derivative comparison,
+    2-D spatial autocorrelation, Pearson, and the spectral comparison.
+    """
+    from repro.errors import ShapeError
+    from repro.metrics.correlation import pearson
+    from repro.metrics.error_stats import error_stats
+    from repro.metrics.rate_distortion import rate_distortion
+    from repro.metrics.spectral import spectral_comparison
+    from repro.metrics.ssim import SsimConfig
+    from repro.metrics.twod import (
+        derivative_metrics_2d,
+        spatial_autocorrelation_2d,
+        ssim2d,
+    )
+
+    orig = np.asarray(orig)
+    dec = np.asarray(dec)
+    if orig.ndim != 2:
+        raise ShapeError(f"compare_data_2d expects 2-D fields, got {orig.shape}")
+    if orig.shape != dec.shape:
+        raise ShapeError(f"shape mismatch: {orig.shape} vs {dec.shape}")
+
+    es = error_stats(orig, dec)
+    rd = rate_distortion(orig, dec)
+    lag = min(max_lag, min(orig.shape) - 1)
+    e = dec.astype(np.float64) - orig.astype(np.float64)
+    out: dict[str, object] = {
+        "min_err": es.min_err,
+        "max_err": es.max_err,
+        "avg_err": es.avg_err,
+        "mse": rd.mse,
+        "rmse": rd.rmse,
+        "nrmse": rd.nrmse,
+        "psnr": rd.psnr,
+        "snr": rd.snr,
+        "value_range": rd.value_range,
+        "pearson": pearson(orig, dec),
+        "autocorrelation": spatial_autocorrelation_2d(e, lag),
+        "spectral": spectral_comparison(orig, dec),
+    }
+    if min(orig.shape) >= window:
+        out["ssim"] = ssim2d(orig, dec, SsimConfig(window=window, step=step)).ssim
+    if min(orig.shape) >= 3:
+        out["derivative_order1"] = derivative_metrics_2d(orig, dec).rms_diff
+    return out
+
+
+def assess_compressor(
+    orig: np.ndarray,
+    compressor,
+    config: CheckerConfig | None = None,
+    with_baselines: bool = False,
+) -> AssessmentReport:
+    """Compress, decompress, and assess in one call.
+
+    ``compressor`` is any :class:`repro.compressors.base.Compressor`.
+    The report's auxiliary section gains the compression-specific
+    metrics: ratio, bit rate, and (wall-clock) compression and
+    decompression throughputs of this Python implementation.
+    """
+    orig = np.asarray(orig)
+    t0 = time.perf_counter()
+    compressed = compressor.compress(orig)
+    t1 = time.perf_counter()
+    dec = compressor.decompress(compressed)
+    t2 = time.perf_counter()
+
+    report = compare_data(orig, dec, config=config, with_baselines=with_baselines)
+    nbytes = orig.size * orig.dtype.itemsize
+    report.auxiliary.update(
+        {
+            "compression_ratio": nbytes / max(1, compressed.nbytes),
+            "bit_rate": 8.0 * compressed.nbytes / orig.size,
+            "compression_throughput": nbytes / max(t1 - t0, 1e-12),
+            "decompression_throughput": nbytes / max(t2 - t1, 1e-12),
+        }
+    )
+    return report

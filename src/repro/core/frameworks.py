@@ -1,0 +1,247 @@
+"""Performance models of the three assessment frameworks.
+
+The paper compares:
+
+* **cuZC** — the pattern-oriented cuZ-Checker (this work): one fused
+  cooperative kernel per pattern;
+* **moZC** — the metric-oriented GPU baseline: one kernel pipeline per
+  metric, CUB reductions, no fusion, no FIFO;
+* **ompZC** — the OpenMP-parallelised original Z-checker on the 20-core
+  Xeon host: one scalar pass per metric.
+
+Each framework turns a dataset shape + :class:`~repro.config.CheckerConfig`
+into an execution-time estimate per pattern via the calibrated models in
+:mod:`repro.gpusim`.  Functional metric *values* are identical across
+frameworks (the paper's correctness check) and are produced by
+:class:`repro.core.checker.CuZChecker`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import CheckerError
+from repro.config.schema import CheckerConfig
+from repro.gpusim.costmodel import kernel_time, kernels_time
+from repro.gpusim.cpu import CPU_CYCLES_PER_ELEM, CpuWorkload, cpu_workload_time
+from repro.gpusim.device import A100, V100, XEON_6148, CpuSpec, DeviceSpec
+from repro.kernels.metric_oriented import (
+    plan_mo_pattern1,
+    plan_mo_pattern2,
+    plan_mo_pattern3,
+)
+from repro.kernels.pattern1 import plan_pattern1
+from repro.kernels.pattern2 import plan_pattern2
+from repro.kernels.pattern3 import plan_pattern3
+from repro.metrics.base import PATTERN1_METRICS
+
+__all__ = [
+    "AssessmentFramework",
+    "CuZC",
+    "MoZC",
+    "OmpZC",
+    "FrameworkTiming",
+    "get_framework",
+    "device_by_name",
+]
+
+FLOAT_BYTES = 4
+
+_DEVICES: dict[str, DeviceSpec] = {"V100": V100, "A100": A100}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        raise CheckerError(
+            f"unknown device {name!r}; known: {sorted(_DEVICES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class FrameworkTiming:
+    """Per-pattern time estimate of one framework on one dataset shape."""
+
+    framework: str
+    shape: tuple[int, int, int]
+    pattern_seconds: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def n_elements(self) -> int:
+        nz, ny, nx = self.shape
+        return nz * ny * nx
+
+    @property
+    def bytes_processed(self) -> int:
+        """Input bytes the assessment consumes: original + decompressed."""
+        return 2 * self.n_elements * FLOAT_BYTES
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.pattern_seconds.values())
+
+    def throughput(self, pattern: int | None = None) -> float:
+        """Paper-style throughput (bytes/s): input bytes over time."""
+        t = self.total_seconds if pattern is None else self.pattern_seconds[pattern]
+        if t <= 0:
+            raise CheckerError("cannot compute throughput of a zero-time run")
+        return self.bytes_processed / t
+
+
+class AssessmentFramework(abc.ABC):
+    """Common interface of the three performance models."""
+
+    name: str
+
+    @abc.abstractmethod
+    def pattern_seconds(
+        self, pattern: int, shape: tuple[int, int, int], config: CheckerConfig
+    ) -> float:
+        """Estimated time to run one pattern's metrics on ``shape``."""
+
+    def estimate(
+        self, shape: tuple[int, int, int], config: CheckerConfig | None = None
+    ) -> FrameworkTiming:
+        """Time estimate for all patterns enabled in ``config``."""
+        from repro.config.defaults import default_config
+
+        config = config or default_config()
+        config.validate()
+        seconds = {
+            p: self.pattern_seconds(p, shape, config) for p in config.patterns
+        }
+        return FrameworkTiming(
+            framework=self.name, shape=tuple(shape), pattern_seconds=seconds
+        )
+
+
+class CuZC(AssessmentFramework):
+    """The pattern-oriented cuZ-Checker (one fused kernel per pattern)."""
+
+    name = "cuZC"
+
+    def pattern_seconds(self, pattern, shape, config):
+        device = device_by_name(config.device)
+        if pattern == 1:
+            return kernel_time(plan_pattern1(shape, config.pattern1), device).total
+        if pattern == 2:
+            return kernel_time(plan_pattern2(shape, config.pattern2), device).total
+        if pattern == 3:
+            return kernel_time(plan_pattern3(shape, config.pattern3), device).total
+        raise CheckerError(f"unknown pattern {pattern}")
+
+
+class MoZC(AssessmentFramework):
+    """The metric-oriented GPU baseline (one kernel pipeline per metric)."""
+
+    name = "moZC"
+
+    def pattern_seconds(self, pattern, shape, config):
+        device = device_by_name(config.device)
+        if pattern == 1:
+            return kernels_time(plan_mo_pattern1(shape, config.pattern1), device)
+        if pattern == 2:
+            return kernels_time(plan_mo_pattern2(shape, config.pattern2), device)
+        if pattern == 3:
+            return kernels_time(plan_mo_pattern3(shape, config.pattern3), device)
+        raise CheckerError(f"unknown pattern {pattern}")
+
+
+class OmpZC(AssessmentFramework):
+    """The OpenMP CPU baseline (one scalar pass per metric)."""
+
+    name = "ompZC"
+
+    def __init__(self, spec: CpuSpec = XEON_6148):
+        self.spec = spec
+
+    def workloads(
+        self, pattern: int, shape: tuple[int, int, int], config: CheckerConfig
+    ) -> list[CpuWorkload]:
+        """The OpenMP passes one pattern costs (public for benchmarks)."""
+        nz, ny, nx = shape
+        n = nz * ny * nx
+        pass_bytes = 2 * n * FLOAT_BYTES
+        loads: list[CpuWorkload] = []
+        if pattern == 1:
+            for name in PATTERN1_METRICS:
+                loads.append(
+                    CpuWorkload(
+                        name=name,
+                        n_elements=n,
+                        cycles_per_element=CPU_CYCLES_PER_ELEM[name],
+                        bytes_streamed=pass_bytes,
+                    )
+                )
+        elif pattern == 2:
+            for order in config.pattern2.orders:
+                key = f"derivative_order{order}"
+                loads.append(
+                    CpuWorkload(
+                        name=key,
+                        n_elements=n,
+                        cycles_per_element=CPU_CYCLES_PER_ELEM[key],
+                        bytes_streamed=pass_bytes,
+                    )
+                )
+                summation = "divergence" if order == 1 else "laplacian"
+                loads.append(
+                    CpuWorkload(
+                        name=summation,
+                        n_elements=n,
+                        cycles_per_element=CPU_CYCLES_PER_ELEM[summation],
+                        bytes_streamed=pass_bytes,
+                    )
+                )
+            if config.pattern2.max_lag >= 1:
+                loads.append(
+                    CpuWorkload(
+                        name="err_moments",
+                        n_elements=n,
+                        cycles_per_element=20.0,
+                        bytes_streamed=pass_bytes,
+                    )
+                )
+                loads.append(
+                    CpuWorkload(
+                        name="autocorrelation",
+                        n_elements=n,
+                        cycles_per_element=CPU_CYCLES_PER_ELEM["autocorrelation"],
+                        bytes_streamed=pass_bytes,
+                        passes=config.pattern2.max_lag,
+                    )
+                )
+        elif pattern == 3:
+            w = config.pattern3.window
+            step = config.pattern3.step
+            # the scalar implementation recomputes each window from scratch
+            per_elem = CPU_CYCLES_PER_ELEM["ssim"] * (w**3) / (step**3)
+            loads.append(
+                CpuWorkload(
+                    name="ssim",
+                    n_elements=n,
+                    cycles_per_element=per_elem,
+                    bytes_streamed=pass_bytes,
+                )
+            )
+        else:
+            raise CheckerError(f"unknown pattern {pattern}")
+        return loads
+
+    def pattern_seconds(self, pattern, shape, config):
+        return cpu_workload_time(self.workloads(pattern, shape, config), self.spec)
+
+
+_FRAMEWORKS = {"cuZC": CuZC, "moZC": MoZC, "ompZC": OmpZC}
+
+
+def get_framework(name: str) -> AssessmentFramework:
+    """Instantiate a framework model by paper abbreviation."""
+    try:
+        return _FRAMEWORKS[name]()
+    except KeyError:
+        raise CheckerError(
+            f"unknown framework {name!r}; known: {sorted(_FRAMEWORKS)}"
+        ) from None

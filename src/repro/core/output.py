@@ -1,0 +1,98 @@
+"""Output engine: render assessment reports as text, JSON, and .dat files."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.report import AssessmentReport
+from repro.viz.gnuplot import write_series
+
+__all__ = ["report_to_text", "write_report_json", "write_report_dats"]
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def report_to_text(report: AssessmentReport) -> str:
+    """Human-readable summary of one assessment."""
+    lines = [
+        "cuZ-Checker assessment report",
+        f"  shape: {report.shape}  "
+        f"({report.shape[0] * report.shape[1] * report.shape[2]:,} elements)",
+        "",
+        "  metrics:",
+    ]
+    for name, value in sorted(report.scalars().items()):
+        lines.append(f"    {name:<22} {_fmt(value)}")
+    if report.pattern2 is not None:
+        ac = np.asarray(report.pattern2.autocorrelation)
+        shown = ", ".join(f"{v:.4f}" for v in ac[: min(len(ac), 6)])
+        lines.append(f"    {'autocorrelation':<22} [{shown}{', ...' if len(ac) > 6 else ''}]")
+    if report.timings:
+        lines.append("")
+        lines.append("  modelled execution times:")
+        for fw, timing in report.timings.items():
+            per_pattern = "  ".join(
+                f"P{p}={s * 1e3:.3f}ms" for p, s in timing.pattern_seconds.items()
+            )
+            lines.append(
+                f"    {fw:<7} total={timing.total_seconds * 1e3:.3f}ms  {per_pattern}"
+            )
+        if "ompZC" in report.timings and "cuZC" in report.timings:
+            lines.append(
+                f"    speedup vs ompZC: {report.speedup('ompZC'):.1f}x"
+            )
+        if "moZC" in report.timings and "cuZC" in report.timings:
+            lines.append(f"    speedup vs moZC:  {report.speedup('moZC'):.2f}x")
+    return "\n".join(lines)
+
+
+def write_report_json(report: AssessmentReport, path: str | Path) -> Path:
+    """Serialise the report to JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report.to_dict(), indent=2))
+    return path
+
+
+def write_report_dats(report: AssessmentReport, directory: str | Path) -> list[Path]:
+    """Export the report's series (PDFs, autocorrelation) as .dat files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    if report.pattern1 is not None and report.pattern1.err_pdf is not None:
+        pdf = report.pattern1.err_pdf
+        written.append(
+            write_series(
+                directory / "err_pdf.dat",
+                {"error": pdf.bin_centers, "density": pdf.density},
+                comment="compression error PDF",
+            )
+        )
+    if report.pattern1 is not None and report.pattern1.pwr_err_pdf is not None:
+        pdf = report.pattern1.pwr_err_pdf
+        written.append(
+            write_series(
+                directory / "pwr_err_pdf.dat",
+                {"rel_error": pdf.bin_centers, "density": pdf.density},
+                comment="pointwise relative error PDF",
+            )
+        )
+    if report.pattern2 is not None:
+        ac = np.asarray(report.pattern2.autocorrelation)
+        written.append(
+            write_series(
+                directory / "autocorrelation.dat",
+                {"lag": np.arange(len(ac), dtype=float), "ac": ac},
+                comment="spatial autocorrelation of compression errors",
+            )
+        )
+    return written

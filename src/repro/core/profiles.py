@@ -1,0 +1,79 @@
+"""Runtime profiling — the reproduction of the paper's Table II.
+
+For each pattern × dataset shape, reports the kernel's register demand
+per thread block, shared memory per block, sequential iterations per
+thread, and the assigned/concurrent thread blocks per SM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.defaults import default_config
+from repro.config.schema import CheckerConfig
+from repro.core.frameworks import device_by_name
+from repro.gpusim.occupancy import occupancy_for
+from repro.kernels.pattern1 import plan_pattern1
+from repro.kernels.pattern2 import plan_pattern2
+from repro.kernels.pattern3 import plan_pattern3
+
+__all__ = ["ProfileRow", "runtime_profile"]
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One Table II row: a pattern's resource profile on one dataset."""
+
+    dataset: str
+    pattern: int
+    regs_per_block: int
+    smem_per_block: int
+    iters_per_thread: int
+    blocks_per_sm: int
+    concurrent_blocks_per_sm: int
+
+    def formatted(self) -> dict[str, str]:
+        """Human-readable cells matching the paper's column style."""
+
+        def _k(v: int) -> str:
+            return f"{v / 1000:.1f}k" if v >= 1000 else str(v)
+
+        return {
+            "dataset": self.dataset,
+            "pattern": f"Pattern-{self.pattern}",
+            "Regs/TB": _k(self.regs_per_block),
+            "SMem/TB": f"{self.smem_per_block / 1024:.1f}KB",
+            "Iters/thread": _k(self.iters_per_thread),
+            "TB(cncr.)/SM": f"{self.blocks_per_sm}({self.concurrent_blocks_per_sm})",
+        }
+
+
+def runtime_profile(
+    shapes: dict[str, tuple[int, int, int]],
+    config: CheckerConfig | None = None,
+) -> list[ProfileRow]:
+    """Profile every pattern on every dataset shape (Table II)."""
+    config = config or default_config()
+    device = device_by_name(config.device)
+    planners = {
+        1: lambda s: plan_pattern1(s, config.pattern1),
+        2: lambda s: plan_pattern2(s, config.pattern2),
+        3: lambda s: plan_pattern3(s, config.pattern3),
+    }
+    rows: list[ProfileRow] = []
+    for pattern in sorted(config.patterns):
+        for dataset, shape in shapes.items():
+            stats = planners[pattern](shape)
+            occ = occupancy_for(device, stats)
+            rows.append(
+                ProfileRow(
+                    dataset=dataset,
+                    pattern=pattern,
+                    regs_per_block=stats.regs_per_block,
+                    smem_per_block=stats.smem_per_block,
+                    iters_per_thread=stats.iters_per_thread,
+                    blocks_per_sm=occ.blocks_per_sm,
+                    concurrent_blocks_per_sm=occ.concurrent_blocks_per_sm,
+                )
+            )
+    return rows

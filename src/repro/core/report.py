@@ -1,0 +1,111 @@
+"""Assessment report containers (the output-engine data model)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.config.schema import CheckerConfig
+from repro.core.frameworks import FrameworkTiming
+from repro.kernels.pattern1 import Pattern1Result
+from repro.kernels.pattern2 import Pattern2Result
+from repro.kernels.pattern3 import Pattern3Result
+from repro.metrics.base import METRIC_REGISTRY, Pattern
+
+__all__ = ["MetricValue", "AssessmentReport"]
+
+
+@dataclass(frozen=True)
+class MetricValue:
+    """One reported metric value with its provenance."""
+
+    name: str
+    value: Any
+    pattern: Pattern
+    description: str = ""
+
+    @property
+    def is_scalar(self) -> bool:
+        return isinstance(self.value, (int, float))
+
+
+@dataclass
+class AssessmentReport:
+    """Full result of assessing one original/decompressed pair."""
+
+    shape: tuple[int, int, int]
+    config: CheckerConfig
+    pattern1: Pattern1Result | None = None
+    pattern2: Pattern2Result | None = None
+    pattern3: Pattern3Result | None = None
+    #: auxiliary metrics (pearson, entropy, properties, compression info)
+    auxiliary: dict[str, float] = field(default_factory=dict)
+    #: per-framework modelled execution times
+    timings: dict[str, FrameworkTiming] = field(default_factory=dict)
+
+    def scalars(self) -> dict[str, float]:
+        """All scalar metric values keyed by registry name."""
+        out: dict[str, float] = {}
+        if self.pattern1 is not None:
+            out.update(self.pattern1.as_dict())
+        if self.pattern2 is not None:
+            out.update(self.pattern2.as_dict())
+        if self.pattern3 is not None:
+            out.update(self.pattern3.as_dict())
+        out.update(self.auxiliary)
+        return out
+
+    def values(self) -> list[MetricValue]:
+        """Typed metric values, including vector-valued results."""
+        rows: list[MetricValue] = []
+
+        def _add(name: str, value: Any) -> None:
+            spec = METRIC_REGISTRY.get(name)
+            pattern = spec.pattern if spec else Pattern.AUXILIARY
+            description = spec.description if spec else ""
+            rows.append(MetricValue(name, value, pattern, description))
+
+        for name, value in self.scalars().items():
+            _add(name, value)
+        if self.pattern1 is not None:
+            if self.pattern1.err_pdf is not None:
+                _add("err_pdf", self.pattern1.err_pdf)
+            if self.pattern1.pwr_err_pdf is not None:
+                _add("pwr_err_pdf", self.pattern1.pwr_err_pdf)
+        if self.pattern2 is not None:
+            _add("autocorrelation", self.pattern2.autocorrelation)
+        return rows
+
+    def speedup(self, baseline: str, target: str = "cuZC") -> float:
+        """Modelled speedup of ``target`` over ``baseline``."""
+        base = self.timings[baseline].total_seconds
+        tgt = self.timings[target].total_seconds
+        return base / tgt
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        out: dict[str, Any] = {
+            "shape": list(self.shape),
+            "metrics": {
+                k: (None if isinstance(v, float) and not math.isfinite(v) else v)
+                for k, v in self.scalars().items()
+            },
+        }
+        if self.pattern2 is not None:
+            out["autocorrelation"] = [
+                float(v) for v in np.asarray(self.pattern2.autocorrelation)
+            ]
+        if self.timings:
+            out["timings"] = {
+                name: {
+                    "total_seconds": t.total_seconds,
+                    "pattern_seconds": {
+                        str(p): s for p, s in t.pattern_seconds.items()
+                    },
+                }
+                for name, t in self.timings.items()
+            }
+        return out

@@ -1,0 +1,325 @@
+"""Streaming (chunked) assessment with bounded memory.
+
+The paper's introduction motivates GPU-side assessment with instrument
+pipelines whose acquisition rates (e.g. 250 GB/s on LCLS-II) forbid
+staging full datasets.  :class:`StreamingChecker` assesses an
+original/decompressed stream fed as consecutive z-chunks, holding only a
+small carry buffer of trailing slices:
+
+* **pattern-1 metrics** — exact: the fused reductions are associative,
+  so chunk accumulators merge like the multi-GPU merge;
+* **SSIM** — exact, via the same slice-FIFO the pattern-3 kernel uses;
+  streaming requires a fixed ``dynamic_range`` in the
+  :class:`~repro.kernels.pattern3.Pattern3Config` (the global range is
+  unknowable mid-stream);
+* **autocorrelation** — exact: raw lagged cross-products accumulate
+  per-slice (a pair at lag τ becomes valid exactly when its τ-later
+  slice arrives) and the mean-centring correction is applied once at
+  :meth:`finalize`.
+
+Equality with the batch kernels is asserted in tests for arbitrary
+chunkings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import CheckerError, ShapeError
+from repro.gpusim.memory import SmemFifo
+from repro.kernels.pattern1 import Pattern1Result
+from repro.kernels.pattern3 import Pattern3Config, N_WINDOW_ACCUMS, _box_sums2d
+from repro.metrics.ssim import window_positions
+
+__all__ = ["StreamingChecker", "StreamingResult"]
+
+
+class StreamingResult:
+    """Finalised streaming assessment (subset of a full report)."""
+
+    def __init__(self, pattern1: Pattern1Result, ssim: float | None,
+                 autocorrelation: np.ndarray | None):
+        self.pattern1 = pattern1
+        self.ssim = ssim
+        self.autocorrelation = autocorrelation
+
+    def scalars(self) -> dict[str, float]:
+        out = self.pattern1.as_dict()
+        if self.ssim is not None:
+            out["ssim"] = self.ssim
+        return out
+
+
+class StreamingChecker:
+    """Incremental assessment of z-chunked original/decompressed streams.
+
+    Parameters
+    ----------
+    plane_shape:
+        (ny, nx) of every incoming slice.
+    max_lag:
+        Autocorrelation lags to track (0 disables).
+    ssim:
+        Pattern-3 configuration; must carry an explicit
+        ``dynamic_range``.  ``None`` disables streaming SSIM.
+    pwr_floor:
+        Pointwise-relative-error exclusion threshold (pattern 1).
+    """
+
+    def __init__(
+        self,
+        plane_shape: tuple[int, int],
+        max_lag: int = 10,
+        ssim: Pattern3Config | None = None,
+        pwr_floor: float = 0.0,
+    ):
+        if len(plane_shape) != 2 or min(plane_shape) < 1:
+            raise ShapeError(f"plane_shape must be (ny, nx), got {plane_shape}")
+        if max_lag < 0:
+            raise ValueError("max_lag must be >= 0")
+        if max_lag >= min(plane_shape):
+            raise ShapeError(
+                f"max_lag {max_lag} must be < min plane extent {min(plane_shape)}"
+            )
+        if ssim is not None and ssim.dynamic_range is None:
+            raise CheckerError(
+                "streaming SSIM needs an explicit dynamic_range (the global "
+                "value range is unknown mid-stream)"
+            )
+        self.ny, self.nx = plane_shape
+        self.max_lag = max_lag
+        self.ssim_config = ssim
+        self.pwr_floor = pwr_floor
+
+        # -- pattern-1 accumulators ---------------------------------------
+        self._n = 0
+        self._min_e = math.inf
+        self._max_e = -math.inf
+        self._sum_e = 0.0
+        self._sum_abs_e = 0.0
+        self._sum_sq_e = 0.0
+        self._min_o = math.inf
+        self._max_o = -math.inf
+        self._sum_o = 0.0
+        self._sum_sq_o = 0.0
+        self._min_r = math.inf
+        self._max_r = -math.inf
+        self._sum_r = 0.0
+        self._cnt_r = 0.0
+
+        # -- autocorrelation raw sums per lag ------------------------------
+        self._ac_ab = np.zeros(max_lag + 1)
+        self._ac_a = np.zeros(max_lag + 1)
+        self._ac_b = np.zeros(max_lag + 1)
+        self._ac_n = np.zeros(max_lag + 1, dtype=np.int64)
+        #: carry: last max_lag error slices (float64)
+        self._carry: list[np.ndarray] = []
+
+        # -- streaming SSIM -------------------------------------------------
+        self._z = 0
+        if ssim is not None:
+            ssim.validate((max(ssim.window, 1), self.ny, self.nx))
+            py = window_positions(self.ny, ssim.window, ssim.step)
+            px = window_positions(self.nx, ssim.window, ssim.step)
+            if py == 0 or px == 0:
+                raise ShapeError("plane too small for the SSIM window")
+            self._fifo = SmemFifo(
+                depth=ssim.window, slot_shape=(N_WINDOW_ACCUMS, py, px)
+            )
+            self._ssim_total = 0.0
+            self._ssim_count = 0
+        self._finalized = False
+
+    # -- feeding -------------------------------------------------------------
+
+    def update(self, orig_chunk: np.ndarray, dec_chunk: np.ndarray) -> None:
+        """Feed the next z-chunk (shape ``(cz, ny, nx)``, any cz >= 1)."""
+        if self._finalized:
+            raise CheckerError("stream already finalised")
+        orig_chunk = np.asarray(orig_chunk)
+        dec_chunk = np.asarray(dec_chunk)
+        if orig_chunk.shape != dec_chunk.shape:
+            raise ShapeError(
+                f"chunk shapes differ: {orig_chunk.shape} vs {dec_chunk.shape}"
+            )
+        if orig_chunk.ndim != 3 or orig_chunk.shape[1:] != (self.ny, self.nx):
+            raise ShapeError(
+                f"chunks must be (cz, {self.ny}, {self.nx}), got "
+                f"{orig_chunk.shape}"
+            )
+        for o_slice, d_slice in zip(orig_chunk, dec_chunk):
+            self._ingest_slice(
+                o_slice.astype(np.float64), d_slice.astype(np.float64)
+            )
+
+    def _ingest_slice(self, o: np.ndarray, d: np.ndarray) -> None:
+        e = d - o
+        # -- pattern-1 -----------------------------------------------------
+        self._n += e.size
+        self._min_e = min(self._min_e, float(e.min()))
+        self._max_e = max(self._max_e, float(e.max()))
+        self._sum_e += float(e.sum())
+        self._sum_abs_e += float(np.abs(e).sum())
+        self._sum_sq_e += float((e * e).sum())
+        self._min_o = min(self._min_o, float(o.min()))
+        self._max_o = max(self._max_o, float(o.max()))
+        self._sum_o += float(o.sum())
+        self._sum_sq_o += float((o * o).sum())
+        mask = np.abs(o) > self.pwr_floor
+        if mask.any():
+            r = e[mask] / o[mask]
+            self._min_r = min(self._min_r, float(r.min()))
+            self._max_r = max(self._max_r, float(r.max()))
+            self._sum_r += float(r.sum())
+            self._cnt_r += float(mask.sum())
+
+        # -- autocorrelation -----------------------------------------------
+        if self.max_lag >= 1:
+            for tau in range(1, self.max_lag + 1):
+                if self._z >= tau:
+                    self._emit_ac(self._carry[-tau], e, tau)
+            self._carry.append(e)
+            if len(self._carry) > self.max_lag:
+                self._carry.pop(0)
+
+        # -- SSIM ------------------------------------------------------------
+        if self.ssim_config is not None:
+            cfg = self.ssim_config
+            slot = np.stack(
+                [
+                    _box_sums2d(o, cfg.window, cfg.step),
+                    _box_sums2d(d, cfg.window, cfg.step),
+                    _box_sums2d(o * o, cfg.window, cfg.step),
+                    _box_sums2d(d * d, cfg.window, cfg.step),
+                    _box_sums2d(o * d, cfg.window, cfg.step),
+                ]
+            )
+            self._fifo.push(self._z, slot)
+            k = self._z
+            if k >= cfg.window - 1 and (k - cfg.window + 1) % cfg.step == 0:
+                self._reduce_ssim_window()
+        self._z += 1
+
+    def _emit_ac(self, core_slice: np.ndarray, later_slice: np.ndarray,
+                 tau: int) -> None:
+        """Contributions of the (z, z+tau) slice pair at lag ``tau``.
+
+        ``core_slice`` is the error slice tau steps back (now provably in
+        the valid region); its three shifted partners are the z-shifted
+        later slice plus its own in-plane y/x shifts.
+        """
+        ny, nx = self.ny, self.nx
+        core = core_slice[: ny - tau, : nx - tau]
+        shift_z = later_slice[: ny - tau, : nx - tau]
+        shift_y = core_slice[tau:, : nx - tau]
+        shift_x = core_slice[: ny - tau, tau:]
+        b = shift_z + shift_y + shift_x
+        self._ac_ab[tau] += float((core * b).sum())
+        self._ac_a[tau] += float(core.sum())
+        self._ac_b[tau] += float(b.sum())
+        self._ac_n[tau] += core.size
+
+    def _reduce_ssim_window(self) -> None:
+        cfg = self.ssim_config
+        L = float(cfg.dynamic_range)
+        c1 = (cfg.k1 * L) ** 2
+        c2 = (cfg.k2 * L) ** 2
+        volume = float(cfg.window**3)
+        s1, s2, sq1, sq2, s12 = self._fifo.reduce()
+        mu1 = s1 / volume
+        mu2 = s2 / volume
+        var1 = np.maximum(sq1 / volume - mu1 * mu1, 0.0)
+        var2 = np.maximum(sq2 / volume - mu2 * mu2, 0.0)
+        cov = s12 / volume - mu1 * mu2
+        local = ((2 * mu1 * mu2 + c1) * (2 * cov + c2)) / (
+            (mu1 * mu1 + mu2 * mu2 + c1) * (var1 + var2 + c2)
+        )
+        self._ssim_total += float(local.sum())
+        self._ssim_count += local.size
+
+    # -- finishing -------------------------------------------------------------
+
+    def finalize(self) -> StreamingResult:
+        """Close the stream and compute the final metric values."""
+        if self._n == 0:
+            raise CheckerError("no data was streamed")
+        self._finalized = True
+        n = self._n
+        mse = self._sum_sq_e / n
+        rmse = math.sqrt(mse)
+        value_range = self._max_o - self._min_o
+        mean_o = self._sum_o / n
+        var_o = max(self._sum_sq_o / n - mean_o * mean_o, 0.0)
+        if value_range == 0.0:
+            nrmse = math.nan if mse > 0 else 0.0
+            psnr = math.nan
+        elif mse == 0.0:
+            nrmse, psnr = 0.0, math.inf
+        else:
+            nrmse = rmse / value_range
+            psnr = 20.0 * math.log10(value_range) - 10.0 * math.log10(mse)
+        if mse == 0.0:
+            snr = math.inf
+        elif var_o == 0.0:
+            snr = -math.inf
+        else:
+            snr = 10.0 * math.log10(var_o / mse)
+        has_r = self._cnt_r > 0
+        pattern1 = Pattern1Result(
+            n=n,
+            min_err=self._min_e,
+            max_err=self._max_e,
+            avg_err=self._sum_e / n,
+            avg_abs_err=self._sum_abs_e / n,
+            max_abs_err=max(abs(self._min_e), abs(self._max_e)),
+            mse=mse,
+            rmse=rmse,
+            value_range=value_range,
+            nrmse=nrmse,
+            snr=snr,
+            psnr=psnr,
+            min_pwr_err=self._min_r if has_r else 0.0,
+            max_pwr_err=self._max_r if has_r else 0.0,
+            avg_pwr_err=self._sum_r / self._cnt_r if has_r else 0.0,
+            min_orig=self._min_o,
+            max_orig=self._max_o,
+            mean_orig=mean_o,
+            var_orig=var_o,
+            extras={"pwr_count": self._cnt_r, "sum_pwr": self._sum_r,
+                    "streamed": True},
+        )
+
+        ac = None
+        if self.max_lag >= 1:
+            mu = self._sum_e / n
+            var = max(self._sum_sq_e / n - mu * mu, 0.0)
+            ac = np.empty(self.max_lag + 1)
+            ac[0] = 1.0
+            if var == 0.0:
+                ac[1:] = 0.0
+            else:
+                for tau in range(1, self.max_lag + 1):
+                    ne = int(self._ac_n[tau])
+                    if ne == 0:
+                        ac[tau] = 0.0
+                        continue
+                    # Σ(a-μ)(Σ_i b_i - 3μ) = Σab - μΣb - 3μΣa + 3 n μ²
+                    centered = (
+                        self._ac_ab[tau]
+                        - mu * self._ac_b[tau]
+                        - 3.0 * mu * self._ac_a[tau]
+                        + 3.0 * ne * mu * mu
+                    )
+                    ac[tau] = centered / 3.0 / ne / var
+
+        ssim = None
+        if self.ssim_config is not None:
+            if self._ssim_count == 0:
+                raise CheckerError(
+                    "stream ended before one full SSIM window arrived"
+                )
+            ssim = self._ssim_total / self._ssim_count
+        return StreamingResult(pattern1=pattern1, ssim=ssim,
+                               autocorrelation=ac)

@@ -1,0 +1,43 @@
+"""Dataset substrate: SDRBench stand-ins for the four evaluated apps.
+
+The paper evaluates on SDRBench datasets (Hurricane ISABEL, NYX,
+Scale-LETKF, Miranda).  Real SDRBench binaries load through
+:mod:`repro.io.raw` when available; otherwise :mod:`repro.datasets`
+synthesises fields with matching shapes and smoothness classes (see
+DESIGN.md for the substitution rationale).
+"""
+
+from repro.datasets.fields import Field, Dataset
+from repro.datasets.registry import (
+    PAPER_SHAPES,
+    DATASET_NAMES,
+    dataset_info,
+    generate_dataset,
+    generate_field,
+    scaled_shape,
+)
+from repro.datasets.synthetic import (
+    spectral_field,
+    gaussian_bumps,
+    turbulence_field,
+    layered_field,
+    particle_density_field,
+    vortex_field,
+)
+
+__all__ = [
+    "Field",
+    "Dataset",
+    "PAPER_SHAPES",
+    "DATASET_NAMES",
+    "dataset_info",
+    "generate_dataset",
+    "generate_field",
+    "scaled_shape",
+    "spectral_field",
+    "gaussian_bumps",
+    "turbulence_field",
+    "layered_field",
+    "particle_density_field",
+    "vortex_field",
+]

@@ -1,0 +1,77 @@
+"""Containers for scientific fields and multi-field datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["Field", "Dataset"]
+
+
+@dataclass
+class Field:
+    """One named 3-D float field of a scientific dataset."""
+
+    name: str
+    data: np.ndarray
+    units: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.data.ndim != 3:
+            raise ShapeError(
+                f"field {self.name!r} must be 3-D, got shape {self.data.shape}"
+            )
+        if self.data.dtype != np.float32:
+            self.data = self.data.astype(np.float32)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.data.shape  # type: ignore[return-value]
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Field({self.name!r}, shape={self.shape})"
+
+
+@dataclass
+class Dataset:
+    """A named collection of fields (one SDRBench application)."""
+
+    name: str
+    fields: list[Field] = field(default_factory=list)
+    description: str = ""
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __getitem__(self, key: str | int) -> Field:
+        if isinstance(key, int):
+            return self.fields[key]
+        for f in self.fields:
+            if f.name == key:
+                return f
+        raise KeyError(f"dataset {self.name!r} has no field {key!r}")
+
+    @property
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(f.nbytes for f in self.fields)
+
+    def add(self, field_: Field) -> None:
+        if field_.name in self.field_names:
+            raise ValueError(f"duplicate field name {field_.name!r}")
+        self.fields.append(field_)

@@ -1,0 +1,199 @@
+"""Dataset registry: the four evaluated applications and their shapes.
+
+Shapes follow the paper's Section IV-A, stored ``(z, y, x)`` with z the
+axis the kernels decompose along:
+
+* Hurricane ISABEL — 13 fields of 100×500×500,
+* NYX cosmology — 6 fields of 512³,
+* Scale-LETKF weather — 6 fields of 98×1200×1200,
+* Miranda turbulence — 7 fields of 256×384×384.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import DataIOError
+from repro.datasets.fields import Dataset, Field
+from repro.datasets.synthetic import (
+    gaussian_bumps,
+    layered_field,
+    particle_density_field,
+    spectral_field,
+    turbulence_field,
+    vortex_field,
+)
+
+__all__ = [
+    "PAPER_SHAPES",
+    "DATASET_NAMES",
+    "DatasetInfo",
+    "dataset_info",
+    "generate_field",
+    "generate_dataset",
+    "scaled_shape",
+]
+
+#: (z, y, x) shapes from the paper's Section IV-A
+PAPER_SHAPES: dict[str, tuple[int, int, int]] = {
+    "hurricane": (100, 500, 500),
+    "nyx": (512, 512, 512),
+    "scale_letkf": (98, 1200, 1200),
+    "miranda": (256, 384, 384),
+}
+
+DATASET_NAMES: tuple[str, ...] = tuple(PAPER_SHAPES)
+
+#: field name -> generator class per application (names follow SDRBench)
+_FIELD_CLASSES: dict[str, dict[str, str]] = {
+    "hurricane": {
+        "CLOUDf48": "bumps",
+        "PRECIPf48": "bumps",
+        "Pf48": "layered",
+        "QCLOUDf48": "bumps",
+        "QGRAUPf48": "bumps",
+        "QICEf48": "bumps",
+        "QRAINf48": "bumps",
+        "QSNOWf48": "bumps",
+        "QVAPORf48": "layered",
+        "TCf48": "layered",
+        "Uf48": "vortex_u",
+        "Vf48": "vortex_v",
+        "Wf48": "spectral",
+    },
+    "nyx": {
+        "baryon_density": "density",
+        "dark_matter_density": "density",
+        "temperature": "density",
+        "velocity_x": "spectral",
+        "velocity_y": "spectral",
+        "velocity_z": "spectral",
+    },
+    "scale_letkf": {
+        "U": "spectral",
+        "V": "spectral",
+        "W": "spectral",
+        "T": "layered",
+        "P": "layered",
+        "QV": "bumps",
+    },
+    "miranda": {
+        "density": "turbulence",
+        "diffusivity": "turbulence",
+        "pressure": "turbulence",
+        "velocityx": "turbulence",
+        "velocityy": "turbulence",
+        "velocityz": "turbulence",
+        "viscocity": "turbulence",
+    },
+}
+
+_DESCRIPTIONS = {
+    "hurricane": "Hurricane ISABEL weather simulation (IEEE Vis 2004 contest)",
+    "nyx": "NYX adaptive-mesh compressible cosmological hydrodynamics",
+    "scale_letkf": "Scale-LETKF ensemble weather data assimilation",
+    "miranda": "Miranda radiation-hydrodynamics large-eddy turbulence",
+}
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Static catalogue entry for one application."""
+
+    name: str
+    shape: tuple[int, int, int]
+    field_names: tuple[str, ...]
+    description: str
+
+    @property
+    def n_fields(self) -> int:
+        return len(self.field_names)
+
+    @property
+    def n_elements(self) -> int:
+        nz, ny, nx = self.shape
+        return nz * ny * nx
+
+    @property
+    def field_nbytes(self) -> int:
+        return self.n_elements * 4
+
+
+def dataset_info(name: str) -> DatasetInfo:
+    """Catalogue entry by dataset name."""
+    key = name.lower()
+    if key not in PAPER_SHAPES:
+        raise DataIOError(f"unknown dataset {name!r}; known: {DATASET_NAMES}")
+    return DatasetInfo(
+        name=key,
+        shape=PAPER_SHAPES[key],
+        field_names=tuple(_FIELD_CLASSES[key]),
+        description=_DESCRIPTIONS[key],
+    )
+
+
+def scaled_shape(
+    name: str, scale: float = 1.0, min_extent: int = 16
+) -> tuple[int, int, int]:
+    """The dataset's shape scaled isotropically (for CI-sized runs)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    shape = PAPER_SHAPES[name.lower()]
+    return tuple(max(min_extent, math.ceil(s * scale)) for s in shape)  # type: ignore[return-value]
+
+
+def generate_field(
+    dataset: str,
+    field_name: str,
+    shape: tuple[int, int, int] | None = None,
+    seed: int | None = None,
+) -> Field:
+    """Synthesise one field of one application."""
+    info = dataset_info(dataset)
+    classes = _FIELD_CLASSES[info.name]
+    if field_name not in classes:
+        raise DataIOError(
+            f"dataset {dataset!r} has no field {field_name!r}; "
+            f"known: {sorted(classes)}"
+        )
+    shape = tuple(shape) if shape is not None else info.shape
+    if seed is None:
+        # stable per-field seed so fields differ but runs reproduce
+        # (zlib.crc32 is deterministic across processes, unlike hash())
+        seed = zlib.crc32(f"{info.name}/{field_name}".encode()) % (2**31)
+    kind = classes[field_name]
+    if kind == "spectral":
+        data = spectral_field(shape, slope=3.0, seed=seed)
+    elif kind == "turbulence":
+        data = turbulence_field(shape, seed=seed)
+    elif kind == "layered":
+        data = layered_field(shape, seed=seed)
+    elif kind == "bumps":
+        data = gaussian_bumps(shape, seed=seed)
+    elif kind == "density":
+        data = particle_density_field(shape, seed=seed)
+    elif kind == "vortex_u":
+        data = vortex_field(shape, component="u", seed=seed)
+    elif kind == "vortex_v":
+        data = vortex_field(shape, component="v", seed=seed)
+    else:  # pragma: no cover - registry invariant
+        raise DataIOError(f"unknown field class {kind!r}")
+    return Field(name=field_name, data=data, description=f"{kind} stand-in")
+
+
+def generate_dataset(
+    name: str,
+    scale: float = 1.0,
+    n_fields: int | None = None,
+    seed: int = 0,
+) -> Dataset:
+    """Synthesise an application dataset (optionally scaled / truncated)."""
+    info = dataset_info(name)
+    shape = scaled_shape(name, scale) if scale != 1.0 else info.shape
+    names = info.field_names[: n_fields or info.n_fields]
+    ds = Dataset(name=info.name, description=info.description)
+    for i, field_name in enumerate(names):
+        ds.add(generate_field(info.name, field_name, shape=shape, seed=seed + i))
+    return ds

@@ -1,0 +1,113 @@
+"""SDRBench integration: real files when present, synthetic otherwise.
+
+The paper's datasets come from SDRBench (https://sdrbench.github.io).
+When the downloads exist locally — under ``SDRBENCH_DIR`` or an explicit
+``root`` — this module loads the real binaries (headerless little-endian
+float32, validated against the catalogue shapes).  Without them it falls
+back to the synthetic stand-ins, reporting which source was used so
+results are never silently mixed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.datasets.fields import Field
+from repro.datasets.registry import dataset_info, generate_field
+from repro.errors import DataIOError
+from repro.io.raw import read_raw
+
+__all__ = ["SDRBENCH_ENV", "FieldSource", "locate_field_file", "load_field"]
+
+SDRBENCH_ENV = "SDRBENCH_DIR"
+
+#: filename candidates per dataset; SDRBench archives name raw fields
+#: ``<field>.f32`` or ``<field>.dat`` inside per-application directories
+_SUFFIXES = (".f32", ".dat", ".bin")
+
+
+@dataclass(frozen=True)
+class FieldSource:
+    """A loaded field plus provenance."""
+
+    field: Field
+    source: str  # "sdrbench" or "synthetic"
+    path: Path | None
+
+
+def _candidate_dirs(dataset: str, root: str | Path | None) -> list[Path]:
+    dirs = []
+    if root is not None:
+        dirs.append(Path(root))
+        dirs.append(Path(root) / dataset)
+    env = os.environ.get(SDRBENCH_ENV)
+    if env:
+        dirs.append(Path(env))
+        dirs.append(Path(env) / dataset)
+    return dirs
+
+
+def locate_field_file(
+    dataset: str, field_name: str, root: str | Path | None = None
+) -> Path | None:
+    """Find a real SDRBench binary for one field, or ``None``."""
+    for directory in _candidate_dirs(dataset, root):
+        if not directory.is_dir():
+            continue
+        for suffix in _SUFFIXES:
+            candidate = directory / f"{field_name}{suffix}"
+            if candidate.is_file():
+                return candidate
+    return None
+
+
+def load_field(
+    dataset: str,
+    field_name: str,
+    root: str | Path | None = None,
+    scale: float = 1.0,
+    require_real: bool = False,
+) -> FieldSource:
+    """Load one application field, preferring real SDRBench data.
+
+    Real files are only used at the catalogue's native shape
+    (``scale == 1.0``); scaled requests always synthesise.  With
+    ``require_real=True`` a missing/invalid file raises instead of
+    falling back.
+    """
+    info = dataset_info(dataset)
+    if field_name not in info.field_names:
+        raise DataIOError(
+            f"dataset {dataset!r} has no field {field_name!r}; "
+            f"known: {list(info.field_names)}"
+        )
+
+    if scale == 1.0:
+        path = locate_field_file(info.name, field_name, root)
+        if path is not None:
+            data = read_raw(path, info.shape)  # validates the size
+            return FieldSource(
+                field=Field(name=field_name, data=data,
+                            description="SDRBench"),
+                source="sdrbench",
+                path=path,
+            )
+        if require_real:
+            searched = [str(d) for d in _candidate_dirs(info.name, root)]
+            raise DataIOError(
+                f"no SDRBench file for {dataset}/{field_name}; searched "
+                f"{searched} (set ${SDRBENCH_ENV} or pass root=)"
+            )
+    elif require_real:
+        raise DataIOError("require_real is only meaningful at scale=1.0")
+
+    from repro.datasets.registry import scaled_shape
+
+    shape = info.shape if scale == 1.0 else scaled_shape(info.name, scale)
+    return FieldSource(
+        field=generate_field(info.name, field_name, shape=shape),
+        source="synthetic",
+        path=None,
+    )

@@ -1,0 +1,176 @@
+"""Synthetic 3-D field generators.
+
+Each generator produces a seeded, reproducible ``float32`` field of a
+given smoothness/structure class, matched to the application whose
+SDRBench data it stands in for:
+
+* :func:`spectral_field` — Gaussian random field with a power-law
+  spectrum (general-purpose smooth scientific data);
+* :func:`turbulence_field` — Kolmogorov-slope spectral field (Miranda
+  large-eddy turbulence);
+* :func:`layered_field` — vertically stratified atmosphere with
+  spectral perturbations (Hurricane / Scale-LETKF weather states);
+* :func:`gaussian_bumps` — localised coherent structures (cloud/moisture
+  mixing-ratio style fields, mostly-zero with plumes);
+* :func:`particle_density_field` — log-normal point-process density
+  (NYX baryon/dark-matter density, heavy-tailed).
+
+All generators return C-ordered arrays indexed ``(z, y, x)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "spectral_field",
+    "turbulence_field",
+    "layered_field",
+    "gaussian_bumps",
+    "particle_density_field",
+    "vortex_field",
+]
+
+
+def _check_shape(shape: tuple[int, int, int]) -> tuple[int, int, int]:
+    if len(shape) != 3 or min(shape) < 2:
+        raise ShapeError(f"generators need a 3-D shape with extents >= 2, got {shape}")
+    return tuple(int(s) for s in shape)  # type: ignore[return-value]
+
+
+def spectral_field(
+    shape: tuple[int, int, int],
+    slope: float = 3.0,
+    seed: int = 0,
+    mean: float = 0.0,
+    std: float = 1.0,
+) -> np.ndarray:
+    """Gaussian random field with spectrum ``P(k) ∝ |k|^-slope``.
+
+    Larger ``slope`` gives smoother fields (scientific simulation output
+    is typically slope 2.5-4, which is what makes it so compressible).
+    """
+    nz, ny, nx = _check_shape(shape)
+    rng = np.random.default_rng(seed)
+    noise = rng.standard_normal((nz, ny, nx))
+    spectrum = np.fft.rfftn(noise)
+    kz = np.fft.fftfreq(nz)[:, None, None]
+    ky = np.fft.fftfreq(ny)[None, :, None]
+    kx = np.fft.rfftfreq(nx)[None, None, :]
+    k = np.sqrt(kz * kz + ky * ky + kx * kx)
+    k[0, 0, 0] = np.inf  # kill the DC mode; mean is set explicitly
+    spectrum *= k ** (-slope / 2.0)
+    out = np.fft.irfftn(spectrum, s=(nz, ny, nx), axes=(0, 1, 2))
+    sd = out.std()
+    if sd > 0:
+        out = out / sd * std
+    return (out + mean).astype(np.float32)
+
+
+def turbulence_field(
+    shape: tuple[int, int, int], seed: int = 0, mean: float = 1.0, std: float = 0.25
+) -> np.ndarray:
+    """Kolmogorov-like turbulence (-5/3 energy slope → -11/3 3-D power)."""
+    return spectral_field(shape, slope=11.0 / 3.0, seed=seed, mean=mean, std=std)
+
+
+def layered_field(
+    shape: tuple[int, int, int],
+    seed: int = 0,
+    base: float = 300.0,
+    lapse: float = 60.0,
+    perturbation: float = 4.0,
+) -> np.ndarray:
+    """Vertically stratified field: ``base - lapse * z/nz`` plus smooth
+    spectral perturbations (a temperature/pressure-like weather state)."""
+    nz, ny, nx = _check_shape(shape)
+    profile = base - lapse * (np.arange(nz) / max(nz - 1, 1))
+    pert = spectral_field(shape, slope=3.2, seed=seed, std=perturbation)
+    return (profile[:, None, None] + pert).astype(np.float32)
+
+
+def gaussian_bumps(
+    shape: tuple[int, int, int],
+    n_bumps: int = 12,
+    seed: int = 0,
+    amplitude: float = 1.0,
+    background: float = 0.0,
+) -> np.ndarray:
+    """Sparse localised plumes (mixing-ratio-like fields, mostly zero)."""
+    nz, ny, nx = _check_shape(shape)
+    if n_bumps < 1:
+        raise ValueError("n_bumps must be >= 1")
+    rng = np.random.default_rng(seed)
+    z = np.arange(nz)[:, None, None]
+    y = np.arange(ny)[None, :, None]
+    x = np.arange(nx)[None, None, :]
+    out = np.full((nz, ny, nx), background, dtype=np.float64)
+    for _ in range(n_bumps):
+        cz, cy, cx = rng.uniform(0, nz), rng.uniform(0, ny), rng.uniform(0, nx)
+        sz = rng.uniform(0.05, 0.2) * nz
+        sy = rng.uniform(0.05, 0.2) * ny
+        sx = rng.uniform(0.05, 0.2) * nx
+        amp = amplitude * rng.uniform(0.3, 1.0)
+        out += amp * np.exp(
+            -((z - cz) ** 2) / (2 * sz**2)
+            - ((y - cy) ** 2) / (2 * sy**2)
+            - ((x - cx) ** 2) / (2 * sx**2)
+        )
+    return out.astype(np.float32)
+
+
+def particle_density_field(
+    shape: tuple[int, int, int], seed: int = 0, contrast: float = 2.0
+) -> np.ndarray:
+    """Log-normal density field (cosmological matter density stand-in).
+
+    Exponentiating a smooth Gaussian random field gives the heavy-tailed,
+    strictly positive distribution characteristic of the NYX density
+    fields (a few dense halos, vast near-empty voids).
+    """
+    base = spectral_field(shape, slope=2.8, seed=seed, std=contrast)
+    return np.exp(base).astype(np.float32)
+
+
+def vortex_field(
+    shape: tuple[int, int, int],
+    component: str = "u",
+    seed: int = 0,
+    max_wind: float = 60.0,
+    core_radius: float = 0.12,
+) -> np.ndarray:
+    """Rankine-vortex wind component (hurricane U/V velocity stand-in).
+
+    Tangential speed grows linearly inside the core radius and decays as
+    1/r outside (the classic idealised tropical-cyclone profile), riding
+    on a smooth environmental flow.  ``component`` selects the "u"
+    (x-direction) or "v" (y-direction) wind.
+    """
+    nz, ny, nx = _check_shape(shape)
+    if component not in ("u", "v"):
+        raise ValueError(f"component must be 'u' or 'v', got {component!r}")
+    rng = np.random.default_rng(seed)
+    # storm centre drifts slightly with height (vertical tilt)
+    cy0, cx0 = rng.uniform(0.35, 0.65, size=2)
+    tilt = rng.uniform(-0.08, 0.08, size=2)
+    z = np.arange(nz)[:, None, None] / max(nz - 1, 1)
+    y = np.arange(ny)[None, :, None] / max(ny - 1, 1)
+    x = np.arange(nx)[None, None, :] / max(nx - 1, 1)
+    dy = y - (cy0 + tilt[0] * z)
+    dx = x - (cx0 + tilt[1] * z)
+    r = np.sqrt(dy * dy + dx * dx)
+    # Rankine profile, weakening with altitude
+    speed = np.where(
+        r <= core_radius,
+        max_wind * r / core_radius,
+        max_wind * core_radius / np.maximum(r, 1e-9),
+    ) * (1.0 - 0.5 * z)
+    # unit tangential direction (counter-clockwise)
+    rr = np.maximum(r, 1e-9)
+    tangential_u = -dy / rr
+    tangential_v = dx / rr
+    background = spectral_field(shape, slope=3.2, seed=seed + 7, std=3.0)
+    wind = speed * (tangential_u if component == "u" else tangential_v)
+    return (wind + background).astype(np.float32)

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the cuZ-Checker reproduction.
+
+All library errors derive from :class:`ReproError` so downstream users can
+catch a single base class.  Sub-hierarchies mirror the major subsystems:
+configuration, I/O, compressors, the GPU execution model, and the checker
+core.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "DataIOError",
+    "ShapeError",
+    "CompressionError",
+    "ErrorBoundViolation",
+    "GpuSimError",
+    "LaunchConfigError",
+    "ResourceExhausted",
+    "CheckerError",
+    "UnknownMetricError",
+    "MetricDependencyError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """Raised for malformed or inconsistent configuration input."""
+
+
+class DataIOError(ReproError):
+    """Raised when a dataset file cannot be read or written."""
+
+
+class ShapeError(ReproError):
+    """Raised when an array has an unsupported shape or dimensionality."""
+
+
+class CompressionError(ReproError):
+    """Raised when a compressor cannot encode or decode a payload."""
+
+
+class ErrorBoundViolation(CompressionError):
+    """Raised when a reconstructed value violates the requested error bound.
+
+    Error-bounded compressors in this library guarantee that
+    ``|orig - decompressed| <= bound`` pointwise; this exception signals a
+    broken invariant (a bug), never a user error.
+    """
+
+
+class GpuSimError(ReproError):
+    """Base class for errors in the GPU execution-model simulator."""
+
+
+class LaunchConfigError(GpuSimError):
+    """Raised for invalid kernel launch geometry (block/grid dims)."""
+
+
+class ResourceExhausted(GpuSimError):
+    """Raised when a kernel requests more registers/shared memory than the
+    simulated device provides."""
+
+
+class CheckerError(ReproError):
+    """Raised for errors in the assessment coordinator."""
+
+
+class UnknownMetricError(CheckerError):
+    """Raised when a requested metric name is not registered."""
+
+
+class MetricDependencyError(CheckerError):
+    """Raised when a metric's prerequisite (e.g. value range for NRMSE)
+    is unavailable."""

@@ -1,0 +1,50 @@
+"""GPU execution-model simulator (the CUDA substrate substitution).
+
+The paper runs hand-written CUDA kernels on an NVIDIA V100.  This package
+replaces that hardware with two cooperating layers:
+
+* a **functional layer** (:mod:`repro.gpusim.warp`,
+  :mod:`repro.gpusim.memory`) that executes the paper's kernel
+  decompositions — slice-per-block reductions, cube-blocked stencils,
+  FIFO-buffered sliding windows — producing numerically correct metric
+  values, vectorised per warp/block with NumPy;
+
+* an **analytical layer** (:mod:`repro.gpusim.occupancy`,
+  :mod:`repro.gpusim.costmodel`, :mod:`repro.gpusim.cpu`) that converts
+  exact event counts (global/shared transactions, shuffles, launches,
+  waves) into execution-time estimates using a roofline model calibrated
+  against the V100 numbers reported in the paper.
+
+The split lets tests verify correctness on laptop-sized arrays while the
+benchmark harness evaluates the paper's true dataset shapes analytically.
+"""
+
+from repro.gpusim.device import DeviceSpec, CpuSpec, V100, XEON_6148
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.occupancy import Occupancy, occupancy_for
+from repro.gpusim.costmodel import CostBreakdown, kernel_time, kernels_time
+from repro.gpusim.cpu import cpu_pass_time, CpuWorkload
+from repro.gpusim.trace import trace_events, write_chrome_trace
+from repro.gpusim.roofline import RooflinePoint, roofline_point, roofline_report
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "V100",
+    "XEON_6148",
+    "KernelStats",
+    "LaunchConfig",
+    "Occupancy",
+    "occupancy_for",
+    "CostBreakdown",
+    "kernel_time",
+    "kernels_time",
+    "cpu_pass_time",
+    "CpuWorkload",
+    "trace_events",
+    "write_chrome_trace",
+    "RooflinePoint",
+    "roofline_point",
+    "roofline_report",
+]

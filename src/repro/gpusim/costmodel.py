@@ -1,0 +1,161 @@
+"""Roofline-style timing model for simulated kernels.
+
+``time = launch + sync + max(memory, compute, shared-memory)`` — the
+standard bound for throughput-oriented kernels — with four efficiency
+corrections that reproduce the dataset-shape effects the paper observes:
+
+1. **Latency hiding** (`_saturating`): achievable memory bandwidth and
+   issue rate grow with resident warps per SM and saturate; a kernel whose
+   register pressure caps concurrency (pattern 1: 14k regs/TB ⇒ 4
+   blocks/SM) pays here.
+2. **Grid utilisation**: a grid smaller than ``saturation_sms`` cannot
+   saturate HBM no matter its occupancy (pattern 2 on short-z datasets:
+   Hurricane/Scale-LETKF launch few blocks ⇒ most SMs idle).
+3. **Wave quantisation**: with multiple scheduling waves, a ragged final
+   wave leaves SMs idle for up to one wave.
+4. **Sequential-chain efficiency**: kernels with a long per-thread
+   serial dependency chain (pattern 3's z-axis FIFO loop) hide less
+   latency; plans advertise the chain length via
+   ``stats.meta['chain_length']`` (the paper's "Iters/thread determines
+   the pattern-3 speedup" observation).
+
+Calibration constants are module-level and documented; a single set
+reproduces every range in Figs. 10-12 (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.occupancy import Occupancy, occupancy_for
+
+__all__ = ["CostBreakdown", "kernel_time", "kernels_time"]
+
+#: resident warps per SM at which memory bandwidth reaches half its peak
+MEM_HALF_SAT_WARPS = 6.0
+#: resident warps per SM at which the issue rate reaches half its peak
+OPS_HALF_SAT_WARPS = 2.0
+#: effective cost of one atomic op, expressed in equivalent regular ops
+ATOMIC_OP_WEIGHT = 12.0
+#: effective cost of one shuffle, in equivalent regular ops
+SHUFFLE_OP_WEIGHT = 1.0
+#: fraction of peak HBM bandwidth achievable by a perfectly coalesced,
+#: fully occupied kernel (DRAM efficiency)
+DRAM_EFFICIENCY = 0.82
+#: per-thread serial iteration count at which latency-hiding efficiency
+#: halves (see correction 4 above)
+CHAIN_HALF_SAT = 40000.0
+
+
+def _saturating(x: float, half: float) -> float:
+    """Saturating curve: 0 at 0, 0.5 at ``half``, → 1 as x → ∞."""
+    if x <= 0:
+        return 0.0
+    return x / (x + half)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-component time estimate for one kernel (seconds)."""
+
+    launch_time: float
+    sync_time: float
+    mem_time: float
+    compute_time: float
+    smem_time: float
+    wave_penalty: float
+    occupancy: Occupancy
+
+    @property
+    def pipeline_time(self) -> float:
+        """The roofline bound: slowest of the three overlapping pipes,
+        inflated by the ragged-final-wave penalty."""
+        return max(self.mem_time, self.compute_time, self.smem_time) * self.wave_penalty
+
+    @property
+    def total(self) -> float:
+        return self.launch_time + self.sync_time + self.pipeline_time
+
+    @property
+    def bound(self) -> str:
+        """Which pipe limits this kernel: 'memory', 'compute' or 'smem'."""
+        best = max(self.mem_time, self.compute_time, self.smem_time)
+        if best == self.mem_time:
+            return "memory"
+        if best == self.compute_time:
+            return "compute"
+        return "smem"
+
+
+def _wave_penalty(occ: Occupancy) -> float:
+    """Idle-SM inflation from a ragged final scheduling wave.
+
+    With a single wave there is no quantisation loss (all blocks run
+    concurrently); with W waves the final partially-filled wave can idle
+    SMs for up to 1/W of the runtime.
+    """
+    if occ.waves <= 1:
+        return 1.0
+    # wave_balance is the average slot utilisation across all waves; the
+    # shortfall concentrated in the final wave costs at most 1/waves.
+    loss = (1.0 - occ.wave_balance) / occ.waves
+    return 1.0 + loss
+
+
+def kernel_time(stats: KernelStats, device: DeviceSpec) -> CostBreakdown:
+    """Estimate execution time of the kernel described by ``stats``."""
+    stats.validate()
+    occ = occupancy_for(device, stats)
+
+    # -- fixed overheads --------------------------------------------------
+    launch_time = stats.launches * device.kernel_launch_latency
+    sync_time = stats.grid_syncs * device.grid_sync_latency
+
+    # -- shared efficiency terms ------------------------------------------
+    chain = float(stats.meta.get("chain_length", 0.0))
+    chain_eff = 1.0 if chain <= 0 else 1.0 / (1.0 + chain / CHAIN_HALF_SAT)
+    wave_penalty = _wave_penalty(occ)
+
+    # -- memory pipe -------------------------------------------------------
+    sm_util = min(1.0, occ.active_sms / device.saturation_sms)
+    mem_eff = (
+        DRAM_EFFICIENCY
+        * _saturating(occ.active_warps_per_sm, MEM_HALF_SAT_WARPS)
+        * sm_util
+    )
+    bandwidth = device.peak_bandwidth * max(mem_eff, 1e-6)
+    mem_time = stats.global_bytes / bandwidth
+
+    # -- compute pipe -------------------------------------------------------
+    total_ops = (
+        stats.flops
+        + SHUFFLE_OP_WEIGHT * stats.shuffle_ops
+        + ATOMIC_OP_WEIGHT * stats.atomic_ops
+    )
+    sm_frac = occ.active_sms / device.sm_count
+    ops_eff = (
+        _saturating(occ.active_warps_per_sm, OPS_HALF_SAT_WARPS) * sm_frac * chain_eff
+    )
+    op_rate = device.sustained_op_rate * max(ops_eff, 1e-6)
+    compute_time = total_ops / op_rate
+
+    # -- shared-memory pipe -------------------------------------------------
+    smem_bw = device.smem_bandwidth_per_sm * max(occ.active_sms, 1)
+    smem_time = stats.shared_bytes / smem_bw if stats.shared_bytes else 0.0
+
+    return CostBreakdown(
+        launch_time=launch_time,
+        sync_time=sync_time,
+        mem_time=mem_time,
+        compute_time=compute_time,
+        smem_time=smem_time,
+        wave_penalty=wave_penalty,
+        occupancy=occ,
+    )
+
+
+def kernels_time(stats_list: list[KernelStats], device: DeviceSpec) -> float:
+    """Total time of a sequence of dependent kernels (no overlap)."""
+    return sum(kernel_time(s, device).total for s in stats_list)

@@ -1,0 +1,118 @@
+"""Event counters produced by kernel plans and consumed by the cost model.
+
+A :class:`KernelStats` instance records exactly the quantities the paper's
+profiling discussion depends on: global/shared memory traffic, shuffle and
+arithmetic operation counts, launch/sync counts, and the launch geometry
+(registers per thread, shared memory per block, iterations per thread —
+the columns of the paper's Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Exact event counts for one (possibly fused) kernel invocation."""
+
+    name: str = "kernel"
+    #: number of kernel launches this plan performs
+    launches: int = 1
+    #: cooperative-grid synchronisations inside the kernel
+    grid_syncs: int = 0
+    #: bytes read from global memory
+    global_read_bytes: int = 0
+    #: bytes written to global memory
+    global_write_bytes: int = 0
+    #: bytes moved through shared memory (reads + writes)
+    shared_bytes: int = 0
+    #: warp shuffle operations executed (device-wide)
+    shuffle_ops: int = 0
+    #: useful arithmetic/comparison operations (device-wide)
+    flops: int = 0
+    #: atomic operations (histograms); modelled with a serialisation penalty
+    atomic_ops: int = 0
+    # --- launch geometry (Table II inputs) -------------------------------
+    grid_blocks: int = 1
+    threads_per_block: int = 1
+    regs_per_thread: int = 32
+    smem_per_block: int = 0
+    iters_per_thread: int = 1
+    #: free-form notes merged in by kernel plans (e.g. window geometry)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def regs_per_block(self) -> int:
+        """Registers reserved by one thread block (Table II "Regs/TB")."""
+        return self.regs_per_thread * self.threads_per_block
+
+    @property
+    def global_bytes(self) -> int:
+        """Total global-memory traffic in bytes."""
+        return self.global_read_bytes + self.global_write_bytes
+
+    def scaled(self, factor: float) -> "KernelStats":
+        """Return a copy with all volumetric counters scaled by ``factor``.
+
+        Geometry fields (block size, registers) are left untouched; used by
+        sweeps that extrapolate traffic to larger inputs.
+        """
+        return replace(
+            self,
+            global_read_bytes=int(self.global_read_bytes * factor),
+            global_write_bytes=int(self.global_write_bytes * factor),
+            shared_bytes=int(self.shared_bytes * factor),
+            shuffle_ops=int(self.shuffle_ops * factor),
+            flops=int(self.flops * factor),
+            atomic_ops=int(self.atomic_ops * factor),
+        )
+
+    def merged(self, other: "KernelStats", name: str | None = None) -> "KernelStats":
+        """Combine two *sequential* kernels into an aggregate record.
+
+        Traffic and launch counts add; geometry keeps the maximum resource
+        demand, which is what occupancy analysis of the combined execution
+        needs to be conservative about.
+        """
+        return KernelStats(
+            name=name or f"{self.name}+{other.name}",
+            launches=self.launches + other.launches,
+            grid_syncs=self.grid_syncs + other.grid_syncs,
+            global_read_bytes=self.global_read_bytes + other.global_read_bytes,
+            global_write_bytes=self.global_write_bytes + other.global_write_bytes,
+            shared_bytes=self.shared_bytes + other.shared_bytes,
+            shuffle_ops=self.shuffle_ops + other.shuffle_ops,
+            flops=self.flops + other.flops,
+            atomic_ops=self.atomic_ops + other.atomic_ops,
+            grid_blocks=max(self.grid_blocks, other.grid_blocks),
+            threads_per_block=max(self.threads_per_block, other.threads_per_block),
+            regs_per_thread=max(self.regs_per_thread, other.regs_per_thread),
+            smem_per_block=max(self.smem_per_block, other.smem_per_block),
+            iters_per_thread=self.iters_per_thread + other.iters_per_thread,
+            meta={**self.meta, **other.meta},
+        )
+
+    def validate(self) -> None:
+        """Sanity-check counter invariants; raises ``ValueError`` on bugs."""
+        for attr in (
+            "launches",
+            "grid_syncs",
+            "global_read_bytes",
+            "global_write_bytes",
+            "shared_bytes",
+            "shuffle_ops",
+            "flops",
+            "atomic_ops",
+            "grid_blocks",
+            "threads_per_block",
+            "regs_per_thread",
+            "iters_per_thread",
+        ):
+            value = getattr(self, attr)
+            if value < 0:
+                raise ValueError(f"KernelStats.{attr} must be >= 0, got {value}")
+        if self.launches == 0 and self.global_bytes > 0:
+            raise ValueError("traffic recorded without any kernel launch")

@@ -1,0 +1,99 @@
+"""Execution-time model of the OpenMP CPU baseline (ompZC).
+
+The original Z-checker implements each metric as an independent pass of
+largely scalar, branchy C code over the 3-D arrays; ompZC parallelises
+each pass with OpenMP across the Xeon's 20 cores.  Its cost is therefore
+
+    time = Σ_passes  fork + max(compute, memory)
+
+where compute is ``n * cycles_per_element(metric) / aggregate_rate`` and
+memory is the streamed bytes over the socket bandwidth.  Per-metric cycle
+costs live in :data:`CPU_CYCLES_PER_ELEM`, calibrated once so that ompZC
+reproduces the absolute throughput ranges of Fig. 11 (0.44-0.51 GB/s for
+pattern 1, 24.8-26.6 MB/s for SSIM) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.device import CpuSpec, XEON_6148
+
+__all__ = ["CpuWorkload", "cpu_pass_time", "cpu_workload_time", "CPU_CYCLES_PER_ELEM"]
+
+#: Calibrated per-element cycle costs of Z-checker's scalar metric loops.
+#: Keys match metric names in :mod:`repro.metrics.base`.  Values include
+#: loop/branch overhead of the original implementation, not just raw FLOPs:
+#: e.g. the error-PDF pass recomputes bin indices and updates a shared
+#: histogram under contention; SSIM recomputes every overlapping window
+#: from scratch (window³ elements × ~5 accumulations each).
+CPU_CYCLES_PER_ELEM: dict[str, float] = {
+    # ---- pattern 1: one full pass each -------------------------------
+    "min_err": 36.0,
+    "max_err": 36.0,
+    "avg_err": 34.0,
+    "err_pdf": 90.0,
+    "min_pwr_err": 50.0,
+    "max_pwr_err": 50.0,
+    "avg_pwr_err": 48.0,
+    "pwr_err_pdf": 110.0,
+    "mse": 40.0,
+    "rmse": 40.0,
+    "nrmse": 52.0,
+    "snr": 45.0,
+    "psnr": 45.0,
+    "value_range": 30.0,
+    # ---- pattern 2 ----------------------------------------------------
+    "derivative_order1": 90.0,
+    "derivative_order2": 95.0,
+    "divergence": 60.0,
+    "laplacian": 62.0,
+    # per spatial lag; the harness multiplies by the lag count
+    "autocorrelation": 48.0,
+    # ---- pattern 3 ----------------------------------------------------
+    # per element of each window (the scalar code recomputes every window
+    # from scratch); the harness multiplies by window_volume / step³
+    "ssim": 24.6,
+    # ---- cheap / auxiliary metrics ------------------------------------
+    "pearson": 38.0,
+    "entropy": 95.0,
+    "mean": 16.0,
+    "std": 22.0,
+}
+
+
+@dataclass
+class CpuWorkload:
+    """One OpenMP pass over the data: ``n`` elements at ``cycles`` each."""
+
+    name: str
+    n_elements: int
+    cycles_per_element: float
+    bytes_streamed: int = 0
+    passes: int = 1
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.passes * self.n_elements * self.cycles_per_element
+
+    @property
+    def total_bytes(self) -> int:
+        return self.passes * self.bytes_streamed
+
+
+def cpu_pass_time(workload: CpuWorkload, spec: CpuSpec = XEON_6148) -> float:
+    """Time of one metric's OpenMP pass (seconds)."""
+    compute = workload.total_cycles / (
+        spec.cores * spec.frequency_hz * spec.ops_per_cycle * spec.parallel_efficiency
+    )
+    memory = workload.total_bytes / spec.mem_bandwidth
+    return workload.passes * spec.omp_fork_latency + max(compute, memory)
+
+
+def cpu_workload_time(
+    workloads: list[CpuWorkload], spec: CpuSpec = XEON_6148
+) -> float:
+    """Total time of sequential metric passes (Z-checker runs metrics
+    one after another)."""
+    return sum(cpu_pass_time(w, spec) for w in workloads)

@@ -1,0 +1,156 @@
+"""Hardware specifications for the simulated devices.
+
+:data:`V100` mirrors the evaluation platform of the paper (NVIDIA Tesla
+V100, Volta, 80 SMs, 32 GB HBM2); :data:`XEON_6148` mirrors the host CPU
+(Intel Xeon Gold 6148, 20 cores @ 2.40 GHz) used for the ompZC baseline.
+
+Two calibrated fields deserve a note:
+
+``sustained_op_rate``
+    Device-wide useful-operation throughput (op/s) achieved by real
+    reduction/stencil kernels at full occupancy.  Peak FP32 on a V100 is
+    14 TFLOP/s, but assessment kernels are dominated by comparisons,
+    shuffles, and address arithmetic; the 2.0 Top/s default reproduces the
+    absolute throughputs the paper measured (Fig. 11).
+
+``saturation_sms``
+    Number of SMs whose combined demand saturates HBM2.  Grids smaller
+    than this leave memory bandwidth on the table — the effect behind the
+    paper's pattern-2 observation that short-z datasets (Hurricane,
+    Scale-LETKF) underutilise the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "CpuSpec", "V100", "XEON_6148", "A100"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated CUDA device."""
+
+    name: str
+    sm_count: int
+    cuda_cores_per_sm: int
+    warp_size: int
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    registers_per_sm: int
+    max_registers_per_thread: int
+    shared_mem_per_sm: int
+    shared_mem_per_block: int
+    global_mem_bytes: int
+    peak_bandwidth: float
+    peak_flops_sp: float
+    sustained_op_rate: float
+    kernel_launch_latency: float
+    grid_sync_latency: float
+    smem_bytes_per_cycle_per_sm: float
+    core_clock_hz: float
+    saturation_sms: int
+
+    @property
+    def cuda_cores(self) -> int:
+        """Total CUDA cores on the device."""
+        return self.sm_count * self.cuda_cores_per_sm
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        """Maximum resident warps per SM."""
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def smem_bandwidth_per_sm(self) -> float:
+        """Shared-memory bandwidth of one SM in bytes/s."""
+        return self.smem_bytes_per_cycle_per_sm * self.core_clock_hz
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of the host CPU used by the ompZC baseline."""
+
+    name: str
+    cores: int
+    frequency_hz: float
+    ops_per_cycle: float
+    mem_bandwidth: float
+    parallel_efficiency: float
+    omp_fork_latency: float
+
+    @property
+    def op_rate(self) -> float:
+        """Aggregate useful-operation rate (op/s) across all cores,
+        including the multithreading efficiency loss."""
+        return (
+            self.cores
+            * self.frequency_hz
+            * self.ops_per_cycle
+            * self.parallel_efficiency
+        )
+
+
+#: The paper's evaluation GPU: NVIDIA Tesla V100-SXM2-32GB (Volta, CC 7.0).
+V100 = DeviceSpec(
+    name="Tesla V100",
+    sm_count=80,
+    cuda_cores_per_sm=64,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=96 * 1024,
+    shared_mem_per_block=48 * 1024,
+    global_mem_bytes=32 * 1024**3,
+    peak_bandwidth=900e9,
+    peak_flops_sp=14e12,
+    sustained_op_rate=2.0e12,
+    kernel_launch_latency=4.5e-6,
+    grid_sync_latency=1.8e-6,
+    smem_bytes_per_cycle_per_sm=128.0,
+    core_clock_hz=1.53e9,
+    saturation_sms=24,
+)
+
+#: A100 spec, provided for "what-if" sweeps beyond the paper.
+A100 = DeviceSpec(
+    name="A100-SXM4-40GB",
+    sm_count=108,
+    cuda_cores_per_sm=64,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=164 * 1024,
+    shared_mem_per_block=48 * 1024,
+    global_mem_bytes=40 * 1024**3,
+    peak_bandwidth=1555e9,
+    peak_flops_sp=19.5e12,
+    sustained_op_rate=3.1e12,
+    kernel_launch_latency=4.0e-6,
+    grid_sync_latency=1.6e-6,
+    smem_bytes_per_cycle_per_sm=128.0,
+    core_clock_hz=1.41e9,
+    saturation_sms=30,
+)
+
+#: The paper's host CPU: Intel Xeon Gold 6148 (20 cores @ 2.40 GHz).
+#: ``ops_per_cycle`` reflects the largely scalar, branchy Z-checker code
+#: (histogram updates, per-element min/max comparisons) rather than peak
+#: AVX-512 throughput; it is calibrated so that ompZC lands in the
+#: throughput ranges of Fig. 11 (e.g. 0.44-0.51 GB/s for pattern 1).
+XEON_6148 = CpuSpec(
+    name="Xeon Gold 6148",
+    cores=20,
+    frequency_hz=2.40e9,
+    ops_per_cycle=1.0,
+    mem_bandwidth=128e9,
+    parallel_efficiency=0.82,
+    omp_fork_latency=12e-6,
+)

@@ -1,0 +1,76 @@
+"""Kernel launch geometry and validation.
+
+:class:`LaunchConfig` mirrors a CUDA ``<<<grid, block>>>`` configuration
+(1-D grid of 2-D blocks, which is all the paper's kernels use) and checks
+it against the target :class:`~repro.gpusim.device.DeviceSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchConfigError, ResourceExhausted
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["LaunchConfig"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A CUDA-style launch configuration for the simulated device."""
+
+    grid_x: int
+    block_x: int
+    block_y: int = 1
+    smem_per_block: int = 0
+    regs_per_thread: int = 32
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block_x * self.block_y
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_x * self.threads_per_block
+
+    @property
+    def warps_per_block(self) -> int:
+        # Blocks are laid out x-fastest; CUDA rounds partial warps up.
+        return -(-self.threads_per_block // 32)
+
+    def validate(self, device: DeviceSpec) -> None:
+        """Raise if this launch could not execute on ``device``."""
+        if self.grid_x <= 0:
+            raise LaunchConfigError(f"grid_x must be positive, got {self.grid_x}")
+        if self.block_x <= 0 or self.block_y <= 0:
+            raise LaunchConfigError(
+                f"block dims must be positive, got ({self.block_x}, {self.block_y})"
+            )
+        if self.threads_per_block > device.max_threads_per_block:
+            raise LaunchConfigError(
+                f"{self.threads_per_block} threads/block exceeds device limit "
+                f"{device.max_threads_per_block}"
+            )
+        if self.smem_per_block > device.shared_mem_per_block:
+            raise ResourceExhausted(
+                f"kernel requests {self.smem_per_block} B shared memory/block; "
+                f"device allows {device.shared_mem_per_block} B"
+            )
+        if self.regs_per_thread > device.max_registers_per_thread:
+            raise ResourceExhausted(
+                f"kernel requests {self.regs_per_thread} registers/thread; "
+                f"device allows {device.max_registers_per_thread}"
+            )
+        if self.regs_per_thread * self.threads_per_block > device.registers_per_sm:
+            raise ResourceExhausted(
+                "a single block requires more registers than one SM provides"
+            )
+
+    def cooperative_max_blocks(self, device: DeviceSpec, blocks_per_sm: int) -> int:
+        """Maximum grid size for a cooperative (grid-sync) launch.
+
+        Cooperative kernels require every block to be resident
+        simultaneously, so the grid may not exceed
+        ``sm_count * blocks_per_sm``.
+        """
+        return device.sm_count * max(1, blocks_per_sm)

@@ -1,0 +1,109 @@
+"""Memory-traffic accounting and a functional shared-memory FIFO.
+
+:class:`TrafficRecorder` accumulates the byte counts the cost model needs;
+kernel implementations call it at every conceptual global/shared access so
+that functional runs and analytic plans agree exactly (asserted in tests).
+
+:class:`SmemFifo` is the functional model of the paper's pattern-3 shared
+memory FIFO buffer (Section III-C3): a ring of per-slice partial window
+reductions indexed by ``k % depth``, letting each z-slice be read from
+global memory exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrafficRecorder", "SmemFifo"]
+
+FLOAT_BYTES = 4
+
+
+@dataclass
+class TrafficRecorder:
+    """Byte/op counters shared by functional kernels and analytic plans."""
+
+    global_read_bytes: int = 0
+    global_write_bytes: int = 0
+    shared_bytes: int = 0
+    shuffle_ops: int = 0
+    flops: int = 0
+    atomic_ops: int = 0
+    events: list = field(default_factory=list)
+    trace: bool = False
+
+    def read_global(self, count: int, itemsize: int = FLOAT_BYTES, what: str = "") -> None:
+        self.global_read_bytes += count * itemsize
+        if self.trace:
+            self.events.append(("gread", what, count * itemsize))
+
+    def write_global(self, count: int, itemsize: int = FLOAT_BYTES, what: str = "") -> None:
+        self.global_write_bytes += count * itemsize
+        if self.trace:
+            self.events.append(("gwrite", what, count * itemsize))
+
+    def touch_shared(self, count: int, itemsize: int = FLOAT_BYTES, what: str = "") -> None:
+        self.shared_bytes += count * itemsize
+        if self.trace:
+            self.events.append(("smem", what, count * itemsize))
+
+    def shuffle(self, count: int) -> None:
+        self.shuffle_ops += count
+
+    def compute(self, count: int) -> None:
+        self.flops += count
+
+    def atomic(self, count: int) -> None:
+        self.atomic_ops += count
+
+    @property
+    def global_bytes(self) -> int:
+        return self.global_read_bytes + self.global_write_bytes
+
+
+class SmemFifo:
+    """Ring buffer of per-slice window partials, keyed by ``k % depth``.
+
+    Parameters
+    ----------
+    depth:
+        Window side length along z (``wsize``); the number of slices whose
+        partials must be live simultaneously.
+    slot_shape:
+        Shape of one slice's partial-reduction record, e.g.
+        ``(n_accumulators, yNum, xNum)``.
+    """
+
+    def __init__(self, depth: int, slot_shape: tuple[int, ...]):
+        if depth < 1:
+            raise ValueError("FIFO depth must be >= 1")
+        self.depth = depth
+        self.slot_shape = tuple(slot_shape)
+        self._buf = np.zeros((depth, *self.slot_shape), dtype=np.float64)
+        self._filled = 0
+
+    def push(self, k: int, slot: np.ndarray) -> None:
+        """Store slice ``k``'s partials, overwriting slice ``k - depth``."""
+        if slot.shape != self.slot_shape:
+            raise ValueError(
+                f"slot shape {slot.shape} does not match FIFO {self.slot_shape}"
+            )
+        self._buf[k % self.depth] = slot
+        self._filled = min(self._filled + 1, self.depth)
+
+    @property
+    def full(self) -> bool:
+        """True once ``depth`` slices have been pushed."""
+        return self._filled >= self.depth
+
+    def reduce(self) -> np.ndarray:
+        """Sum the live slices — the Algorithm 3 lines 17-19 reduction."""
+        if not self.full:
+            raise RuntimeError("FIFO reduced before it was filled")
+        return self._buf.sum(axis=0)
+
+    def window_view(self) -> np.ndarray:
+        """The raw ring contents (testing/diagnostics)."""
+        return self._buf.copy()

@@ -1,0 +1,108 @@
+"""CUDA occupancy calculator for the simulated device.
+
+Computes how many thread blocks can be resident on one SM given a kernel's
+register and shared-memory demand — the quantity behind the paper's
+Table II discussion ("the register usage of a TB is big, which limits the
+concurrent TBs in a SM to at most four (64k/14k)").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ResourceExhausted
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.counters import KernelStats
+
+__all__ = ["Occupancy", "occupancy_for", "blocks_per_sm_limit"]
+
+
+def blocks_per_sm_limit(
+    device: DeviceSpec,
+    threads_per_block: int,
+    regs_per_thread: int,
+    smem_per_block: int,
+) -> int:
+    """Concurrent thread blocks one SM can host for the given demand.
+
+    The limit is the minimum over the four hardware constraints: thread
+    slots, block slots, register file, and shared memory.  Raises
+    :class:`ResourceExhausted` if even a single block does not fit.
+    """
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    limits = [
+        device.max_threads_per_sm // threads_per_block,
+        device.max_blocks_per_sm,
+    ]
+    regs_per_block = regs_per_thread * threads_per_block
+    if regs_per_block > 0:
+        limits.append(device.registers_per_sm // regs_per_block)
+    if smem_per_block > 0:
+        limits.append(device.shared_mem_per_sm // smem_per_block)
+    concurrent = min(limits)
+    if concurrent < 1:
+        raise ResourceExhausted(
+            f"kernel demand (threads={threads_per_block}, "
+            f"regs/TB={regs_per_block}, smem/TB={smem_per_block}) exceeds "
+            f"one SM of {device.name}"
+        )
+    return concurrent
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy analysis of one kernel launch on one device."""
+
+    #: concurrent thread blocks per SM (Table II "TB(cncr.)/SM")
+    concurrent_blocks_per_sm: int
+    #: thread blocks assigned to each SM over the whole grid
+    blocks_per_sm: int
+    #: average resident warps per SM while the kernel runs (fractional:
+    #: a 100-block grid on 80 SMs averages 1.25 resident blocks/SM)
+    active_warps_per_sm: float
+    #: fraction of the SM's warp slots occupied (classic CUDA occupancy)
+    occupancy: float
+    #: number of SMs that receive at least one block
+    active_sms: int
+    #: full rounds of block scheduling needed to drain the grid
+    waves: int
+    #: average fraction of available block slots busy across all waves
+    wave_balance: float
+
+    @property
+    def table2_row(self) -> tuple[int, int]:
+        """(assigned blocks/SM, concurrent blocks/SM) as printed in the
+        paper's Table II column "TB(cncr.)/SM"."""
+        return (self.blocks_per_sm, self.concurrent_blocks_per_sm)
+
+
+def occupancy_for(device: DeviceSpec, stats: KernelStats) -> Occupancy:
+    """Full occupancy analysis for a kernel described by ``stats``."""
+    concurrent = blocks_per_sm_limit(
+        device,
+        stats.threads_per_block,
+        stats.regs_per_thread,
+        stats.smem_per_block,
+    )
+    grid = max(1, stats.grid_blocks)
+    blocks_per_sm = math.ceil(grid / device.sm_count)
+    warps_per_block = math.ceil(stats.threads_per_block / device.warp_size)
+    # Steady-state residency: an undersubscribed grid averages
+    # grid/sm_count blocks per active SM (never below one block — an SM
+    # with work holds at least its own block).
+    resident_blocks = min(float(concurrent), max(1.0, grid / device.sm_count))
+    active_warps = resident_blocks * warps_per_block
+    slots = device.sm_count * concurrent
+    waves = math.ceil(grid / slots)
+    wave_balance = grid / (waves * slots)
+    return Occupancy(
+        concurrent_blocks_per_sm=concurrent,
+        blocks_per_sm=blocks_per_sm,
+        active_warps_per_sm=active_warps,
+        occupancy=min(1.0, float(active_warps) / device.max_warps_per_sm),
+        active_sms=min(device.sm_count, grid),
+        waves=waves,
+        wave_balance=wave_balance,
+    )

@@ -1,0 +1,80 @@
+"""Roofline analysis of simulated kernel plans.
+
+Classic Williams-style roofline: arithmetic intensity (useful ops per
+byte of DRAM traffic) against the device's memory and compute roofs,
+plus where the modelled execution actually lands.  Explains at a glance
+why pattern 1 rides the memory roof while pattern 3 sits deep in the
+compute-bound region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.costmodel import (
+    ATOMIC_OP_WEIGHT,
+    SHUFFLE_OP_WEIGHT,
+    kernel_time,
+)
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.device import DeviceSpec, V100
+
+__all__ = ["RooflinePoint", "roofline_point", "roofline_report"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position in the roofline plane."""
+
+    name: str
+    #: useful device ops per byte of global traffic
+    arithmetic_intensity: float
+    #: ops/s the roofline allows at this intensity
+    attainable_ops: float
+    #: ops/s the calibrated model says the kernel achieves
+    achieved_ops: float
+    #: which roof caps it: "memory" below the ridge, "compute" above
+    limiting_roof: str
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved performance as a fraction of the attainable roof."""
+        if self.attainable_ops <= 0:
+            return 0.0
+        return self.achieved_ops / self.attainable_ops
+
+
+def _total_ops(stats: KernelStats) -> float:
+    return (
+        stats.flops
+        + SHUFFLE_OP_WEIGHT * stats.shuffle_ops
+        + ATOMIC_OP_WEIGHT * stats.atomic_ops
+    )
+
+
+def roofline_point(
+    stats: KernelStats, device: DeviceSpec = V100
+) -> RooflinePoint:
+    """Place one kernel plan on the device's roofline."""
+    stats.validate()
+    ops = _total_ops(stats)
+    traffic = max(stats.global_bytes, 1)
+    intensity = ops / traffic
+    ridge = device.sustained_op_rate / device.peak_bandwidth
+    attainable = min(device.sustained_op_rate, intensity * device.peak_bandwidth)
+    total = kernel_time(stats, device).total
+    achieved = ops / total if total > 0 else 0.0
+    return RooflinePoint(
+        name=stats.name,
+        arithmetic_intensity=intensity,
+        attainable_ops=attainable,
+        achieved_ops=achieved,
+        limiting_roof="memory" if intensity < ridge else "compute",
+    )
+
+
+def roofline_report(
+    plans: list[KernelStats], device: DeviceSpec = V100
+) -> list[RooflinePoint]:
+    """Roofline points for a list of kernel plans."""
+    return [roofline_point(p, device) for p in plans]

@@ -1,0 +1,165 @@
+"""Functional warp-level primitives.
+
+These mirror the CUDA warp intrinsics the paper's kernels rely on
+(``__shfl_down_sync``, ``__ballot_sync`` and shuffle-based tree
+reductions), vectorised over NumPy arrays whose **last axis is the lane
+axis** (length ≤ 32).  The functional kernels in :mod:`repro.kernels`
+compose these to execute the paper's Algorithms 1-3 faithfully while
+remaining fast enough for CI-scale data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "WARP_SIZE",
+    "shfl_down",
+    "shfl_up",
+    "shfl_xor",
+    "ballot",
+    "warp_reduce",
+    "warp_segmented_sum",
+    "warp_inclusive_scan",
+]
+
+WARP_SIZE = 32
+
+
+def _check_lane_axis(arr: np.ndarray) -> None:
+    if arr.shape[-1] > WARP_SIZE:
+        raise ValueError(
+            f"lane axis has {arr.shape[-1]} lanes; a warp holds at most {WARP_SIZE}"
+        )
+
+
+def shfl_down(arr: np.ndarray, offset: int, fill: float = 0.0) -> np.ndarray:
+    """``__shfl_down_sync``: lane *i* receives the value of lane *i+offset*.
+
+    Lanes whose source falls off the warp keep ``fill`` (CUDA leaves them
+    undefined; kernels here always mask them out, so any fill works).
+    """
+    _check_lane_axis(arr)
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    out = np.full_like(arr, fill)
+    if offset == 0:
+        out[...] = arr
+    elif offset < arr.shape[-1]:
+        out[..., : arr.shape[-1] - offset] = arr[..., offset:]
+    return out
+
+
+def shfl_up(arr: np.ndarray, offset: int, fill: float = 0.0) -> np.ndarray:
+    """``__shfl_up_sync``: lane *i* receives the value of lane *i-offset*."""
+    _check_lane_axis(arr)
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    out = np.full_like(arr, fill)
+    if offset == 0:
+        out[...] = arr
+    elif offset < arr.shape[-1]:
+        out[..., offset:] = arr[..., : arr.shape[-1] - offset]
+    return out
+
+
+def shfl_xor(arr: np.ndarray, mask: int) -> np.ndarray:
+    """``__shfl_xor_sync``: lane *i* exchanges with lane *i XOR mask*."""
+    _check_lane_axis(arr)
+    lanes = arr.shape[-1]
+    idx = np.arange(lanes) ^ mask
+    # Partners outside the warp read back their own value (CUDA behaviour
+    # for inactive lanes under a full mask is undefined; self-read is the
+    # conventional safe model).
+    idx = np.where(idx < lanes, idx, np.arange(lanes))
+    return arr[..., idx]
+
+
+def ballot(predicate: np.ndarray) -> int:
+    """``__ballot_sync``: bitmask of lanes whose predicate is true.
+
+    ``predicate`` is a 1-D boolean array over lanes.
+    """
+    if predicate.ndim != 1:
+        raise ValueError("ballot expects a 1-D per-lane predicate")
+    _check_lane_axis(predicate)
+    mask = 0
+    for lane, flag in enumerate(predicate):
+        if flag:
+            mask |= 1 << lane
+    return mask
+
+
+def warp_reduce(
+    arr: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+) -> np.ndarray:
+    """Shuffle-tree reduction across the lane axis.
+
+    Mirrors the canonical ``for offset = 16..1: val = op(val,
+    shfl_down(val, offset))`` loop (Algorithm 1, lines 7-8) and returns the
+    lane-0 value.  ``op`` must be associative-commutative (``np.add``,
+    ``np.minimum``, ``np.maximum``).
+    """
+    _check_lane_axis(arr)
+    lanes = arr.shape[-1]
+    if lanes == 0:
+        raise ValueError("cannot reduce an empty warp")
+    val = arr
+    # Pad to the next power of two with identity-free masking: emulate the
+    # hardware loop where out-of-range lanes contribute their own value
+    # (they are masked out by lane 0 never reading them).
+    width = 1 << max(0, math.ceil(math.log2(lanes)))
+    if width != lanes:
+        pad_shape = arr.shape[:-1] + (width - lanes,)
+        # Out-of-warp lanes replicate lane 0 only in shape; their values
+        # must not affect the result, so pad with the op's identity by
+        # replicating the first lane then discarding via masking below.
+        val = np.concatenate([arr, np.broadcast_to(arr[..., :1], pad_shape)], axis=-1)
+        # For idempotent ops (min/max) replication is harmless; for add we
+        # must zero the pad.
+        if op is np.add:
+            val = val.copy()
+            val[..., lanes:] = 0
+    offset = width // 2
+    while offset:
+        shifted = np.full_like(val, 0)
+        shifted[..., : width - offset] = val[..., offset:]
+        if op in (np.minimum, np.maximum):
+            # keep self value for lanes with no partner
+            shifted[..., width - offset :] = val[..., width - offset :]
+        val = op(val, shifted)
+        offset //= 2
+    return val[..., 0]
+
+
+def warp_segmented_sum(arr: np.ndarray, segment: int) -> np.ndarray:
+    """Sum over contiguous lane segments of length ``segment``.
+
+    Models the strided-shuffle window reductions of Algorithm 3: lane *i*
+    accumulates lanes *i .. i+segment-1* (windows along x shared via
+    shuffles).  Returns an array with the same shape; only lanes with a
+    full segment in range hold valid sums.
+    """
+    _check_lane_axis(arr)
+    if segment < 1:
+        raise ValueError("segment must be >= 1")
+    acc = arr.astype(np.float64, copy=True)
+    for offset in range(1, segment):
+        acc += shfl_down(arr, offset, fill=0.0)
+    return acc
+
+
+def warp_inclusive_scan(arr: np.ndarray) -> np.ndarray:
+    """Kogge-Stone inclusive prefix sum across lanes (shfl_up based)."""
+    _check_lane_axis(arr)
+    val = arr.astype(np.float64, copy=True)
+    offset = 1
+    while offset < arr.shape[-1]:
+        shifted = shfl_up(val, offset, fill=0.0)
+        val = val + shifted
+        offset <<= 1
+    return val

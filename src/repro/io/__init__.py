@@ -1,0 +1,19 @@
+"""Input/output engine (Z-checker's input/output-engine modules).
+
+Readers for SDRBench raw binaries and NumPy containers, plus dataset
+bundles with manifests for multi-field applications.
+"""
+
+from repro.io.raw import read_raw, write_raw
+from repro.io.npyio import read_array, write_array
+from repro.io.bundle import DatasetBundle, load_bundle, save_bundle
+
+__all__ = [
+    "read_raw",
+    "write_raw",
+    "read_array",
+    "write_array",
+    "DatasetBundle",
+    "load_bundle",
+    "save_bundle",
+]

@@ -1,0 +1,97 @@
+"""Multi-field dataset bundles with a JSON manifest.
+
+A bundle is a directory of raw binaries plus ``manifest.json`` recording
+the application name, shape, and field list — how this library stores the
+synthetic SDRBench stand-ins on disk, and how it would wrap the real
+downloads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.datasets.fields import Dataset, Field
+from repro.errors import DataIOError
+from repro.io.raw import read_raw, write_raw
+
+__all__ = ["DatasetBundle", "save_bundle", "load_bundle"]
+
+_MANIFEST = "manifest.json"
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """Handle to an on-disk dataset directory."""
+
+    root: Path
+    name: str
+    shape: tuple[int, int, int]
+    field_names: tuple[str, ...]
+
+    def field_path(self, field_name: str) -> Path:
+        return self.root / f"{field_name}.f32"
+
+    def load_field(self, field_name: str) -> Field:
+        if field_name not in self.field_names:
+            raise DataIOError(
+                f"bundle {self.name!r} has no field {field_name!r}; "
+                f"known: {list(self.field_names)}"
+            )
+        data = read_raw(self.field_path(field_name), self.shape)
+        return Field(name=field_name, data=data)
+
+    def load(self) -> Dataset:
+        ds = Dataset(name=self.name)
+        for field_name in self.field_names:
+            ds.add(self.load_field(field_name))
+        return ds
+
+
+def save_bundle(dataset: Dataset, root: str | Path) -> DatasetBundle:
+    """Write a dataset as raw binaries + manifest."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    if not dataset.fields:
+        raise DataIOError("cannot save an empty dataset")
+    shapes = {f.shape for f in dataset.fields}
+    if len(shapes) != 1:
+        raise DataIOError(f"bundle fields must share one shape, got {shapes}")
+    shape = shapes.pop()
+    for f in dataset.fields:
+        write_raw(root / f"{f.name}.f32", f.data)
+    manifest = {
+        "name": dataset.name,
+        "shape": list(shape),
+        "fields": dataset.field_names,
+        "format": "raw-f32-little-c",
+    }
+    (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return DatasetBundle(
+        root=root,
+        name=dataset.name,
+        shape=shape,
+        field_names=tuple(dataset.field_names),
+    )
+
+
+def load_bundle(root: str | Path) -> DatasetBundle:
+    """Open a bundle directory by reading its manifest."""
+    root = Path(root)
+    manifest_path = root / _MANIFEST
+    if not manifest_path.exists():
+        raise DataIOError(f"no {_MANIFEST} in {root}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+        name = manifest["name"]
+        shape = tuple(int(s) for s in manifest["shape"])
+        fields = tuple(manifest["fields"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise DataIOError(f"malformed manifest in {root}: {exc}") from exc
+    if len(shape) != 3:
+        raise DataIOError(f"bundle shape must be 3-D, got {shape}")
+    missing = [f for f in fields if not (root / f"{f}.f32").exists()]
+    if missing:
+        raise DataIOError(f"bundle {root} is missing field files: {missing}")
+    return DatasetBundle(root=root, name=name, shape=shape, field_names=fields)

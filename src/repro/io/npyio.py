@@ -1,0 +1,42 @@
+"""NumPy container adapters for the input engine."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataIOError
+
+__all__ = ["read_array", "write_array"]
+
+
+def read_array(path: str | Path, key: str | None = None) -> np.ndarray:
+    """Read a field from ``.npy`` or ``.npz`` (with ``key`` selecting the
+    entry of an ``.npz`` archive)."""
+    path = Path(path)
+    if not path.exists():
+        raise DataIOError(f"array file not found: {path}")
+    if path.suffix == ".npy":
+        return np.load(path)
+    if path.suffix == ".npz":
+        with np.load(path) as archive:
+            names = list(archive.files)
+            if key is None:
+                if len(names) != 1:
+                    raise DataIOError(
+                        f"{path} holds {names}; pass key= to choose one"
+                    )
+                key = names[0]
+            if key not in names:
+                raise DataIOError(f"{path} has no entry {key!r}; entries: {names}")
+            return archive[key]
+    raise DataIOError(f"unsupported array format {path.suffix!r} (use .npy/.npz)")
+
+
+def write_array(path: str | Path, data: np.ndarray) -> None:
+    """Write a field to ``.npy``."""
+    path = Path(path)
+    if path.suffix != ".npy":
+        raise DataIOError(f"write_array writes .npy, got {path.suffix!r}")
+    np.save(path, np.asarray(data))

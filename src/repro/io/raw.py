@@ -1,0 +1,67 @@
+"""SDRBench-style raw binary I/O.
+
+SDRBench ships fields as headerless little-endian ``float32`` streams in
+C order (x fastest); the shape comes from the dataset catalogue.  These
+helpers read/write that format with explicit shape, dtype and endianness
+control and defensive size checking.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataIOError
+
+__all__ = ["read_raw", "write_raw"]
+
+_DTYPES = {"float32": "f4", "float64": "f8"}
+
+
+def _np_dtype(dtype: str, endian: str) -> np.dtype:
+    if dtype not in _DTYPES:
+        raise DataIOError(f"unsupported raw dtype {dtype!r}; use float32/float64")
+    if endian not in ("little", "big"):
+        raise DataIOError(f"endian must be 'little' or 'big', got {endian!r}")
+    prefix = "<" if endian == "little" else ">"
+    return np.dtype(prefix + _DTYPES[dtype])
+
+
+def read_raw(
+    path: str | Path,
+    shape: tuple[int, ...],
+    dtype: str = "float32",
+    endian: str = "little",
+) -> np.ndarray:
+    """Read a headerless binary field.
+
+    Raises :class:`~repro.errors.DataIOError` if the file size does not
+    match ``shape`` exactly (a truncated download or a wrong catalogue
+    entry, both common SDRBench accidents).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataIOError(f"raw file not found: {path}")
+    dt = _np_dtype(dtype, endian)
+    expected = math.prod(shape) * dt.itemsize
+    actual = path.stat().st_size
+    if actual != expected:
+        raise DataIOError(
+            f"{path}: size {actual} B does not match shape {shape} "
+            f"({expected} B expected)"
+        )
+    data = np.fromfile(path, dtype=dt)
+    return data.reshape(shape).astype(np.float32 if dtype == "float32" else np.float64)
+
+
+def write_raw(
+    path: str | Path,
+    data: np.ndarray,
+    dtype: str = "float32",
+    endian: str = "little",
+) -> None:
+    """Write a field as a headerless binary stream."""
+    dt = _np_dtype(dtype, endian)
+    np.ascontiguousarray(data).astype(dt).tofile(Path(path))

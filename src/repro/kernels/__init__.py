@@ -1,0 +1,51 @@
+"""Simulated CUDA kernels implementing the paper's Algorithms 1-3.
+
+Each pattern module exposes two layers:
+
+* ``plan_*`` — a closed-form :class:`~repro.gpusim.counters.KernelStats`
+  for the paper's true dataset shapes (feeds the cost model; no data
+  needed);
+* ``execute_*`` — a functional run that follows the same decomposition
+  (slice-per-block reductions, cube-blocked stencils, FIFO-buffered
+  sliding windows) and returns numerically correct metric values, verified
+  against :mod:`repro.metrics` in the test suite.
+
+:mod:`repro.kernels.metric_oriented` provides the moZC baseline: one
+kernel per metric, CUB-style reductions, no fusion and no FIFO buffer.
+"""
+
+from repro.kernels.pattern1 import (
+    Pattern1Config,
+    Pattern1Result,
+    plan_pattern1,
+    execute_pattern1,
+)
+from repro.kernels.pattern2 import (
+    Pattern2Config,
+    Pattern2Result,
+    plan_pattern2,
+    execute_pattern2,
+)
+from repro.kernels.pattern3 import (
+    Pattern3Config,
+    Pattern3Result,
+    plan_pattern3,
+    execute_pattern3,
+)
+from repro.kernels import metric_oriented
+
+__all__ = [
+    "Pattern1Config",
+    "Pattern1Result",
+    "plan_pattern1",
+    "execute_pattern1",
+    "Pattern2Config",
+    "Pattern2Result",
+    "plan_pattern2",
+    "execute_pattern2",
+    "Pattern3Config",
+    "Pattern3Result",
+    "plan_pattern3",
+    "execute_pattern3",
+    "metric_oriented",
+]

@@ -1,0 +1,242 @@
+"""moZC: the metric-oriented GPU baseline (paper Section IV-B).
+
+moZC is the "straightforward CUDA implementation of Z-checker following
+the conventional metric-oriented design principle": every metric is an
+individual kernel pipeline.  Pattern-1 metrics use CUB-style device
+reductions (10 metric pipelines — RMSE/NRMSE share MSE's core and PSNR
+shares SNR's, exactly as the paper counts); because CUB reduces a single
+input array, each pipeline first runs a *transform* kernel materialising
+the per-element quantity (error, squared error, pointwise ratio, ...)
+before the reduction consumes it — the redundant traffic the paper's
+fused design eliminates.  Pattern-2 uses one kernel per derivative order
+(NVIDIA finite-difference style, writing the derived fields to global
+memory for separate reduction kernels) plus one per autocorrelation lag;
+pattern-3 is the Section III-C3 SSIM kernel **without** the FIFO buffer,
+so each z-slice is re-read ``window/step`` times.
+
+Functionally moZC computes the same values as cuZC (all three frameworks
+agree in the paper's correctness check); only its execution plan — and
+therefore its modelled time — differs.  This module provides those plans.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ShapeError
+from repro.gpusim.counters import KernelStats
+from repro.kernels.pattern1 import Pattern1Config
+from repro.kernels.pattern2 import (
+    Pattern2Config,
+    TILE,
+    TILE_Z,
+    OPS_STAGING_SWEEP,
+    OPS_DERIV_SWEEP,
+    OPS_AUTOCORR_SWEEP,
+    P2_STALL_FACTOR,
+    REGS_PER_THREAD as P2_REGS,
+    SMEM_PER_BLOCK as P2_SMEM,
+)
+from repro.kernels.pattern3 import Pattern3Config, plan_pattern3
+
+__all__ = [
+    "plan_mo_pattern1",
+    "plan_mo_pattern2",
+    "plan_mo_pattern3",
+    "MO_PATTERN1_KERNELS",
+]
+
+#: the 10 pattern-1 metric pipelines moZC runs (paper: "moZC contains 10
+#: CUDA kernels for pattern 1, and cuZC's speedup upper bound is 10")
+MO_PATTERN1_KERNELS: tuple[str, ...] = (
+    "min_err",
+    "max_err",
+    "avg_err",
+    "err_pdf",
+    "min_pwr_err",
+    "max_pwr_err",
+    "avg_pwr_err",
+    "pwr_err_pdf",
+    "mse",
+    "snr",
+)
+
+#: per-element ops of the transform + lean CUB reduction of one pipeline
+MO_P1_OPS_PER_ELEM = 9
+#: issue-efficiency inflation of moZC's pattern-1 kernels: lower register
+#: pressure than the fused kernel gives them better occupancy, hence a
+#: smaller factor than pattern 1's fused 2.6
+MO_P1_STALL_FACTOR = 2.0
+#: CUB-style launch geometry (grid-stride with a fixed modest grid)
+_CUB_GRID = 160
+_CUB_THREADS = 256
+_CUB_REGS = 30
+_CUB_SMEM = 1024
+FLOAT_BYTES = 4
+
+
+def _shape3d(shape):
+    if len(shape) != 3 or min(shape) < 1:
+        raise ShapeError(f"expected a 3-D shape, got {shape}")
+    return shape
+
+
+def _cub_kernel(name: str, n: int, *, read_bytes: int, write_bytes: int,
+                flops: int, atomics: int = 0, launches: int = 2,
+                meta: dict | None = None) -> KernelStats:
+    grid = min(_CUB_GRID, max(1, math.ceil(n / (_CUB_THREADS * 4))))
+    return KernelStats(
+        name=name,
+        launches=launches,
+        grid_syncs=0,
+        global_read_bytes=read_bytes,
+        global_write_bytes=write_bytes,
+        shared_bytes=grid * _CUB_SMEM // 4,
+        shuffle_ops=grid * (_CUB_THREADS // 32) * 5,
+        flops=flops,
+        atomic_ops=atomics,
+        grid_blocks=grid,
+        threads_per_block=_CUB_THREADS,
+        regs_per_thread=_CUB_REGS,
+        smem_per_block=_CUB_SMEM,
+        iters_per_thread=max(1, math.ceil(n / (grid * _CUB_THREADS))),
+        meta={"framework": "moZC", **(meta or {})},
+    )
+
+
+def plan_mo_pattern1(
+    shape: tuple[int, int, int], config: Pattern1Config | None = None
+) -> list[KernelStats]:
+    """One transform + CUB-reduce pipeline per pattern-1 metric.
+
+    Per pipeline traffic: the transform reads both fields (8 B/elem) and
+    writes the derived quantity (4 B/elem); the reduction reads it back
+    (4 B/elem).  PDF pipelines additionally re-scan the derived array to
+    histogram it once the extrema are known.
+    """
+    config = config or Pattern1Config()
+    nz, ny, nx = _shape3d(shape)
+    n = nz * ny * nx
+    plans: list[KernelStats] = []
+    for name in MO_PATTERN1_KERNELS:
+        is_pdf = name.endswith("_pdf")
+        read_bytes = 2 * n * FLOAT_BYTES + n * FLOAT_BYTES  # transform + reduce
+        write_bytes = n * FLOAT_BYTES + 64
+        launches = 3  # transform, device reduce, final collapse
+        atomics = 0
+        if is_pdf:
+            read_bytes += n * FLOAT_BYTES  # histogram re-scan
+            write_bytes += config.pdf_bins * FLOAT_BYTES
+            launches += 1
+            atomics = n
+        plans.append(
+            _cub_kernel(
+                f"moZC.{name}",
+                n,
+                read_bytes=read_bytes,
+                write_bytes=write_bytes,
+                flops=int(MO_P1_OPS_PER_ELEM * n * MO_P1_STALL_FACTOR),
+                atomics=atomics,
+                launches=launches,
+                meta={"pattern": 1, "metric": name},
+            )
+        )
+    return plans
+
+
+def plan_mo_pattern2(
+    shape: tuple[int, int, int], config: Pattern2Config | None = None
+) -> list[KernelStats]:
+    """Separate derivative kernels (one per order, NVIDIA finite-difference
+    style, writing the derived fields), separate reductions over those
+    fields, a mean/variance pre-pass for the correlation normalisation,
+    and one autocorrelation kernel per lag."""
+    config = config or Pattern2Config()
+    nz, ny, nx = _shape3d(shape)
+    config.validate((nz, ny, nx))
+    n = nz * ny * nx
+    grid = nz
+    cubes = math.ceil(ny / TILE) * math.ceil(nx / TILE)
+    plans: list[KernelStats] = []
+
+    def stencil_plan(name, halo, metric_ops, extra_read=0, writes=0):
+        # A standalone stencil kernel uses classic 3-D-halo cube blocking
+        # (it has no fused sweep sequence to amortise a rolling plane
+        # window over), so both its global re-reads and its staging work
+        # scale with the haloed cube volume.
+        hf = (1.0 + halo / TILE) ** 3
+        stage_scale = (1.0 + halo / TILE) ** 2
+        ops = OPS_STAGING_SWEEP * stage_scale + metric_ops
+        return KernelStats(
+            name=f"moZC.{name}",
+            launches=2,  # stencil pass + reduction collapse
+            global_read_bytes=int(2 * n * FLOAT_BYTES * hf) + extra_read,
+            global_write_bytes=writes + grid * 8,
+            shared_bytes=int(n * FLOAT_BYTES * hf + 7 * n * FLOAT_BYTES),
+            shuffle_ops=grid * cubes * (8 * 5 + 3) * 2,
+            flops=int(ops * n * P2_STALL_FACTOR),
+            grid_blocks=grid,
+            threads_per_block=TILE * TILE,
+            regs_per_thread=P2_REGS,
+            smem_per_block=P2_SMEM,
+            iters_per_thread=cubes,
+            meta={
+                "pattern": 2,
+                "metric": name,
+                "framework": "moZC",
+                "chain_length": cubes,
+            },
+        )
+
+    for order in config.orders:
+        # derivative kernel: reads both fields, writes both derived fields
+        plans.append(
+            stencil_plan(
+                f"derivative_order{order}",
+                halo=order,
+                metric_ops=OPS_DERIV_SWEEP,
+                writes=2 * n * FLOAT_BYTES,
+            )
+        )
+        # the summation metric (divergence / Laplacian) is a separate CUB
+        # reduction over the materialised derivative fields
+        summation = "divergence" if order == 1 else "laplacian"
+        plans.append(
+            _cub_kernel(
+                f"moZC.{summation}",
+                n,
+                read_bytes=2 * n * FLOAT_BYTES,
+                write_bytes=64,
+                flops=int(4 * n * MO_P1_STALL_FACTOR),
+                meta={"pattern": 2, "metric": summation},
+            )
+        )
+    if config.max_lag >= 1:
+        # mean/variance pre-pass over the error field
+        plans.append(
+            _cub_kernel(
+                "moZC.err_moments",
+                n,
+                read_bytes=2 * n * FLOAT_BYTES,
+                write_bytes=64,
+                flops=int(6 * n * MO_P1_STALL_FACTOR),
+                meta={"pattern": 2, "metric": "err_moments"},
+            )
+        )
+        for lag in range(1, config.max_lag + 1):
+            plans.append(
+                stencil_plan(
+                    f"autocorr_lag{lag}",
+                    halo=lag,
+                    metric_ops=OPS_AUTOCORR_SWEEP,
+                )
+            )
+    return plans
+
+
+def plan_mo_pattern3(
+    shape: tuple[int, int, int], config: Pattern3Config | None = None
+) -> list[KernelStats]:
+    """The no-FIFO SSIM kernel (paper's moZC SSIM ablation)."""
+    config = config or Pattern3Config()
+    return [plan_pattern3(shape, config, fifo=False)]

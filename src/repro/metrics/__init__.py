@@ -1,0 +1,88 @@
+"""Assessment metrics: definitions, pattern classification, NumPy references.
+
+This package is the "CPU analysis kernel" of the reproduced system: every
+metric Z-checker supports has an independent, vectorised NumPy reference
+here.  The simulated GPU kernels in :mod:`repro.kernels` are verified
+against these references (the paper's Section IV-B correctness check), and
+the ompZC baseline uses them as its functional implementation.
+"""
+
+from repro.metrics.base import (
+    Pattern,
+    MetricSpec,
+    METRIC_REGISTRY,
+    metrics_by_pattern,
+    pattern_of,
+    table1,
+)
+from repro.metrics.error_stats import error_stats, error_pdf
+from repro.metrics.pwr_error import pwr_error_stats, pwr_error_pdf
+from repro.metrics.rate_distortion import rate_distortion
+from repro.metrics.properties import data_properties, entropy
+from repro.metrics.correlation import pearson
+from repro.metrics.derivatives import (
+    gradient_magnitude,
+    derivative_l1,
+    divergence,
+    laplacian,
+    derivative_metrics,
+)
+from repro.metrics.autocorrelation import (
+    spatial_autocorrelation,
+    series_autocorrelation,
+)
+from repro.metrics.ssim import ssim3d, SsimConfig
+from repro.metrics.spectral import (
+    amplitude_spectrum,
+    spectral_comparison,
+    SpectralComparison,
+)
+from repro.metrics.compressibility import (
+    delta_entropy,
+    estimate_sz_ratio,
+    slice_profiles,
+    SliceProfiles,
+)
+from repro.metrics.twod import (
+    ssim2d,
+    gradient_magnitude_2d,
+    derivative_metrics_2d,
+    spatial_autocorrelation_2d,
+)
+
+__all__ = [
+    "Pattern",
+    "MetricSpec",
+    "METRIC_REGISTRY",
+    "metrics_by_pattern",
+    "pattern_of",
+    "table1",
+    "error_stats",
+    "error_pdf",
+    "pwr_error_stats",
+    "pwr_error_pdf",
+    "rate_distortion",
+    "data_properties",
+    "entropy",
+    "pearson",
+    "gradient_magnitude",
+    "derivative_l1",
+    "divergence",
+    "laplacian",
+    "derivative_metrics",
+    "spatial_autocorrelation",
+    "series_autocorrelation",
+    "ssim3d",
+    "SsimConfig",
+    "amplitude_spectrum",
+    "spectral_comparison",
+    "SpectralComparison",
+    "ssim2d",
+    "gradient_magnitude_2d",
+    "derivative_metrics_2d",
+    "spatial_autocorrelation_2d",
+    "delta_entropy",
+    "estimate_sz_ratio",
+    "slice_profiles",
+    "SliceProfiles",
+]

@@ -1,0 +1,88 @@
+"""Pattern-2 reference metric: autocorrelation of compression errors.
+
+Two flavours, both offered by Z-checker:
+
+* :func:`spatial_autocorrelation` — the paper's Eq. (2): at spatial gap
+  τ, correlate each error value with its τ-distant neighbours along the
+  three axes (averaged), over the common valid region, normalised by the
+  error field's variance.  White-noise-like errors give values ≈ 0 for
+  all τ ≥ 1.
+* :func:`series_autocorrelation` — the classical 1-D autocorrelation of
+  the flattened error sequence (what Z-checker plots per-lag).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["spatial_autocorrelation", "series_autocorrelation"]
+
+
+def spatial_autocorrelation(error: np.ndarray, max_lag: int = 10) -> np.ndarray:
+    """Spatial autocorrelation AC(τ) for τ = 0..max_lag (paper Eq. 2).
+
+    ``AC(0)`` is 1 by definition.  For τ ≥ 1::
+
+        AC(τ) = Σ_{valid} (1/3)(e-μ)·[(e_z+τ - μ) + (e_y+τ - μ) + (e_x+τ - μ)]
+                / n_e / σ²
+
+    where the valid region excludes the last τ planes along *every* axis
+    (``n_e = (h-τ)(w-τ)(l-τ)``) and σ² is the variance of the whole error
+    field.  A constant error field has undefined correlation; we return
+    zeros for τ ≥ 1 in that case (no structure to correlate).
+    """
+    e = np.asarray(error, dtype=np.float64)
+    if e.ndim != 3:
+        raise ShapeError(f"expected a 3-D error field, got shape {e.shape}")
+    if max_lag < 0:
+        raise ValueError("max_lag must be >= 0")
+    if max_lag >= min(e.shape):
+        raise ShapeError(
+            f"max_lag {max_lag} must be smaller than the smallest extent "
+            f"of {e.shape}"
+        )
+    mu = e.mean()
+    var = e.var()
+    c = e - mu
+    out = np.empty(max_lag + 1)
+    out[0] = 1.0
+    if var == 0.0:
+        out[1:] = 0.0
+        return out
+    nz, ny, nx = e.shape
+    for tau in range(1, max_lag + 1):
+        core = c[: nz - tau, : ny - tau, : nx - tau]
+        shift_z = c[tau:, : ny - tau, : nx - tau]
+        shift_y = c[: nz - tau, tau:, : nx - tau]
+        shift_x = c[: nz - tau, : ny - tau, tau:]
+        ne = (nz - tau) * (ny - tau) * (nx - tau)
+        acc = np.sum(core * (shift_z + shift_y + shift_x)) / 3.0
+        out[tau] = acc / ne / var
+    return out
+
+
+def series_autocorrelation(error: np.ndarray, max_lag: int = 10) -> np.ndarray:
+    """Classical autocorrelation of the flattened error sequence.
+
+    Uses the biased estimator ``ρ(k) = Σ_t (e_t-μ)(e_{t+k}-μ) / (n σ²)``
+    (the convention of most statistics texts and of Z-checker's plots).
+    """
+    e = np.asarray(error, dtype=np.float64).ravel()
+    if max_lag < 0:
+        raise ValueError("max_lag must be >= 0")
+    if max_lag >= e.size:
+        raise ShapeError(f"max_lag {max_lag} must be < series length {e.size}")
+    mu = e.mean()
+    var = e.var()
+    out = np.empty(max_lag + 1)
+    out[0] = 1.0
+    if var == 0.0:
+        out[1:] = 0.0
+        return out
+    c = e - mu
+    n = e.size
+    for k in range(1, max_lag + 1):
+        out[k] = float(np.dot(c[:-k], c[k:])) / (n * var)
+    return out

@@ -1,0 +1,178 @@
+"""Metric registry and the paper's Table I pattern classification.
+
+Every assessment metric carries a :class:`MetricSpec` describing which
+computational pattern its core belongs to.  The three heavy patterns are
+exactly those of the paper; cheap bookkeeping metrics (compression ratio,
+compression/decompression throughput) and single-array data properties
+are tagged :attr:`Pattern.AUXILIARY` — they ride along with pattern-1
+passes or need no array processing at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownMetricError
+
+__all__ = [
+    "Pattern",
+    "MetricSpec",
+    "METRIC_REGISTRY",
+    "register_metric",
+    "metrics_by_pattern",
+    "pattern_of",
+    "table1",
+    "PATTERN1_METRICS",
+    "PATTERN2_METRICS",
+    "PATTERN3_METRICS",
+]
+
+
+class Pattern(enum.Enum):
+    """Computational pattern categories (paper Section III-B, Table I)."""
+
+    GLOBAL_REDUCTION = "global reduction"  # Category I
+    STENCIL = "stencil-like"  # Category II
+    SLIDING_WINDOW = "sliding window"  # Category III
+    AUXILIARY = "auxiliary"  # cheap / non-array metrics
+
+    @property
+    def category(self) -> str:
+        return {
+            Pattern.GLOBAL_REDUCTION: "Category I",
+            Pattern.STENCIL: "Category II",
+            Pattern.SLIDING_WINDOW: "Category III",
+            Pattern.AUXILIARY: "—",
+        }[self]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Static description of one assessment metric."""
+
+    name: str
+    pattern: Pattern
+    description: str
+    #: inputs the metric reads: subset of {"orig", "dec", "error"}
+    inputs: tuple[str, ...] = ("orig", "dec")
+    #: True if the result is a distribution/array rather than a scalar
+    vector_valued: bool = False
+    #: names of other metrics whose intermediate results this one reuses
+    reuses: tuple[str, ...] = ()
+
+
+METRIC_REGISTRY: dict[str, MetricSpec] = {}
+
+
+def register_metric(spec: MetricSpec) -> MetricSpec:
+    """Add a metric to the global registry (idempotent on equal specs)."""
+    existing = METRIC_REGISTRY.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ValueError(f"conflicting registration for metric {spec.name!r}")
+    METRIC_REGISTRY[spec.name] = spec
+    return spec
+
+
+def _reg(name, pattern, description, **kw):
+    return register_metric(MetricSpec(name, pattern, description, **kw))
+
+
+# --- Category I: global reductions (13 user-facing + value_range) --------
+_reg("min_err", Pattern.GLOBAL_REDUCTION, "Minimum compression error")
+_reg("max_err", Pattern.GLOBAL_REDUCTION, "Maximum compression error")
+_reg("avg_err", Pattern.GLOBAL_REDUCTION, "Average compression error")
+_reg("err_pdf", Pattern.GLOBAL_REDUCTION, "PDF of compression errors",
+     vector_valued=True)
+_reg("min_pwr_err", Pattern.GLOBAL_REDUCTION,
+     "Minimum pointwise relative error")
+_reg("max_pwr_err", Pattern.GLOBAL_REDUCTION,
+     "Maximum pointwise relative error")
+_reg("avg_pwr_err", Pattern.GLOBAL_REDUCTION,
+     "Average pointwise relative error")
+_reg("pwr_err_pdf", Pattern.GLOBAL_REDUCTION,
+     "PDF of pointwise relative errors", vector_valued=True)
+_reg("mse", Pattern.GLOBAL_REDUCTION, "Mean squared error")
+_reg("rmse", Pattern.GLOBAL_REDUCTION, "Root mean squared error",
+     reuses=("mse",))
+_reg("nrmse", Pattern.GLOBAL_REDUCTION,
+     "RMSE normalised by the data value range", reuses=("mse", "value_range"))
+_reg("snr", Pattern.GLOBAL_REDUCTION, "Signal-to-noise ratio (dB)",
+     reuses=("mse",))
+_reg("psnr", Pattern.GLOBAL_REDUCTION, "Peak signal-to-noise ratio (dB)",
+     reuses=("mse", "value_range"))
+_reg("value_range", Pattern.GLOBAL_REDUCTION,
+     "max(orig) - min(orig); prerequisite of NRMSE/PSNR",
+     inputs=("orig",))
+
+# --- Category II: stencil-like --------------------------------------------
+_reg("derivative_order1", Pattern.STENCIL,
+     "First-order derivative (gradient magnitude) field comparison")
+_reg("derivative_order2", Pattern.STENCIL,
+     "Second-order derivative field comparison")
+_reg("divergence", Pattern.STENCIL,
+     "Sum of first-order partial derivatives")
+_reg("laplacian", Pattern.STENCIL,
+     "Sum of second-order partial derivatives")
+_reg("autocorrelation", Pattern.STENCIL,
+     "Spatial autocorrelation of compression errors (lags 1..tau)",
+     inputs=("error",), vector_valued=True)
+
+# --- Category III: sliding window -----------------------------------------
+_reg("ssim", Pattern.SLIDING_WINDOW,
+     "3-D structural similarity index (windowed)")
+
+# --- auxiliary metrics ------------------------------------------------------
+_reg("pearson", Pattern.AUXILIARY,
+     "Pearson correlation between original and decompressed data")
+_reg("spectral", Pattern.AUXILIARY,
+     "Relative amplitude-spectrum error vs the original (FFT analysis)",
+     vector_valued=True)
+_reg("entropy", Pattern.AUXILIARY, "Shannon entropy of the original data",
+     inputs=("orig",))
+_reg("mean", Pattern.AUXILIARY, "Mean of the original data", inputs=("orig",))
+_reg("std", Pattern.AUXILIARY, "Std-dev of the original data",
+     inputs=("orig",))
+_reg("compression_ratio", Pattern.AUXILIARY,
+     "Original size / compressed size", inputs=())
+_reg("compression_throughput", Pattern.AUXILIARY,
+     "Bytes compressed per second", inputs=())
+_reg("decompression_throughput", Pattern.AUXILIARY,
+     "Bytes decompressed per second", inputs=())
+
+#: Metric names fused into the paper's pattern-1 kernel (14, counting the
+#: in-kernel value-range reduction the text's "14 metrics" refers to).
+PATTERN1_METRICS: tuple[str, ...] = tuple(
+    n for n, s in METRIC_REGISTRY.items() if s.pattern is Pattern.GLOBAL_REDUCTION
+)
+PATTERN2_METRICS: tuple[str, ...] = tuple(
+    n for n, s in METRIC_REGISTRY.items() if s.pattern is Pattern.STENCIL
+)
+PATTERN3_METRICS: tuple[str, ...] = tuple(
+    n for n, s in METRIC_REGISTRY.items() if s.pattern is Pattern.SLIDING_WINDOW
+)
+
+
+def metrics_by_pattern(pattern: Pattern) -> tuple[str, ...]:
+    """All registered metric names with the given pattern."""
+    return tuple(n for n, s in METRIC_REGISTRY.items() if s.pattern is pattern)
+
+
+def pattern_of(name: str) -> Pattern:
+    """Pattern of a registered metric; raises ``UnknownMetricError``."""
+    try:
+        return METRIC_REGISTRY[name].pattern
+    except KeyError:
+        raise UnknownMetricError(
+            f"metric {name!r} is not registered; known metrics: "
+            f"{sorted(METRIC_REGISTRY)}"
+        ) from None
+
+
+def table1() -> dict[str, tuple[str, ...]]:
+    """The paper's Table I as {category: metric names}."""
+    return {
+        "Category I (global reduction)": metrics_by_pattern(Pattern.GLOBAL_REDUCTION),
+        "Category II (stencil-like)": metrics_by_pattern(Pattern.STENCIL),
+        "Category III (sliding window)": metrics_by_pattern(Pattern.SLIDING_WINDOW),
+    }

@@ -1,0 +1,131 @@
+"""Compressibility estimation (pre-compression data analysis).
+
+Z-checker's data-property analysis exists largely to answer "how well
+*will* this field compress?" before running any compressor.  For
+prediction-based error-bounded compressors the answer is almost entirely
+determined by the entropy of the quantised prediction residuals, which
+this module computes directly:
+
+* :func:`delta_entropy` — Shannon entropy (bits/value) of the Lorenzo
+  residuals at a given error bound;
+* :func:`estimate_sz_ratio` — the implied compression-ratio estimate
+  ``32 / (delta_entropy + overhead)``;
+* :func:`slice_profiles` — per-z-slice min/mean/max curves (the
+  structure-at-a-glance view Z-checker plots).
+
+The estimate's accuracy against the real :class:`SZCompressor` is
+asserted in tests (within ~25% on smooth fields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compressors.predictor import lorenzo_residuals
+from repro.compressors.quantizer import prequantize, resolve_error_bound
+from repro.errors import ShapeError
+
+__all__ = [
+    "delta_entropy",
+    "estimate_sz_ratio",
+    "SliceProfiles",
+    "slice_profiles",
+]
+
+#: fixed per-value overhead of the real codec (payload framing), in bits
+_CODEC_OVERHEAD_BITS = 0.15
+#: canonical-Huffman header cost per alphabet symbol: 8-byte value +
+#: 1-byte code length
+_HEADER_BITS_PER_SYMBOL = 72
+
+
+def _residual_distribution(
+    data: np.ndarray,
+    abs_bound: float | None,
+    rel_bound: float | None,
+) -> tuple[float, int, int]:
+    """(entropy bits/value, alphabet size, element count) of the
+    quantised Lorenzo residual stream."""
+    data = np.asarray(data)
+    if data.ndim not in (1, 2, 3):
+        raise ShapeError(f"expected 1-3-D data, got {data.ndim}-D")
+    eb = resolve_error_bound(data, abs_bound, rel_bound)
+    q = prequantize(data, eb)
+    residuals = lorenzo_residuals(q).ravel()
+    _, counts = np.unique(residuals, return_counts=True)
+    p = counts / residuals.size
+    entropy = float(-(p * np.log2(p)).sum())
+    return entropy, len(counts), residuals.size
+
+
+def delta_entropy(
+    data: np.ndarray,
+    abs_bound: float | None = None,
+    rel_bound: float | None = None,
+) -> float:
+    """Entropy (bits/value) of the quantised Lorenzo residual stream.
+
+    This is the information content an ideal entropy coder would pay for
+    the SZ pipeline's symbols at the given bound.
+    """
+    return _residual_distribution(data, abs_bound, rel_bound)[0]
+
+
+def estimate_sz_ratio(
+    data: np.ndarray,
+    abs_bound: float | None = None,
+    rel_bound: float | None = None,
+) -> float:
+    """Predicted SZ compression ratio at a bound, without compressing.
+
+    ``bits_in / (residual entropy + Huffman header amortisation +
+    framing)`` — the header term matters at tight bounds, where large
+    residual alphabets make the canonical code table itself the dominant
+    cost.  Accurate to a few percent against the real codec (tested).
+    """
+    entropy, alphabet, n = _residual_distribution(data, abs_bound, rel_bound)
+    bits_per_value = (
+        max(entropy, 1e-3)
+        + _CODEC_OVERHEAD_BITS
+        + _HEADER_BITS_PER_SYMBOL * alphabet / n
+    )
+    itemsize_bits = 8 * np.asarray(data).dtype.itemsize
+    return float(itemsize_bits / bits_per_value)
+
+
+@dataclass(frozen=True)
+class SliceProfiles:
+    """Per-z-slice statistics of a 3-D field."""
+
+    z: np.ndarray
+    min: np.ndarray
+    mean: np.ndarray
+    max: np.ndarray
+    std: np.ndarray
+
+    def as_columns(self) -> dict[str, np.ndarray]:
+        """Column dict ready for :func:`repro.viz.gnuplot.write_series`."""
+        return {
+            "z": self.z.astype(float),
+            "min": self.min,
+            "mean": self.mean,
+            "max": self.max,
+            "std": self.std,
+        }
+
+
+def slice_profiles(data: np.ndarray) -> SliceProfiles:
+    """min/mean/max/std of every z-slice (axis-0 profile curves)."""
+    data = np.asarray(data)
+    if data.ndim != 3:
+        raise ShapeError(f"slice profiles need a 3-D field, got {data.shape}")
+    d = data.astype(np.float64)
+    return SliceProfiles(
+        z=np.arange(d.shape[0]),
+        min=d.min(axis=(1, 2)),
+        mean=d.mean(axis=(1, 2)),
+        max=d.max(axis=(1, 2)),
+        std=d.std(axis=(1, 2)),
+    )

@@ -1,0 +1,35 @@
+"""Pearson correlation between original and decompressed data.
+
+One of Z-checker's headline distortion indicators: a good lossy
+reconstruction keeps the coefficient extremely close to 1 (Z-checker's
+documentation suggests > 0.99999).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.error_stats import _as_pair
+
+__all__ = ["pearson"]
+
+
+def pearson(orig: np.ndarray, dec: np.ndarray) -> float:
+    """Pearson product-moment correlation coefficient.
+
+    Degenerate conventions: if both fields are constant the reconstruction
+    is either exact (returns 1.0) or a constant shift (also perfectly
+    correlated in the limit — returns 1.0 if equal, else ``nan`` because
+    correlation with a zero-variance signal is undefined).
+    """
+    orig, dec = _as_pair(orig, dec)
+    o = orig.astype(np.float64).ravel()
+    d = dec.astype(np.float64).ravel()
+    so = float(o.std())
+    sd = float(d.std())
+    if so == 0.0 or sd == 0.0:
+        if np.array_equal(o, d):
+            return 1.0
+        return float("nan")
+    cov = float(np.mean((o - o.mean()) * (d - d.mean())))
+    return cov / (so * sd)

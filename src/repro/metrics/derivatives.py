@@ -1,0 +1,146 @@
+"""Pattern-2 reference metrics: derivatives, divergence, Laplacian.
+
+Array convention: 3-D fields are indexed ``(z, y, x)`` — z is the slowest
+axis, matching the paper's slice/plane decomposition along z.
+
+Two first-derivative flavours exist in the paper:
+
+* Eq. (1): ``Der = |f(x+1)-f(x-1)| + |f(y+1)-f(y-1)| + |f(z+1)-f(z-1)|``
+  (:func:`derivative_l1`);
+* Algorithm 2: central differences halved and combined as a gradient
+  magnitude ``sqrt(dx² + dy² + dz²)`` (:func:`gradient_magnitude`), which
+  is what the CUDA kernel actually computes and is our canonical form.
+
+The reported *metric* compares the derivative fields of the original and
+decompressed data (lossy compression can amplify spatial variation — the
+"zfp and Derivatives" concern cited by the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "field_comparison",
+    "gradient_magnitude",
+    "derivative_l1",
+    "second_derivative_magnitude",
+    "divergence",
+    "laplacian",
+    "derivative_metrics",
+    "DerivativeComparison",
+]
+
+
+def _check3d(f: np.ndarray, min_extent: int) -> np.ndarray:
+    f = np.asarray(f)
+    if f.ndim != 3:
+        raise ShapeError(f"expected a 3-D field, got shape {f.shape}")
+    if min(f.shape) < min_extent:
+        raise ShapeError(
+            f"field extents {f.shape} too small for the stencil "
+            f"(need >= {min_extent} along every axis)"
+        )
+    return f.astype(np.float64)
+
+
+def _central_diffs(f: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(df/dz, df/dy, df/dx) on the interior via central differences."""
+    core = (slice(1, -1),) * 3
+    dz = (f[2:, 1:-1, 1:-1] - f[:-2, 1:-1, 1:-1]) / 2.0
+    dy = (f[1:-1, 2:, 1:-1] - f[1:-1, :-2, 1:-1]) / 2.0
+    dx = (f[1:-1, 1:-1, 2:] - f[1:-1, 1:-1, :-2]) / 2.0
+    assert dz.shape == f[core].shape
+    return dz, dy, dx
+
+
+def _second_diffs(f: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(d²f/dz², d²f/dy², d²f/dx²) on the interior (3-point stencil)."""
+    dzz = f[2:, 1:-1, 1:-1] - 2.0 * f[1:-1, 1:-1, 1:-1] + f[:-2, 1:-1, 1:-1]
+    dyy = f[1:-1, 2:, 1:-1] - 2.0 * f[1:-1, 1:-1, 1:-1] + f[1:-1, :-2, 1:-1]
+    dxx = f[1:-1, 1:-1, 2:] - 2.0 * f[1:-1, 1:-1, 1:-1] + f[1:-1, 1:-1, :-2]
+    return dzz, dyy, dxx
+
+
+def gradient_magnitude(f: np.ndarray) -> np.ndarray:
+    """First-order derivative field per Algorithm 2: ``sqrt(dx²+dy²+dz²)``.
+
+    Returns the interior field (each extent shrinks by 2).
+    """
+    f = _check3d(f, 3)
+    dz, dy, dx = _central_diffs(f)
+    return np.sqrt(dx * dx + dy * dy + dz * dz)
+
+
+def derivative_l1(f: np.ndarray) -> np.ndarray:
+    """First-order derivative field per Eq. (1): sum of |central diffs|."""
+    f = _check3d(f, 3)
+    dz, dy, dx = _central_diffs(f)
+    return np.abs(2.0 * dz) + np.abs(2.0 * dy) + np.abs(2.0 * dx)
+
+
+def second_derivative_magnitude(f: np.ndarray) -> np.ndarray:
+    """Second-order derivative field: ``sqrt(dxx² + dyy² + dzz²)``."""
+    f = _check3d(f, 3)
+    dzz, dyy, dxx = _second_diffs(f)
+    return np.sqrt(dxx * dxx + dyy * dyy + dzz * dzz)
+
+
+def divergence(f: np.ndarray) -> np.ndarray:
+    """Sum of first-order partial derivatives (paper Section III-B2)."""
+    f = _check3d(f, 3)
+    dz, dy, dx = _central_diffs(f)
+    return dz + dy + dx
+
+
+def laplacian(f: np.ndarray) -> np.ndarray:
+    """Sum of second-order partial derivatives (7-point Laplacian)."""
+    f = _check3d(f, 3)
+    dzz, dyy, dxx = _second_diffs(f)
+    return dzz + dyy + dxx
+
+
+@dataclass(frozen=True)
+class DerivativeComparison:
+    """Aggregate comparison of a derivative field before/after compression."""
+
+    #: mean derivative magnitude of the original field
+    mean_orig: float
+    #: mean derivative magnitude of the decompressed field
+    mean_dec: float
+    #: RMS of the pointwise difference of the two derivative fields
+    rms_diff: float
+    #: max absolute pointwise difference
+    max_diff: float
+
+
+def field_comparison(orig_field: np.ndarray, dec_field: np.ndarray) -> DerivativeComparison:
+    """Aggregate a pair of derived fields into a :class:`DerivativeComparison`."""
+    diff = dec_field - orig_field
+    return DerivativeComparison(
+        mean_orig=float(np.mean(np.abs(orig_field))),
+        mean_dec=float(np.mean(np.abs(dec_field))),
+        rms_diff=float(np.sqrt(np.mean(diff * diff))),
+        max_diff=float(np.max(np.abs(diff))),
+    )
+
+
+def derivative_metrics(
+    orig: np.ndarray, dec: np.ndarray, order: int = 1
+) -> DerivativeComparison:
+    """Compare derivative fields of original vs decompressed data.
+
+    ``order`` selects first- (gradient magnitude) or second-order
+    derivatives, mirroring cuZ-Checker's support for both.
+    """
+    if order == 1:
+        return field_comparison(gradient_magnitude(orig), gradient_magnitude(dec))
+    if order == 2:
+        return field_comparison(
+            second_derivative_magnitude(orig), second_derivative_magnitude(dec)
+        )
+    raise ValueError(f"derivative order must be 1 or 2, got {order}")

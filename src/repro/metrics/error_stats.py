@@ -1,0 +1,96 @@
+"""Pattern-1 reference metrics: error statistics and error PDF.
+
+Conventions follow Z-checker: the compression error is
+``e = decompressed - original`` (signed), so ``min_err`` can be negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["ErrorStats", "error_stats", "error_pdf", "Pdf"]
+
+DEFAULT_PDF_BINS = 1024
+
+
+def _as_pair(orig: np.ndarray, dec: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    orig = np.asarray(orig)
+    dec = np.asarray(dec)
+    if orig.shape != dec.shape:
+        raise ShapeError(
+            f"original {orig.shape} and decompressed {dec.shape} shapes differ"
+        )
+    if orig.size == 0:
+        raise ShapeError("cannot assess empty arrays")
+    return orig, dec
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """min/max/avg of the signed error plus the mean absolute error."""
+
+    min_err: float
+    max_err: float
+    avg_err: float
+    avg_abs_err: float
+    max_abs_err: float
+
+
+@dataclass(frozen=True)
+class Pdf:
+    """A histogram-based probability density estimate."""
+
+    bin_edges: np.ndarray
+    density: np.ndarray
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        return 0.5 * (self.bin_edges[:-1] + self.bin_edges[1:])
+
+    def integral(self) -> float:
+        """∫ pdf dx — 1.0 up to floating-point error."""
+        widths = np.diff(self.bin_edges)
+        return float(np.sum(self.density * widths))
+
+
+def error_stats(orig: np.ndarray, dec: np.ndarray) -> ErrorStats:
+    """Reference implementation of min/max/avg error (pattern 1)."""
+    orig, dec = _as_pair(orig, dec)
+    e = dec.astype(np.float64) - orig.astype(np.float64)
+    abs_e = np.abs(e)
+    return ErrorStats(
+        min_err=float(e.min()),
+        max_err=float(e.max()),
+        avg_err=float(e.mean()),
+        avg_abs_err=float(abs_e.mean()),
+        max_abs_err=float(abs_e.max()),
+    )
+
+
+def error_pdf(
+    orig: np.ndarray,
+    dec: np.ndarray,
+    bins: int = DEFAULT_PDF_BINS,
+) -> Pdf:
+    """Probability density of the signed compression error (pattern 1).
+
+    The bin range spans ``[min_err, max_err]``; a degenerate (constant)
+    error field yields a single unit-mass bin centred on that value.
+    """
+    orig, dec = _as_pair(orig, dec)
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    e = (dec.astype(np.float64) - orig.astype(np.float64)).ravel()
+    lo, hi = float(e.min()), float(e.max())
+    if lo == hi:
+        # all-equal errors: a single spike
+        eps = max(abs(lo), 1.0) * 1e-9 + 1e-300
+        edges = np.array([lo - eps, hi + eps])
+        density = np.array([1.0 / (edges[1] - edges[0])])
+        return Pdf(bin_edges=edges, density=density)
+    hist, edges = np.histogram(e, bins=bins, range=(lo, hi), density=True)
+    return Pdf(bin_edges=edges, density=hist)

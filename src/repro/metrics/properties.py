@@ -1,0 +1,76 @@
+"""Data-property metrics (Z-checker's property-analysis module).
+
+Single-array statistics of the *original* data: extrema, moments, and the
+Shannon entropy of a histogram quantisation.  These ride along with
+pattern-1 passes in the fused kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["DataProperties", "data_properties", "entropy"]
+
+DEFAULT_ENTROPY_BINS = 256
+
+
+@dataclass(frozen=True)
+class DataProperties:
+    min_value: float
+    max_value: float
+    value_range: float
+    mean: float
+    std: float
+    variance: float
+    entropy: float
+    zeros: int
+    n_elements: int
+
+
+def entropy(data: np.ndarray, bins: int = DEFAULT_ENTROPY_BINS) -> float:
+    """Shannon entropy (bits) of a ``bins``-level uniform quantisation.
+
+    Matches Z-checker's property analysis: values are bucketed over
+    ``[min, max]`` and the histogram's empirical distribution is used.
+    A constant field has zero entropy.
+    """
+    data = np.asarray(data)
+    if data.size == 0:
+        raise ShapeError("cannot compute entropy of an empty array")
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    flat = data.astype(np.float64).ravel()
+    lo, hi = float(flat.min()), float(flat.max())
+    if lo == hi:
+        return 0.0
+    hist, _ = np.histogram(flat, bins=bins, range=(lo, hi))
+    p = hist[hist > 0] / flat.size
+    return float(-np.sum(p * np.log2(p)))
+
+
+def data_properties(
+    data: np.ndarray, entropy_bins: int = DEFAULT_ENTROPY_BINS
+) -> DataProperties:
+    """Full property analysis of one array."""
+    data = np.asarray(data)
+    if data.size == 0:
+        raise ShapeError("cannot analyse an empty array")
+    d = data.astype(np.float64)
+    vmin, vmax = float(d.min()), float(d.max())
+    var = float(d.var())
+    return DataProperties(
+        min_value=vmin,
+        max_value=vmax,
+        value_range=vmax - vmin,
+        mean=float(d.mean()),
+        std=math.sqrt(var),
+        variance=var,
+        entropy=entropy(d, entropy_bins),
+        zeros=int(np.count_nonzero(d == 0.0)),
+        n_elements=int(d.size),
+    )

@@ -1,0 +1,82 @@
+"""Pattern-1 reference metrics: pointwise relative ("pwr") error stats.
+
+Z-checker defines the pointwise relative error at element *i* as
+``e_i / orig_i`` wherever the original value is meaningfully nonzero.
+Elements with ``|orig_i| <= floor`` are excluded (the ratio is
+numerically meaningless there); the default floor follows Z-checker's
+practice of ignoring exact zeros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.error_stats import Pdf, _as_pair, DEFAULT_PDF_BINS
+
+__all__ = ["PwrErrorStats", "pwr_error_stats", "pwr_error_pdf", "pwr_errors"]
+
+
+@dataclass(frozen=True)
+class PwrErrorStats:
+    """min/max/avg of the signed pointwise relative error."""
+
+    min_pwr_err: float
+    max_pwr_err: float
+    avg_pwr_err: float
+    max_abs_pwr_err: float
+    #: number of elements excluded because |orig| <= floor
+    excluded: int
+
+
+def pwr_errors(
+    orig: np.ndarray, dec: np.ndarray, floor: float = 0.0
+) -> tuple[np.ndarray, int]:
+    """Signed pointwise relative errors and the count of excluded points."""
+    orig, dec = _as_pair(orig, dec)
+    o = orig.astype(np.float64).ravel()
+    d = dec.astype(np.float64).ravel()
+    mask = np.abs(o) > floor
+    excluded = int(o.size - mask.sum())
+    if excluded == o.size:
+        # Degenerate case: a zero field has no defined relative errors.
+        return np.zeros(0), excluded
+    rel = (d[mask] - o[mask]) / o[mask]
+    return rel, excluded
+
+
+def pwr_error_stats(
+    orig: np.ndarray, dec: np.ndarray, floor: float = 0.0
+) -> PwrErrorStats:
+    """Reference implementation of min/max/avg pwr error (pattern 1)."""
+    rel, excluded = pwr_errors(orig, dec, floor)
+    if rel.size == 0:
+        return PwrErrorStats(0.0, 0.0, 0.0, 0.0, excluded)
+    return PwrErrorStats(
+        min_pwr_err=float(rel.min()),
+        max_pwr_err=float(rel.max()),
+        avg_pwr_err=float(rel.mean()),
+        max_abs_pwr_err=float(np.abs(rel).max()),
+        excluded=excluded,
+    )
+
+
+def pwr_error_pdf(
+    orig: np.ndarray,
+    dec: np.ndarray,
+    bins: int = DEFAULT_PDF_BINS,
+    floor: float = 0.0,
+) -> Pdf:
+    """Probability density of the pointwise relative error (pattern 1)."""
+    rel, _ = pwr_errors(orig, dec, floor)
+    if rel.size == 0:
+        edges = np.array([-1e-12, 1e-12])
+        return Pdf(bin_edges=edges, density=np.array([1.0 / (edges[1] - edges[0])]))
+    lo, hi = float(rel.min()), float(rel.max())
+    if lo == hi:
+        eps = max(abs(lo), 1.0) * 1e-9 + 1e-300
+        edges = np.array([lo - eps, hi + eps])
+        return Pdf(bin_edges=edges, density=np.array([1.0 / (edges[1] - edges[0])]))
+    hist, edges = np.histogram(rel, bins=bins, range=(lo, hi), density=True)
+    return Pdf(bin_edges=edges, density=hist)

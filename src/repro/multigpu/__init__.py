@@ -1,0 +1,22 @@
+"""Multi-GPU extension (the paper's Section VI future work).
+
+Scales the assessment across simulated GPUs via z-axis domain
+decomposition with halo exchange, NVLink-modelled communication, and
+exact merging of the pattern-1 reduction results.
+"""
+
+from repro.multigpu.partition import ZPartition, partition_z
+from repro.multigpu.comm import NvLinkSpec, NVLINK_V100, allreduce_time, halo_exchange_time
+from repro.multigpu.checker import MultiGpuCuZC, MultiGpuTiming, merge_pattern1
+
+__all__ = [
+    "ZPartition",
+    "partition_z",
+    "NvLinkSpec",
+    "NVLINK_V100",
+    "allreduce_time",
+    "halo_exchange_time",
+    "MultiGpuCuZC",
+    "MultiGpuTiming",
+    "merge_pattern1",
+]

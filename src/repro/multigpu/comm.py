@@ -1,0 +1,47 @@
+"""NVLink communication model for the multi-GPU extension.
+
+Modelled after NVLink 2.0 on DGX-style V100 nodes: 50 GB/s per direction
+per link pair, microsecond-scale latency.  Collectives use ring
+formulations (the standard NCCL cost model: an allreduce of ``s`` bytes
+over ``g`` ranks moves ``2·s·(g-1)/g`` bytes per rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NvLinkSpec", "NVLINK_V100", "allreduce_time", "halo_exchange_time"]
+
+
+@dataclass(frozen=True)
+class NvLinkSpec:
+    """Point-to-point interconnect characteristics."""
+
+    name: str
+    bandwidth: float  # bytes/s per direction
+    latency: float  # seconds per message
+
+
+NVLINK_V100 = NvLinkSpec(name="NVLink 2.0", bandwidth=50e9, latency=8e-6)
+
+
+def allreduce_time(
+    nbytes: int, n_gpus: int, link: NvLinkSpec = NVLINK_V100
+) -> float:
+    """Ring allreduce cost (NCCL model)."""
+    if n_gpus < 1:
+        raise ValueError("n_gpus must be >= 1")
+    if n_gpus == 1:
+        return 0.0
+    steps = 2 * (n_gpus - 1)
+    per_step_bytes = nbytes / n_gpus
+    return steps * (link.latency + per_step_bytes / link.bandwidth)
+
+
+def halo_exchange_time(
+    halo_bytes_per_side: int, link: NvLinkSpec = NVLINK_V100
+) -> float:
+    """Simultaneous exchange of halo planes with both z-neighbours."""
+    if halo_bytes_per_side == 0:
+        return 0.0
+    return link.latency + halo_bytes_per_side / link.bandwidth

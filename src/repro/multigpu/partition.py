@@ -1,0 +1,63 @@
+"""Z-axis domain decomposition for multi-GPU assessment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+
+__all__ = ["ZPartition", "partition_z"]
+
+
+@dataclass(frozen=True)
+class ZPartition:
+    """One GPU's share of the volume along z."""
+
+    rank: int
+    z0: int
+    z1: int  # exclusive
+    halo_lo: int
+    halo_hi: int
+
+    @property
+    def owned(self) -> int:
+        return self.z1 - self.z0
+
+    @property
+    def with_halo(self) -> tuple[int, int]:
+        """(start, stop) including the halo planes this rank must receive."""
+        return (self.z0 - self.halo_lo, self.z1 + self.halo_hi)
+
+
+def partition_z(
+    nz: int, n_gpus: int, halo: int = 0
+) -> list[ZPartition]:
+    """Split ``nz`` planes across GPUs as evenly as possible.
+
+    ``halo`` is the one-sided stencil/window reach each rank needs from
+    its neighbours (max autocorrelation lag, or SSIM window − 1).
+    """
+    if n_gpus < 1:
+        raise ValueError("n_gpus must be >= 1")
+    if halo < 0:
+        raise ValueError("halo must be >= 0")
+    if nz < n_gpus:
+        raise ShapeError(f"cannot split {nz} planes across {n_gpus} GPUs")
+    base = nz // n_gpus
+    extra = nz % n_gpus
+    parts: list[ZPartition] = []
+    z0 = 0
+    for rank in range(n_gpus):
+        span = base + (1 if rank < extra else 0)
+        z1 = z0 + span
+        parts.append(
+            ZPartition(
+                rank=rank,
+                z0=z0,
+                z1=z1,
+                halo_lo=min(halo, z0),
+                halo_hi=min(halo, nz - z1),
+            )
+        )
+        z0 = z1
+    return parts

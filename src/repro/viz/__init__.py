@@ -1,0 +1,24 @@
+"""Visualisation engine substitution: terminal plots and gnuplot exports.
+
+Z-checker ships a gnuplot-based visualisation engine and a web Z-server;
+in this reproduction the same series (PDFs, autocorrelations, speedup
+bars) render as ASCII in the terminal and export as gnuplot-compatible
+``.dat``/``.gp`` files.
+"""
+
+from repro.viz.ascii import ascii_bar_chart, ascii_line_plot, ascii_table
+from repro.viz.gnuplot import write_series, write_gnuplot_script
+from repro.viz.html import render_report_html, write_report_html
+from repro.viz.slicemap import svg_heatmap, svg_error_map
+
+__all__ = [
+    "ascii_bar_chart",
+    "ascii_line_plot",
+    "ascii_table",
+    "write_series",
+    "write_gnuplot_script",
+    "render_report_html",
+    "write_report_html",
+    "svg_heatmap",
+    "svg_error_map",
+]

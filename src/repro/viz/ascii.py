@@ -1,0 +1,85 @@
+"""Terminal plotting primitives for reports and benchmark output."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_bar_chart", "ascii_line_plot", "ascii_table"]
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; the longest bar spans ``width`` characters."""
+    if not values:
+        raise ValueError("nothing to plot")
+    lines = [title] if title else []
+    label_width = max(len(k) for k in values)
+
+    def _mag(v: float) -> float:
+        if not log_scale:
+            return max(v, 0.0)
+        return math.log10(max(v, 1e-12)) - math.log10(1e-12)
+
+    mags = {k: _mag(v) for k, v in values.items()}
+    peak = max(mags.values()) or 1.0
+    for key, value in values.items():
+        bar = "#" * max(1, round(width * mags[key] / peak))
+        lines.append(f"{key:<{label_width}} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Scatter/line plot on a character grid."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = min(width - 1, int((x - xmin) / xspan * (width - 1)))
+        row = min(height - 1, int((ymax - y) / yspan * (height - 1)))
+        grid[row][col] = "*"
+    lines = [title] if title else []
+    lines.append(f"{ymax:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{ymin:10.3g} +" + "-" * width)
+    lines.append(" " * 12 + f"{xmin:<10.3g}{'':^{max(0, width - 20)}}{xmax:>10.3g}")
+    return "\n".join(lines)
+
+
+def ascii_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Fixed-width table from a list of dict rows."""
+    if not rows:
+        raise ValueError("nothing to tabulate")
+    columns = list(columns or rows[0].keys())
+    widths = {
+        c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = " | ".join(f"{c:<{widths[c]}}" for c in columns)
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    body = [
+        " | ".join(f"{str(r.get(c, '')):<{widths[c]}}" for c in columns)
+        for r in rows
+    ]
+    lines = [title] if title else []
+    lines += [header, sep, *body]
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Gnuplot-compatible exports (Z-checker's native plotting pathway)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["write_series", "write_gnuplot_script"]
+
+
+def write_series(
+    path: str | Path,
+    columns: Mapping[str, Sequence[float]],
+    comment: str = "",
+) -> Path:
+    """Write aligned columns as a whitespace-separated ``.dat`` file."""
+    path = Path(path)
+    names = list(columns)
+    if not names:
+        raise ValueError("no columns to write")
+    lengths = {len(columns[n]) for n in names}
+    if len(lengths) != 1:
+        raise ValueError(f"columns have unequal lengths: {lengths}")
+    lines = []
+    if comment:
+        lines.append(f"# {comment}")
+    lines.append("# " + "  ".join(names))
+    for row in zip(*(columns[n] for n in names)):
+        lines.append("  ".join(f"{v:.10g}" for v in row))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_gnuplot_script(
+    path: str | Path,
+    dat_file: str | Path,
+    ylabel: str,
+    title: str,
+    columns: Sequence[str],
+    logscale_y: bool = False,
+) -> Path:
+    """Emit a minimal ``.gp`` script plotting ``dat_file``'s columns."""
+    path = Path(path)
+    plot_parts = [
+        f"'{Path(dat_file).name}' using 1:{i + 2} with linespoints title '{c}'"
+        for i, c in enumerate(columns)
+    ]
+    script = [
+        f"set title '{title}'",
+        f"set ylabel '{ylabel}'",
+        "set key outside",
+        "set grid",
+    ]
+    if logscale_y:
+        script.append("set logscale y")
+    script.append("plot " + ", \\\n     ".join(plot_parts))
+    path.write_text("\n".join(script) + "\n")
+    return path

@@ -1,0 +1,180 @@
+"""Static HTML report engine (the Z-server substitution).
+
+Z-checker ships a web server for browsing assessment results online;
+this module renders the same content — metric tables, error PDF,
+autocorrelation, and timing bars — as a single self-contained HTML file
+with inline SVG (no JavaScript, no external assets), suitable for CI
+artifacts and offline review.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.report import AssessmentReport
+
+__all__ = ["svg_line_plot", "svg_bar_chart", "render_report_html", "write_report_html"]
+
+_CSS = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { border-bottom: 2px solid #444; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #bbb; padding: 4px 10px; text-align: left; }
+th { background: #eee; }
+figure { margin: 1.5em 0; }
+figcaption { font-size: 0.9em; color: #555; }
+"""
+
+
+def _scale(values, lo, hi, out_lo, out_hi):
+    span = (hi - lo) or 1.0
+    return [out_lo + (v - lo) / span * (out_hi - out_lo) for v in values]
+
+
+def svg_line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 480,
+    height: int = 220,
+    label: str = "",
+) -> str:
+    """A minimal inline-SVG line plot."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    pad = 40
+    finite = [(x, y) for x, y in zip(xs, ys) if math.isfinite(x) and math.isfinite(y)]
+    if not finite:
+        raise ValueError("nothing finite to plot")
+    fx = [p[0] for p in finite]
+    fy = [p[1] for p in finite]
+    sx = _scale(fx, min(fx), max(fx), pad, width - pad)
+    sy = _scale(fy, min(fy), max(fy), height - pad, pad)
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(sx, sy))
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+        f'<rect width="{width}" height="{height}" fill="#fafafa" '
+        f'stroke="#ccc"/>'
+        f'<polyline points="{points}" fill="none" stroke="#1f77b4" '
+        f'stroke-width="1.5"/>'
+        f'<text x="{pad}" y="{height - 8}" font-size="11">'
+        f"{html.escape(label)} | x: {min(fx):.3g}..{max(fx):.3g} "
+        f"y: {min(fy):.3g}..{max(fy):.3g}</text>"
+        f"</svg>"
+    )
+
+
+def svg_bar_chart(
+    values: dict[str, float], width: int = 480, height: int = 40, label: str = ""
+) -> str:
+    """Horizontal SVG bars, one per entry."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values.values()) or 1.0
+    bar_h = 18
+    total_h = height + bar_h * len(values)
+    rows = []
+    for i, (key, value) in enumerate(values.items()):
+        w = max(2.0, 300.0 * value / peak)
+        y = 10 + i * bar_h
+        rows.append(
+            f'<rect x="130" y="{y}" width="{w:.1f}" height="{bar_h - 4}" '
+            f'fill="#2ca02c"/>'
+            f'<text x="4" y="{y + 11}" font-size="11">{html.escape(key)}</text>'
+            f'<text x="{134 + w:.1f}" y="{y + 11}" font-size="11">'
+            f"{value:.4g}</text>"
+        )
+    return (
+        f'<svg width="{width}" height="{total_h}" '
+        f'xmlns="http://www.w3.org/2000/svg">'
+        f'<text x="4" y="{total_h - 6}" font-size="11">{html.escape(label)}'
+        f"</text>" + "".join(rows) + "</svg>"
+    )
+
+
+def render_report_html(
+    report: AssessmentReport,
+    title: str = "cuZ-Checker report",
+    orig=None,
+    dec=None,
+) -> str:
+    """Render one assessment as a self-contained HTML document.
+
+    When the raw ``orig``/``dec`` volumes are supplied, the report also
+    embeds mid-slice heatmaps of the data and of the signed error (the
+    Foresight-style visual inspection).
+    """
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>shape: {report.shape} "
+        f"({report.shape[0] * report.shape[1] * report.shape[2]:,} elements)</p>",
+        "<h2>Metrics</h2><table><tr><th>metric</th><th>value</th></tr>",
+    ]
+    for name, value in sorted(report.scalars().items()):
+        shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+        parts.append(
+            f"<tr><td>{html.escape(name)}</td><td>{html.escape(shown)}</td></tr>"
+        )
+    parts.append("</table>")
+
+    if report.pattern1 is not None and report.pattern1.err_pdf is not None:
+        pdf = report.pattern1.err_pdf
+        parts.append(
+            "<figure>"
+            + svg_line_plot(
+                list(pdf.bin_centers), list(pdf.density), label="error PDF"
+            )
+            + "<figcaption>compression error PDF</figcaption></figure>"
+        )
+    if report.pattern2 is not None:
+        ac = np.asarray(report.pattern2.autocorrelation)
+        parts.append(
+            "<figure>"
+            + svg_line_plot(
+                list(range(len(ac))), list(ac), label="autocorrelation"
+            )
+            + "<figcaption>spatial autocorrelation of errors "
+            "(lag 0..max)</figcaption></figure>"
+        )
+    if orig is not None and dec is not None:
+        from repro.viz.slicemap import svg_error_map, svg_heatmap
+
+        orig = np.asarray(orig)
+        dec = np.asarray(dec)
+        mid = orig.shape[0] // 2
+        parts.append(
+            "<h2>Mid-slice view</h2><figure>"
+            + svg_heatmap(orig[mid], label=f"original z={mid}")
+            + svg_error_map(orig[mid], dec[mid])
+            + "<figcaption>left: data; right: signed error "
+            "(blue = undershoot, red = overshoot)</figcaption></figure>"
+        )
+    if report.timings:
+        bars = {
+            fw: t.total_seconds * 1e3 for fw, t in report.timings.items()
+        }
+        parts.append(
+            "<h2>Modelled execution time [ms]</h2>"
+            + svg_bar_chart(bars, label="lower is better")
+        )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_report_html(
+    report: AssessmentReport,
+    path: str | Path,
+    title: str = "cuZ-Checker report",
+    orig=None,
+    dec=None,
+) -> Path:
+    path = Path(path)
+    path.write_text(render_report_html(report, title, orig=orig, dec=dec))
+    return path

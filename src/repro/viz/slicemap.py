@@ -1,0 +1,113 @@
+"""SVG slice heatmaps (data + error-map visualisation).
+
+The Z-checker/Foresight workflow inspects a slice of the reconstructed
+field next to a map of where the errors live.  These helpers render a
+2-D slice as a pure-SVG heatmap (rect grid, downsampled to a bounded
+cell count — no raster dependencies), embeddable in the HTML reports.
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["svg_heatmap", "svg_error_map"]
+
+#: blue → white → red diverging ramp for signed data
+_DIVERGING = ((33, 102, 172), (247, 247, 247), (178, 24, 43))
+#: white → dark sequential ramp for magnitudes
+_SEQUENTIAL = ((255, 255, 245), (254, 178, 76), (128, 0, 38))
+
+
+def _lerp(c0, c1, t):
+    return tuple(int(round(a + (b - a) * t)) for a, b in zip(c0, c1))
+
+
+def _ramp(colors, t: float) -> str:
+    t = min(max(t, 0.0), 1.0)
+    if t < 0.5:
+        rgb = _lerp(colors[0], colors[1], t * 2)
+    else:
+        rgb = _lerp(colors[1], colors[2], (t - 0.5) * 2)
+    return f"#{rgb[0]:02x}{rgb[1]:02x}{rgb[2]:02x}"
+
+
+def _downsample(plane: np.ndarray, max_cells: int) -> np.ndarray:
+    ny, nx = plane.shape
+    step = max(1, int(np.ceil(max(ny, nx) / max_cells)))
+    if step == 1:
+        return plane
+    ty = (ny // step) * step
+    tx = (nx // step) * step
+    view = plane[:ty, :tx].reshape(ty // step, step, tx // step, step)
+    return view.mean(axis=(1, 3))
+
+
+def svg_heatmap(
+    plane: np.ndarray,
+    max_cells: int = 64,
+    cell: int = 6,
+    label: str = "",
+    diverging: bool = False,
+) -> str:
+    """Render a 2-D array as an SVG rect-grid heatmap.
+
+    ``diverging=True`` centres the colour ramp on zero (error maps);
+    otherwise the ramp spans [min, max].
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    if plane.ndim != 2 or min(plane.shape) < 1:
+        raise ShapeError(f"heatmap needs a non-empty 2-D array, got {plane.shape}")
+    grid = _downsample(plane, max_cells)
+    ny, nx = grid.shape
+    if diverging:
+        peak = float(np.abs(grid).max()) or 1.0
+        norm = (grid / peak + 1.0) / 2.0
+        colors = _DIVERGING
+    else:
+        lo, hi = float(grid.min()), float(grid.max())
+        span = (hi - lo) or 1.0
+        norm = (grid - lo) / span
+        colors = _SEQUENTIAL
+    width = nx * cell
+    height = ny * cell + 16
+    rects = []
+    for j in range(ny):
+        for i in range(nx):
+            rects.append(
+                f'<rect x="{i * cell}" y="{j * cell}" width="{cell}" '
+                f'height="{cell}" fill="{_ramp(colors, float(norm[j, i]))}"/>'
+            )
+    caption = (
+        f'<text x="2" y="{height - 4}" font-size="10">'
+        f"{_html.escape(label)} [{grid.min():.3g}, {grid.max():.3g}]</text>"
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg">' + "".join(rects) + caption + "</svg>"
+    )
+
+
+def svg_error_map(
+    orig_slice: np.ndarray,
+    dec_slice: np.ndarray,
+    max_cells: int = 64,
+    cell: int = 6,
+) -> str:
+    """Diverging heatmap of the signed error of one slice."""
+    orig_slice = np.asarray(orig_slice, dtype=np.float64)
+    dec_slice = np.asarray(dec_slice, dtype=np.float64)
+    if orig_slice.shape != dec_slice.shape:
+        raise ShapeError(
+            f"slice shapes differ: {orig_slice.shape} vs {dec_slice.shape}"
+        )
+    return svg_heatmap(
+        dec_slice - orig_slice,
+        max_cells=max_cells,
+        cell=cell,
+        label="signed error",
+        diverging=True,
+    )

@@ -1,0 +1,46 @@
+"""Shared fixtures: small, deterministic field pairs for fast CI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20210921)  # CLUSTER'21 vintage
+
+
+@pytest.fixture(scope="session")
+def smooth_field() -> np.ndarray:
+    """A smooth 3-D float32 field (compressible, realistic)."""
+    from repro.datasets.synthetic import spectral_field
+
+    return spectral_field((20, 24, 28), slope=3.0, seed=7, mean=5.0, std=2.0)
+
+
+@pytest.fixture(scope="session")
+def noisy_pair(smooth_field, rng) -> tuple[np.ndarray, np.ndarray]:
+    """(original, decompressed) with small white reconstruction noise."""
+    noise = rng.normal(scale=0.01, size=smooth_field.shape).astype(np.float32)
+    return smooth_field, smooth_field + noise
+
+
+@pytest.fixture(scope="session")
+def banded_pair(smooth_field) -> tuple[np.ndarray, np.ndarray]:
+    """(original, decompressed) via a real SZ round-trip (banded errors)."""
+    from repro.compressors.sz import SZCompressor
+
+    comp = SZCompressor(rel_bound=1e-3)
+    dec = comp.decompress(comp.compress(smooth_field))
+    return smooth_field, dec
+
+
+@pytest.fixture()
+def tmp_field_file(tmp_path, smooth_field):
+    """A raw float32 binary on disk plus its shape."""
+    from repro.io.raw import write_raw
+
+    path = tmp_path / "field.f32"
+    write_raw(path, smooth_field)
+    return path, smooth_field.shape

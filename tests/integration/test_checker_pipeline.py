@@ -1,0 +1,159 @@
+"""End-to-end checker runs: the Section IV-B correctness check and the
+full compress→decompress→assess pipeline on every codec and dataset."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.registry import get_compressor
+from repro.config.schema import CheckerConfig
+from repro.core.checker import CuZChecker
+from repro.core.compare import assess_compressor, compare_data
+from repro.datasets.registry import DATASET_NAMES, generate_dataset
+from repro.errors import ShapeError
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+
+
+def small_config(**kw):
+    return CheckerConfig(
+        pattern2=Pattern2Config(max_lag=kw.pop("max_lag", 3)),
+        pattern3=Pattern3Config(window=kw.pop("window", 6)),
+        **kw,
+    )
+
+
+class TestCorrectnessCheck:
+    """Paper Section IV-B: 'cuZ-Checker has the correct calculation on all
+    assessment metrics by comparing it with Z-checker's output' — here the
+    simulated kernels against the independent NumPy references."""
+
+    def test_all_metrics_match_references(self, banded_pair):
+        orig, dec = banded_pair
+        report = compare_data(orig, dec, config=small_config())
+
+        from repro.metrics import (
+            SsimConfig,
+            derivative_metrics,
+            error_stats,
+            pearson,
+            rate_distortion,
+            spatial_autocorrelation,
+            ssim3d,
+        )
+
+        es = error_stats(orig, dec)
+        rd = rate_distortion(orig, dec)
+        scalars = report.scalars()
+        assert scalars["min_err"] == pytest.approx(es.min_err)
+        assert scalars["max_err"] == pytest.approx(es.max_err)
+        assert scalars["mse"] == pytest.approx(rd.mse, rel=1e-12)
+        assert scalars["psnr"] == pytest.approx(rd.psnr, rel=1e-12)
+        assert scalars["ssim"] == pytest.approx(
+            ssim3d(orig, dec, SsimConfig(window=6)).ssim, rel=1e-12
+        )
+        assert scalars["derivative_order1"] == pytest.approx(
+            derivative_metrics(orig, dec, 1).rms_diff, rel=1e-10
+        )
+        assert scalars["pearson"] == pytest.approx(pearson(orig, dec))
+        e = dec.astype(np.float64) - orig.astype(np.float64)
+        assert np.allclose(
+            report.pattern2.autocorrelation,
+            spatial_autocorrelation(e, 3),
+            atol=1e-9,
+        )
+
+
+class TestCoordinator:
+    def test_needed_patterns_from_metric_selection(self):
+        checker = CuZChecker(small_config(metrics=("mse", "psnr")))
+        assert checker.needed_patterns() == (1,)
+        checker = CuZChecker(small_config(metrics=("ssim",)))
+        assert checker.needed_patterns() == (3,)
+        checker = CuZChecker(small_config(metrics=("laplacian", "mse")))
+        assert checker.needed_patterns() == (1, 2)
+
+    def test_disabled_pattern_not_run(self, noisy_pair):
+        checker = CuZChecker(small_config(patterns=(1,)))
+        report = checker.assess(*noisy_pair)
+        assert report.pattern1 is not None
+        assert report.pattern2 is None
+        assert report.pattern3 is None
+
+    def test_metrics_subset_skips_unneeded_kernels(self, noisy_pair):
+        checker = CuZChecker(small_config(metrics=("ssim",)))
+        report = checker.assess(*noisy_pair)
+        assert report.pattern1 is None
+        assert report.pattern3 is not None
+
+    def test_auxiliary_toggle(self, noisy_pair):
+        report = CuZChecker(small_config(auxiliary=False)).assess(*noisy_pair)
+        assert "pearson" not in report.auxiliary
+
+    def test_non_3d_rejected(self):
+        checker = CuZChecker(small_config())
+        with pytest.raises(ShapeError):
+            checker.assess(np.zeros((4, 4)), np.zeros((4, 4)))
+
+    def test_cross_pattern_moment_reuse_consistent(self, banded_pair):
+        """Autocorrelation normalised by pattern-1 moments equals the
+        standalone computation."""
+        orig, dec = banded_pair
+        with_p1 = CuZChecker(small_config()).assess(orig, dec)
+        only_p2 = CuZChecker(small_config(patterns=(2,))).assess(orig, dec)
+        assert np.allclose(
+            with_p1.pattern2.autocorrelation,
+            only_p2.pattern2.autocorrelation,
+            atol=1e-9,
+        )
+
+
+class TestAssessCompressor:
+    @pytest.mark.parametrize("codec,kwargs", [
+        ("sz", {"rel_bound": 1e-3}),
+        ("zfp", {"rate": 8}),
+        ("uniform_quant", {"rel_bound": 1e-3}),
+        ("decimate", {"factor": 2}),
+    ])
+    def test_every_codec_end_to_end(self, smooth_field, codec, kwargs):
+        comp = get_compressor(codec, **kwargs)
+        report = assess_compressor(smooth_field, comp, config=small_config())
+        scalars = report.scalars()
+        assert scalars["compression_ratio"] > 1.0
+        assert scalars["compression_throughput"] > 0
+        assert scalars["decompression_throughput"] > 0
+        assert 0.0 < scalars["ssim"] <= 1.0
+        assert scalars["bit_rate"] < 32.0
+
+    def test_sz_beats_zfp_quality_at_same_ratio_regime(self, smooth_field):
+        """The introduction's motivation: error-bounded SZ achieves better
+        rate-distortion than fixed-rate ZFP."""
+        sz_report = assess_compressor(
+            smooth_field, get_compressor("sz", rel_bound=1e-3),
+            config=small_config(),
+        )
+        zfp_report = assess_compressor(
+            smooth_field, get_compressor("zfp", rate=8), config=small_config()
+        )
+        sz_psnr = sz_report.scalars()["psnr"]
+        zfp_psnr = zfp_report.scalars()["psnr"]
+        sz_rate = sz_report.scalars()["bit_rate"]
+        zfp_rate = zfp_report.scalars()["bit_rate"]
+        # SZ: higher PSNR at a lower (or comparable) bit rate
+        assert sz_psnr > zfp_psnr
+        assert sz_rate < zfp_rate * 1.3
+
+
+class TestAllDatasets:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_assess_each_application(self, name):
+        ds = generate_dataset(name, scale=0.05, n_fields=2)
+        comp = get_compressor("sz", rel_bound=1e-3)
+        for field in ds:
+            report = assess_compressor(field.data, comp, config=small_config())
+            scalars = report.scalars()
+            assert scalars["ssim"] > 0.5
+            assert scalars["compression_ratio"] > 1.0
+            # error-bounded: max error within bound
+            assert abs(scalars["max_err"]) <= 1.001 * (
+                scalars["value_range"] * 1e-3 + 1e-12
+            ) or scalars["value_range"] == 0

@@ -1,0 +1,130 @@
+"""CLI tests for the extension subcommands (html, trace, estimate) and
+the 2-D compare API."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.compare import compare_data_2d
+from repro.errors import ShapeError
+from repro.io.raw import write_raw
+
+
+class TestAnalyzeHtml:
+    def test_html_report_written(self, tmp_path, banded_pair):
+        orig, dec = banded_pair
+        a, b = tmp_path / "o.f32", tmp_path / "d.f32"
+        write_raw(a, orig)
+        write_raw(b, dec)
+        html_path = tmp_path / "report.html"
+        rc = main([
+            "analyze", str(a), str(b),
+            "--shape", ",".join(map(str, orig.shape)),
+            "--html", str(html_path),
+        ])
+        assert rc == 0
+        doc = html_path.read_text()
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "<svg" in doc
+
+
+class TestTraceCommand:
+    @pytest.mark.parametrize("framework,pattern", [
+        ("cuZC", 1), ("cuZC", 3), ("moZC", 1), ("moZC", 2),
+    ])
+    def test_trace_export(self, tmp_path, framework, pattern, capsys):
+        out = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--framework", framework, "--pattern", str(pattern),
+            "--dataset", "miranda", "--out", str(out),
+        ])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["traceEvents"]) >= 2
+
+    def test_mozc_pattern1_has_ten_pipelines(self, tmp_path):
+        out = tmp_path / "trace.json"
+        main(["trace", "--framework", "moZC", "--pattern", "1",
+              "--out", str(out)])
+        events = json.loads(out.read_text())["traceEvents"]
+        launches = [e for e in events if str(e.get("name", "")).startswith("launch:")]
+        assert len(launches) == 10
+
+
+class TestEstimateCommand:
+    def test_prediction_table(self, capsys):
+        rc = main(["estimate", "--dataset", "nyx", "--scale", "0.04",
+                   "--rel-bound", "1e-3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted ratio" in out
+
+    def test_verify_column(self, capsys):
+        rc = main(["estimate", "--dataset", "miranda", "--scale", "0.05",
+                   "--rel-bound", "1e-2", "--verify"])
+        assert rc == 0
+        assert "actual ratio" in capsys.readouterr().out
+
+
+class TestCompareData2d:
+    @pytest.fixture(scope="class")
+    def pair2d(self):
+        from repro.datasets.synthetic import spectral_field
+
+        rng = np.random.default_rng(5)
+        plane = spectral_field((2, 48, 52), slope=3.0, seed=5)[0]
+        noisy = plane + rng.normal(scale=0.01, size=plane.shape).astype(
+            np.float32
+        )
+        return plane, noisy
+
+    def test_full_result_dict(self, pair2d):
+        out = compare_data_2d(*pair2d)
+        for key in ("mse", "psnr", "ssim", "pearson", "derivative_order1",
+                    "autocorrelation", "spectral"):
+            assert key in out
+        assert 0.9 < out["ssim"] <= 1.0
+        assert out["autocorrelation"][0] == 1.0
+
+    def test_matches_3d_metrics_on_same_data(self, pair2d):
+        """The dimension-agnostic metrics agree with the 3-D path run on
+        a singleton-z volume."""
+        from repro.metrics.rate_distortion import rate_distortion
+
+        plane, noisy = pair2d
+        out = compare_data_2d(plane, noisy)
+        rd = rate_distortion(plane[None], noisy[None])
+        assert out["mse"] == pytest.approx(rd.mse, rel=1e-12)
+        assert out["psnr"] == pytest.approx(rd.psnr, rel=1e-12)
+
+    def test_small_plane_skips_ssim(self):
+        a = np.zeros((5, 5), dtype=np.float32)
+        out = compare_data_2d(a, a.copy())
+        assert "ssim" not in out
+        assert "derivative_order1" in out
+
+    def test_rejects_3d(self, banded_pair):
+        with pytest.raises(ShapeError):
+            compare_data_2d(*banded_pair)
+
+
+class TestCheckCommand:
+    def test_good_codec_exits_zero(self, capsys):
+        rc = main(["check", "--dataset", "miranda", "--scale", "0.06",
+                   "--codec", "sz", "--rel-bound", "1e-4"])
+        assert rc == 0
+        assert "ACCEPTABLE" in capsys.readouterr().out
+
+    def test_bad_codec_exits_one(self, capsys):
+        rc = main(["check", "--dataset", "miranda", "--scale", "0.06",
+                   "--codec", "decimate"])
+        assert rc == 1
+        assert "NOT ACCEPTABLE" in capsys.readouterr().out
+
+    def test_threshold_overrides(self, capsys):
+        rc = main(["check", "--dataset", "miranda", "--scale", "0.06",
+                   "--codec", "sz", "--rel-bound", "1e-4",
+                   "--min-psnr", "300"])
+        assert rc == 1

@@ -1,0 +1,133 @@
+"""Failure injection: corrupted payloads, bad inputs, broken invariants.
+
+A production assessment tool sits at the end of long pipelines; these
+tests make sure corruption is *detected* (raising
+:class:`~repro.errors.ReproError` subclasses) rather than silently
+producing wrong science.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compressors.base import CompressedBuffer
+from repro.compressors.lossless import LosslessCompressor
+from repro.compressors.sz import SZCompressor
+from repro.compressors.zfp import ZFPCompressor
+from repro.errors import CompressionError, DataIOError, ReproError
+
+
+class TestCorruptedBuffers:
+    def test_sz_truncated_payload(self, smooth_field):
+        comp = SZCompressor(rel_bound=1e-3)
+        buf = comp.compress(smooth_field)
+        buf.payload = buf.payload[: len(buf.payload) // 2]
+        with pytest.raises(ReproError):
+            comp.decompress(buf)
+
+    def test_sz_wrong_shape_metadata(self, smooth_field):
+        comp = SZCompressor(rel_bound=1e-3)
+        buf = comp.compress(smooth_field)
+        buf.meta["shape"] = [2, 2, 2]
+        with pytest.raises(CompressionError):
+            comp.decompress(buf)
+
+    def test_sz_outlier_record_mismatch(self, smooth_field):
+        """Sentinel symbols without matching outlier records are a broken
+        invariant, not a crash."""
+        data = smooth_field.copy()
+        data[0, 0, 0] = 1e6  # force an outlier
+        comp = SZCompressor(abs_bound=1e-3, radius=64)
+        buf = comp.compress(data)
+        # chop the outlier records off the end
+        import struct
+
+        (stream_len,) = struct.unpack("<Q", buf.payload[:8])
+        buf.payload = buf.payload[: 8 + stream_len] + struct.pack("<Q", 0)
+        with pytest.raises(CompressionError):
+            comp.decompress(buf)
+
+    def test_zfp_truncated_columns(self, smooth_field):
+        comp = ZFPCompressor(rate=8)
+        buf = comp.compress(smooth_field)
+        buf.payload = buf.payload[:-64]
+        with pytest.raises(ReproError):
+            comp.decompress(buf)
+
+    def test_lossless_flipped_bytes(self, smooth_field):
+        comp = LosslessCompressor()
+        buf = comp.compress(smooth_field)
+        corrupted = bytearray(buf.payload)
+        corrupted[len(corrupted) // 2] ^= 0xFF
+        buf.payload = bytes(corrupted)
+        with pytest.raises((CompressionError, Exception)):
+            comp.decompress(buf)
+
+    def test_container_bad_magic(self):
+        with pytest.raises(CompressionError):
+            CompressedBuffer.from_bytes(b"XXXX" + b"\x00" * 32)
+
+    def test_codec_crosswiring_rejected(self, smooth_field):
+        sz_buf = SZCompressor(rel_bound=1e-3).compress(smooth_field)
+        with pytest.raises(CompressionError):
+            ZFPCompressor(rate=8).decompress(sz_buf)
+
+
+class TestBadInputs:
+    def test_nan_data_rejected_by_sz(self):
+        data = np.zeros((4, 4, 4), dtype=np.float32)
+        data[1, 1, 1] = np.nan
+        with pytest.raises(CompressionError):
+            SZCompressor(abs_bound=0.1).compress(data)
+
+    def test_checker_rejects_nan_free_pass(self, smooth_field):
+        """Metrics on NaN data produce NaN, never silently-wrong values."""
+        from repro.metrics.rate_distortion import rate_distortion
+
+        dec = smooth_field.copy()
+        dec[0, 0, 0] = np.nan
+        rd = rate_distortion(smooth_field, dec)
+        assert np.isnan(rd.mse)
+
+    def test_bundle_manifest_corruption(self, tmp_path, smooth_field):
+        from repro.datasets.fields import Dataset, Field
+        from repro.io.bundle import load_bundle, save_bundle
+
+        ds = Dataset(name="x")
+        ds.add(Field("f", smooth_field))
+        save_bundle(ds, tmp_path / "b")
+        manifest = tmp_path / "b" / "manifest.json"
+        blob = json.loads(manifest.read_text())
+        blob["shape"] = "not-a-shape"
+        manifest.write_text(json.dumps(blob))
+        with pytest.raises(DataIOError):
+            load_bundle(tmp_path / "b")
+
+    def test_truncated_raw_file(self, tmp_path, smooth_field):
+        from repro.io.raw import read_raw, write_raw
+
+        path = tmp_path / "f.f32"
+        write_raw(path, smooth_field)
+        path.write_bytes(path.read_bytes()[:-100])
+        with pytest.raises(DataIOError):
+            read_raw(path, smooth_field.shape)
+
+
+class TestRoundTripUnderInjection:
+    def test_single_bitflip_in_huffman_stream_detected_or_wrong(
+        self, smooth_field
+    ):
+        """A bit flip in the entropy stream either raises or decodes to a
+        *different* array — it must never return the original while
+        claiming success with corrupted input."""
+        from repro.compressors.huffman import huffman_decode, huffman_encode
+
+        values = np.arange(-50, 50, dtype=np.int64).repeat(20)
+        blob = bytearray(huffman_encode(values))
+        blob[-10] ^= 0x01
+        try:
+            decoded = huffman_decode(bytes(blob))
+        except CompressionError:
+            return
+        assert not np.array_equal(decoded, values)

@@ -1,0 +1,150 @@
+"""Hypothesis properties of the compressor substrate."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressors.bitstream import pack_fixed_width, unpack_fixed_width
+from repro.compressors.huffman import huffman_decode, huffman_encode
+from repro.compressors.predictor import lorenzo_reconstruct, lorenzo_residuals
+from repro.compressors.quantizer import dequantize, prequantize
+from repro.compressors.simple import UniformQuantCompressor
+from repro.compressors.sz import SZCompressor
+from repro.compressors.zfp import ZFPCompressor, _fwd_axis, _inv_axis
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+small_fields = hnp.arrays(
+    dtype=np.float32,
+    shape=st.tuples(st.integers(3, 7), st.integers(3, 7), st.integers(3, 7)),
+    elements=st.floats(-1e4, 1e4, width=32),
+)
+
+int_streams = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(1, 500),
+    elements=st.integers(-(2**20), 2**20),
+)
+
+
+class TestHuffmanProperty:
+    @SETTINGS
+    @given(int_streams)
+    def test_roundtrip(self, values):
+        assert np.array_equal(huffman_decode(huffman_encode(values)), values)
+
+    @SETTINGS
+    @given(hnp.arrays(np.int64, st.integers(1, 300), elements=st.integers(0, 3)))
+    def test_small_alphabet_roundtrip(self, values):
+        assert np.array_equal(huffman_decode(huffman_encode(values)), values)
+
+
+class TestBitstreamProperty:
+    @SETTINGS
+    @given(
+        hnp.arrays(np.uint64, st.integers(1, 200), elements=st.integers(0, 2**16 - 1)),
+        st.integers(16, 40),
+    )
+    def test_fixed_width_roundtrip(self, values, width):
+        blob = pack_fixed_width(values, width)
+        assert np.array_equal(unpack_fixed_width(blob, width, len(values)), values)
+
+
+class TestLorenzoProperty:
+    @SETTINGS
+    @given(
+        hnp.arrays(
+            np.int64,
+            st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6)),
+            elements=st.integers(-(2**30), 2**30),
+        )
+    )
+    def test_residual_reconstruct_duality(self, q):
+        assert np.array_equal(lorenzo_reconstruct(lorenzo_residuals(q)), q)
+
+    @SETTINGS
+    @given(
+        hnp.arrays(np.int64, st.integers(1, 100),
+                   elements=st.integers(-(2**30), 2**30))
+    )
+    def test_1d_duality(self, q):
+        assert np.array_equal(lorenzo_reconstruct(lorenzo_residuals(q)), q)
+
+
+class TestQuantizerProperty:
+    @SETTINGS
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 200),
+                   elements=st.floats(-1e6, 1e6)),
+        st.floats(1e-4, 1.0),
+    )
+    def test_bound_invariant(self, data, eb):
+        q = prequantize(data, eb)
+        rec = np.asarray(q, dtype=np.float64) * 2 * eb
+        assert np.abs(rec - data).max() <= eb * (1 + 1e-9)
+
+
+class TestSZProperty:
+    @SETTINGS
+    @given(small_fields, st.floats(1e-3, 1.0))
+    def test_error_bound_holds(self, field, eb):
+        comp = SZCompressor(abs_bound=eb)
+        dec = comp.decompress(comp.compress(field))
+        err = np.abs(dec.astype(np.float64) - field.astype(np.float64))
+        # float32 ulp at the field's peak magnitude limits achievable bound
+        ulp = float(np.spacing(np.float32(np.abs(field).max() or 1.0)))
+        assert err.max() <= eb + ulp
+
+    @SETTINGS
+    @given(small_fields)
+    def test_shape_and_dtype_preserved(self, field):
+        comp = SZCompressor(abs_bound=0.5)
+        dec = comp.decompress(comp.compress(field))
+        assert dec.shape == field.shape
+        assert dec.dtype == np.float32
+
+    @SETTINGS
+    @given(small_fields, st.floats(1e-3, 0.5))
+    def test_uniform_quant_bound(self, field, eb):
+        comp = UniformQuantCompressor(abs_bound=eb)
+        dec = comp.decompress(comp.compress(field))
+        err = np.abs(dec.astype(np.float64) - field.astype(np.float64))
+        ulp = float(np.spacing(np.float32(np.abs(field).max() or 1.0)))
+        assert err.max() <= eb + ulp
+
+
+class TestZFPProperty:
+    @SETTINGS
+    @given(
+        hnp.arrays(
+            np.int64, st.tuples(st.integers(1, 8)),
+            elements=st.integers(-(2**26), 2**26),
+        ).map(lambda a: np.broadcast_to(a[:, None, None, None], (a.shape[0], 4, 4, 4)).copy())
+    )
+    def test_transform_reversible(self, blocks):
+        fwd = blocks
+        for axis in (1, 2, 3):
+            fwd = _fwd_axis(fwd, axis)
+        inv = fwd
+        for axis in (3, 2, 1):
+            inv = _inv_axis(inv, axis)
+        assert np.array_equal(inv, blocks)
+
+    @SETTINGS
+    @given(small_fields, st.sampled_from([4, 8, 16]))
+    def test_decompress_shape(self, field, rate):
+        assume(np.isfinite(field).all())
+        comp = ZFPCompressor(rate=rate)
+        dec = comp.decompress(comp.compress(field))
+        assert dec.shape == field.shape
+
+    @SETTINGS
+    @given(small_fields)
+    def test_fixed_size_invariant(self, field):
+        """Same shape + rate => same compressed payload size, whatever the
+        data (the defining property of fixed-rate coding)."""
+        comp = ZFPCompressor(rate=8)
+        a = len(comp.compress(field).payload)
+        b = len(comp.compress(np.zeros_like(field)).payload)
+        assert a == b

@@ -1,0 +1,96 @@
+"""Hypothesis properties of the GPU execution-model simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpusim.costmodel import kernel_time
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.device import V100
+from repro.gpusim.occupancy import occupancy_for
+from repro.gpusim.warp import shfl_down, shfl_up, warp_reduce
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+lane_arrays = hnp.arrays(
+    np.float64, st.integers(1, 32), elements=st.floats(-1e6, 1e6)
+)
+
+stats_strategy = st.builds(
+    KernelStats,
+    launches=st.integers(1, 8),
+    grid_syncs=st.integers(0, 4),
+    global_read_bytes=st.integers(0, 10**10),
+    global_write_bytes=st.integers(0, 10**9),
+    shared_bytes=st.integers(0, 10**9),
+    shuffle_ops=st.integers(0, 10**8),
+    flops=st.integers(0, 10**11),
+    atomic_ops=st.integers(0, 10**8),
+    grid_blocks=st.integers(1, 10**5),
+    threads_per_block=st.sampled_from([32, 64, 128, 256, 512]),
+    regs_per_thread=st.integers(16, 128),
+    smem_per_block=st.integers(0, 48 * 1024),
+)
+
+
+class TestWarpProperties:
+    @SETTINGS
+    @given(lane_arrays)
+    def test_reduce_equals_sum(self, lanes):
+        assert np.isclose(warp_reduce(lanes), lanes.sum(), rtol=1e-9, atol=1e-6)
+
+    @SETTINGS
+    @given(lane_arrays)
+    def test_reduce_min_max_exact(self, lanes):
+        assert warp_reduce(lanes, np.minimum) == lanes.min()
+        assert warp_reduce(lanes, np.maximum) == lanes.max()
+
+    @SETTINGS
+    @given(lane_arrays, st.integers(0, 31))
+    def test_shfl_up_down_duality(self, lanes, offset):
+        """Shifting down then up preserves the interior lanes."""
+        n = lanes.shape[-1]
+        if offset >= n:
+            return
+        roundtrip = shfl_up(shfl_down(lanes, offset), offset)
+        if n - 2 * offset > 0:
+            assert np.array_equal(
+                roundtrip[offset : n - offset], lanes[offset : n - offset]
+            )
+
+
+class TestOccupancyProperties:
+    @SETTINGS
+    @given(stats_strategy)
+    def test_invariants(self, stats):
+        occ = occupancy_for(V100, stats)
+        assert 1 <= occ.concurrent_blocks_per_sm <= V100.max_blocks_per_sm
+        assert occ.waves >= 1
+        assert 0 < occ.wave_balance <= 1.0
+        assert 1 <= occ.active_sms <= V100.sm_count
+        assert 0 < occ.occupancy <= 1.0
+
+
+class TestCostModelProperties:
+    @SETTINGS
+    @given(stats_strategy)
+    def test_time_positive_and_finite(self, stats):
+        cost = kernel_time(stats, V100)
+        assert cost.total > 0
+        assert np.isfinite(cost.total)
+
+    @SETTINGS
+    @given(stats_strategy, st.floats(1.1, 10.0))
+    def test_monotone_in_workload(self, stats, factor):
+        base = kernel_time(stats, V100).pipeline_time
+        scaled = kernel_time(stats.scaled(factor), V100).pipeline_time
+        assert scaled >= base * 0.999
+
+    @SETTINGS
+    @given(stats_strategy)
+    def test_pipeline_is_max_of_pipes(self, stats):
+        cost = kernel_time(stats, V100)
+        assert cost.pipeline_time >= cost.mem_time
+        assert cost.pipeline_time >= cost.compute_time
+        assert cost.pipeline_time >= cost.smem_time

@@ -1,0 +1,118 @@
+"""Hypothesis properties of the simulated kernels and streaming checker:
+the functional layers must agree with the references for *arbitrary*
+inputs, shapes, and chunkings — not just the fixtures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.streaming import StreamingChecker
+from repro.kernels.pattern1 import execute_pattern1
+from repro.kernels.pattern2 import Pattern2Config, execute_pattern2
+from repro.kernels.pattern3 import Pattern3Config, execute_pattern3
+from repro.metrics.autocorrelation import spatial_autocorrelation
+from repro.metrics.derivatives import derivative_metrics
+from repro.metrics.error_stats import error_stats
+from repro.metrics.rate_distortion import rate_distortion
+from repro.metrics.ssim import SsimConfig, ssim3d
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+fields = hnp.arrays(
+    dtype=np.float32,
+    shape=st.tuples(st.integers(6, 10), st.integers(6, 11), st.integers(6, 12)),
+    elements=st.floats(-100, 100, width=32),
+)
+pairs = st.tuples(fields, st.integers(0, 2**31 - 1))
+
+
+def perturb(field, seed, scale=0.05):
+    rng = np.random.default_rng(seed)
+    return (
+        field + rng.normal(scale=scale, size=field.shape).astype(np.float32)
+    ).astype(np.float32)
+
+
+class TestPattern1Property:
+    @SETTINGS
+    @given(pairs)
+    def test_matches_references(self, pair):
+        field, seed = pair
+        dec = perturb(field, seed)
+        result, _ = execute_pattern1(field, dec)
+        es = error_stats(field, dec)
+        rd = rate_distortion(field, dec)
+        assert result.min_err == pytest.approx(es.min_err, abs=1e-12)
+        assert result.max_err == pytest.approx(es.max_err, abs=1e-12)
+        assert result.mse == pytest.approx(rd.mse, rel=1e-10, abs=1e-300)
+        assert result.value_range == pytest.approx(rd.value_range)
+
+
+class TestPattern2Property:
+    @SETTINGS
+    @given(pairs)
+    def test_matches_references(self, pair):
+        field, seed = pair
+        dec = perturb(field, seed)
+        cfg = Pattern2Config(max_lag=2)
+        result, _ = execute_pattern2(field, dec, cfg)
+        ref = derivative_metrics(field, dec, 1)
+        assert result.der1.rms_diff == pytest.approx(
+            ref.rms_diff, rel=1e-9, abs=1e-12
+        )
+        e = dec.astype(np.float64) - field.astype(np.float64)
+        assert np.allclose(
+            result.autocorrelation, spatial_autocorrelation(e, 2), atol=1e-9
+        )
+
+
+class TestPattern3Property:
+    @SETTINGS
+    @given(pairs, st.integers(3, 5), st.integers(1, 2))
+    def test_matches_reference(self, pair, window, step):
+        field, seed = pair
+        dec = perturb(field, seed)
+        result, _ = execute_pattern3(
+            field, dec, Pattern3Config(window=window, step=step)
+        )
+        ref = ssim3d(field, dec, SsimConfig(window=window, step=step))
+        assert result.ssim == pytest.approx(ref.ssim, rel=1e-9, abs=1e-12)
+        assert result.n_windows == ref.n_windows
+
+
+class TestStreamingProperty:
+    @SETTINGS
+    @given(pairs, st.lists(st.integers(1, 4), min_size=1, max_size=12))
+    def test_any_chunking_matches_batch(self, pair, chunk_seed):
+        field, seed = pair
+        dec = perturb(field, seed)
+        nz = field.shape[0]
+        # turn the random list into a valid chunking of nz
+        chunks = []
+        remaining = nz
+        for c in chunk_seed:
+            if remaining == 0:
+                break
+            take = min(c, remaining)
+            chunks.append(take)
+            remaining -= take
+        if remaining:
+            chunks.append(remaining)
+
+        checker = StreamingChecker(field.shape[1:], max_lag=2)
+        start = 0
+        for c in chunks:
+            checker.update(field[start : start + c], dec[start : start + c])
+            start += c
+        result = checker.finalize()
+        batch, _ = execute_pattern1(field, dec)
+        assert result.pattern1.mse == pytest.approx(
+            batch.mse, rel=1e-10, abs=1e-300
+        )
+        assert result.pattern1.min_err == batch.min_err
+        e = dec.astype(np.float64) - field.astype(np.float64)
+        assert np.allclose(
+            result.autocorrelation, spatial_autocorrelation(e, 2), atol=1e-9
+        )

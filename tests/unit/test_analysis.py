@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.analysis.speedup import overall_speedups, speedup_table
+from repro.analysis.sweep import sweep_error_bounds, sweep_ssim_windows
+from repro.analysis.throughput import overall_throughputs, pattern_throughputs
+
+SHAPES = {"hurricane": (100, 500, 500), "miranda": (256, 384, 384)}
+
+
+class TestThroughput:
+    def test_row_units(self):
+        rows = pattern_throughputs(SHAPES, 1)
+        row = rows[0]
+        assert row.gbps == pytest.approx(row.bytes_per_second / 1e9)
+        assert row.mbps == pytest.approx(row.bytes_per_second / 1e6)
+
+    def test_framework_ordering_per_pattern(self):
+        for pattern in (1, 2, 3):
+            rows = pattern_throughputs(SHAPES, pattern)
+            by = {(r.framework, r.dataset): r.bytes_per_second for r in rows}
+            for ds in SHAPES:
+                assert by[("cuZC", ds)] > by[("moZC", ds)] > by[("ompZC", ds)]
+
+    def test_pattern1_fastest_pattern3_slowest(self):
+        """Fig. 11: throughputs order P1 >> P2 >> P3 for every framework."""
+        t1 = pattern_throughputs(SHAPES, 1)
+        t2 = pattern_throughputs(SHAPES, 2)
+        t3 = pattern_throughputs(SHAPES, 3)
+        for r1, r2, r3 in zip(t1, t2, t3):
+            assert r1.bytes_per_second > r2.bytes_per_second > r3.bytes_per_second
+
+    def test_overall_rows(self):
+        rows = overall_throughputs(SHAPES)
+        assert len(rows) == 6
+        assert all(r.pattern is None for r in rows)
+
+
+class TestSpeedups:
+    def test_overall_beats_baselines(self):
+        rows = overall_speedups(SHAPES)
+        for row in rows:
+            if row.baseline == "ompZC":
+                assert row.speedup > 20
+            else:
+                assert row.speedup > 1.4
+
+    def test_pattern_table_structure(self):
+        rows = speedup_table(SHAPES, 1)
+        assert len(rows) == 4  # 2 baselines x 2 datasets
+        assert {r.baseline for r in rows} == {"ompZC", "moZC"}
+
+
+class TestSweeps:
+    def test_rate_distortion_monotone(self, smooth_field):
+        points = sweep_error_bounds(smooth_field, [1e-2, 1e-3, 1e-4])
+        ratios = [p.metrics["ratio"] for p in points]
+        psnrs = [p.metrics["psnr"] for p in points]
+        assert ratios[0] > ratios[1] > ratios[2]
+        assert psnrs[0] < psnrs[1] < psnrs[2]
+
+    def test_sweep_includes_ssim(self, smooth_field):
+        points = sweep_error_bounds(smooth_field, [1e-3])
+        assert 0.9 < points[0].metrics["ssim"] <= 1.0
+
+    def test_custom_compressor_factory(self, smooth_field):
+        from repro.compressors.zfp import ZFPCompressor
+
+        points = sweep_error_bounds(
+            smooth_field, [4, 8], compressor_factory=lambda r: ZFPCompressor(rate=r)
+        )
+        assert points[0].metrics["ratio"] > points[1].metrics["ratio"]
+
+    def test_ssim_window_sweep_cost_grows(self):
+        points = sweep_ssim_windows((100, 500, 500), windows=(4, 8, 12))
+        secs = [p.metrics["seconds"] for p in points]
+        assert secs[0] < secs[-1]

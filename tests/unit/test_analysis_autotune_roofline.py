@@ -1,0 +1,75 @@
+import pytest
+
+from repro.analysis.autotune import project_devices, tune_pattern3_yrows
+from repro.errors import GpuSimError
+from repro.gpusim.device import A100, V100
+from repro.gpusim.roofline import roofline_point, roofline_report
+from repro.kernels.pattern1 import plan_pattern1
+from repro.kernels.pattern2 import plan_pattern2
+from repro.kernels.pattern3 import Pattern3Config, plan_pattern3
+
+HURRICANE = (100, 500, 500)
+
+
+class TestAutotune:
+    def test_paper_geometry_is_the_model_optimum(self):
+        """The model independently recovers the paper's hand-tuned
+        operating point (12 rows -> 11k regs / ~16-20KB smem / 4 TB/SM)."""
+        points, best = tune_pattern3_yrows(HURRICANE)
+        assert best.yrows == 12
+        assert best.concurrent_blocks_per_sm == 4
+
+    def test_tradeoff_shape(self):
+        """Cost is U-shaped: too few rows re-read ghosts, too many rows
+        kill concurrency."""
+        points, best = tune_pattern3_yrows(HURRICANE)
+        by = {p.yrows: p.seconds for p in points if p.valid}
+        assert by[8] > by[best.yrows]
+        assert by[18] > by[best.yrows]
+
+    def test_oversized_fifo_flagged_invalid(self):
+        points, _ = tune_pattern3_yrows(HURRICANE)
+        too_big = [p for p in points if p.smem_per_block > 48 * 1024]
+        assert too_big and all(not p.valid for p in too_big)
+
+    def test_candidates_below_window_skipped(self):
+        points, _ = tune_pattern3_yrows(
+            HURRICANE, Pattern3Config(window=8), candidates=[4, 6, 8, 10]
+        )
+        assert min(p.yrows for p in points) == 8
+
+    def test_no_valid_geometry_raises(self):
+        with pytest.raises(GpuSimError):
+            tune_pattern3_yrows(
+                HURRICANE, Pattern3Config(window=8), candidates=[2, 4]
+            )
+
+    def test_project_devices(self):
+        out = project_devices(HURRICANE, plan_pattern3, [V100, A100])
+        assert out["A100-SXM4-40GB"] < out["Tesla V100"]
+
+
+class TestRoofline:
+    def test_pattern1_memory_side_pattern3_compute_side(self):
+        p1 = roofline_point(plan_pattern1(HURRICANE))
+        p3 = roofline_point(plan_pattern3(HURRICANE))
+        assert p3.arithmetic_intensity > p1.arithmetic_intensity
+        assert p3.limiting_roof == "compute"
+
+    def test_achieved_below_attainable(self):
+        for plan in (plan_pattern1(HURRICANE), plan_pattern2(HURRICANE),
+                     plan_pattern3(HURRICANE)):
+            pt = roofline_point(plan)
+            assert 0.0 < pt.roof_fraction <= 1.0 + 1e-9
+
+    def test_attainable_is_roofline_min(self):
+        pt = roofline_point(plan_pattern1(HURRICANE))
+        assert pt.attainable_ops <= V100.sustained_op_rate
+        assert pt.attainable_ops <= (
+            pt.arithmetic_intensity * V100.peak_bandwidth * 1.0001
+        )
+
+    def test_report_covers_all_plans(self):
+        plans = [plan_pattern1(HURRICANE), plan_pattern3(HURRICANE)]
+        report = roofline_report(plans)
+        assert [r.name for r in report] == ["cuZC.pattern1", "cuZC.pattern3"]

@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_codecs
+from repro.compressors.simple import DecimateCompressor
+from repro.compressors.sz import SZCompressor
+from repro.compressors.zfp import ZFPCompressor
+from repro.config.schema import CheckerConfig
+from repro.core.acceptance import AcceptanceCriteria
+from repro.errors import CheckerError, ShapeError
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+from repro.viz.slicemap import svg_error_map, svg_heatmap
+
+
+@pytest.fixture(scope="module")
+def comparison(smooth_field):
+    config = CheckerConfig(
+        pattern2=Pattern2Config(max_lag=3), pattern3=Pattern3Config(window=6)
+    )
+    return compare_codecs(
+        smooth_field,
+        {
+            "sz@1e-3": SZCompressor(rel_bound=1e-3),
+            "zfp@8": ZFPCompressor(rate=8),
+            "decimate": DecimateCompressor(factor=2),
+        },
+        config=config,
+        criteria=AcceptanceCriteria.lenient(),
+        field_label="smooth",
+    )
+
+
+class TestCompareCodecs:
+    def test_all_entries_present(self, comparison):
+        assert [e.label for e in comparison.entries] == [
+            "sz@1e-3", "zfp@8", "decimate",
+        ]
+
+    def test_sz_acceptable_decimate_not(self, comparison):
+        assert comparison.entry("sz@1e-3").acceptable
+        assert not comparison.entry("decimate").acceptable
+
+    def test_best_ratio_excludes_unacceptable(self, comparison):
+        best = comparison.best_ratio()
+        assert best is not None
+        assert best.acceptable
+        # decimation has a great ratio but fails quality; it must not win
+        assert best.label != "decimate"
+
+    def test_best_rate_distortion_is_sz(self, comparison):
+        assert comparison.best_rate_distortion().label == "sz@1e-3"
+
+    def test_whitest_errors_is_a_quantiser(self, comparison):
+        assert comparison.whitest_errors().label in ("sz@1e-3",)
+
+    def test_table_rows(self, comparison):
+        rows = comparison.table_rows()
+        assert len(rows) == 3
+        assert {"codec", "ratio", "psnr[dB]", "ssim", "whiteness",
+                "acceptable"} <= set(rows[0])
+
+    def test_unknown_label(self, comparison):
+        with pytest.raises(CheckerError):
+            comparison.entry("gzip")
+
+    def test_empty_codecs_rejected(self, smooth_field):
+        with pytest.raises(CheckerError):
+            compare_codecs(smooth_field, {})
+
+
+class TestSliceHeatmaps:
+    def test_heatmap_structure(self, smooth_field):
+        svg = svg_heatmap(smooth_field[0], label="slice 0")
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") >= 16
+        assert "slice 0" in svg
+
+    def test_downsampling_bounds_cell_count(self, rng):
+        big = rng.normal(size=(400, 400))
+        svg = svg_heatmap(big, max_cells=32)
+        assert svg.count("<rect") <= 33 * 33
+
+    def test_error_map_diverging(self, smooth_field):
+        dec = smooth_field + np.float32(0.05)
+        svg = svg_error_map(smooth_field[0], dec[0])
+        assert "signed error" in svg
+
+    def test_constant_plane(self):
+        svg = svg_heatmap(np.full((8, 8), 3.0))
+        assert svg.count("<rect") == 64
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            svg_heatmap(np.zeros((2, 2, 2)))
+        with pytest.raises(ShapeError):
+            svg_error_map(np.zeros((4, 4)), np.zeros((4, 5)))

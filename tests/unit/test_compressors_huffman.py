@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.compressors.huffman import (
+    HuffmanCode,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.errors import CompressionError
+
+
+class TestHuffmanRoundtrip:
+    def test_skewed_distribution(self, rng):
+        """SZ-like: one dominant symbol plus a light tail."""
+        values = rng.choice(
+            [0, 0, 0, 0, 0, 0, 1, -1, 2], size=5000
+        ).astype(np.int64)
+        assert np.array_equal(huffman_decode(huffman_encode(values)), values)
+
+    def test_uniform_alphabet(self, rng):
+        values = rng.integers(-50, 50, size=2000)
+        assert np.array_equal(huffman_decode(huffman_encode(values)), values)
+
+    def test_single_symbol(self):
+        values = np.full(100, 42, dtype=np.int64)
+        assert np.array_equal(huffman_decode(huffman_encode(values)), values)
+
+    def test_two_symbols(self):
+        values = np.array([7, -3, 7, 7, -3], dtype=np.int64)
+        assert np.array_equal(huffman_decode(huffman_encode(values)), values)
+
+    def test_empty(self):
+        assert huffman_decode(huffman_encode(np.zeros(0))).size == 0
+
+    def test_large_symbol_values(self):
+        values = np.array([2**40, -(2**40), 0, 2**40], dtype=np.int64)
+        assert np.array_equal(huffman_decode(huffman_encode(values)), values)
+
+    def test_skewed_beats_uniform_rate(self, rng):
+        skewed = rng.choice([0] * 95 + [1] * 5, size=10_000).astype(np.int64)
+        uniform = rng.integers(0, 256, size=10_000)
+        assert len(huffman_encode(skewed)) < len(huffman_encode(uniform)) / 3
+
+    def test_compression_near_entropy(self, rng):
+        """Average code length within ~10% of the Shannon bound."""
+        p = np.array([0.6, 0.2, 0.1, 0.05, 0.05])
+        values = rng.choice(5, size=20_000, p=p).astype(np.int64)
+        blob = huffman_encode(values)
+        _, counts = np.unique(values, return_counts=True)
+        freq = counts / values.size
+        entropy_bits = -(freq * np.log2(freq)).sum() * values.size
+        header = 4 + 8 + 4 + 5 * 9 + 8
+        payload_bits = (len(blob) - header) * 8
+        assert payload_bits < entropy_bits * 1.15 + 64
+
+    def test_truncated_stream_detected(self):
+        values = np.arange(100, dtype=np.int64)
+        blob = huffman_encode(values)
+        with pytest.raises(CompressionError):
+            huffman_decode(blob[: len(blob) // 2])
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        code = HuffmanCode(
+            symbols=np.array([1, 2, 3, 4], dtype=np.int64),
+            lengths=np.array([1, 2, 3, 3], dtype=np.uint8),
+        )
+        codes = code.assign_codes()
+        bitstrings = [
+            format(int(c), f"0{int(l)}b")
+            for c, l in zip(codes, code.lengths)
+        ]
+        for i, a in enumerate(bitstrings):
+            for j, b in enumerate(bitstrings):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CompressionError):
+            HuffmanCode(
+                symbols=np.array([1, 2], dtype=np.int64),
+                lengths=np.array([1], dtype=np.uint8),
+            )
+
+    def test_kraft_inequality(self, rng):
+        """Code lengths produced from any frequency table satisfy Kraft."""
+        values = rng.integers(0, 30, size=3000)
+        blob = huffman_encode(values)
+        decoded = huffman_decode(blob)
+        assert np.array_equal(decoded, values)

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.compressors.lossless import LosslessCompressor
+from repro.errors import CompressionError
+
+
+class TestLosslessCompressor:
+    def test_bit_exact_roundtrip(self, smooth_field):
+        comp = LosslessCompressor()
+        dec = comp.decompress(comp.compress(smooth_field))
+        assert np.array_equal(dec, smooth_field)
+        assert dec.dtype == smooth_field.dtype
+
+    def test_float64_roundtrip(self, rng):
+        data = rng.normal(size=(6, 7, 8))
+        comp = LosslessCompressor()
+        assert np.array_equal(comp.decompress(comp.compress(data)), data)
+
+    def test_special_values_preserved(self):
+        data = np.array(
+            [0.0, -0.0, np.inf, -np.inf, np.nan, 1e-38, 3.14], dtype=np.float32
+        )
+        comp = LosslessCompressor()
+        dec = comp.decompress(comp.compress(data))
+        assert np.array_equal(
+            dec.view(np.uint32), data.view(np.uint32)
+        )  # bitwise, incl. NaN payloads and signed zero
+
+    def test_paper_intro_ratio_claim(self, smooth_field):
+        """Section I: lossless compressors get 'around 2:1 in most cases'
+        on scientific floats, while error-bounded lossy gets far more."""
+        from repro.compressors.sz import SZCompressor
+
+        lossless_ratio = LosslessCompressor().ratio(smooth_field)
+        lossy_ratio = SZCompressor(rel_bound=1e-2).ratio(smooth_field)
+        assert 1.05 <= lossless_ratio <= 3.0
+        assert lossy_ratio > 2 * lossless_ratio
+
+    def test_shuffle_helps(self, smooth_field):
+        shuffled = LosslessCompressor(shuffle=True).ratio(smooth_field)
+        plain = LosslessCompressor(shuffle=False).ratio(smooth_field)
+        assert shuffled > plain
+
+    def test_random_bytes_incompressible(self, rng):
+        noise = rng.random(size=(12, 12, 12)).astype(np.float32)
+        assert LosslessCompressor().ratio(noise) < 1.5
+
+    def test_level_validation(self):
+        with pytest.raises(CompressionError):
+            LosslessCompressor(level=0)
+
+    def test_integer_dtype_rejected(self):
+        with pytest.raises(CompressionError):
+            LosslessCompressor().compress(np.zeros((2, 2), dtype=np.int32))
+
+    def test_corrupt_payload_detected(self, smooth_field):
+        comp = LosslessCompressor()
+        buf = comp.compress(smooth_field)
+        buf.meta["shape"] = [1, 1, 1]  # size mismatch after inflate
+        with pytest.raises(CompressionError):
+            comp.decompress(buf)

@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.compressors.predictor import lorenzo_reconstruct, lorenzo_residuals
+from repro.compressors.quantizer import (
+    dequantize,
+    prequantize,
+    resolve_error_bound,
+)
+from repro.errors import CompressionError, ShapeError
+
+
+class TestLorenzo:
+    @pytest.mark.parametrize("shape", [(50,), (12, 17), (7, 9, 11)])
+    def test_roundtrip_exact(self, shape, rng):
+        q = rng.integers(-1000, 1000, size=shape).astype(np.int64)
+        assert np.array_equal(lorenzo_reconstruct(lorenzo_residuals(q)), q)
+
+    def test_3d_residual_formula(self, rng):
+        q = rng.integers(-10, 10, size=(4, 5, 6)).astype(np.int64)
+        r = lorenzo_residuals(q)
+        qp = np.pad(q, ((1, 0), (1, 0), (1, 0)))
+        i, j, k = 2, 3, 4  # interior point, padded coords
+        pred = (
+            qp[i - 1, j, k] + qp[i, j - 1, k] + qp[i, j, k - 1]
+            - qp[i - 1, j - 1, k] - qp[i - 1, j, k - 1] - qp[i, j - 1, k - 1]
+            + qp[i - 1, j - 1, k - 1]
+        )
+        assert r[i - 1, j - 1, k - 1] == q[i - 1, j - 1, k - 1] - pred
+
+    def test_smooth_data_gives_small_residuals(self):
+        z = np.arange(20)[:, None, None]
+        y = np.arange(20)[None, :, None]
+        x = np.arange(20)[None, None, :]
+        q = (3 * z + 2 * y + x).astype(np.int64)  # trilinear lattice
+        r = lorenzo_residuals(q)
+        # Lorenzo predicts linear fields exactly away from the boundary
+        assert np.all(r[1:, 1:, 1:] == 0)
+
+    def test_float_input_rejected(self):
+        with pytest.raises(TypeError):
+            lorenzo_residuals(np.zeros((3, 3, 3)))
+
+    def test_4d_rejected(self):
+        with pytest.raises(ShapeError):
+            lorenzo_residuals(np.zeros((2, 2, 2, 2), dtype=np.int64))
+
+
+class TestQuantizer:
+    def test_bound_holds(self, rng):
+        data = rng.normal(size=1000) * 100
+        eb = 0.01
+        q = prequantize(data, eb)
+        rec = np.asarray(q, dtype=np.float64) * 2 * eb
+        assert np.abs(rec - data).max() <= eb * (1 + 1e-12)
+
+    def test_dequantize_dtype(self):
+        out = dequantize(np.array([1, 2], dtype=np.int64), 0.5)
+        assert out.dtype == np.float32
+
+    def test_invalid_bound(self):
+        with pytest.raises(CompressionError):
+            prequantize(np.zeros(4), 0.0)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(CompressionError):
+            prequantize(np.array([1.0, np.nan]), 0.1)
+
+    def test_overflow_guard(self):
+        with pytest.raises(CompressionError):
+            prequantize(np.array([1e30]), 1e-10)
+
+
+class TestResolveErrorBound:
+    def test_abs_passthrough(self):
+        assert resolve_error_bound(np.zeros(4), abs_bound=0.5) == 0.5
+
+    def test_rel_scales_with_range(self):
+        data = np.array([0.0, 10.0])
+        assert resolve_error_bound(data, rel_bound=1e-3) == pytest.approx(0.01)
+
+    def test_constant_field_rel(self):
+        data = np.full(8, 3.0)
+        assert resolve_error_bound(data, rel_bound=1e-3) == pytest.approx(1e-3)
+
+    def test_both_or_neither_rejected(self):
+        with pytest.raises(CompressionError):
+            resolve_error_bound(np.zeros(4))
+        with pytest.raises(CompressionError):
+            resolve_error_bound(np.zeros(4), abs_bound=0.1, rel_bound=0.1)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(CompressionError):
+            resolve_error_bound(np.zeros(4), abs_bound=-1.0)
+        with pytest.raises(CompressionError):
+            resolve_error_bound(np.zeros(4), rel_bound=0.0)

@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.compressors.base import CompressedBuffer
+from repro.compressors.registry import COMPRESSOR_NAMES, get_compressor
+from repro.compressors.simple import DecimateCompressor, UniformQuantCompressor
+from repro.errors import CompressionError
+
+
+class TestUniformQuant:
+    def test_bound_holds(self, smooth_field):
+        comp = UniformQuantCompressor(abs_bound=0.005)
+        dec = comp.decompress(comp.compress(smooth_field))
+        err = np.abs(dec.astype(np.float64) - smooth_field.astype(np.float64))
+        assert err.max() <= 0.005
+
+    def test_ratio_above_one_for_smooth_data(self, smooth_field):
+        assert UniformQuantCompressor(rel_bound=1e-3).ratio(smooth_field) > 1.5
+
+    def test_constructor_validation(self):
+        with pytest.raises(CompressionError):
+            UniformQuantCompressor()
+
+
+class TestDecimate:
+    def test_shape_preserved(self, smooth_field):
+        comp = DecimateCompressor(factor=2)
+        dec = comp.decompress(comp.compress(smooth_field))
+        assert dec.shape == smooth_field.shape
+
+    def test_ratio_close_to_factor_cubed(self, smooth_field):
+        comp = DecimateCompressor(factor=2)
+        ratio = comp.ratio(smooth_field)
+        assert 5.0 < ratio < 8.5  # ~2^3 minus header and rounding
+
+    def test_kept_samples_exact(self, smooth_field):
+        comp = DecimateCompressor(factor=2)
+        dec = comp.decompress(comp.compress(smooth_field))
+        assert np.allclose(dec[::2, ::2, ::2], smooth_field[::2, ::2, ::2],
+                           atol=1e-6)
+
+    def test_no_error_bound(self, rng):
+        """Interpolation cannot bound errors on rough data."""
+        noise = rng.normal(size=(16, 16, 16)).astype(np.float32)
+        comp = DecimateCompressor(factor=2)
+        dec = comp.decompress(comp.compress(noise))
+        assert np.abs(dec - noise).max() > 0.5
+
+    def test_linear_field_reconstructed_well(self):
+        z, y, x = np.meshgrid(
+            np.arange(12.0), np.arange(12.0), np.arange(12.0), indexing="ij"
+        )
+        field = (z + 2 * y + 3 * x).astype(np.float32)
+        comp = DecimateCompressor(factor=2)
+        dec = comp.decompress(comp.compress(field))
+        interior = (slice(0, 11),) * 3  # last plane is extrapolated
+        assert np.allclose(dec[interior], field[interior], atol=1e-4)
+
+    def test_too_small_field_rejected(self):
+        with pytest.raises(CompressionError):
+            DecimateCompressor(factor=4).compress(np.zeros((3, 3, 3)))
+
+    def test_invalid_factor(self):
+        with pytest.raises(CompressionError):
+            DecimateCompressor(factor=1)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(COMPRESSOR_NAMES) == {
+            "sz", "sz2", "zfp", "uniform_quant", "decimate", "lossless",
+        }
+
+    def test_factory_kwargs_forwarded(self):
+        comp = get_compressor("sz", rel_bound=1e-3)
+        assert comp.rel_bound == 1e-3
+        comp = get_compressor("zfp", rate=4)
+        assert comp.rate == 4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CompressionError):
+            get_compressor("gzip")
+
+
+class TestCompressedBuffer:
+    def test_bytes_roundtrip(self):
+        buf = CompressedBuffer("sz", b"payload", {"shape": [2, 2, 2]})
+        restored = CompressedBuffer.from_bytes(buf.to_bytes())
+        assert restored.codec == "sz"
+        assert restored.payload == b"payload"
+        assert restored.meta == {"shape": [2, 2, 2]}
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CompressionError):
+            CompressedBuffer.from_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_nbytes_includes_header(self):
+        buf = CompressedBuffer("sz", b"x" * 100, {})
+        assert buf.nbytes > 100

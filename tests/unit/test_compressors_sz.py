@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.compressors.base import CompressedBuffer
+from repro.compressors.sz import SZCompressor
+from repro.errors import CompressionError
+
+
+class TestSZCompressor:
+    def test_error_bound_abs(self, smooth_field):
+        comp = SZCompressor(abs_bound=0.01)
+        dec = comp.decompress(comp.compress(smooth_field))
+        err = np.abs(dec.astype(np.float64) - smooth_field.astype(np.float64))
+        assert err.max() <= 0.01
+
+    @pytest.mark.parametrize("rel", [1e-2, 1e-3, 1e-4])
+    def test_error_bound_rel(self, smooth_field, rel):
+        comp = SZCompressor(rel_bound=rel)
+        buf = comp.compress(smooth_field)
+        dec = comp.decompress(buf)
+        err = np.abs(dec.astype(np.float64) - smooth_field.astype(np.float64))
+        assert err.max() <= buf.meta["abs_bound"]
+
+    def test_ratio_grows_with_bound(self, smooth_field):
+        loose = SZCompressor(rel_bound=1e-2).ratio(smooth_field)
+        tight = SZCompressor(rel_bound=1e-4).ratio(smooth_field)
+        assert loose > tight > 1.0
+
+    def test_smooth_data_compresses_well(self, smooth_field):
+        assert SZCompressor(rel_bound=1e-3).ratio(smooth_field) > 3.0
+
+    def test_prediction_beats_no_prediction(self):
+        """The Lorenzo predictor is the point of SZ: it must out-compress
+        plain uniform quantisation at the same bound on smooth data
+        (where neighbouring deltas fit in few quantisation bins)."""
+        from repro.compressors.simple import UniformQuantCompressor
+        from repro.datasets.synthetic import spectral_field
+
+        field = spectral_field((32, 32, 32), slope=4.0, seed=7, mean=5.0, std=2.0)
+        sz = SZCompressor(rel_bound=1e-3).ratio(field)
+        uq = UniformQuantCompressor(rel_bound=1e-3).ratio(field)
+        assert sz > 1.2 * uq
+
+    def test_white_noise_barely_compresses(self, rng):
+        noise = rng.normal(size=(16, 16, 16)).astype(np.float32)
+        ratio = SZCompressor(rel_bound=1e-4).ratio(noise)
+        assert ratio < 2.0
+
+    @pytest.mark.parametrize("shape", [(200,), (24, 30), (8, 10, 12)])
+    def test_dimensionalities(self, shape, rng):
+        data = rng.normal(size=shape).astype(np.float32)
+        comp = SZCompressor(abs_bound=0.01)
+        dec = comp.decompress(comp.compress(data))
+        assert dec.shape == data.shape
+        assert np.abs(dec - data).max() <= 0.01
+
+    def test_outliers_handled(self, smooth_field):
+        """A few huge spikes exceed the quantisation radius and must be
+        stored exactly (to within the bound)."""
+        data = smooth_field.copy()
+        data[3, 4, 5] = 1e6
+        data[7, 8, 9] = -1e6
+        comp = SZCompressor(abs_bound=1e-4, radius=128)
+        buf = comp.compress(data)
+        dec = comp.decompress(buf)
+        assert np.abs(dec.astype(np.float64) - data.astype(np.float64)).max() <= 1e-4
+
+    def test_constant_field(self):
+        data = np.full((8, 8, 8), 2.5, dtype=np.float32)
+        comp = SZCompressor(rel_bound=1e-3)
+        dec = comp.decompress(comp.compress(data))
+        assert np.abs(dec - data).max() <= 1e-3
+
+    def test_buffer_serialisation_roundtrip(self, smooth_field):
+        comp = SZCompressor(rel_bound=1e-3)
+        buf = comp.compress(smooth_field)
+        restored = CompressedBuffer.from_bytes(buf.to_bytes())
+        dec = comp.decompress(restored)
+        err = np.abs(dec.astype(np.float64) - smooth_field.astype(np.float64))
+        assert err.max() <= buf.meta["abs_bound"]
+
+    def test_wrong_codec_rejected(self, smooth_field):
+        from repro.compressors.zfp import ZFPCompressor
+
+        buf = ZFPCompressor(rate=8).compress(smooth_field)
+        with pytest.raises(CompressionError):
+            SZCompressor(rel_bound=1e-3).decompress(buf)
+
+    def test_constructor_validation(self):
+        with pytest.raises(CompressionError):
+            SZCompressor()
+        with pytest.raises(CompressionError):
+            SZCompressor(abs_bound=0.1, rel_bound=0.1)
+        with pytest.raises(CompressionError):
+            SZCompressor(abs_bound=0.1, radius=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            SZCompressor(abs_bound=0.1).compress(np.zeros((0, 3, 3)))
+
+    def test_banded_error_structure(self, smooth_field):
+        """SZ errors are quantisation-banded: |e| concentrates near the
+        bound, unlike white noise — the structure Z-checker's error PDF
+        is designed to reveal."""
+        comp = SZCompressor(rel_bound=1e-3)
+        buf = comp.compress(smooth_field)
+        dec = comp.decompress(buf)
+        e = np.abs(dec.astype(np.float64) - smooth_field.astype(np.float64))
+        eb = buf.meta["abs_bound"]
+        assert np.quantile(e, 0.95) > 0.5 * eb

@@ -1,0 +1,117 @@
+import numpy as np
+import pytest
+
+from repro.compressors.zfp import (
+    ZFPCompressor,
+    _coeff_widths,
+    _fwd_axis,
+    _inv_axis,
+)
+from repro.errors import CompressionError
+
+
+class TestTransform:
+    def test_lifting_reversible(self, rng):
+        ints = rng.integers(-(2**24), 2**24, size=(50, 4, 4, 4)).astype(np.int64)
+        fwd = ints
+        for axis in (1, 2, 3):
+            fwd = _fwd_axis(fwd, axis)
+        inv = fwd
+        for axis in (3, 2, 1):
+            inv = _inv_axis(inv, axis)
+        assert np.array_equal(inv, ints)
+
+    def test_lowpass_first(self):
+        block = np.full((1, 4, 4, 4), 100, dtype=np.int64)
+        out = block
+        for axis in (1, 2, 3):
+            out = _fwd_axis(out, axis)
+        # a constant block concentrates all energy in coefficient (0,0,0)
+        assert out[0, 0, 0, 0] == 100
+        flat = out.ravel().copy()
+        flat[0] = 0
+        assert np.all(flat == 0)
+
+
+class TestCoeffWidths:
+    def test_budget_respected(self):
+        for rate in (2, 4, 8, 16):
+            widths = _coeff_widths(rate)
+            assert widths.sum() <= rate * 64 - 16
+
+    def test_low_frequency_gets_more_bits(self):
+        widths = _coeff_widths(8).reshape(4, 4, 4)
+        assert widths[0, 0, 0] >= widths[3, 3, 3]
+
+    def test_tiny_rate_rejected(self):
+        with pytest.raises(CompressionError):
+            _coeff_widths(0.25)
+
+
+class TestZFPCompressor:
+    def test_fixed_rate_exact_size_scaling(self, smooth_field):
+        """Fixed rate: compressed size is shape-determined, data-blind."""
+        comp = ZFPCompressor(rate=8)
+        a = comp.compress(smooth_field)
+        b = comp.compress(smooth_field * 100 + 3)
+        assert a.nbytes == b.nbytes
+
+    def test_ratio_matches_rate(self, smooth_field):
+        comp = ZFPCompressor(rate=8)
+        ratio = comp.ratio(smooth_field)
+        # 32-bit values at ~8 bits each (+ per-block exponent, headers)
+        assert 3.0 < ratio < 4.2
+
+    def test_quality_improves_with_rate(self, smooth_field):
+        def rmse(rate):
+            comp = ZFPCompressor(rate=rate)
+            dec = comp.decompress(comp.compress(smooth_field))
+            return float(
+                np.sqrt(np.mean((dec.astype(np.float64) - smooth_field) ** 2))
+            )
+
+        assert rmse(16) < rmse(8) < rmse(4)
+
+    def test_high_rate_near_lossless(self, smooth_field):
+        comp = ZFPCompressor(rate=24)
+        dec = comp.decompress(comp.compress(smooth_field))
+        nrmse = np.sqrt(np.mean((dec - smooth_field) ** 2)) / (
+            smooth_field.max() - smooth_field.min()
+        )
+        assert nrmse < 1e-4
+
+    def test_non_multiple_of_four_shapes(self, rng):
+        data = rng.normal(size=(9, 10, 13)).astype(np.float32)
+        comp = ZFPCompressor(rate=12)
+        dec = comp.decompress(comp.compress(data))
+        assert dec.shape == data.shape
+        assert np.corrcoef(dec.ravel(), data.ravel())[0, 1] > 0.98
+
+    def test_constant_field_high_rate_near_exact(self):
+        data = np.full((8, 8, 8), 7.25, dtype=np.float32)
+        comp = ZFPCompressor(rate=16)
+        dec = comp.decompress(comp.compress(data))
+        assert np.allclose(dec, data, atol=1e-5)
+
+    def test_zero_field(self):
+        data = np.zeros((8, 8, 8), dtype=np.float32)
+        dec = ZFPCompressor(rate=4).decompress(ZFPCompressor(rate=4).compress(data))
+        assert np.array_equal(dec, data)
+
+    def test_no_error_bound_guarantee(self, smooth_field):
+        """The paper's motivating contrast: fixed-rate mode cannot bound
+        pointwise error the way SZ's abs mode does."""
+        comp = ZFPCompressor(rate=2)
+        dec = comp.decompress(comp.compress(smooth_field))
+        err = np.abs(dec.astype(np.float64) - smooth_field.astype(np.float64))
+        assert err.max() > 0.01  # visibly lossy at 2 bits/value
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(CompressionError):
+            ZFPCompressor(rate=8).compress(np.zeros((4, 4)))
+
+    def test_nonfinite_rejected(self):
+        data = np.zeros((4, 4, 4), dtype=np.float32)
+        data[0, 0, 0] = np.inf
+        with pytest.raises(CompressionError):
+            ZFPCompressor(rate=8).compress(data)

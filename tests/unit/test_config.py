@@ -1,0 +1,109 @@
+import pytest
+
+from repro.config.defaults import PAPER_EVALUATION_CONFIG, default_config
+from repro.config.parser import load_config, parse_config_text
+from repro.config.schema import CheckerConfig
+from repro.errors import ConfigError
+
+
+class TestSchema:
+    def test_default_validates(self):
+        default_config().validate()
+
+    def test_paper_config_matches_section_iv(self):
+        cfg = PAPER_EVALUATION_CONFIG
+        assert cfg.pattern2.max_lag == 10
+        assert cfg.pattern2.orders == (1, 2)
+        assert cfg.pattern3.window == 8
+        assert cfg.pattern3.step == 1
+        assert cfg.device == "V100"
+        assert cfg.patterns == (1, 2, 3)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigError):
+            CheckerConfig(metrics=("mse", "nope")).validate()
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ConfigError):
+            CheckerConfig(patterns=(1, 4)).validate()
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(ConfigError):
+            CheckerConfig(device="H100").validate()
+
+    def test_with_patterns(self):
+        cfg = default_config().with_patterns(3)
+        assert cfg.patterns == (3,)
+        assert cfg.pattern3 == default_config().pattern3
+
+    def test_metric_names_expansion(self):
+        assert len(default_config().metric_names) >= 20
+        cfg = CheckerConfig(metrics=("mse", "ssim"))
+        assert cfg.metric_names == ("mse", "ssim")
+
+
+class TestParser:
+    GOOD = """
+    [GLOBAL]
+    metrics = all
+    patterns = 1, 3
+    device = A100
+
+    [PATTERN1]
+    pdf_bins = 512
+
+    [PATTERN2]
+    maxAutoCorrLags = 5
+    orders = 1
+
+    [PATTERN3]
+    ssimWindowSize = 6
+    ssimStep = 2
+    """
+
+    def test_parse_full(self):
+        cfg = parse_config_text(self.GOOD)
+        assert cfg.patterns == (1, 3)
+        assert cfg.device == "A100"
+        assert cfg.pattern1.pdf_bins == 512
+        assert cfg.pattern2.max_lag == 5
+        assert cfg.pattern2.orders == (1,)
+        assert cfg.pattern3.window == 6
+        assert cfg.pattern3.step == 2
+
+    def test_metric_list(self):
+        cfg = parse_config_text("[GLOBAL]\nmetrics = mse, psnr, ssim\n")
+        assert cfg.metrics == ("mse", "psnr", "ssim")
+
+    def test_defaults_when_empty_sections(self):
+        cfg = parse_config_text("[GLOBAL]\n")
+        assert cfg == default_config()
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("[PATTERN9]\nfoo = 1\n")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("[PATTERN1]\nbogus = 1\n")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("[PATTERN1]\npdf_bins = many\n")
+
+    def test_malformed_ini_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("not an ini file at all [")
+
+    def test_inline_comments_stripped(self):
+        cfg = parse_config_text("[PATTERN3]\nwindow = 6 ; per side\n")
+        assert cfg.pattern3.window == 6
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "zc.cfg"
+        path.write_text(self.GOOD)
+        assert load_config(path) == parse_config_text(self.GOOD)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_config(tmp_path / "absent.cfg")

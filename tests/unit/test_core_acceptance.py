@@ -1,0 +1,86 @@
+import pytest
+
+from repro.compressors.sz import SZCompressor
+from repro.compressors.simple import DecimateCompressor
+from repro.config.schema import CheckerConfig
+from repro.core.acceptance import AcceptanceCriteria
+from repro.core.compare import compare_data
+from repro.errors import CheckerError
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+
+
+def _report(field, codec):
+    dec = codec.decompress(codec.compress(field))
+    config = CheckerConfig(
+        pattern2=Pattern2Config(max_lag=3), pattern3=Pattern3Config(window=6)
+    )
+    return compare_data(field, dec, config=config, with_baselines=False)
+
+
+@pytest.fixture(scope="module")
+def good_report(smooth_field):
+    return _report(smooth_field, SZCompressor(rel_bound=1e-4))
+
+
+@pytest.fixture(scope="module")
+def bad_report(smooth_field):
+    return _report(smooth_field, DecimateCompressor(factor=2))
+
+
+class TestAcceptance:
+    def test_tight_sz_passes_strict(self, good_report):
+        verdict = AcceptanceCriteria.strict().evaluate(good_report)
+        assert verdict.passed, verdict.describe()
+
+    def test_decimation_fails_strict(self, bad_report):
+        verdict = AcceptanceCriteria.strict().evaluate(bad_report)
+        assert not verdict.passed
+        assert verdict.failures
+
+    def test_failure_report_names_criterion(self, bad_report):
+        verdict = AcceptanceCriteria(min_psnr=200.0).evaluate(bad_report)
+        assert len(verdict.failures) == 1
+        assert "psnr" in verdict.failures[0].name
+        assert "FAIL" in verdict.describe()
+
+    def test_error_bound_criterion(self, good_report):
+        eb = good_report.scalars()["value_range"] * 1e-4
+        ok = AcceptanceCriteria(max_abs_err=eb * 1.01).evaluate(good_report)
+        assert ok.passed
+        bad = AcceptanceCriteria(max_abs_err=eb * 0.1).evaluate(good_report)
+        assert not bad.passed
+
+    def test_autocorr_criterion_flags_structured_errors(self, bad_report):
+        verdict = AcceptanceCriteria(max_abs_autocorr=0.05).evaluate(bad_report)
+        assert not verdict.passed
+
+    def test_spectral_criterion(self, good_report, bad_report):
+        crit = AcceptanceCriteria(min_noise_frequency=0.3)
+        assert crit.evaluate(good_report).passed
+        assert not crit.evaluate(bad_report).passed
+
+    def test_missing_metric_raises(self, smooth_field):
+        config = CheckerConfig(patterns=(1,), pattern3=Pattern3Config(window=6))
+        codec = SZCompressor(rel_bound=1e-3)
+        dec = codec.decompress(codec.compress(smooth_field))
+        report = compare_data(smooth_field, dec, config=config,
+                              with_baselines=False)
+        with pytest.raises(CheckerError):
+            AcceptanceCriteria(min_ssim=0.9).evaluate(report)
+
+    def test_no_criteria_rejected(self, good_report):
+        with pytest.raises(CheckerError):
+            AcceptanceCriteria().evaluate(good_report)
+
+    def test_lenient_weaker_than_strict(self, smooth_field):
+        mid = _report(smooth_field, SZCompressor(rel_bound=3e-3))
+        lenient = AcceptanceCriteria.lenient().evaluate(mid)
+        strict = AcceptanceCriteria.strict().evaluate(mid)
+        assert lenient.passed
+        assert not strict.passed
+
+    def test_describe_includes_summary(self, good_report):
+        text = AcceptanceCriteria.lenient().evaluate(good_report).describe()
+        assert "ACCEPTABLE" in text
+        assert "criteria met" in text

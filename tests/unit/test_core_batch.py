@@ -1,0 +1,68 @@
+import math
+
+import pytest
+
+from repro.compressors.sz import SZCompressor
+from repro.config.schema import CheckerConfig
+from repro.core.batch import assess_dataset
+from repro.datasets.fields import Dataset
+from repro.datasets.registry import generate_dataset
+from repro.errors import CheckerError
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+
+
+@pytest.fixture(scope="module")
+def batch():
+    ds = generate_dataset("miranda", scale=0.05, n_fields=3)
+    config = CheckerConfig(
+        pattern2=Pattern2Config(max_lag=2),
+        pattern3=Pattern3Config(window=6),
+    )
+    return assess_dataset(
+        ds, SZCompressor(rel_bound=1e-3), config=config, with_baselines=True
+    )
+
+
+class TestBatchAssessment:
+    def test_all_fields_assessed(self, batch):
+        assert batch.n_fields == 3
+        assert set(batch.reports) == {"density", "diffusivity", "pressure"}
+
+    def test_summaries(self, batch):
+        rows = batch.summaries()
+        assert len(rows) == 3
+        for row in rows:
+            assert row.compression_ratio > 1.0
+            assert math.isfinite(row.psnr)
+            assert 0.0 < row.ssim <= 1.0
+
+    def test_aggregates(self, batch):
+        assert math.isfinite(batch.mean_psnr())
+        assert 0.0 < batch.min_ssim() <= 1.0
+        assert batch.overall_ratio() > 1.0
+
+    def test_overall_ratio_is_size_weighted(self, batch):
+        rows = batch.summaries()
+        ratios = [r.compression_ratio for r in rows]
+        # equal-size fields: the size-weighted ratio is the harmonic-style
+        # mean, bounded by the extremes
+        assert min(ratios) <= batch.overall_ratio() <= max(ratios)
+
+    def test_mean_speedup(self, batch):
+        assert batch.mean_speedup("ompZC") > 1.0
+        assert batch.mean_speedup("moZC") > 1.0
+
+    def test_speedup_requires_baselines(self):
+        ds = generate_dataset("nyx", scale=0.03, n_fields=1)
+        config = CheckerConfig(
+            pattern2=Pattern2Config(max_lag=2),
+            pattern3=Pattern3Config(window=6),
+        )
+        batch = assess_dataset(ds, SZCompressor(rel_bound=1e-3), config=config)
+        with pytest.raises(CheckerError):
+            batch.mean_speedup("ompZC")
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(CheckerError):
+            assess_dataset(Dataset(name="empty"), SZCompressor(rel_bound=1e-3))

@@ -1,0 +1,123 @@
+import pytest
+
+from repro.config.defaults import default_config
+from repro.core.frameworks import (
+    CuZC,
+    MoZC,
+    OmpZC,
+    device_by_name,
+    get_framework,
+)
+from repro.errors import CheckerError
+
+SHAPE = (64, 64, 64)
+
+
+class TestFactory:
+    def test_get_all(self):
+        assert isinstance(get_framework("cuZC"), CuZC)
+        assert isinstance(get_framework("moZC"), MoZC)
+        assert isinstance(get_framework("ompZC"), OmpZC)
+
+    def test_unknown(self):
+        with pytest.raises(CheckerError):
+            get_framework("gpuZC")
+
+    def test_device_lookup(self):
+        assert device_by_name("V100").name == "Tesla V100"
+        with pytest.raises(CheckerError):
+            device_by_name("TPU")
+
+
+class TestEstimates:
+    def test_all_patterns_present(self):
+        timing = CuZC().estimate(SHAPE)
+        assert set(timing.pattern_seconds) == {1, 2, 3}
+        assert timing.total_seconds == pytest.approx(
+            sum(timing.pattern_seconds.values())
+        )
+
+    def test_pattern_subset(self):
+        cfg = default_config().with_patterns(1)
+        timing = CuZC().estimate(SHAPE, cfg)
+        assert set(timing.pattern_seconds) == {1}
+
+    def test_cuzc_fastest(self):
+        cu = CuZC().estimate(SHAPE).total_seconds
+        mo = MoZC().estimate(SHAPE).total_seconds
+        omp = OmpZC().estimate(SHAPE).total_seconds
+        assert cu < mo < omp
+
+    def test_throughput_accounting(self):
+        timing = CuZC().estimate(SHAPE)
+        n = 64**3
+        assert timing.bytes_processed == 2 * n * 4
+        assert timing.throughput() == pytest.approx(
+            timing.bytes_processed / timing.total_seconds
+        )
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(CheckerError):
+            CuZC().pattern_seconds(4, SHAPE, default_config())
+
+    def test_times_scale_with_volume(self):
+        small = CuZC().estimate((32, 32, 32)).total_seconds
+        large = CuZC().estimate((128, 128, 128)).total_seconds
+        assert large > 10 * small
+
+
+class TestOmpWorkloads:
+    def test_pattern1_has_fourteen_passes(self):
+        loads = OmpZC().workloads(1, SHAPE, default_config())
+        assert len(loads) == 14
+
+    def test_pattern2_includes_lags(self):
+        loads = OmpZC().workloads(2, SHAPE, default_config())
+        names = [w.name for w in loads]
+        assert "autocorrelation" in names
+        ac = next(w for w in loads if w.name == "autocorrelation")
+        assert ac.passes == 10
+
+    def test_pattern3_window_scaling(self):
+        cfg = default_config()
+        ssim = OmpZC().workloads(3, SHAPE, cfg)[0]
+        assert ssim.cycles_per_element > 1000  # w^3-scaled scalar cost
+
+    def test_ssim_cost_scales_with_window_volume(self):
+        from dataclasses import replace
+
+        from repro.kernels.pattern3 import Pattern3Config
+
+        cfg8 = default_config()
+        cfg4 = replace(cfg8, pattern3=Pattern3Config(window=4))
+        c8 = OmpZC().workloads(3, SHAPE, cfg8)[0].cycles_per_element
+        c4 = OmpZC().workloads(3, SHAPE, cfg4)[0].cycles_per_element
+        assert c8 / c4 == pytest.approx(8.0)
+
+
+class TestSmallDataCrossover:
+    def test_gpu_loses_on_tiny_data_wins_at_scale(self):
+        """Launch/sync overheads make the GPU slower than the CPU below a
+        crossover size — the standard reason assessment tools batch small
+        fields.  With a light metric load (small SSIM window, few lags)
+        the fixed overheads dominate tiny fields; at scale the GPU's
+        throughput advantage takes over.  The model reproduces both
+        regimes and the crossover in between."""
+        from dataclasses import replace
+
+        from repro.kernels.pattern2 import Pattern2Config
+        from repro.kernels.pattern3 import Pattern3Config
+
+        cfg = replace(
+            default_config(),
+            pattern2=Pattern2Config(max_lag=3),
+            pattern3=Pattern3Config(window=6),
+        )
+        tiny = (16, 16, 16)
+        large = (64, 256, 256)
+        cu_tiny = CuZC().estimate(tiny, cfg).total_seconds
+        omp_tiny = OmpZC().estimate(tiny, cfg).total_seconds
+        cu_large = CuZC().estimate(large, cfg).total_seconds
+        omp_large = OmpZC().estimate(large, cfg).total_seconds
+        assert cu_tiny > omp_tiny  # overhead-bound regime: GPU loses
+        assert omp_large > 5 * cu_large  # throughput-bound regime

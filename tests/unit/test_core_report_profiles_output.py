@@ -1,0 +1,101 @@
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.checker import CuZChecker
+from repro.core.output import report_to_text, write_report_dats, write_report_json
+from repro.core.profiles import runtime_profile
+from repro.datasets.registry import PAPER_SHAPES
+from repro.metrics.base import Pattern
+
+
+@pytest.fixture(scope="module")
+def report():
+    from repro.datasets.synthetic import spectral_field
+    from repro.compressors.sz import SZCompressor
+
+    orig = spectral_field((16, 18, 20), slope=3.0, seed=11, mean=2.0)
+    comp = SZCompressor(rel_bound=1e-3)
+    dec = comp.decompress(comp.compress(orig))
+    checker = CuZChecker(with_baselines=True)
+    return checker.assess(orig, dec)
+
+
+class TestAssessmentReport:
+    def test_scalars_cover_patterns(self, report):
+        scalars = report.scalars()
+        for key in ("mse", "psnr", "ssim", "derivative_order1", "pearson"):
+            assert key in scalars
+
+    def test_values_typed(self, report):
+        values = {v.name: v for v in report.values()}
+        assert values["mse"].pattern is Pattern.GLOBAL_REDUCTION
+        assert values["ssim"].pattern is Pattern.SLIDING_WINDOW
+        assert values["mse"].is_scalar
+        assert not values["err_pdf"].is_scalar
+
+    def test_speedups_readable(self, report):
+        assert report.speedup("ompZC") > 1.0
+        assert report.speedup("moZC") > 1.0
+
+    def test_to_dict_json_serialisable(self, report):
+        blob = json.dumps(report.to_dict())
+        parsed = json.loads(blob)
+        assert parsed["shape"] == [16, 18, 20]
+        assert "timings" in parsed
+        assert "autocorrelation" in parsed
+
+    def test_nonfinite_metrics_nulled_in_dict(self):
+        from repro.datasets.synthetic import spectral_field
+
+        orig = spectral_field((16, 16, 16), seed=1)
+        checker = CuZChecker()
+        rep = checker.assess(orig, orig.copy())  # lossless: inf PSNR
+        d = rep.to_dict()
+        assert d["metrics"]["psnr"] is None
+
+
+class TestRuntimeProfile:
+    def test_table2_reproduction(self):
+        rows = runtime_profile(PAPER_SHAPES)
+        assert len(rows) == 12  # 3 patterns x 4 datasets
+        by = {(r.pattern, r.dataset): r for r in rows}
+        # paper Table II resource columns
+        assert by[(1, "hurricane")].regs_per_block == 14336
+        assert by[(1, "hurricane")].smem_per_block == 448
+        assert by[(2, "nyx")].regs_per_block == 2304
+        assert by[(2, "nyx")].smem_per_block == 17408
+        assert by[(3, "miranda")].regs_per_block == 11136
+        # paper: pattern-1 concurrency capped at 4 by registers (64k/14k)
+        assert by[(1, "nyx")].concurrent_blocks_per_sm == 4
+        assert by[(1, "nyx")].blocks_per_sm == 7
+
+    def test_formatted_cells(self):
+        rows = runtime_profile({"hurricane": PAPER_SHAPES["hurricane"]})
+        cells = rows[0].formatted()
+        assert cells["Regs/TB"] == "14.3k"
+        assert cells["SMem/TB"] == "0.4KB"
+
+
+class TestOutputEngine:
+    def test_text_report_mentions_key_metrics(self, report):
+        text = report_to_text(report)
+        assert "psnr" in text
+        assert "ssim" in text
+        assert "speedup vs ompZC" in text
+
+    def test_json_written(self, report, tmp_path):
+        path = write_report_json(report, tmp_path / "report.json")
+        parsed = json.loads(path.read_text())
+        assert "metrics" in parsed
+
+    def test_dat_series_written(self, report, tmp_path):
+        paths = write_report_dats(report, tmp_path / "dats")
+        names = {p.name for p in paths}
+        assert names == {"err_pdf.dat", "pwr_err_pdf.dat", "autocorrelation.dat"}
+        content = (tmp_path / "dats" / "autocorrelation.dat").read_text()
+        first_row = content.splitlines()[2].split()
+        assert float(first_row[0]) == 0.0
+        assert float(first_row[1]) == 1.0

@@ -1,0 +1,156 @@
+import numpy as np
+import pytest
+
+from repro.datasets.fields import Dataset, Field
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    PAPER_SHAPES,
+    dataset_info,
+    generate_dataset,
+    generate_field,
+    scaled_shape,
+)
+from repro.datasets.synthetic import (
+    gaussian_bumps,
+    layered_field,
+    particle_density_field,
+    spectral_field,
+    turbulence_field,
+)
+from repro.errors import DataIOError, ShapeError
+
+
+class TestPaperShapes:
+    def test_section_iva_shapes(self):
+        assert PAPER_SHAPES["hurricane"] == (100, 500, 500)
+        assert PAPER_SHAPES["nyx"] == (512, 512, 512)
+        assert PAPER_SHAPES["scale_letkf"] == (98, 1200, 1200)
+        assert PAPER_SHAPES["miranda"] == (256, 384, 384)
+
+    def test_field_counts(self):
+        """13 Hurricane fields, 6 NYX, 6 Scale-LETKF, 7 Miranda."""
+        assert dataset_info("hurricane").n_fields == 13
+        assert dataset_info("nyx").n_fields == 6
+        assert dataset_info("scale_letkf").n_fields == 6
+        assert dataset_info("miranda").n_fields == 7
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DataIOError):
+            dataset_info("fluidsim")
+
+    def test_scaled_shape(self):
+        assert scaled_shape("nyx", 0.125) == (64, 64, 64)
+        assert scaled_shape("hurricane", 0.1, min_extent=16) == (16, 50, 50)
+
+    def test_scaled_shape_invalid(self):
+        with pytest.raises(ValueError):
+            scaled_shape("nyx", 0.0)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "gen",
+        [spectral_field, turbulence_field, layered_field, gaussian_bumps,
+         particle_density_field],
+    )
+    def test_shape_dtype_finite(self, gen):
+        out = gen((10, 12, 14), seed=3)
+        assert out.shape == (10, 12, 14)
+        assert out.dtype == np.float32
+        assert np.isfinite(out).all()
+
+    def test_deterministic(self):
+        a = spectral_field((8, 8, 8), seed=5)
+        b = spectral_field((8, 8, 8), seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = spectral_field((8, 8, 8), seed=5)
+        b = spectral_field((8, 8, 8), seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_spectral_moments(self):
+        out = spectral_field((16, 16, 16), mean=10.0, std=2.0, seed=1)
+        assert out.mean() == pytest.approx(10.0, abs=0.2)
+        assert out.std() == pytest.approx(2.0, rel=0.1)
+
+    def test_slope_controls_smoothness(self):
+        rough = spectral_field((16, 16, 16), slope=1.0, seed=2)
+        smooth = spectral_field((16, 16, 16), slope=5.0, seed=2)
+
+        def grad_energy(f):
+            return float(np.mean(np.diff(f, axis=2) ** 2) / np.var(f))
+
+        assert grad_energy(smooth) < grad_energy(rough)
+
+    def test_layered_field_stratified(self):
+        out = layered_field((20, 8, 8), seed=0, perturbation=0.5)
+        profile = out.mean(axis=(1, 2))
+        assert profile[0] > profile[-1]  # decreases with height index
+
+    def test_density_field_positive_heavy_tailed(self):
+        out = particle_density_field((16, 16, 16), seed=4)
+        assert (out > 0).all()
+        assert out.max() / np.median(out) > 10
+
+    def test_bumps_mostly_background(self):
+        out = gaussian_bumps((16, 16, 16), n_bumps=2, seed=1)
+        assert np.median(out) < 0.25 * out.max()
+
+    def test_invalid_shape(self):
+        with pytest.raises(ShapeError):
+            spectral_field((1, 8, 8))
+
+
+class TestGenerateField:
+    def test_per_field_seeds_stable(self):
+        a = generate_field("nyx", "temperature", shape=(8, 8, 8))
+        b = generate_field("nyx", "temperature", shape=(8, 8, 8))
+        assert np.array_equal(a.data, b.data)
+
+    def test_fields_differ(self):
+        a = generate_field("nyx", "velocity_x", shape=(8, 8, 8))
+        b = generate_field("nyx", "velocity_y", shape=(8, 8, 8))
+        assert not np.array_equal(a.data, b.data)
+
+    def test_unknown_field(self):
+        with pytest.raises(DataIOError):
+            generate_field("nyx", "QCLOUDf48")
+
+    def test_all_registered_fields_generate(self):
+        for name in DATASET_NAMES:
+            info = dataset_info(name)
+            field = generate_field(name, info.field_names[0], shape=(8, 8, 8))
+            assert field.data.shape == (8, 8, 8)
+
+
+class TestDatasetContainers:
+    def test_generate_dataset_scaled(self):
+        ds = generate_dataset("miranda", scale=0.05, n_fields=2)
+        assert len(ds) == 2
+        assert ds[0].shape == scaled_shape("miranda", 0.05)
+
+    def test_lookup_by_name_and_index(self):
+        ds = generate_dataset("nyx", scale=0.02, n_fields=3)
+        assert ds["temperature"].name == "temperature"
+        assert ds[1].name == ds.field_names[1]
+        with pytest.raises(KeyError):
+            ds["nope"]
+
+    def test_duplicate_field_rejected(self):
+        ds = Dataset(name="d")
+        ds.add(Field("a", np.zeros((2, 2, 2))))
+        with pytest.raises(ValueError):
+            ds.add(Field("a", np.zeros((2, 2, 2))))
+
+    def test_field_validates_dims(self):
+        with pytest.raises(ShapeError):
+            Field("bad", np.zeros((4, 4)))
+
+    def test_field_casts_to_float32(self):
+        f = Field("x", np.zeros((2, 2, 2), dtype=np.float64))
+        assert f.data.dtype == np.float32
+
+    def test_nbytes(self):
+        ds = generate_dataset("nyx", scale=0.02, n_fields=2)
+        assert ds.nbytes == sum(f.nbytes for f in ds)

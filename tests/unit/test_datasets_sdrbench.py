@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.datasets.registry import PAPER_SHAPES
+from repro.datasets.sdrbench import (
+    SDRBENCH_ENV,
+    load_field,
+    locate_field_file,
+)
+from repro.errors import DataIOError
+from repro.io.raw import write_raw
+
+
+@pytest.fixture()
+def fake_sdrbench(tmp_path, monkeypatch):
+    """A directory shaped like a real SDRBench download.
+
+    The Hurricane catalogue shape is patched down so the fixture writes
+    kilobytes instead of the real 100 MB per field.
+    """
+    small_shape = (10, 20, 20)
+    monkeypatch.setitem(PAPER_SHAPES, "hurricane", small_shape)
+    root = tmp_path / "sdrbench"
+    hur = root / "hurricane"
+    hur.mkdir(parents=True)
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=small_shape).astype(np.float32)
+    write_raw(hur / "Uf48.f32", data)
+    monkeypatch.setenv(SDRBENCH_ENV, str(root))
+    return root, data
+
+
+class TestLocate:
+    def test_found_via_env(self, fake_sdrbench):
+        root, _ = fake_sdrbench
+        path = locate_field_file("hurricane", "Uf48")
+        assert path is not None
+        assert path.name == "Uf48.f32"
+
+    def test_found_via_explicit_root(self, fake_sdrbench, monkeypatch):
+        root, _ = fake_sdrbench
+        monkeypatch.delenv(SDRBENCH_ENV)
+        assert locate_field_file("hurricane", "Uf48", root=root) is not None
+
+    def test_missing_returns_none(self, fake_sdrbench):
+        assert locate_field_file("hurricane", "Vf48") is None
+
+
+class TestLoadField:
+    def test_real_file_preferred(self, fake_sdrbench):
+        _, data = fake_sdrbench
+        src = load_field("hurricane", "Uf48")
+        assert src.source == "sdrbench"
+        assert np.array_equal(src.field.data, data)
+
+    def test_fallback_to_synthetic(self, fake_sdrbench):
+        src = load_field("hurricane", "Vf48")
+        assert src.source == "synthetic"
+        assert src.field.shape == PAPER_SHAPES["hurricane"]
+
+    def test_require_real_raises_when_absent(self, fake_sdrbench):
+        with pytest.raises(DataIOError):
+            load_field("hurricane", "Vf48", require_real=True)
+
+    def test_scaled_requests_synthesise(self, fake_sdrbench):
+        src = load_field("hurricane", "Uf48", scale=0.1)
+        assert src.source == "synthetic"
+        assert src.field.shape != PAPER_SHAPES["hurricane"]
+
+    def test_require_real_incompatible_with_scale(self, fake_sdrbench):
+        with pytest.raises(DataIOError):
+            load_field("hurricane", "Uf48", scale=0.5, require_real=True)
+
+    def test_truncated_real_file_detected(self, fake_sdrbench):
+        root, _ = fake_sdrbench
+        path = root / "hurricane" / "Uf48.f32"
+        path.write_bytes(path.read_bytes()[:-100])
+        with pytest.raises(DataIOError):
+            load_field("hurricane", "Uf48")
+
+    def test_unknown_field(self, fake_sdrbench):
+        with pytest.raises(DataIOError):
+            load_field("hurricane", "nope")

@@ -1,0 +1,102 @@
+"""Tests for the vortex wind generator and config serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.parser import format_config, parse_config_text, save_config
+from repro.config.schema import CheckerConfig
+from repro.datasets.synthetic import vortex_field
+from repro.kernels.pattern1 import Pattern1Config
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+
+
+class TestVortexField:
+    def test_shape_dtype(self):
+        out = vortex_field((8, 32, 32), "u", seed=2)
+        assert out.shape == (8, 32, 32)
+        assert out.dtype == np.float32
+        assert np.isfinite(out).all()
+
+    def test_deterministic(self):
+        a = vortex_field((6, 20, 20), "v", seed=9)
+        b = vortex_field((6, 20, 20), "v", seed=9)
+        assert np.array_equal(a, b)
+
+    def test_components_differ(self):
+        u = vortex_field((6, 24, 24), "u", seed=1)
+        v = vortex_field((6, 24, 24), "v", seed=1)
+        assert not np.array_equal(u, v)
+
+    def test_rotational_structure(self):
+        """The u/v pair carries concentrated vorticity near the storm
+        core — the curl magnitude peaks well above its median."""
+        u = vortex_field((4, 64, 64), "u", seed=5, max_wind=80.0)
+        v = vortex_field((4, 64, 64), "v", seed=5, max_wind=80.0)
+        # curl_z = dv/dx - du/dy on a mid-level slice
+        curl = np.gradient(v[2], axis=1) - np.gradient(u[2], axis=0)
+        mag = np.abs(curl)
+        assert mag.max() > 10 * np.median(mag)
+
+    def test_wind_weakens_with_altitude(self):
+        u = vortex_field((20, 40, 40), "u", seed=3, max_wind=60.0)
+        low = np.abs(u[1]).max()
+        high = np.abs(u[-1]).max()
+        assert high < low
+
+    def test_invalid_component(self):
+        with pytest.raises(ValueError):
+            vortex_field((4, 8, 8), "w")
+
+
+class TestConfigSerialisation:
+    def test_default_roundtrip(self):
+        from repro.config.defaults import default_config
+
+        c = default_config()
+        assert parse_config_text(format_config(c)) == c
+
+    def test_save_and_load(self, tmp_path):
+        from repro.config.parser import load_config
+
+        c = CheckerConfig(metrics=("mse", "psnr"), patterns=(1,))
+        path = save_config(c, tmp_path / "zc.cfg")
+        assert load_config(path) == c
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        metrics=st.one_of(
+            st.just("all"),
+            st.sets(
+                st.sampled_from(["mse", "psnr", "ssim", "laplacian", "pearson"]),
+                min_size=1,
+            ).map(tuple),
+        ),
+        patterns=st.sets(st.sampled_from([1, 2, 3]), min_size=1).map(
+            lambda s: tuple(sorted(s))
+        ),
+        pdf_bins=st.integers(2, 4096),
+        max_lag=st.integers(0, 12),
+        orders=st.sampled_from([(1,), (2,), (1, 2)]),
+        window=st.integers(2, 10),
+        step=st.integers(1, 4),
+        yrows=st.integers(10, 24),
+        device=st.sampled_from(["V100", "A100"]),
+        auxiliary=st.booleans(),
+    )
+    def test_roundtrip_property(
+        self, metrics, patterns, pdf_bins, max_lag, orders, window, step,
+        yrows, device, auxiliary,
+    ):
+        config = CheckerConfig(
+            metrics=metrics,
+            patterns=patterns,
+            pattern1=Pattern1Config(pdf_bins=pdf_bins),
+            pattern2=Pattern2Config(max_lag=max_lag, orders=orders),
+            pattern3=Pattern3Config(window=window, step=step, yrows=yrows),
+            device=device,
+            auxiliary=auxiliary,
+        )
+        assert parse_config_text(format_config(config)) == config

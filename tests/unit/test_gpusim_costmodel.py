@@ -1,0 +1,106 @@
+import pytest
+
+from repro.gpusim.costmodel import kernel_time, kernels_time
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.device import A100, V100
+
+
+def make_stats(**kw):
+    base = dict(
+        name="k",
+        launches=1,
+        global_read_bytes=100 * 1024 * 1024,
+        flops=50_000_000,
+        grid_blocks=1000,
+        threads_per_block=256,
+        regs_per_thread=32,
+        smem_per_block=0,
+    )
+    base.update(kw)
+    return KernelStats(**base)
+
+
+class TestKernelTime:
+    def test_components_positive(self):
+        cost = kernel_time(make_stats(), V100)
+        assert cost.launch_time > 0
+        assert cost.mem_time > 0
+        assert cost.compute_time > 0
+        assert cost.total >= cost.pipeline_time
+
+    def test_roofline_takes_max(self):
+        cost = kernel_time(make_stats(), V100)
+        assert cost.pipeline_time >= max(cost.mem_time, cost.compute_time)
+
+    def test_bound_label(self):
+        mem_bound = kernel_time(make_stats(flops=1), V100)
+        assert mem_bound.bound == "memory"
+        compute_bound = kernel_time(
+            make_stats(global_read_bytes=64, flops=10**10), V100
+        )
+        assert compute_bound.bound == "compute"
+
+    def test_time_scales_with_traffic(self):
+        small = kernel_time(make_stats(), V100).total
+        big = kernel_time(make_stats(global_read_bytes=10**9, flops=1), V100).total
+        assert big > small
+
+    def test_monotone_in_data_size(self):
+        """Doubling every volumetric counter must not reduce time."""
+        s1 = make_stats()
+        s2 = s1.scaled(2.0)
+        assert kernel_time(s2, V100).pipeline_time >= kernel_time(
+            s1, V100
+        ).pipeline_time
+
+    def test_launch_overhead_additive(self):
+        one = kernel_time(make_stats(launches=1), V100)
+        ten = kernel_time(make_stats(launches=10), V100)
+        assert ten.launch_time == pytest.approx(10 * one.launch_time)
+
+    def test_grid_sync_cost(self):
+        without = kernel_time(make_stats(grid_syncs=0), V100).total
+        with_sync = kernel_time(make_stats(grid_syncs=5), V100).total
+        assert with_sync == pytest.approx(
+            without + 5 * V100.grid_sync_latency
+        )
+
+    def test_small_grid_is_slower_per_byte(self):
+        full = kernel_time(make_stats(grid_blocks=2000), V100)
+        tiny = kernel_time(make_stats(grid_blocks=4), V100)
+        assert tiny.mem_time > full.mem_time
+
+    def test_chain_length_slows_compute(self):
+        fast = make_stats(flops=10**10, global_read_bytes=64)
+        slow = make_stats(
+            flops=10**10, global_read_bytes=64, meta={"chain_length": 40000}
+        )
+        assert (
+            kernel_time(slow, V100).compute_time
+            > 1.5 * kernel_time(fast, V100).compute_time
+        )
+
+    def test_atomics_cost_more_than_flops(self):
+        plain = kernel_time(make_stats(flops=10**8, global_read_bytes=64), V100)
+        atomic = kernel_time(
+            make_stats(flops=0, atomic_ops=10**8, global_read_bytes=64), V100
+        )
+        assert atomic.compute_time > plain.compute_time
+
+    def test_a100_faster_than_v100(self):
+        stats = make_stats(global_read_bytes=10**9)
+        assert kernel_time(stats, A100).total < kernel_time(stats, V100).total
+
+    def test_invalid_stats_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_time(make_stats(flops=-1), V100)
+
+
+class TestKernelsTime:
+    def test_sequence_sums(self):
+        stats = make_stats()
+        single = kernel_time(stats, V100).total
+        assert kernels_time([stats] * 3, V100) == pytest.approx(3 * single)
+
+    def test_empty_sequence(self):
+        assert kernels_time([], V100) == 0.0

@@ -1,0 +1,175 @@
+"""Device specs, counters, CPU model, launch validation, memory helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchConfigError, ResourceExhausted
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.cpu import (
+    CPU_CYCLES_PER_ELEM,
+    CpuWorkload,
+    cpu_pass_time,
+    cpu_workload_time,
+)
+from repro.gpusim.device import V100, XEON_6148
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.memory import SmemFifo, TrafficRecorder
+
+
+class TestDeviceSpec:
+    def test_v100_headline_numbers(self):
+        """Section IV: 80 SMs, 64 cores/SM (5120 total), 32 GB HBM."""
+        assert V100.sm_count == 80
+        assert V100.cuda_cores == 5120
+        assert V100.global_mem_bytes == 32 * 1024**3
+        assert V100.max_warps_per_sm == 64
+
+    def test_xeon_headline_numbers(self):
+        assert XEON_6148.cores == 20
+        assert XEON_6148.frequency_hz == pytest.approx(2.4e9)
+        assert XEON_6148.op_rate < XEON_6148.cores * XEON_6148.frequency_hz
+
+
+class TestKernelStats:
+    def test_derived_properties(self):
+        s = KernelStats(
+            threads_per_block=256,
+            regs_per_thread=56,
+            global_read_bytes=100,
+            global_write_bytes=20,
+        )
+        assert s.regs_per_block == 14336
+        assert s.global_bytes == 120
+
+    def test_merged_accumulates_traffic(self):
+        a = KernelStats(name="a", launches=1, global_read_bytes=10, flops=5)
+        b = KernelStats(name="b", launches=2, global_read_bytes=20, flops=7)
+        m = a.merged(b)
+        assert m.launches == 3
+        assert m.global_read_bytes == 30
+        assert m.flops == 12
+
+    def test_merged_keeps_max_resources(self):
+        a = KernelStats(regs_per_thread=56, smem_per_block=448)
+        b = KernelStats(regs_per_thread=30, smem_per_block=17408)
+        m = a.merged(b)
+        assert m.regs_per_thread == 56
+        assert m.smem_per_block == 17408
+
+    def test_scaled(self):
+        s = KernelStats(global_read_bytes=100, flops=10)
+        d = s.scaled(2.5)
+        assert d.global_read_bytes == 250
+        assert d.flops == 25
+        assert d.threads_per_block == s.threads_per_block
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            KernelStats(flops=-1).validate()
+
+    def test_validate_rejects_traffic_without_launch(self):
+        with pytest.raises(ValueError):
+            KernelStats(launches=0, global_read_bytes=8).validate()
+
+
+class TestCpuModel:
+    def test_pass_time_scales_linearly(self):
+        w1 = CpuWorkload("m", 10**6, 40.0, bytes_streamed=8 * 10**6)
+        w2 = CpuWorkload("m", 2 * 10**6, 40.0, bytes_streamed=16 * 10**6)
+        t1 = cpu_pass_time(w1)
+        t2 = cpu_pass_time(w2)
+        assert t2 == pytest.approx(2 * t1 - XEON_6148.omp_fork_latency, rel=1e-6)
+
+    def test_memory_floor(self):
+        """A nearly-free metric is still bounded by streaming bandwidth."""
+        w = CpuWorkload("cheap", 10**8, 0.01, bytes_streamed=8 * 10**8)
+        t = cpu_pass_time(w)
+        assert t >= 8 * 10**8 / XEON_6148.mem_bandwidth
+
+    def test_workload_time_sums(self):
+        w = CpuWorkload("m", 10**6, 40.0)
+        assert cpu_workload_time([w, w]) == pytest.approx(2 * cpu_pass_time(w))
+
+    def test_multi_pass_workload(self):
+        one = CpuWorkload("ac", 10**6, 48.0, passes=1)
+        ten = CpuWorkload("ac", 10**6, 48.0, passes=10)
+        assert ten.total_cycles == 10 * one.total_cycles
+
+    def test_cycle_table_covers_all_patterns(self):
+        for name in ("mse", "psnr", "derivative_order1", "autocorrelation",
+                     "ssim", "err_pdf"):
+            assert CPU_CYCLES_PER_ELEM[name] > 0
+
+
+class TestLaunchConfig:
+    def test_valid_config(self):
+        LaunchConfig(grid_x=100, block_x=32, block_y=8).validate(V100)
+
+    def test_too_many_threads(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(grid_x=1, block_x=64, block_y=32).validate(V100)
+
+    def test_too_much_smem(self):
+        with pytest.raises(ResourceExhausted):
+            LaunchConfig(
+                grid_x=1, block_x=32, smem_per_block=64 * 1024
+            ).validate(V100)
+
+    def test_bad_grid(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(grid_x=0, block_x=32).validate(V100)
+
+    def test_warps_per_block_rounds_up(self):
+        assert LaunchConfig(grid_x=1, block_x=33).warps_per_block == 2
+
+    def test_cooperative_grid_limit(self):
+        cfg = LaunchConfig(grid_x=1, block_x=256)
+        assert cfg.cooperative_max_blocks(V100, 4) == 320
+
+
+class TestTrafficRecorder:
+    def test_counters_accumulate(self):
+        rec = TrafficRecorder()
+        rec.read_global(10)
+        rec.write_global(5)
+        rec.touch_shared(3)
+        rec.shuffle(7)
+        rec.compute(11)
+        rec.atomic(2)
+        assert rec.global_bytes == 60
+        assert rec.shared_bytes == 12
+        assert rec.shuffle_ops == 7
+        assert rec.flops == 11
+        assert rec.atomic_ops == 2
+
+    def test_trace_events(self):
+        rec = TrafficRecorder(trace=True)
+        rec.read_global(1, what="slice")
+        assert rec.events == [("gread", "slice", 4)]
+
+
+class TestSmemFifo:
+    def test_rolling_reduce_matches_window_sum(self, rng):
+        depth = 4
+        slices = rng.normal(size=(10, 3, 5))
+        fifo = SmemFifo(depth, (3, 5))
+        for k in range(10):
+            fifo.push(k, slices[k])
+            if k >= depth - 1:
+                expected = slices[k - depth + 1 : k + 1].sum(axis=0)
+                assert np.allclose(fifo.reduce(), expected)
+
+    def test_reduce_before_fill_raises(self):
+        fifo = SmemFifo(3, (2,))
+        fifo.push(0, np.zeros(2))
+        with pytest.raises(RuntimeError):
+            fifo.reduce()
+
+    def test_wrong_slot_shape_rejected(self):
+        fifo = SmemFifo(2, (2, 2))
+        with pytest.raises(ValueError):
+            fifo.push(0, np.zeros(3))
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            SmemFifo(0, (1,))

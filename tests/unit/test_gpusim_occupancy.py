@@ -1,0 +1,77 @@
+import pytest
+
+from repro.errors import ResourceExhausted
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.device import V100
+from repro.gpusim.occupancy import blocks_per_sm_limit, occupancy_for
+
+
+class TestBlocksPerSmLimit:
+    def test_register_limited_pattern1(self):
+        """The paper's own arithmetic: 64k regs / 14k per TB = 4."""
+        assert blocks_per_sm_limit(V100, 256, 56, 448) == 4
+
+    def test_smem_limited(self):
+        # 96 KB SM / 20 KB per block = 4
+        assert blocks_per_sm_limit(V100, 128, 16, 20 * 1024) == 4
+
+    def test_thread_limited(self):
+        assert blocks_per_sm_limit(V100, 1024, 16, 0) == 2
+
+    def test_block_slot_limited(self):
+        assert blocks_per_sm_limit(V100, 32, 8, 0) == V100.max_blocks_per_sm
+
+    def test_oversubscription_raises(self):
+        with pytest.raises(ResourceExhausted):
+            blocks_per_sm_limit(V100, 1024, 255, 0)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            blocks_per_sm_limit(V100, 0, 32, 0)
+
+
+class TestOccupancyFor:
+    def _stats(self, grid, threads=256, regs=56, smem=448):
+        return KernelStats(
+            grid_blocks=grid,
+            threads_per_block=threads,
+            regs_per_thread=regs,
+            smem_per_block=smem,
+        )
+
+    def test_nyx_pattern1_matches_paper(self):
+        """NYX pattern-1: 512 blocks on 80 SMs -> 7 assigned, 4 concurrent
+        (the paper's Table II discussion)."""
+        occ = occupancy_for(V100, self._stats(512))
+        assert occ.table2_row == (7, 4)
+
+    def test_small_grid_active_sms(self):
+        occ = occupancy_for(V100, self._stats(7))
+        assert occ.active_sms == 7
+        assert occ.blocks_per_sm == 1
+
+    def test_waves_for_oversubscribed_grid(self):
+        # slots = 80 SMs x 4 concurrent = 320
+        occ = occupancy_for(V100, self._stats(640))
+        assert occ.waves == 2
+        assert occ.wave_balance == pytest.approx(1.0)
+
+    def test_ragged_last_wave_balance(self):
+        occ = occupancy_for(V100, self._stats(321))
+        assert occ.waves == 2
+        assert occ.wave_balance == pytest.approx(321 / 640)
+
+    def test_average_residency_is_fractional(self):
+        occ = occupancy_for(V100, self._stats(100))
+        assert occ.active_warps_per_sm == pytest.approx(100 / 80 * 8)
+
+    def test_occupancy_fraction_bounded(self):
+        occ = occupancy_for(V100, self._stats(10_000))
+        assert 0 < occ.occupancy <= 1.0
+
+    def test_concurrency_monotone_in_registers(self):
+        low = occupancy_for(V100, self._stats(512, regs=32))
+        high = occupancy_for(V100, self._stats(512, regs=64))
+        assert (
+            low.concurrent_blocks_per_sm >= high.concurrent_blocks_per_sm
+        )

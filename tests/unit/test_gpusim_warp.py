@@ -1,0 +1,116 @@
+import numpy as np
+import pytest
+
+from repro.gpusim.warp import (
+    WARP_SIZE,
+    ballot,
+    shfl_down,
+    shfl_up,
+    shfl_xor,
+    warp_inclusive_scan,
+    warp_reduce,
+    warp_segmented_sum,
+)
+
+
+class TestShuffles:
+    def test_shfl_down_shifts_lanes(self):
+        lanes = np.arange(8.0)
+        out = shfl_down(lanes, 3)
+        assert np.array_equal(out[:5], lanes[3:])
+        assert np.array_equal(out[5:], np.zeros(3))
+
+    def test_shfl_down_zero_offset_is_identity(self):
+        lanes = np.arange(32.0)
+        assert np.array_equal(shfl_down(lanes, 0), lanes)
+
+    def test_shfl_up_inverse_direction(self):
+        lanes = np.arange(8.0)
+        out = shfl_up(lanes, 2, fill=-1.0)
+        assert np.array_equal(out[2:], lanes[:-2])
+        assert np.all(out[:2] == -1.0)
+
+    def test_shfl_xor_is_involution(self):
+        lanes = np.arange(32.0)
+        assert np.array_equal(shfl_xor(shfl_xor(lanes, 5), 5), lanes)
+
+    def test_shfl_on_multidim_uses_last_axis(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        out = shfl_down(arr, 1)
+        assert np.array_equal(out[:, :3], arr[:, 1:])
+
+    def test_oversized_warp_rejected(self):
+        with pytest.raises(ValueError):
+            shfl_down(np.zeros(33), 1)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            shfl_down(np.zeros(4), -1)
+
+
+class TestBallot:
+    def test_mask_bits(self):
+        pred = np.array([True, False, True, True])
+        assert ballot(pred) == 0b1101
+
+    def test_empty_mask(self):
+        assert ballot(np.zeros(4, dtype=bool)) == 0
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            ballot(np.zeros((2, 2), dtype=bool))
+
+
+class TestWarpReduce:
+    def test_full_warp_sum(self, rng):
+        lanes = rng.normal(size=WARP_SIZE)
+        assert warp_reduce(lanes) == pytest.approx(lanes.sum())
+
+    def test_partial_warp_sum(self, rng):
+        lanes = rng.normal(size=20)
+        assert warp_reduce(lanes) == pytest.approx(lanes.sum())
+
+    @pytest.mark.parametrize("lanes", [1, 2, 3, 7, 16, 31, 32])
+    def test_all_widths(self, lanes, rng):
+        vals = rng.normal(size=lanes)
+        assert warp_reduce(vals) == pytest.approx(vals.sum())
+
+    def test_min_max(self, rng):
+        vals = rng.normal(size=27)
+        assert warp_reduce(vals, np.minimum) == vals.min()
+        assert warp_reduce(vals, np.maximum) == vals.max()
+
+    def test_batched_rows(self, rng):
+        arr = rng.normal(size=(5, 32))
+        out = warp_reduce(arr)
+        assert np.allclose(out, arr.sum(axis=-1))
+
+    def test_empty_warp_rejected(self):
+        with pytest.raises(ValueError):
+            warp_reduce(np.zeros(0))
+
+
+class TestSegmentedSum:
+    def test_matches_sliding_sum(self, rng):
+        lanes = rng.normal(size=32)
+        seg = warp_segmented_sum(lanes, 4)
+        for i in range(32 - 4 + 1):
+            assert seg[i] == pytest.approx(lanes[i : i + 4].sum())
+
+    def test_segment_one_is_identity(self, rng):
+        lanes = rng.normal(size=16)
+        assert np.allclose(warp_segmented_sum(lanes, 1), lanes)
+
+    def test_invalid_segment(self):
+        with pytest.raises(ValueError):
+            warp_segmented_sum(np.zeros(8), 0)
+
+
+class TestInclusiveScan:
+    def test_matches_cumsum(self, rng):
+        lanes = rng.normal(size=32)
+        assert np.allclose(warp_inclusive_scan(lanes), np.cumsum(lanes))
+
+    def test_partial_warp(self, rng):
+        lanes = rng.normal(size=11)
+        assert np.allclose(warp_inclusive_scan(lanes), np.cumsum(lanes))

@@ -1,0 +1,124 @@
+import numpy as np
+import pytest
+
+from repro.datasets.fields import Dataset, Field
+from repro.errors import DataIOError
+from repro.io.bundle import load_bundle, save_bundle
+from repro.io.npyio import read_array, write_array
+from repro.io.raw import read_raw, write_raw
+
+
+class TestRawIO:
+    def test_roundtrip(self, tmp_path, smooth_field):
+        path = tmp_path / "f.f32"
+        write_raw(path, smooth_field)
+        back = read_raw(path, smooth_field.shape)
+        assert np.array_equal(back, smooth_field)
+
+    def test_big_endian_roundtrip(self, tmp_path, smooth_field):
+        path = tmp_path / "f.f32be"
+        write_raw(path, smooth_field, endian="big")
+        back = read_raw(path, smooth_field.shape, endian="big")
+        assert np.array_equal(back, smooth_field)
+
+    def test_float64(self, tmp_path, rng):
+        data = rng.normal(size=(4, 5, 6))
+        path = tmp_path / "f.f64"
+        write_raw(path, data, dtype="float64")
+        back = read_raw(path, data.shape, dtype="float64")
+        assert np.array_equal(back, data)
+
+    def test_size_mismatch_detected(self, tmp_path, smooth_field):
+        path = tmp_path / "f.f32"
+        write_raw(path, smooth_field)
+        with pytest.raises(DataIOError):
+            read_raw(path, (1, 2, 3))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataIOError):
+            read_raw(tmp_path / "absent.f32", (2, 2, 2))
+
+    def test_bad_dtype(self, tmp_path):
+        with pytest.raises(DataIOError):
+            read_raw(tmp_path / "x", (2,), dtype="int8")
+
+    def test_bad_endian(self, tmp_path):
+        with pytest.raises(DataIOError):
+            read_raw(tmp_path / "x", (2,), endian="middle")
+
+
+class TestNpyIO:
+    def test_npy_roundtrip(self, tmp_path, smooth_field):
+        path = tmp_path / "f.npy"
+        write_array(path, smooth_field)
+        assert np.array_equal(read_array(path), smooth_field)
+
+    def test_npz_single_entry(self, tmp_path, smooth_field):
+        path = tmp_path / "f.npz"
+        np.savez(path, data=smooth_field)
+        assert np.array_equal(read_array(path), smooth_field)
+
+    def test_npz_key_selection(self, tmp_path, smooth_field):
+        path = tmp_path / "f.npz"
+        np.savez(path, a=smooth_field, b=smooth_field * 2)
+        assert np.array_equal(read_array(path, key="b"), smooth_field * 2)
+        with pytest.raises(DataIOError):
+            read_array(path)  # ambiguous
+        with pytest.raises(DataIOError):
+            read_array(path, key="c")
+
+    def test_unknown_format(self, tmp_path):
+        path = tmp_path / "f.h5"
+        path.write_bytes(b"")
+        with pytest.raises(DataIOError):
+            read_array(path)
+
+    def test_write_requires_npy(self, tmp_path):
+        with pytest.raises(DataIOError):
+            write_array(tmp_path / "f.bin", np.zeros(3))
+
+
+class TestBundles:
+    def _dataset(self):
+        ds = Dataset(name="mini", description="test")
+        for i in range(3):
+            ds.add(Field(f"field{i}", np.full((4, 5, 6), float(i), np.float32)))
+        return ds
+
+    def test_save_load_roundtrip(self, tmp_path):
+        bundle = save_bundle(self._dataset(), tmp_path / "mini")
+        loaded = load_bundle(tmp_path / "mini")
+        assert loaded.name == "mini"
+        assert loaded.shape == (4, 5, 6)
+        assert loaded.field_names == ("field0", "field1", "field2")
+        ds = loaded.load()
+        assert np.array_equal(ds["field2"].data, np.full((4, 5, 6), 2.0))
+
+    def test_load_single_field(self, tmp_path):
+        save_bundle(self._dataset(), tmp_path / "mini")
+        bundle = load_bundle(tmp_path / "mini")
+        f = bundle.load_field("field1")
+        assert float(f.data[0, 0, 0]) == 1.0
+        with pytest.raises(DataIOError):
+            bundle.load_field("fieldX")
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(DataIOError):
+            load_bundle(tmp_path)
+
+    def test_missing_field_file_detected(self, tmp_path):
+        save_bundle(self._dataset(), tmp_path / "mini")
+        (tmp_path / "mini" / "field1.f32").unlink()
+        with pytest.raises(DataIOError):
+            load_bundle(tmp_path / "mini")
+
+    def test_mixed_shapes_rejected(self, tmp_path):
+        ds = Dataset(name="bad")
+        ds.add(Field("a", np.zeros((2, 2, 2))))
+        ds.add(Field("b", np.zeros((3, 3, 3))))
+        with pytest.raises(DataIOError):
+            save_bundle(ds, tmp_path / "bad")
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        with pytest.raises(DataIOError):
+            save_bundle(Dataset(name="empty"), tmp_path / "e")

@@ -1,0 +1,83 @@
+import pytest
+
+from repro.gpusim.costmodel import kernels_time
+from repro.gpusim.device import V100
+from repro.kernels.metric_oriented import (
+    MO_PATTERN1_KERNELS,
+    plan_mo_pattern1,
+    plan_mo_pattern2,
+    plan_mo_pattern3,
+)
+from repro.kernels.pattern1 import plan_pattern1
+from repro.kernels.pattern2 import Pattern2Config, plan_pattern2
+from repro.kernels.pattern3 import plan_pattern3
+
+SHAPE = (100, 500, 500)  # Hurricane
+
+
+class TestMoPattern1:
+    def test_ten_metric_pipelines(self):
+        """Paper: 'moZC contains 10 CUDA kernels for pattern 1'."""
+        assert len(MO_PATTERN1_KERNELS) == 10
+        assert len(plan_mo_pattern1(SHAPE)) == 10
+
+    def test_pdf_pipelines_use_atomics(self):
+        plans = {p.meta["metric"]: p for p in plan_mo_pattern1(SHAPE)}
+        assert plans["err_pdf"].atomic_ops > 0
+        assert plans["mse"].atomic_ops == 0
+
+    def test_each_pipeline_re_reads_inputs(self):
+        n = SHAPE[0] * SHAPE[1] * SHAPE[2]
+        for plan in plan_mo_pattern1(SHAPE):
+            assert plan.global_read_bytes >= 2 * n * 4
+
+    def test_total_traffic_exceeds_fused(self):
+        """The fusion claim: moZC moves several times cuZC's bytes."""
+        mo_bytes = sum(p.global_bytes for p in plan_mo_pattern1(SHAPE))
+        cu_bytes = plan_pattern1(SHAPE).global_bytes
+        assert mo_bytes > 4 * cu_bytes
+
+    def test_launch_count_exceeds_fused(self):
+        mo_launches = sum(p.launches for p in plan_mo_pattern1(SHAPE))
+        assert mo_launches >= 20
+        assert plan_pattern1(SHAPE).launches == 1
+
+
+class TestMoPattern2:
+    def test_kernel_inventory(self):
+        """2 derivative kernels + 2 summation reductions + moments +
+        10 lag kernels."""
+        plans = plan_mo_pattern2(SHAPE, Pattern2Config(max_lag=10))
+        names = [p.meta["metric"] for p in plans]
+        assert names.count("derivative_order1") == 1
+        assert names.count("derivative_order2") == 1
+        assert "divergence" in names
+        assert "laplacian" in names
+        assert "err_moments" in names
+        assert sum(1 for n in names if n.startswith("autocorr_lag")) == 10
+        assert len(plans) == 15
+
+    def test_slower_than_fused_by_paper_factor(self):
+        """Fig. 12(b): cuZC ≈ 1.8x moZC on pattern 2."""
+        cfg = Pattern2Config()
+        t_mo = kernels_time(plan_mo_pattern2(SHAPE, cfg), V100)
+        t_cu = kernels_time([plan_pattern2(SHAPE, cfg)], V100)
+        assert 1.6 < t_mo / t_cu < 2.1
+
+    def test_no_lags_no_moments_pass(self):
+        plans = plan_mo_pattern2(SHAPE, Pattern2Config(max_lag=0))
+        names = [p.meta["metric"] for p in plans]
+        assert "err_moments" not in names
+
+
+class TestMoPattern3:
+    def test_single_nofifo_kernel(self):
+        plans = plan_mo_pattern3(SHAPE)
+        assert len(plans) == 1
+        assert plans[0].meta["fifo"] is False
+
+    def test_fifo_gain_in_paper_range(self):
+        """Fig. 12(c): the FIFO buys 1.42-1.63x."""
+        t_mo = kernels_time(plan_mo_pattern3(SHAPE), V100)
+        t_cu = kernels_time([plan_pattern3(SHAPE)], V100)
+        assert 1.35 < t_mo / t_cu < 1.7

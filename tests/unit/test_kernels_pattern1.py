@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels.pattern1 import (
+    BLOCK_X,
+    BLOCK_Y,
+    N_ACCUMULATORS,
+    REGS_PER_THREAD,
+    SMEM_PER_BLOCK,
+    Pattern1Config,
+    execute_pattern1,
+    plan_pattern1,
+)
+from repro.metrics.error_stats import error_stats
+from repro.metrics.pwr_error import pwr_error_stats
+from repro.metrics.rate_distortion import rate_distortion
+
+
+class TestPlanPattern1:
+    def test_table2_resources(self):
+        """Paper Table II: 14k Regs/TB, 0.4KB SMem/TB for pattern 1."""
+        stats = plan_pattern1((100, 500, 500))
+        assert stats.regs_per_block == 14336  # "14k"
+        assert stats.smem_per_block == 448  # "0.4KB"
+        assert stats.threads_per_block == BLOCK_X * BLOCK_Y == 256
+
+    @pytest.mark.parametrize(
+        "shape,expected_iters",
+        [
+            ((100, 500, 500), 63 * 16),  # Hurricane  (paper: 977)
+            ((512, 512, 512), 64 * 16),  # NYX        (paper: 1k)
+            ((98, 1200, 1200), 150 * 38),  # Scale    (paper: 6.3k)
+            ((256, 384, 384), 48 * 12),  # Miranda    (paper: 576)
+        ],
+    )
+    def test_iters_per_thread(self, shape, expected_iters):
+        assert plan_pattern1(shape).iters_per_thread == expected_iters
+
+    def test_one_block_per_slice(self):
+        assert plan_pattern1((100, 500, 500)).grid_blocks == 100
+
+    def test_single_cooperative_launch(self):
+        stats = plan_pattern1((64, 64, 64))
+        assert stats.launches == 1
+        assert stats.grid_syncs == 2
+
+    def test_two_sweeps_of_both_fields(self):
+        n = 64**3
+        stats = plan_pattern1((64, 64, 64))
+        assert stats.global_read_bytes == 2 * 2 * n * 4
+
+    def test_histogram_atomics(self):
+        n = 32 * 20 * 24
+        assert plan_pattern1((32, 20, 24)).atomic_ops == 2 * n
+
+    def test_invalid_shape(self):
+        with pytest.raises(ShapeError):
+            plan_pattern1((0, 4, 4))
+        with pytest.raises(ShapeError):
+            plan_pattern1((4, 4))
+
+
+class TestExecutePattern1:
+    def test_matches_references(self, banded_pair):
+        orig, dec = banded_pair
+        result, _ = execute_pattern1(orig, dec)
+        es = error_stats(orig, dec)
+        rd = rate_distortion(orig, dec)
+        ps = pwr_error_stats(orig, dec)
+        assert result.min_err == pytest.approx(es.min_err, abs=1e-12)
+        assert result.max_err == pytest.approx(es.max_err, abs=1e-12)
+        assert result.avg_err == pytest.approx(es.avg_err, abs=1e-12)
+        assert result.avg_abs_err == pytest.approx(es.avg_abs_err, abs=1e-12)
+        assert result.mse == pytest.approx(rd.mse, rel=1e-12)
+        assert result.rmse == pytest.approx(rd.rmse, rel=1e-12)
+        assert result.nrmse == pytest.approx(rd.nrmse, rel=1e-12)
+        assert result.psnr == pytest.approx(rd.psnr, rel=1e-12)
+        assert result.snr == pytest.approx(rd.snr, rel=1e-12)
+        assert result.value_range == pytest.approx(rd.value_range)
+        assert result.min_pwr_err == pytest.approx(ps.min_pwr_err, rel=1e-12)
+        assert result.max_pwr_err == pytest.approx(ps.max_pwr_err, rel=1e-12)
+        assert result.avg_pwr_err == pytest.approx(ps.avg_pwr_err, rel=1e-10)
+
+    def test_odd_shapes_handle_block_padding(self, rng):
+        """Corner cases at the edges (Algorithm 1's omitted handling)."""
+        orig = rng.normal(size=(3, 13, 37)).astype(np.float32)
+        dec = orig + rng.normal(scale=0.01, size=orig.shape).astype(np.float32)
+        result, _ = execute_pattern1(orig, dec)
+        es = error_stats(orig, dec)
+        assert result.min_err == pytest.approx(es.min_err)
+        assert result.max_err == pytest.approx(es.max_err)
+        assert result.avg_err == pytest.approx(es.avg_err, abs=1e-12)
+
+    def test_pdfs_integrate_to_one(self, noisy_pair):
+        result, _ = execute_pattern1(*noisy_pair)
+        assert result.err_pdf.integral() == pytest.approx(1.0, rel=1e-9)
+        assert result.pwr_err_pdf.integral() == pytest.approx(1.0, rel=1e-9)
+
+    def test_lossless_input(self, smooth_field):
+        result, _ = execute_pattern1(smooth_field, smooth_field)
+        assert result.mse == 0.0
+        assert result.psnr == np.inf
+
+    def test_zero_field_pwr_excluded(self):
+        orig = np.zeros((4, 4, 4), dtype=np.float32)
+        dec = orig + 1.0
+        result, _ = execute_pattern1(orig, dec)
+        assert result.extras["pwr_count"] == 0.0
+        assert result.min_pwr_err == 0.0
+
+    def test_returned_stats_equal_plan(self, noisy_pair):
+        orig, dec = noisy_pair
+        _, stats = execute_pattern1(orig, dec)
+        assert stats == plan_pattern1(orig.shape)
+
+    def test_as_dict_keys_match_registry(self, noisy_pair):
+        from repro.metrics.base import METRIC_REGISTRY
+
+        result, _ = execute_pattern1(*noisy_pair)
+        for key in result.as_dict():
+            assert key in METRIC_REGISTRY
+
+    def test_config_bins_respected(self, noisy_pair):
+        result, _ = execute_pattern1(
+            *noisy_pair, Pattern1Config(pdf_bins=77)
+        )
+        assert len(result.err_pdf.density) == 77
+
+    def test_shape_mismatch(self, smooth_field):
+        with pytest.raises(ShapeError):
+            execute_pattern1(smooth_field, smooth_field[:-1])

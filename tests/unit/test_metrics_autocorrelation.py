@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics.autocorrelation import (
+    series_autocorrelation,
+    spatial_autocorrelation,
+)
+
+
+class TestSpatialAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        e = rng.normal(size=(12, 12, 12))
+        assert spatial_autocorrelation(e, 4)[0] == 1.0
+
+    def test_white_noise_near_zero(self, rng):
+        e = rng.normal(size=(24, 24, 24))
+        ac = spatial_autocorrelation(e, 5)
+        assert np.all(np.abs(ac[1:]) < 0.05)
+
+    def test_smooth_field_strongly_correlated(self, smooth_field):
+        ac = spatial_autocorrelation(smooth_field.astype(np.float64), 3)
+        assert ac[1] > 0.6
+        # correlation decays with distance for smooth fields
+        assert ac[1] >= ac[2] >= ac[3]
+
+    def test_constant_error_returns_zeros(self):
+        ac = spatial_autocorrelation(np.full((8, 8, 8), 2.0), 3)
+        assert ac[0] == 1.0
+        assert np.all(ac[1:] == 0.0)
+
+    def test_alternating_pattern_negative_lag1(self):
+        """A checkerboard along every axis anti-correlates at lag 1."""
+        n = 12
+        z, y, x = np.meshgrid(
+            np.arange(n), np.arange(n), np.arange(n), indexing="ij"
+        )
+        e = ((z + y + x) % 2).astype(np.float64) * 2 - 1
+        ac = spatial_autocorrelation(e, 2)
+        assert ac[1] < -0.9
+        assert ac[2] > 0.9
+
+    def test_max_lag_bounds(self, rng):
+        e = rng.normal(size=(6, 6, 6))
+        with pytest.raises(ShapeError):
+            spatial_autocorrelation(e, 6)
+        with pytest.raises(ValueError):
+            spatial_autocorrelation(e, -1)
+
+    def test_non_3d_raises(self):
+        with pytest.raises(ShapeError):
+            spatial_autocorrelation(np.zeros((4, 4)), 1)
+
+    def test_output_length(self, rng):
+        e = rng.normal(size=(10, 10, 10))
+        assert len(spatial_autocorrelation(e, 7)) == 8
+
+
+class TestSeriesAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        assert series_autocorrelation(rng.normal(size=1000), 5)[0] == 1.0
+
+    def test_white_noise_near_zero(self, rng):
+        ac = series_autocorrelation(rng.normal(size=50_000), 5)
+        assert np.all(np.abs(ac[1:]) < 0.02)
+
+    def test_sine_wave_periodicity(self):
+        t = np.arange(2000)
+        e = np.sin(2 * np.pi * t / 100)
+        ac = series_autocorrelation(e, 100)
+        assert ac[50] < -0.9  # half period: anticorrelated
+        assert ac[100] > 0.9  # full period: correlated
+
+    def test_constant_series(self):
+        ac = series_autocorrelation(np.full(100, 3.0), 4)
+        assert np.all(ac[1:] == 0.0)
+
+    def test_matches_manual_estimator(self, rng):
+        e = rng.normal(size=500)
+        ac = series_autocorrelation(e, 3)
+        c = e - e.mean()
+        manual = np.dot(c[:-2], c[2:]) / (len(e) * e.var())
+        assert ac[2] == pytest.approx(manual)
+
+    def test_lag_exceeding_length_raises(self):
+        with pytest.raises(ShapeError):
+            series_autocorrelation(np.zeros(5), 5)

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.errors import UnknownMetricError
+from repro.metrics.base import (
+    METRIC_REGISTRY,
+    PATTERN1_METRICS,
+    PATTERN2_METRICS,
+    PATTERN3_METRICS,
+    MetricSpec,
+    Pattern,
+    metrics_by_pattern,
+    pattern_of,
+    register_metric,
+    table1,
+)
+
+
+class TestRegistry:
+    def test_paper_metric_counts(self):
+        """Table I: 14 global-reduction metrics (13 user-facing + value
+        range), 5 stencil metrics, 1 sliding-window metric."""
+        assert len(PATTERN1_METRICS) == 14
+        assert len(PATTERN2_METRICS) == 5
+        assert PATTERN3_METRICS == ("ssim",)
+
+    def test_total_supported_metrics_over_twenty(self):
+        """The paper: 'cuZ-Checker aims to support 20+ assessment
+        metrics'."""
+        assert len(METRIC_REGISTRY) >= 20
+
+    def test_table1_contents(self):
+        t = table1()
+        cat1 = t["Category I (global reduction)"]
+        for name in ("min_err", "max_err", "avg_err", "err_pdf", "mse",
+                     "rmse", "nrmse", "snr", "psnr"):
+            assert name in cat1
+        cat2 = t["Category II (stencil-like)"]
+        for name in ("derivative_order1", "divergence", "laplacian",
+                     "autocorrelation"):
+            assert name in cat2
+        assert t["Category III (sliding window)"] == ("ssim",)
+
+    def test_pattern_of(self):
+        assert pattern_of("mse") is Pattern.GLOBAL_REDUCTION
+        assert pattern_of("laplacian") is Pattern.STENCIL
+        assert pattern_of("ssim") is Pattern.SLIDING_WINDOW
+        assert pattern_of("compression_ratio") is Pattern.AUXILIARY
+
+    def test_pattern_of_unknown_raises(self):
+        with pytest.raises(UnknownMetricError):
+            pattern_of("does_not_exist")
+
+    def test_metrics_by_pattern_partition(self):
+        all_names = set(METRIC_REGISTRY)
+        partitioned = set()
+        for pattern in Pattern:
+            partitioned |= set(metrics_by_pattern(pattern))
+        assert partitioned == all_names
+
+    def test_reuse_links_registered(self):
+        assert "mse" in METRIC_REGISTRY["rmse"].reuses
+        assert "value_range" in METRIC_REGISTRY["psnr"].reuses
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_metric(
+                MetricSpec("mse", Pattern.STENCIL, "conflicting description")
+            )
+
+    def test_idempotent_registration(self):
+        spec = METRIC_REGISTRY["mse"]
+        assert register_metric(spec) is spec
+
+    def test_category_labels(self):
+        assert Pattern.GLOBAL_REDUCTION.category == "Category I"
+        assert Pattern.STENCIL.category == "Category II"
+        assert Pattern.SLIDING_WINDOW.category == "Category III"
+
+    def test_vector_valued_flags(self):
+        assert METRIC_REGISTRY["err_pdf"].vector_valued
+        assert METRIC_REGISTRY["autocorrelation"].vector_valued
+        assert not METRIC_REGISTRY["mse"].vector_valued

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics.compressibility import (
+    delta_entropy,
+    estimate_sz_ratio,
+    slice_profiles,
+)
+
+
+class TestDeltaEntropy:
+    def test_constant_field_near_zero_entropy(self):
+        # only the corner residual (the raw quantised value) is nonzero
+        data = np.full((8, 8, 8), 3.0, dtype=np.float32)
+        assert delta_entropy(data, rel_bound=1e-3) < 0.05
+
+    def test_smooth_field_low_entropy(self, smooth_field, rng):
+        noise = rng.normal(size=smooth_field.shape).astype(np.float32) * 2
+        h_smooth = delta_entropy(smooth_field, rel_bound=1e-3)
+        h_noise = delta_entropy(noise, rel_bound=1e-3)
+        assert h_smooth < h_noise
+
+    def test_entropy_grows_with_tighter_bound(self, smooth_field):
+        loose = delta_entropy(smooth_field, rel_bound=1e-2)
+        tight = delta_entropy(smooth_field, rel_bound=1e-4)
+        assert tight > loose
+
+    def test_bound_validation(self, smooth_field):
+        from repro.errors import CompressionError
+
+        with pytest.raises(CompressionError):
+            delta_entropy(smooth_field)
+
+    def test_4d_rejected(self):
+        with pytest.raises(ShapeError):
+            delta_entropy(np.zeros((2, 2, 2, 2)), abs_bound=0.1)
+
+
+class TestEstimateSzRatio:
+    @pytest.mark.parametrize("rel", [1e-2, 1e-3, 1e-4])
+    def test_predicts_real_ratio(self, smooth_field, rel):
+        """The whole point: the estimate lands within ~10% of the real
+        codec across two orders of magnitude of bounds."""
+        from repro.compressors.sz import SZCompressor
+
+        predicted = estimate_sz_ratio(smooth_field, rel_bound=rel)
+        actual = SZCompressor(rel_bound=rel).ratio(smooth_field)
+        assert predicted == pytest.approx(actual, rel=0.10)
+
+    def test_monotone_in_bound(self, smooth_field):
+        assert estimate_sz_ratio(smooth_field, rel_bound=1e-2) > estimate_sz_ratio(
+            smooth_field, rel_bound=1e-4
+        )
+
+    def test_constant_field_huge_ratio(self):
+        data = np.full((8, 8, 8), 3.0, dtype=np.float32)
+        assert estimate_sz_ratio(data, rel_bound=1e-3) > 50
+
+
+class TestSliceProfiles:
+    def test_matches_numpy(self, smooth_field):
+        prof = slice_profiles(smooth_field)
+        d = smooth_field.astype(np.float64)
+        assert np.allclose(prof.mean, d.mean(axis=(1, 2)))
+        assert np.allclose(prof.min, d.min(axis=(1, 2)))
+        assert np.allclose(prof.max, d.max(axis=(1, 2)))
+        assert len(prof.z) == smooth_field.shape[0]
+
+    def test_layered_field_trend(self):
+        from repro.datasets.synthetic import layered_field
+
+        prof = slice_profiles(layered_field((24, 10, 10), perturbation=0.1))
+        assert prof.mean[0] > prof.mean[-1]
+
+    def test_columns_for_gnuplot(self, smooth_field, tmp_path):
+        from repro.viz.gnuplot import write_series
+
+        prof = slice_profiles(smooth_field)
+        path = write_series(tmp_path / "prof.dat", prof.as_columns())
+        assert path.exists()
+
+    def test_requires_3d(self):
+        with pytest.raises(ShapeError):
+            slice_profiles(np.zeros((4, 4)))

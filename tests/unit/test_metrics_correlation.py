@@ -1,0 +1,44 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.correlation import pearson
+
+
+class TestPearson:
+    def test_identical_fields(self, smooth_field):
+        assert pearson(smooth_field, smooth_field) == pytest.approx(1.0)
+
+    def test_affine_transform_is_perfectly_correlated(self, smooth_field):
+        assert pearson(smooth_field, 2.0 * smooth_field + 3.0) == pytest.approx(1.0)
+
+    def test_negated_field_anticorrelated(self, smooth_field):
+        assert pearson(smooth_field, -smooth_field) == pytest.approx(-1.0)
+
+    def test_matches_numpy_corrcoef(self, noisy_pair):
+        orig, dec = noisy_pair
+        expected = np.corrcoef(orig.ravel(), dec.ravel())[0, 1]
+        assert pearson(orig, dec) == pytest.approx(expected, abs=1e-10)
+
+    def test_good_reconstruction_above_five_nines(self, smooth_field):
+        """Z-checker's acceptability guidance: rho > 0.99999 for a
+        tight-bound reconstruction."""
+        from repro.compressors.sz import SZCompressor
+
+        comp = SZCompressor(rel_bound=1e-4)
+        dec = comp.decompress(comp.compress(smooth_field))
+        assert pearson(smooth_field, dec) > 0.99999
+
+    def test_constant_equal_fields(self):
+        c = np.full((2, 2, 2), 7.0)
+        assert pearson(c, c.copy()) == 1.0
+
+    def test_constant_vs_varying_is_nan(self, smooth_field):
+        c = np.full(smooth_field.shape, 7.0)
+        assert math.isnan(pearson(c, smooth_field))
+
+    def test_independent_noise_near_zero(self, rng):
+        a = rng.normal(size=(16, 16, 16))
+        b = rng.normal(size=(16, 16, 16))
+        assert abs(pearson(a, b)) < 0.1

@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics.derivatives import (
+    derivative_l1,
+    derivative_metrics,
+    divergence,
+    field_comparison,
+    gradient_magnitude,
+    laplacian,
+    second_derivative_magnitude,
+)
+
+
+def linear_field(shape, a=2.0, b=-3.0, c=0.5):
+    """f = a·z + b·y + c·x — known analytic derivatives everywhere."""
+    nz, ny, nx = shape
+    z, y, x = np.meshgrid(
+        np.arange(nz), np.arange(ny), np.arange(nx), indexing="ij"
+    )
+    return a * z + b * y + c * x
+
+
+class TestGradientMagnitude:
+    def test_linear_field_constant_gradient(self):
+        f = linear_field((6, 7, 8))
+        grad = gradient_magnitude(f)
+        expected = np.sqrt(2.0**2 + 3.0**2 + 0.5**2)
+        assert np.allclose(grad, expected)
+
+    def test_interior_shape(self):
+        grad = gradient_magnitude(np.zeros((5, 6, 7)))
+        assert grad.shape == (3, 4, 5)
+
+    def test_constant_field_zero_gradient(self):
+        assert np.all(gradient_magnitude(np.full((4, 4, 4), 9.0)) == 0.0)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ShapeError):
+            gradient_magnitude(np.zeros((2, 5, 5)))
+
+    def test_non_3d_raises(self):
+        with pytest.raises(ShapeError):
+            gradient_magnitude(np.zeros((5, 5)))
+
+
+class TestDerivativeL1:
+    def test_linear_field(self):
+        f = linear_field((5, 5, 5))
+        der = derivative_l1(f)
+        # Eq (1): |f(+1)-f(-1)| per axis = 2*|coef|
+        assert np.allclose(der, 2 * 2.0 + 2 * 3.0 + 2 * 0.5)
+
+    def test_l1_upper_bounds_gradient(self, smooth_field):
+        """Triangle inequality: L1 form >= 2 * gradient magnitude."""
+        l1 = derivative_l1(smooth_field)
+        grad = gradient_magnitude(smooth_field)
+        assert np.all(l1 + 1e-9 >= 2 * grad)
+
+
+class TestSecondDerivatives:
+    def test_quadratic_field(self):
+        nz, ny, nx = 6, 6, 6
+        z, y, x = np.meshgrid(
+            np.arange(nz), np.arange(ny), np.arange(nx), indexing="ij", sparse=False
+        )
+        f = 1.5 * z**2  # d2f/dz2 = 3, others 0
+        der2 = second_derivative_magnitude(f)
+        assert np.allclose(der2, 3.0)
+        lap = laplacian(f)
+        assert np.allclose(lap, 3.0)
+
+    def test_linear_field_zero_second_derivative(self):
+        f = linear_field((5, 5, 5))
+        assert np.allclose(second_derivative_magnitude(f), 0.0)
+        assert np.allclose(laplacian(f), 0.0)
+
+
+class TestDivergence:
+    def test_linear_field_divergence(self):
+        f = linear_field((5, 5, 5), a=1.0, b=2.0, c=3.0)
+        assert np.allclose(divergence(f), 6.0)
+
+    def test_sign_cancellation(self):
+        f = linear_field((5, 5, 5), a=1.0, b=-1.0, c=0.0)
+        assert np.allclose(divergence(f), 0.0)
+
+
+class TestDerivativeMetrics:
+    def test_identical_fields_zero_diff(self, smooth_field):
+        cmp = derivative_metrics(smooth_field, smooth_field, order=1)
+        assert cmp.rms_diff == 0.0
+        assert cmp.max_diff == 0.0
+        assert cmp.mean_orig == cmp.mean_dec
+
+    def test_order_2(self, noisy_pair):
+        cmp = derivative_metrics(*noisy_pair, order=2)
+        assert cmp.rms_diff > 0
+        assert cmp.max_diff >= cmp.rms_diff
+
+    def test_invalid_order(self, noisy_pair):
+        with pytest.raises(ValueError):
+            derivative_metrics(*noisy_pair, order=3)
+
+    def test_noise_amplification(self, rng):
+        """Differentiation amplifies white noise relative to the signal —
+        the phenomenon that makes derivatives a compression-quality
+        indicator (paper Section III-B2).  Uses a genuinely smooth field
+        (long-wavelength sine) whose per-grid-point gradients are small."""
+        n = 24
+        z, y, x = np.meshgrid(
+            np.arange(n), np.arange(n), np.arange(n), indexing="ij"
+        )
+        field = np.sin(2 * np.pi * z / n) + np.cos(2 * np.pi * (y + x) / n)
+        field = field.astype(np.float32)
+        noise = rng.normal(scale=0.005, size=field.shape).astype(np.float32)
+        cmp = derivative_metrics(field, field + noise, order=1)
+        rel_field_err = 0.005 / field.std()
+        rel_der_err = cmp.rms_diff / cmp.mean_orig
+        assert rel_der_err > 2 * rel_field_err
+
+
+class TestFieldComparison:
+    def test_aggregates(self):
+        a = np.array([1.0, -2.0, 3.0])
+        b = np.array([1.5, -2.0, 2.0])
+        cmp = field_comparison(a, b)
+        assert cmp.mean_orig == pytest.approx(2.0)
+        assert cmp.mean_dec == pytest.approx((1.5 + 2.0 + 2.0) / 3)
+        assert cmp.max_diff == pytest.approx(1.0)
+        assert cmp.rms_diff == pytest.approx(np.sqrt((0.25 + 0 + 1) / 3))

@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics.error_stats import ErrorStats, Pdf, error_pdf, error_stats
+
+
+class TestErrorStats:
+    def test_known_values(self):
+        orig = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        dec = np.array([[[1.5, 1.0], [3.0, 4.25]]])
+        stats = error_stats(orig, dec)
+        assert stats.min_err == -1.0
+        assert stats.max_err == 0.5
+        assert stats.avg_err == pytest.approx((0.5 - 1.0 + 0.0 + 0.25) / 4)
+        assert stats.avg_abs_err == pytest.approx((0.5 + 1.0 + 0.0 + 0.25) / 4)
+        assert stats.max_abs_err == 1.0
+
+    def test_identical_inputs(self, smooth_field):
+        stats = error_stats(smooth_field, smooth_field)
+        assert stats == ErrorStats(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_sign_convention_is_dec_minus_orig(self):
+        orig = np.zeros((2, 2, 2))
+        dec = np.full((2, 2, 2), 3.0)
+        stats = error_stats(orig, dec)
+        assert stats.min_err == stats.max_err == 3.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            error_stats(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            error_stats(np.zeros((0,)), np.zeros((0,)))
+
+    def test_float32_inputs_promoted(self, noisy_pair):
+        orig, dec = noisy_pair
+        stats = error_stats(orig, dec)
+        # float64 accumulation: mean of errors matches numpy reference
+        ref = float(dec.astype(np.float64).mean() - orig.astype(np.float64).mean())
+        assert stats.avg_err == pytest.approx(ref, abs=1e-12)
+
+
+class TestErrorPdf:
+    def test_density_integrates_to_one(self, noisy_pair):
+        pdf = error_pdf(*noisy_pair, bins=256)
+        assert pdf.integral() == pytest.approx(1.0, rel=1e-9)
+
+    def test_bin_count(self, noisy_pair):
+        pdf = error_pdf(*noisy_pair, bins=64)
+        assert len(pdf.density) == 64
+        assert len(pdf.bin_edges) == 65
+        assert len(pdf.bin_centers) == 64
+
+    def test_constant_error_single_spike(self):
+        # integer-valued data so the +0.5 offset is exact in float32
+        orig = np.zeros((4, 4, 4), dtype=np.float32)
+        pdf = error_pdf(orig, orig + np.float32(0.5))
+        assert len(pdf.density) == 1
+        assert pdf.integral() == pytest.approx(1.0)
+
+    def test_lossless_is_zero_spike(self, smooth_field):
+        pdf = error_pdf(smooth_field, smooth_field)
+        assert pdf.bin_edges[0] < 0 < pdf.bin_edges[-1]
+        assert pdf.integral() == pytest.approx(1.0)
+
+    def test_range_spans_extrema(self, noisy_pair):
+        orig, dec = noisy_pair
+        e = dec.astype(np.float64) - orig.astype(np.float64)
+        pdf = error_pdf(orig, dec, bins=128)
+        assert pdf.bin_edges[0] == pytest.approx(e.min())
+        assert pdf.bin_edges[-1] == pytest.approx(e.max())
+
+    def test_invalid_bins(self, noisy_pair):
+        with pytest.raises(ValueError):
+            error_pdf(*noisy_pair, bins=0)
+
+    def test_pdf_mass_concentrated_for_small_noise(self, noisy_pair):
+        """99.7% of Gaussian noise mass lies within 3 sigma."""
+        orig, dec = noisy_pair
+        pdf = error_pdf(orig, dec, bins=512)
+        widths = np.diff(pdf.bin_edges)
+        centers = pdf.bin_centers
+        mass_within = np.sum((pdf.density * widths)[np.abs(centers) < 0.03])
+        assert mass_within > 0.99

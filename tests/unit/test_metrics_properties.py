@@ -1,0 +1,54 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics.properties import data_properties, entropy
+
+
+class TestEntropy:
+    def test_constant_field_zero_entropy(self):
+        assert entropy(np.full((4, 4), 3.0)) == 0.0
+
+    def test_uniform_two_level_field_one_bit(self):
+        data = np.array([0.0] * 500 + [1.0] * 500)
+        assert entropy(data, bins=2) == pytest.approx(1.0)
+
+    def test_entropy_bounded_by_log2_bins(self, smooth_field):
+        h = entropy(smooth_field, bins=64)
+        assert 0.0 < h <= 6.0
+
+    def test_uniform_distribution_maximises_entropy(self, rng):
+        uniform = rng.uniform(size=100_000)
+        peaked = rng.normal(size=100_000)
+        assert entropy(uniform, bins=256) > entropy(peaked, bins=256)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            entropy(np.ones(4), bins=0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            entropy(np.zeros(0))
+
+
+class TestDataProperties:
+    def test_matches_numpy(self, smooth_field):
+        props = data_properties(smooth_field)
+        d = smooth_field.astype(np.float64)
+        assert props.min_value == d.min()
+        assert props.max_value == d.max()
+        assert props.value_range == pytest.approx(d.max() - d.min())
+        assert props.mean == pytest.approx(d.mean())
+        assert props.std == pytest.approx(d.std())
+        assert props.variance == pytest.approx(d.var())
+        assert props.n_elements == d.size
+
+    def test_std_variance_consistency(self, smooth_field):
+        props = data_properties(smooth_field)
+        assert props.std == pytest.approx(math.sqrt(props.variance))
+
+    def test_zero_count(self):
+        data = np.array([[[0.0, 1.0], [0.0, 2.0]]])
+        assert data_properties(data).zeros == 2

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.metrics.pwr_error import pwr_error_pdf, pwr_error_stats, pwr_errors
+
+
+class TestPwrErrors:
+    def test_known_ratios(self):
+        orig = np.array([[[2.0, 4.0], [1.0, 8.0]]])
+        dec = np.array([[[2.2, 3.6], [1.0, 8.8]]])
+        rel, excluded = pwr_errors(orig, dec)
+        assert excluded == 0
+        assert np.allclose(sorted(rel), sorted([0.1, -0.1, 0.0, 0.1]))
+
+    def test_zero_values_excluded(self):
+        orig = np.array([[[0.0, 2.0]]])
+        dec = np.array([[[1.0, 2.2]]])
+        rel, excluded = pwr_errors(orig, dec)
+        assert excluded == 1
+        assert rel.size == 1
+        assert rel[0] == pytest.approx(0.1)
+
+    def test_floor_excludes_small_magnitudes(self):
+        orig = np.array([[[1e-8, 2.0]]])
+        dec = np.array([[[2e-8, 2.2]]])
+        rel, excluded = pwr_errors(orig, dec, floor=1e-6)
+        assert excluded == 1
+        assert rel.size == 1
+
+    def test_all_zero_field(self):
+        orig = np.zeros((2, 2, 2))
+        rel, excluded = pwr_errors(orig, orig + 1.0)
+        assert rel.size == 0
+        assert excluded == 8
+
+
+class TestPwrErrorStats:
+    def test_stats_of_uniform_relative_error(self, smooth_field):
+        orig = np.abs(smooth_field) + 1.0  # strictly positive
+        dec = orig * np.float32(1.001)
+        stats = pwr_error_stats(orig, dec)
+        assert stats.min_pwr_err == pytest.approx(0.001, rel=1e-3)
+        assert stats.max_pwr_err == pytest.approx(0.001, rel=1e-3)
+        assert stats.avg_pwr_err == pytest.approx(0.001, rel=1e-3)
+        assert stats.excluded == 0
+
+    def test_negative_origin_keeps_sign_convention(self):
+        orig = np.array([[[-2.0]]])
+        dec = np.array([[[-2.2]]])
+        stats = pwr_error_stats(orig, dec)
+        # e = -0.2, orig = -2 -> rel = +0.1
+        assert stats.avg_pwr_err == pytest.approx(0.1)
+
+    def test_degenerate_all_excluded(self):
+        orig = np.zeros((2, 2, 2))
+        stats = pwr_error_stats(orig, orig + 1.0)
+        assert stats.excluded == 8
+        assert stats.min_pwr_err == stats.max_pwr_err == 0.0
+
+
+class TestPwrErrorPdf:
+    def test_integrates_to_one(self, noisy_pair):
+        orig, dec = noisy_pair
+        pdf = pwr_error_pdf(orig, dec, bins=128)
+        assert pdf.integral() == pytest.approx(1.0, rel=1e-9)
+
+    def test_constant_ratio_spike(self):
+        orig = np.full((3, 3, 3), 2.0)
+        pdf = pwr_error_pdf(orig, orig * 1.01)
+        assert len(pdf.density) == 1
+
+    def test_zero_field_degenerate_pdf(self):
+        orig = np.zeros((2, 2, 2))
+        pdf = pwr_error_pdf(orig, orig + 1.0)
+        assert pdf.integral() == pytest.approx(1.0)

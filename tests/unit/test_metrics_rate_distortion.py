@@ -1,0 +1,68 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.rate_distortion import rate_distortion
+
+
+class TestRateDistortion:
+    def test_mse_rmse_identity(self, noisy_pair):
+        rd = rate_distortion(*noisy_pair)
+        assert rd.rmse == pytest.approx(math.sqrt(rd.mse))
+
+    def test_nrmse_identity(self, noisy_pair):
+        rd = rate_distortion(*noisy_pair)
+        assert rd.nrmse == pytest.approx(rd.rmse / rd.value_range)
+
+    def test_psnr_identity(self, noisy_pair):
+        rd = rate_distortion(*noisy_pair)
+        expected = 20 * math.log10(rd.value_range) - 10 * math.log10(rd.mse)
+        assert rd.psnr == pytest.approx(expected)
+
+    def test_psnr_nrmse_relation(self, noisy_pair):
+        """PSNR = -20 log10(NRMSE)."""
+        rd = rate_distortion(*noisy_pair)
+        assert rd.psnr == pytest.approx(-20 * math.log10(rd.nrmse))
+
+    def test_known_mse(self):
+        orig = np.zeros((1, 2, 2))
+        dec = np.array([[[1.0, -1.0], [2.0, 0.0]]])
+        rd = rate_distortion(orig, dec)
+        assert rd.mse == pytest.approx((1 + 1 + 4) / 4)
+
+    def test_lossless_gives_infinite_psnr_snr(self, smooth_field):
+        rd = rate_distortion(smooth_field, smooth_field)
+        assert rd.mse == 0.0
+        assert rd.psnr == math.inf
+        assert rd.snr == math.inf
+        assert rd.nrmse == 0.0
+
+    def test_constant_field_nan_psnr(self):
+        orig = np.full((2, 2, 2), 5.0)
+        rd = rate_distortion(orig, orig + 0.1)
+        assert math.isnan(rd.psnr)
+        assert math.isnan(rd.nrmse)
+
+    def test_constant_field_negative_infinite_snr(self):
+        orig = np.full((2, 2, 2), 5.0)
+        rd = rate_distortion(orig, orig + 0.1)
+        assert rd.snr == -math.inf
+
+    def test_snr_uses_signal_variance(self, noisy_pair):
+        orig, dec = noisy_pair
+        rd = rate_distortion(orig, dec)
+        expected = 10 * math.log10(orig.astype(np.float64).var() / rd.mse)
+        assert rd.snr == pytest.approx(expected)
+
+    def test_tighter_noise_raises_psnr(self, smooth_field, rng):
+        loud = smooth_field + rng.normal(scale=0.1, size=smooth_field.shape).astype(
+            np.float32
+        )
+        quiet = smooth_field + rng.normal(scale=0.001, size=smooth_field.shape).astype(
+            np.float32
+        )
+        assert (
+            rate_distortion(smooth_field, quiet).psnr
+            > rate_distortion(smooth_field, loud).psnr + 30
+        )

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics.spectral import amplitude_spectrum, spectral_comparison
+
+
+class TestAmplitudeSpectrum:
+    def test_shape_and_finiteness(self, smooth_field):
+        spec = amplitude_spectrum(smooth_field, bins=16)
+        assert spec.shape == (16,)
+        assert np.isfinite(spec).all()
+        assert (spec >= 0).all()
+
+    def test_smooth_field_is_red(self, smooth_field):
+        """Power-law fields concentrate amplitude at low frequency."""
+        spec = amplitude_spectrum(smooth_field, bins=16)
+        assert spec[0] > 10 * spec[-1]
+
+    def test_white_noise_is_flat(self, rng):
+        noise = rng.normal(size=(32, 32, 32))
+        spec = amplitude_spectrum(noise, bins=8)
+        assert spec.max() / spec.min() < 3.0
+
+    def test_pure_tone_peaks_in_right_shell(self):
+        n = 64
+        x = np.arange(n)
+        tone = np.sin(2 * np.pi * 16 * x / n)  # normalised frequency 0.25
+        spec = amplitude_spectrum(tone, bins=10)
+        assert np.argmax(spec) == 5  # shell covering |k| = 0.25
+
+    def test_1d_2d_3d_supported(self, rng):
+        for shape in ((64,), (16, 16), (8, 8, 8)):
+            spec = amplitude_spectrum(rng.normal(size=shape), bins=8)
+            assert spec.shape == (8,)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ShapeError):
+            amplitude_spectrum(np.zeros((2, 2, 2, 2)))
+        with pytest.raises(ValueError):
+            amplitude_spectrum(np.zeros(8), bins=0)
+
+
+class TestSpectralComparison:
+    def test_identical_fields_zero_error(self, smooth_field):
+        cmp = spectral_comparison(smooth_field, smooth_field.copy())
+        assert cmp.mean_rel_err == 0.0
+        assert cmp.max_rel_err == 0.0
+        assert cmp.noise_frequency == 0.5
+
+    def test_noise_floor_detected_at_high_frequency(self, rng):
+        """White reconstruction noise corrupts the (weak) high-frequency
+        tail of a steep red spectrum first."""
+        from repro.datasets.synthetic import spectral_field
+
+        field = spectral_field((24, 24, 24), slope=5.0, seed=3, std=2.0)
+        noisy = field + rng.normal(scale=0.05, size=field.shape).astype(
+            np.float32
+        )
+        cmp = spectral_comparison(field, noisy, bins=16)
+        assert cmp.max_rel_err > 0.10
+        assert 0.0 < cmp.noise_frequency < 0.5
+        # low-frequency shells survive
+        assert cmp.shell_errors[0] < 0.05
+
+    def test_sz_preserves_more_spectrum_than_decimation(self, smooth_field):
+        from repro.compressors.simple import DecimateCompressor
+        from repro.compressors.sz import SZCompressor
+
+        sz = SZCompressor(rel_bound=1e-4)
+        sz_dec = sz.decompress(sz.compress(smooth_field))
+        deci = DecimateCompressor(factor=2)
+        deci_dec = deci.decompress(deci.compress(smooth_field))
+        cmp_sz = spectral_comparison(smooth_field, sz_dec)
+        cmp_deci = spectral_comparison(smooth_field, deci_dec)
+        assert cmp_sz.noise_frequency >= cmp_deci.noise_frequency
+        assert cmp_sz.mean_rel_err < cmp_deci.mean_rel_err
+
+    def test_shape_mismatch(self, smooth_field):
+        with pytest.raises(ShapeError):
+            spectral_comparison(smooth_field, smooth_field[:-1])

@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics.ssim import SsimConfig, box_sums, ssim3d, window_positions
+
+
+class TestWindowPositions:
+    @pytest.mark.parametrize(
+        "n,w,s,expected",
+        [(10, 4, 1, 7), (10, 4, 2, 4), (8, 8, 1, 1), (7, 8, 1, 0), (9, 3, 3, 3)],
+    )
+    def test_counts(self, n, w, s, expected):
+        assert window_positions(n, w, s) == expected
+
+
+class TestBoxSums:
+    def test_matches_brute_force(self, rng):
+        a = rng.normal(size=(9, 10, 11))
+        w, step = 4, 2
+        sums = box_sums(a, w, step)
+        for i in range(sums.shape[0]):
+            for j in range(sums.shape[1]):
+                for k in range(sums.shape[2]):
+                    z, y, x = i * step, j * step, k * step
+                    brute = a[z : z + w, y : y + w, x : x + w].sum()
+                    assert sums[i, j, k] == pytest.approx(brute, rel=1e-10)
+
+    def test_full_window_equals_total(self, rng):
+        a = rng.normal(size=(6, 6, 6))
+        sums = box_sums(a, 6, 1)
+        assert sums.shape == (1, 1, 1)
+        assert sums[0, 0, 0] == pytest.approx(a.sum())
+
+    def test_ones_field(self):
+        sums = box_sums(np.ones((8, 8, 8)), 4, 1)
+        assert np.allclose(sums, 64.0)
+
+
+class TestSsim3d:
+    def test_identical_fields_score_one(self, smooth_field):
+        result = ssim3d(smooth_field, smooth_field, SsimConfig(window=6))
+        assert result.ssim == pytest.approx(1.0)
+        assert result.min_window_ssim == pytest.approx(1.0)
+
+    def test_identical_constant_fields_score_one(self):
+        c = np.full((8, 8, 8), 5.0)
+        assert ssim3d(c, c.copy()).ssim == pytest.approx(1.0)
+
+    def test_bounded_by_one(self, noisy_pair):
+        result = ssim3d(*noisy_pair, SsimConfig(window=6))
+        assert result.max_window_ssim <= 1.0 + 1e-12
+
+    def test_uncorrelated_fields_score_low(self, rng):
+        a = rng.normal(size=(16, 16, 16))
+        b = rng.normal(size=(16, 16, 16))
+        assert ssim3d(a, b).ssim < 0.2
+
+    def test_monotone_in_noise(self, smooth_field, rng):
+        small = smooth_field + rng.normal(scale=0.01, size=smooth_field.shape).astype(
+            np.float32
+        )
+        large = smooth_field + rng.normal(scale=0.3, size=smooth_field.shape).astype(
+            np.float32
+        )
+        cfg = SsimConfig(window=6)
+        assert ssim3d(smooth_field, small, cfg).ssim > ssim3d(
+            smooth_field, large, cfg
+        ).ssim
+
+    def test_window_count(self, smooth_field):
+        cfg = SsimConfig(window=8, step=2)
+        result = ssim3d(smooth_field, smooth_field, cfg)
+        nz, ny, nx = smooth_field.shape
+        expected = (
+            window_positions(nz, 8, 2)
+            * window_positions(ny, 8, 2)
+            * window_positions(nx, 8, 2)
+        )
+        assert result.n_windows == expected
+
+    def test_explicit_dynamic_range(self, noisy_pair):
+        orig, dec = noisy_pair
+        default = ssim3d(orig, dec)
+        wide = ssim3d(orig, dec, SsimConfig(dynamic_range=1e6))
+        # an absurdly wide range swamps the comparison: SSIM -> 1
+        assert wide.ssim > default.ssim
+        assert wide.ssim == pytest.approx(1.0, abs=1e-6)
+
+    def test_shape_mismatch_raises(self, smooth_field):
+        with pytest.raises(ShapeError):
+            ssim3d(smooth_field, smooth_field[:-1])
+
+    def test_window_larger_than_field_raises(self):
+        with pytest.raises(ShapeError):
+            ssim3d(np.zeros((4, 4, 4)), np.zeros((4, 4, 4)), SsimConfig(window=8))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SsimConfig(window=0).validate((8, 8, 8))
+        with pytest.raises(ValueError):
+            SsimConfig(step=0).validate((8, 8, 8))
+
+    def test_mean_brightness_shift_penalised(self, smooth_field):
+        shifted = smooth_field + np.float32(2.0)
+        result = ssim3d(smooth_field, shifted, SsimConfig(window=6))
+        # a structure-preserving brightness shift costs luminance
+        # similarity but not structure: clearly below 1, well above 0
+        assert 0.5 < result.ssim < 0.97

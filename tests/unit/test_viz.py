@@ -1,0 +1,78 @@
+import pytest
+
+from repro.viz.ascii import ascii_bar_chart, ascii_line_plot, ascii_table
+from repro.viz.gnuplot import write_gnuplot_script, write_series
+
+
+class TestAsciiBarChart:
+    def test_contains_labels_and_values(self):
+        out = ascii_bar_chart({"cuZC": 29.5, "moZC": 1.5}, title="speedups")
+        assert "speedups" in out
+        assert "cuZC" in out and "29.5" in out
+
+    def test_longest_bar_spans_width(self):
+        out = ascii_bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_log_scale(self):
+        out = ascii_bar_chart({"a": 1000.0, "b": 1.0}, width=30, log_scale=True)
+        bars = [line.count("#") for line in out.splitlines()]
+        assert bars[1] > 30 * 1 / 1000  # log compresses the gap
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+
+class TestAsciiLinePlot:
+    def test_grid_dimensions(self):
+        out = ascii_line_plot([0, 1, 2], [0, 1, 4], width=20, height=5)
+        lines = out.splitlines()
+        assert len(lines) == 5 + 3  # grid + frame + axis line
+        assert "*" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([1, 2], [1])
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        out = ascii_table(rows)
+        lines = out.splitlines()
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_column_selection(self):
+        out = ascii_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table([])
+
+
+class TestGnuplot:
+    def test_series_format(self, tmp_path):
+        path = write_series(
+            tmp_path / "s.dat", {"x": [1.0, 2.0], "y": [3.0, 4.0]}, comment="test"
+        )
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# test"
+        assert lines[1] == "# x  y"
+        assert lines[2].split() == ["1", "3"]
+
+    def test_unequal_columns_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series(tmp_path / "s.dat", {"x": [1], "y": [1, 2]})
+
+    def test_script_references_columns(self, tmp_path):
+        path = write_gnuplot_script(
+            tmp_path / "p.gp", "s.dat", "GB/s", "Fig 11", ["cuZC", "moZC"],
+            logscale_y=True,
+        )
+        text = path.read_text()
+        assert "using 1:2" in text and "using 1:3" in text
+        assert "set logscale y" in text

@@ -1,0 +1,104 @@
+import json
+
+import pytest
+
+from repro.gpusim.trace import trace_events, write_chrome_trace
+from repro.kernels.metric_oriented import plan_mo_pattern1
+from repro.kernels.pattern1 import plan_pattern1
+from repro.viz.html import (
+    render_report_html,
+    svg_bar_chart,
+    svg_line_plot,
+    write_report_html,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    from repro.compressors.sz import SZCompressor
+    from repro.config.schema import CheckerConfig
+    from repro.core.compare import compare_data
+    from repro.datasets.synthetic import spectral_field
+    from repro.kernels.pattern2 import Pattern2Config
+    from repro.kernels.pattern3 import Pattern3Config
+
+    orig = spectral_field((12, 14, 16), slope=3.0, seed=2, mean=1.0)
+    comp = SZCompressor(rel_bound=1e-3)
+    dec = comp.decompress(comp.compress(orig))
+    config = CheckerConfig(
+        pattern2=Pattern2Config(max_lag=2), pattern3=Pattern3Config(window=6)
+    )
+    return compare_data(orig, dec, config=config)
+
+
+class TestSvgPrimitives:
+    def test_line_plot_structure(self):
+        svg = svg_line_plot([0, 1, 2], [1.0, 4.0, 2.0], label="pdf")
+        assert svg.startswith("<svg")
+        assert "polyline" in svg and "pdf" in svg
+
+    def test_line_plot_skips_nonfinite(self):
+        svg = svg_line_plot([0, 1, 2], [1.0, float("inf"), 2.0])
+        assert "inf" not in svg.split("<text")[0]
+
+    def test_line_plot_rejects_empty(self):
+        with pytest.raises(ValueError):
+            svg_line_plot([], [])
+
+    def test_bar_chart_escapes_labels(self):
+        svg = svg_bar_chart({"<cuZC>": 1.0})
+        assert "&lt;cuZC&gt;" in svg
+
+    def test_bar_chart_rejects_empty(self):
+        with pytest.raises(ValueError):
+            svg_bar_chart({})
+
+
+class TestHtmlReport:
+    def test_self_contained_document(self, report):
+        doc = render_report_html(report, title="t<e>st")
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "t&lt;e&gt;st" in doc
+        assert "psnr" in doc
+        assert doc.count("<svg") >= 2  # error PDF + autocorrelation
+        assert "http" not in doc.split("xmlns")[0]  # no external assets
+
+    def test_timing_bars_present(self, report):
+        doc = render_report_html(report)
+        assert "ompZC" in doc and "cuZC" in doc
+
+    def test_write_to_disk(self, report, tmp_path):
+        path = write_report_html(report, tmp_path / "r.html")
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestChromeTrace:
+    def test_event_stream_structure(self):
+        events = trace_events([plan_pattern1((32, 32, 32))])
+        kinds = [e["ph"] for e in events]
+        assert kinds[0] == "M"  # process metadata
+        assert kinds.count("X") == 2  # launch + exec
+        exec_event = events[-1]
+        assert exec_event["dur"] > 0
+        assert exec_event["args"]["bound"] in ("memory", "compute", "smem")
+
+    def test_sequential_timestamps(self):
+        plans = plan_mo_pattern1((32, 32, 32))
+        events = [e for e in trace_events(plans) if e["ph"] == "X"]
+        ends = [e["ts"] + e["dur"] for e in events]
+        starts = [e["ts"] for e in events]
+        for prev_end, next_start in zip(ends, starts[1:]):
+            assert next_start >= prev_end - 1e-9
+
+    def test_mozc_trace_shows_many_launches(self):
+        events = trace_events(plan_mo_pattern1((32, 32, 32)))
+        launches = [e for e in events if e["name"].startswith("launch:")]
+        assert len(launches) == 10  # one per metric pipeline
+
+    def test_json_file_valid(self, tmp_path):
+        path = write_chrome_trace(
+            [plan_pattern1((16, 16, 16))], tmp_path / "trace.json"
+        )
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+        assert len(payload["traceEvents"]) >= 2

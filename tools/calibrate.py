@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Calibration harness: prints every paper-target quantity side by side.
+
+Run after touching any cost-model constant; EXPERIMENTS.md records the
+final numbers.  Targets come from the paper's Section IV:
+
+  Fig 10  overall speedups:   cuZC/ompZC 22.6-31.2, cuZC/moZC 1.49-1.7
+  Fig 11a pattern-1 GB/s:     cuZC 103-137, moZC 17-31, ompZC 0.44-0.51
+  Fig 11c pattern-3 MB/s:     cuZC 497-758, moZC 351-514, ompZC 24.8-26.6
+  Fig 12a pattern-1 speedups: 227-268 (ompZC), 3.49-6.38 (moZC)
+  Fig 12b pattern-2 speedups: 17.1-47.4 (ompZC), 1.79-1.86 (moZC)
+  Fig 12c pattern-3 speedups: 19.2-28.5 (ompZC), 1.42-1.63 (moZC)
+"""
+
+from repro.config.defaults import default_config
+from repro.core.frameworks import CuZC, MoZC, OmpZC
+from repro.datasets.registry import PAPER_SHAPES
+
+CONFIG = default_config()
+FW = {"cuZC": CuZC(), "moZC": MoZC(), "ompZC": OmpZC()}
+
+
+def fmt_range(values):
+    return f"{min(values):8.3f} – {max(values):8.3f}"
+
+
+def main():
+    est = {
+        name: {ds: fw.estimate(shape, CONFIG) for ds, shape in PAPER_SHAPES.items()}
+        for name, fw in FW.items()
+    }
+
+    print("=== per-pattern throughput (paper counts orig+dec bytes) ===")
+    for p, unit, div in ((1, "GB/s", 1e9), (2, "GB/s", 1e9), (3, "MB/s", 1e6)):
+        for name in FW:
+            vals = {
+                ds: est[name][ds].throughput(p) / div for ds in PAPER_SHAPES
+            }
+            print(
+                f"  P{p} {name:6s} [{unit}]: "
+                + "  ".join(f"{ds[:4]}={v:9.3f}" for ds, v in vals.items())
+            )
+        print()
+
+    print("=== per-pattern speedups of cuZC ===")
+    for p in (1, 2, 3):
+        for base in ("ompZC", "moZC"):
+            vals = [
+                est[base][ds].pattern_seconds[p] / est["cuZC"][ds].pattern_seconds[p]
+                for ds in PAPER_SHAPES
+            ]
+            named = {
+                ds: est[base][ds].pattern_seconds[p]
+                / est["cuZC"][ds].pattern_seconds[p]
+                for ds in PAPER_SHAPES
+            }
+            print(
+                f"  P{p} vs {base:6s}: {fmt_range(vals)}   "
+                + "  ".join(f"{ds[:4]}={v:7.2f}" for ds, v in named.items())
+            )
+        print()
+
+    print("=== overall speedups (Fig 10) ===")
+    for base in ("ompZC", "moZC"):
+        named = {
+            ds: est[base][ds].total_seconds / est["cuZC"][ds].total_seconds
+            for ds in PAPER_SHAPES
+        }
+        print(
+            f"  overall vs {base:6s}: {fmt_range(list(named.values()))}   "
+            + "  ".join(f"{ds[:4]}={v:7.2f}" for ds, v in named.items())
+        )
+
+    print()
+    print("=== absolute cuZC pattern times (s) ===")
+    for ds in PAPER_SHAPES:
+        t = est["cuZC"][ds]
+        print(
+            f"  {ds:12s}: "
+            + "  ".join(f"P{p}={s:9.5f}" for p, s in t.pattern_seconds.items())
+            + f"  total={t.total_seconds:9.5f}"
+        )
+
+
+if __name__ == "__main__":
+    main()
