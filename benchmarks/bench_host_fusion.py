@@ -1,0 +1,192 @@
+"""Wall-clock benchmark of the host-side fused execution engine.
+
+Measures, on real NumPy execution (no modelled costs):
+
+* **fused vs unfused** — ``compare_data`` with the shared
+  :class:`~repro.core.workspace.MetricWorkspace` against the historical
+  per-consumer scans (``CheckerConfig(fused=False)``);
+* **parallel batch scaling** — ``parallel_compare_pairs`` at 1/2/4
+  workers over a multi-field synthetic dataset;
+* **slab parallelism** — ``parallel_stream_field`` on one large field;
+* **sliding vs naive SSIM** — the summed-area fast path against the
+  explicit per-window oracle.
+
+Appends one entry to the ``runs`` trajectory in ``BENCH_host_fusion.json``
+(repo root by default) so successive PRs can track the speedups.  Exits
+non-zero if the fused path is slower than the unfused path — the CI gate.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_host_fusion.py [--quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best (minimum) wall-clock of ``repeats`` calls — noise-robust."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _make_pair(shape, seed=0, rel_noise=1e-3):
+    import numpy as np
+
+    from repro.datasets.registry import generate_field
+
+    orig = generate_field("hurricane", "TCf48", shape=shape, seed=seed).data
+    rng = np.random.default_rng(seed + 1)
+    amp = float(orig.max() - orig.min()) * rel_noise
+    dec = (orig + rng.normal(scale=amp, size=orig.shape)).astype(orig.dtype)
+    return orig, dec
+
+
+def bench_fused(shape, repeats):
+    from repro.config.defaults import default_config
+    from repro.core.compare import compare_data
+
+    orig, dec = _make_pair(shape)
+    fused_cfg = replace(default_config(), fused=True)
+    unfused_cfg = replace(default_config(), fused=False)
+    t_fused = _best_of(
+        lambda: compare_data(orig, dec, config=fused_cfg, with_baselines=False),
+        repeats,
+    )
+    t_unfused = _best_of(
+        lambda: compare_data(orig, dec, config=unfused_cfg, with_baselines=False),
+        repeats,
+    )
+    return {
+        "shape": list(shape),
+        "fused_seconds": t_fused,
+        "unfused_seconds": t_unfused,
+        "speedup": t_unfused / t_fused,
+    }
+
+
+def bench_parallel(shape, n_fields, repeats):
+    from repro.parallel import parallel_compare_pairs
+
+    pairs = [
+        (f"field{i}", *_make_pair(shape, seed=10 + i)) for i in range(n_fields)
+    ]
+    out = {"shape": list(shape), "n_fields": n_fields, "workers": {}}
+    t1 = None
+    for w in (1, 2, 4):
+        t = _best_of(lambda w=w: parallel_compare_pairs(pairs, workers=w), repeats)
+        t1 = t1 if t1 is not None else t
+        out["workers"][str(w)] = {"seconds": t, "speedup_vs_1": t1 / t}
+    return out
+
+
+def bench_slab(shape, repeats):
+    from repro.parallel import parallel_stream_field
+
+    orig, dec = _make_pair(shape, seed=42)
+    L = float(orig.max() - orig.min())
+    from repro.kernels.pattern3 import Pattern3Config
+
+    cfg = Pattern3Config(dynamic_range=L)
+    out = {"shape": list(shape), "workers": {}}
+    t1 = None
+    for w in (1, 2, 4):
+        t = _best_of(
+            lambda w=w: parallel_stream_field(orig, dec, ssim=cfg, workers=w),
+            repeats,
+        )
+        t1 = t1 if t1 is not None else t
+        out["workers"][str(w)] = {"seconds": t, "speedup_vs_1": t1 / t}
+    return out
+
+
+def bench_ssim(shape, repeats):
+    import math
+
+    from repro.metrics.ssim import SsimConfig, ssim3d, ssim3d_naive
+
+    orig, dec = _make_pair(shape, seed=99)
+    cfg = SsimConfig(window=6, step=2)
+    t_sliding = _best_of(lambda: ssim3d(orig, dec, cfg), repeats)
+    t_naive = _best_of(lambda: ssim3d_naive(orig, dec, cfg), 1)
+    a = ssim3d(orig, dec, cfg).ssim
+    b = ssim3d_naive(orig, dec, cfg).ssim
+    if not math.isclose(a, b, rel_tol=1e-9):
+        raise SystemExit(f"sliding SSIM {a} != naive SSIM {b}")
+    return {
+        "shape": list(shape),
+        "sliding_seconds": t_sliding,
+        "naive_seconds": t_naive,
+        "speedup": t_naive / t_sliding,
+        "ssim": a,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small shapes, fewer repeats (CI)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_host_fusion.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        shape, par_shape, slab_shape = (16, 64, 64), (12, 48, 48), (32, 48, 48)
+        n_fields, repeats = 3, 2
+    else:
+        shape, par_shape, slab_shape = (32, 128, 128), (16, 80, 80), (64, 96, 96)
+        n_fields, repeats = 4, 3
+
+    entry = {
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "fused": bench_fused(shape, repeats),
+        "parallel": bench_parallel(par_shape, n_fields, repeats),
+        "slab": bench_slab(slab_shape, repeats),
+        "ssim": bench_ssim((10, 28, 28), repeats),
+    }
+
+    doc = {"runs": []}
+    if args.output.exists():
+        try:
+            doc = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            pass
+    doc.setdefault("runs", []).append(entry)
+    args.output.write_text(json.dumps(doc, indent=2) + "\n")
+
+    f = entry["fused"]
+    print(
+        f"fused {f['fused_seconds']:.3f}s vs unfused {f['unfused_seconds']:.3f}s "
+        f"-> {f['speedup']:.2f}x"
+    )
+    for w, row in entry["parallel"]["workers"].items():
+        print(f"parallel x{w}: {row['seconds']:.3f}s ({row['speedup_vs_1']:.2f}x)")
+    s = entry["ssim"]
+    print(
+        f"ssim sliding {s['sliding_seconds']:.4f}s vs naive "
+        f"{s['naive_seconds']:.3f}s -> {s['speedup']:.0f}x"
+    )
+    print(f"trajectory -> {args.output}")
+
+    if f["speedup"] < 1.0:
+        print("FAIL: fused path slower than unfused", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,17 +37,18 @@ class HuffmanCode:
         """Canonical code values (uint64), ordered like ``symbols``.
 
         Canonical order: ascending code length, then ascending symbol.
+        Vectorised via the Kraft-sum identity: at the deepest level every
+        length-``l`` code spans ``2^(max_len - l)`` leaves, so each code
+        is the exclusive prefix sum of those spans shifted back to its
+        own depth — identical to walking the codes one by one.
         """
         order = np.lexsort((self.symbols, self.lengths))
-        codes = np.zeros(len(self.symbols), dtype=np.uint64)
-        code = 0
-        prev_len = 0
-        for idx in order:
-            length = int(self.lengths[idx])
-            code <<= length - prev_len
-            codes[idx] = code
-            code += 1
-            prev_len = length
+        lens = self.lengths[order].astype(np.int64)
+        max_len = int(lens[-1])
+        spans = np.left_shift(np.int64(1), max_len - lens)
+        prefix = np.concatenate(([0], np.cumsum(spans)[:-1]))
+        codes = np.empty(len(self.symbols), dtype=np.uint64)
+        codes[order] = (prefix >> (max_len - lens)).astype(np.uint64)
         return codes
 
 
@@ -61,20 +62,27 @@ def _code_lengths(freqs: dict[int, int]) -> HuffmanCode:
             symbols=np.array([sym], dtype=np.int64),
             lengths=np.array([1], dtype=np.uint8),
         )
-    heap: list[tuple[int, int, list[int]]] = []
-    for i, (sym, f) in enumerate(sorted(freqs.items())):
-        heapq.heappush(heap, (f, i, [sym]))
-    depth: dict[int, int] = {s: 0 for s in freqs}
-    counter = len(freqs)
-    while len(heap) > 1:
-        f1, _, s1 = heapq.heappop(heap)
-        f2, _, s2 = heapq.heappop(heap)
-        for s in s1 + s2:
-            depth[s] += 1
-        heapq.heappush(heap, (f1 + f2, counter, s1 + s2))
-        counter += 1
+    # Parent-pointer tree build: merging two nodes is O(1) instead of the
+    # O(n) symbol-list concatenation, and depths fall out of one backward
+    # sweep (every parent id is larger than its children's).
+    n = len(freqs)
     symbols = np.array(sorted(freqs), dtype=np.int64)
-    lengths = np.array([depth[int(s)] for s in symbols], dtype=np.uint8)
+    heap: list[tuple[int, int]] = [
+        (freqs[int(s)], i) for i, s in enumerate(symbols)
+    ]
+    heapq.heapify(heap)
+    parent = np.zeros(2 * n - 1, dtype=np.int64)
+    nxt = n
+    while len(heap) > 1:
+        f1, i1 = heapq.heappop(heap)
+        f2, i2 = heapq.heappop(heap)
+        parent[i1] = parent[i2] = nxt
+        heapq.heappush(heap, (f1 + f2, nxt))
+        nxt += 1
+    depth = np.zeros(2 * n - 1, dtype=np.int64)
+    for node in range(2 * n - 3, -1, -1):
+        depth[node] = depth[parent[node]] + 1
+    lengths = depth[:n].astype(np.uint8)
     if lengths.max() > _MAX_CODE_LEN:
         raise CompressionError("Huffman code deeper than supported")
     return HuffmanCode(symbols=symbols, lengths=lengths)
@@ -107,26 +115,29 @@ def huffman_encode(values: np.ndarray) -> bytes:
     uniq, counts = np.unique(values, return_counts=True)
     code = _code_lengths({int(s): int(c) for s, c in zip(uniq, counts)})
     codes = code.assign_codes()
-    sym_index = {int(s): i for i, s in enumerate(code.symbols)}
     idx = np.searchsorted(code.symbols, values)
 
     lengths = code.lengths[idx].astype(np.int64)
     codewords = codes[idx]
 
-    # Vectorised bit packing: compute each codeword's bit offset, then
-    # scatter its bits (MSB-first within the codeword so the canonical
-    # decoder can walk the prefix tree).
-    offsets = np.concatenate(([0], np.cumsum(lengths)))
-    total_bits = int(offsets[-1])
-    bits = np.zeros(total_bits, dtype=np.uint8)
+    # Vectorised bit packing: one broadcast shift matrix extracts every
+    # codeword's bits MSB-first, the ragged rows are compacted with the
+    # per-symbol validity mask, and np.packbits emits the byte stream.
+    # Chunked so the matrix stays bounded regardless of input size.
+    total_bits = int(lengths.sum())
     max_len = int(lengths.max())
-    for bit_pos in range(max_len):
-        # bit_pos-th bit (from MSB) of each codeword that is long enough
-        mask = lengths > bit_pos
-        shifts = (lengths[mask] - 1 - bit_pos).astype(np.uint64)
-        bit_vals = ((codewords[mask] >> shifts) & 1).astype(np.uint8)
-        positions = offsets[:-1][mask] + bit_pos
-        bits[positions] = bit_vals
+    bit_cols = np.arange(max_len, dtype=np.int64)
+    bits = np.empty(total_bits, dtype=np.uint8)
+    pos = 0
+    chunk = max(1, (1 << 22) // max_len)
+    for start in range(0, values.size, chunk):
+        lens = lengths[start : start + chunk]
+        cws = codewords[start : start + chunk]
+        shifts = lens[:, None] - 1 - bit_cols[None, :]
+        mat = (cws[:, None] >> np.maximum(shifts, 0).astype(np.uint64)) & np.uint64(1)
+        nb = int(lens.sum())
+        bits[pos : pos + nb] = mat[shifts >= 0].astype(np.uint8)
+        pos += nb
     payload = np.packbits(bits, bitorder="big").tobytes()
 
     header = _serialize_code(code)

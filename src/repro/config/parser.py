@@ -47,7 +47,7 @@ _ALIASES = {
 }
 
 _KNOWN = {
-    "GLOBAL": {"metrics", "patterns", "device", "auxiliary"},
+    "GLOBAL": {"metrics", "patterns", "device", "auxiliary", "fused"},
     "PATTERN1": {"pdf_bins", "pwr_floor"},
     "PATTERN2": {"max_lag", "orders"},
     "PATTERN3": {"window", "step", "k1", "k2", "dynamic_range", "yrows"},
@@ -108,6 +108,7 @@ def parse_config_text(text: str) -> CheckerConfig:
             patterns=_int_tuple(g.get("patterns", "1 2 3")),
             device=g.get("device", "V100"),
             auxiliary=g.get("auxiliary", "true").lower() in ("1", "true", "yes"),
+            fused=g.get("fused", "true").lower() in ("1", "true", "yes"),
             pattern1=Pattern1Config(
                 pdf_bins=int(p1.get("pdf_bins", 1024)),
                 pwr_floor=float(p1.get("pwr_floor", 0.0)),
@@ -159,6 +160,7 @@ def format_config(config: CheckerConfig) -> str:
         "patterns = " + ", ".join(str(p) for p in config.patterns),
         f"device = {config.device}",
         f"auxiliary = {'true' if config.auxiliary else 'false'}",
+        f"fused = {'true' if config.fused else 'false'}",
         "",
         "[PATTERN1]",
         f"pdf_bins = {config.pattern1.pdf_bins}",

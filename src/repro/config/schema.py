@@ -31,6 +31,11 @@ class CheckerConfig:
     device: str = "V100"
     #: also compute auxiliary metrics (pearson, entropy, properties)
     auxiliary: bool = True
+    #: route execution through the shared :class:`MetricWorkspace` so
+    #: every derived array (error, squared error, element products, ...)
+    #: is computed once per assessment; ``False`` falls back to the
+    #: historical per-consumer scans (kept as the cross-check path)
+    fused: bool = True
 
     def validate(self) -> None:
         if isinstance(self.metrics, str):

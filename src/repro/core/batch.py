@@ -43,6 +43,10 @@ class BatchAssessment:
 
     dataset_name: str
     reports: dict[str, AssessmentReport] = field(default_factory=dict)
+    #: per-field failure messages when the batch ran with error isolation
+    #: (``on_error="record"``): a failing field degrades to an entry here
+    #: instead of aborting the whole application run
+    errors: dict[str, str] = field(default_factory=dict)
 
     def summaries(self) -> list[FieldSummary]:
         rows = []
@@ -118,13 +122,27 @@ def assess_dataset(
     compressor,
     config: CheckerConfig | None = None,
     with_baselines: bool = False,
+    on_error: str = "raise",
 ) -> BatchAssessment:
-    """Compress + assess every field of an application dataset."""
+    """Compress + assess every field of an application dataset.
+
+    ``on_error="record"`` isolates per-field failures: the exception is
+    stored in :attr:`BatchAssessment.errors` under the field name and the
+    remaining fields still run.  The parallel counterpart is
+    :func:`repro.parallel.parallel_assess_dataset`.
+    """
+    if on_error not in ("raise", "record"):
+        raise CheckerError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     if len(dataset) == 0:
         raise CheckerError(f"dataset {dataset.name!r} has no fields")
     batch = BatchAssessment(dataset_name=dataset.name)
     for f in dataset:
-        batch.reports[f.name] = assess_compressor(
-            f.data, compressor, config=config, with_baselines=with_baselines
-        )
+        try:
+            batch.reports[f.name] = assess_compressor(
+                f.data, compressor, config=config, with_baselines=with_baselines
+            )
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            if on_error == "raise":
+                raise
+            batch.errors[f.name] = f"{type(exc).__name__}: {exc}"
     return batch

@@ -16,6 +16,7 @@ from repro.config.defaults import default_config
 from repro.config.schema import CheckerConfig
 from repro.core.frameworks import CuZC, FrameworkTiming, MoZC, OmpZC
 from repro.core.report import AssessmentReport
+from repro.core.workspace import MetricWorkspace
 from repro.errors import ShapeError
 from repro.kernels.pattern1 import execute_pattern1
 from repro.kernels.pattern2 import execute_pattern2
@@ -88,8 +89,19 @@ class CuZChecker:
         report = AssessmentReport(shape=orig.shape, config=self.config)
         patterns = self.needed_patterns()
 
+        # the fused host engine: one workspace shares every derived array
+        # (error, squared error, element products, moments) across the
+        # pattern kernels and the auxiliary metrics
+        ws = (
+            MetricWorkspace(orig, dec, pwr_floor=self.config.pattern1.pwr_floor)
+            if self.config.fused
+            else None
+        )
+
         if 1 in patterns:
-            report.pattern1, _ = execute_pattern1(orig, dec, self.config.pattern1)
+            report.pattern1, _ = execute_pattern1(
+                orig, dec, self.config.pattern1, workspace=ws
+            )
         if 2 in patterns:
             # cross-pattern reuse: error moments from the fused reductions
             err_mean = err_var = None
@@ -104,16 +116,28 @@ class CuZChecker:
                 self.config.pattern2,
                 err_mean=err_mean,
                 err_var=err_var,
+                workspace=ws,
             )
         if 3 in patterns:
-            report.pattern3, _ = execute_pattern3(orig, dec, self.config.pattern3)
+            report.pattern3, _ = execute_pattern3(
+                orig, dec, self.config.pattern3, workspace=ws
+            )
 
         if self.config.auxiliary:
-            props = data_properties(orig)
-            spectral = spectral_comparison(orig, dec)
+            if ws is not None:
+                # float32→float64 is exact, so handing the workspace's
+                # cached views to the FFT is bit-identical and skips the
+                # conversion spectral_comparison would otherwise redo
+                spectral = spectral_comparison(ws.o64, ws.d64)
+                props = ws.data_properties()
+                pearson_r = ws.pearson()
+            else:
+                spectral = spectral_comparison(orig, dec)
+                props = data_properties(orig)
+                pearson_r = pearson(orig, dec)
             report.auxiliary.update(
                 {
-                    "pearson": pearson(orig, dec),
+                    "pearson": pearson_r,
                     "entropy": props.entropy,
                     "mean": props.mean,
                     "std": props.std,

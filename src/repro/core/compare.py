@@ -45,10 +45,8 @@ def compare_data_2d(
     error stats, rate-distortion, 2-D SSIM, 2-D derivative comparison,
     2-D spatial autocorrelation, Pearson, and the spectral comparison.
     """
+    from repro.core.workspace import MetricWorkspace
     from repro.errors import ShapeError
-    from repro.metrics.correlation import pearson
-    from repro.metrics.error_stats import error_stats
-    from repro.metrics.rate_distortion import rate_distortion
     from repro.metrics.spectral import spectral_comparison
     from repro.metrics.ssim import SsimConfig
     from repro.metrics.twod import (
@@ -64,10 +62,13 @@ def compare_data_2d(
     if orig.shape != dec.shape:
         raise ShapeError(f"shape mismatch: {orig.shape} vs {dec.shape}")
 
-    es = error_stats(orig, dec)
-    rd = rate_distortion(orig, dec)
+    # one workspace feeds the error stats, rate-distortion family, and
+    # Pearson from a single set of cached scans (previously three
+    # independent full passes over both arrays)
+    ws = MetricWorkspace(orig, dec)
+    es = ws.error_stats()
+    rd = ws.rate_distortion()
     lag = min(max_lag, min(orig.shape) - 1)
-    e = dec.astype(np.float64) - orig.astype(np.float64)
     out: dict[str, object] = {
         "min_err": es.min_err,
         "max_err": es.max_err,
@@ -78,8 +79,8 @@ def compare_data_2d(
         "psnr": rd.psnr,
         "snr": rd.snr,
         "value_range": rd.value_range,
-        "pearson": pearson(orig, dec),
-        "autocorrelation": spatial_autocorrelation_2d(e, lag),
+        "pearson": ws.pearson(),
+        "autocorrelation": spatial_autocorrelation_2d(ws.err, lag),
         "spectral": spectral_comparison(orig, dec),
     }
     if min(orig.shape) >= window:

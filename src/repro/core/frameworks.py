@@ -104,17 +104,28 @@ class AssessmentFramework(abc.ABC):
     def estimate(
         self, shape: tuple[int, int, int], config: CheckerConfig | None = None
     ) -> FrameworkTiming:
-        """Time estimate for all patterns enabled in ``config``."""
+        """Time estimate for all patterns enabled in ``config``.
+
+        Estimates are memoised per ``(shape, config)`` —
+        :class:`CheckerConfig` is frozen/hashable — so batch assessments
+        that reuse one checker over many same-shaped fields build each
+        execution plan once instead of once per field.
+        """
         from repro.config.defaults import default_config
 
         config = config or default_config()
         config.validate()
-        seconds = {
-            p: self.pattern_seconds(p, shape, config) for p in config.patterns
-        }
-        return FrameworkTiming(
-            framework=self.name, shape=tuple(shape), pattern_seconds=seconds
-        )
+        key = (tuple(shape), config)
+        cache = self.__dict__.setdefault("_estimate_cache", {})
+        if key not in cache:
+            seconds = {
+                p: self.pattern_seconds(p, shape, config)
+                for p in config.patterns
+            }
+            cache[key] = FrameworkTiming(
+                framework=self.name, shape=tuple(shape), pattern_seconds=seconds
+            )
+        return cache[key]
 
 
 class CuZC(AssessmentFramework):

@@ -1,0 +1,316 @@
+"""Shared metric workspace: the host-side analogue of kernel fusion.
+
+The paper's central insight is that fusing all metrics of one pattern
+into a single kernel lets one global read feed every reduction.  The
+functional NumPy layer historically ignored that insight: every consumer
+(pattern kernels, Pearson, spectral comparison, data properties)
+independently recomputed ``dec - orig``, the squared error, the masked
+pointwise ratios, and the value moments — a fresh full scan per metric
+family.
+
+:class:`MetricWorkspace` applies the same fusion principle to host
+execution.  It wraps one original/decompressed pair and lazily
+materialises every shared intermediate exactly once per assessment:
+
+* derived arrays — ``err``, ``abs_err``, ``sq_err``, the element
+  products ``o²``, ``d²``, ``o·d``, the pwr-error mask and the masked
+  pointwise relative errors;
+* moments — per-slice partial sums (mirroring the pattern-1 kernel's
+  block partials) merged into the global sums/extrema all the scalar
+  metrics derive from.
+
+Consumers (``kernels/pattern1-3``, :mod:`repro.core.checker`,
+:mod:`repro.core.compare`) accept an optional workspace and read the
+cached arrays instead of rescanning the inputs.  The independent
+references in :mod:`repro.metrics` are deliberately **not** routed
+through the workspace — they remain the correctness oracle the fused
+results are tested against.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.metrics.error_stats import DEFAULT_PDF_BINS, ErrorStats, Pdf
+from repro.metrics.properties import (
+    DEFAULT_ENTROPY_BINS,
+    DataProperties,
+    entropy,
+)
+from repro.metrics.pwr_error import PwrErrorStats
+from repro.metrics.rate_distortion import RateDistortion
+
+__all__ = [
+    "MetricWorkspace",
+    "finalize_rate_distortion",
+    "histogram_pdf",
+]
+
+
+def finalize_rate_distortion(
+    n: int, mse: float, value_range: float, var_o: float
+) -> RateDistortion:
+    """MSE + value range + signal variance -> the rate-distortion family.
+
+    Shared by every fused consumer so the degenerate-case conventions
+    (constant field, lossless reconstruction) cannot drift between paths.
+    """
+    rmse = math.sqrt(mse)
+    if value_range == 0.0:
+        nrmse = math.nan if mse > 0 else 0.0
+        psnr = math.nan
+    elif mse == 0.0:
+        nrmse, psnr = 0.0, math.inf
+    else:
+        nrmse = rmse / value_range
+        psnr = 20.0 * math.log10(value_range) - 10.0 * math.log10(mse)
+    if mse == 0.0:
+        snr = math.inf
+    elif var_o == 0.0:
+        snr = -math.inf
+    else:
+        snr = 10.0 * math.log10(var_o / mse)
+    return RateDistortion(
+        mse=mse,
+        rmse=rmse,
+        nrmse=nrmse,
+        snr=snr,
+        psnr=psnr,
+        value_range=value_range,
+    )
+
+
+def histogram_pdf(vals: np.ndarray, lo: float, hi: float, bins: int) -> Pdf:
+    """Density histogram with the kernels' degenerate-range conventions."""
+    if vals.size == 0:
+        edges = np.array([-1e-12, 1e-12])
+        return Pdf(bin_edges=edges, density=np.array([1.0 / (edges[1] - edges[0])]))
+    if lo == hi:
+        eps = max(abs(lo), 1.0) * 1e-9 + 1e-300
+        edges = np.array([lo - eps, hi + eps])
+        return Pdf(bin_edges=edges, density=np.array([1.0 / (edges[1] - edges[0])]))
+    hist, edges = np.histogram(vals, bins=bins, range=(lo, hi), density=True)
+    return Pdf(bin_edges=edges, density=hist)
+
+
+class MetricWorkspace:
+    """Memoised cache of every intermediate one assessment needs.
+
+    Works for any dimensionality; the per-slice partial sums additionally
+    mirror the pattern-1 kernel's slice-per-block decomposition for 3-D
+    fields (1-D/2-D inputs reduce over a single "slice").
+    """
+
+    def __init__(self, orig: np.ndarray, dec: np.ndarray, pwr_floor: float = 0.0):
+        orig = np.asarray(orig)
+        dec = np.asarray(dec)
+        if orig.shape != dec.shape:
+            raise ShapeError(
+                f"original {orig.shape} and decompressed {dec.shape} differ"
+            )
+        if orig.size == 0:
+            raise ShapeError("cannot assess empty arrays")
+        self.orig = orig
+        self.dec = dec
+        self.shape = orig.shape
+        self.n = orig.size
+        self.pwr_floor = pwr_floor
+        self._cache: dict[str, object] = {}
+
+    def _get(self, key: str, build):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    # -- derived arrays (each materialised at most once) -------------------
+
+    @property
+    def o64(self) -> np.ndarray:
+        return self._get("o64", lambda: self.orig.astype(np.float64))
+
+    @property
+    def d64(self) -> np.ndarray:
+        return self._get("d64", lambda: self.dec.astype(np.float64))
+
+    @property
+    def err(self) -> np.ndarray:
+        return self._get("err", lambda: self.d64 - self.o64)
+
+    @property
+    def abs_err(self) -> np.ndarray:
+        return self._get("abs_err", lambda: np.abs(self.err))
+
+    @property
+    def sq_err(self) -> np.ndarray:
+        return self._get("sq_err", lambda: self.err * self.err)
+
+    @property
+    def o_sq(self) -> np.ndarray:
+        return self._get("o_sq", lambda: self.o64 * self.o64)
+
+    @property
+    def d_sq(self) -> np.ndarray:
+        return self._get("d_sq", lambda: self.d64 * self.d64)
+
+    @property
+    def od(self) -> np.ndarray:
+        return self._get("od", lambda: self.o64 * self.d64)
+
+    @property
+    def pwr_mask(self) -> np.ndarray:
+        return self._get("pwr_mask", lambda: np.abs(self.o64) > self.pwr_floor)
+
+    @property
+    def pwr_vals(self) -> np.ndarray:
+        """Flat signed pointwise relative errors at unmasked elements."""
+
+        def build():
+            mask = self.pwr_mask
+            if not mask.any():
+                return np.zeros(0)
+            return self.err[mask] / self.o64[mask]
+
+        return self._get("pwr_vals", build)
+
+    @property
+    def pwr_excluded(self) -> int:
+        return self.n - int(self.pwr_vals.size)
+
+    # -- fused moments -----------------------------------------------------
+
+    @property
+    def slice_partials(self) -> dict[str, np.ndarray]:
+        """Per-slice partial sums (the pattern-1 block partials).
+
+        Each value is a ``(nz,)`` array of one accumulator's per-z-slice
+        sums; 1-D/2-D inputs collapse to a single slice.
+        """
+
+        def build():
+            nz = self.shape[0] if len(self.shape) == 3 else 1
+            flat = lambda a: a.reshape(nz, -1)  # noqa: E731
+            return {
+                "sum_e": flat(self.err).sum(axis=1),
+                "sum_abs_e": flat(self.abs_err).sum(axis=1),
+                "sum_sq_e": flat(self.sq_err).sum(axis=1),
+                "sum_o": flat(self.o64).sum(axis=1),
+                "sum_sq_o": flat(self.o_sq).sum(axis=1),
+                "sum_d": flat(self.d64).sum(axis=1),
+                "sum_sq_d": flat(self.d_sq).sum(axis=1),
+                "sum_od": flat(self.od).sum(axis=1),
+            }
+
+        return self._get("slice_partials", build)
+
+    @property
+    def moments(self) -> dict[str, float]:
+        """Global sums/extrema merged from the per-slice partials."""
+
+        def build():
+            p = self.slice_partials
+            m = {k: float(v.sum()) for k, v in p.items()}
+            m["min_e"] = float(self.err.min())
+            m["max_e"] = float(self.err.max())
+            m["min_o"] = float(self.o64.min())
+            m["max_o"] = float(self.o64.max())
+            r = self.pwr_vals
+            m["cnt_r"] = float(r.size)
+            m["min_r"] = float(r.min()) if r.size else 0.0
+            m["max_r"] = float(r.max()) if r.size else 0.0
+            m["sum_r"] = float(r.sum()) if r.size else 0.0
+            return m
+
+        return self._get("moments", build)
+
+    @property
+    def value_range(self) -> float:
+        m = self.moments
+        return m["max_o"] - m["min_o"]
+
+    @property
+    def mean_o(self) -> float:
+        return self.moments["sum_o"] / self.n
+
+    @property
+    def var_o(self) -> float:
+        m = self.moments
+        return max(m["sum_sq_o"] / self.n - self.mean_o**2, 0.0)
+
+    @property
+    def mse(self) -> float:
+        return self.moments["sum_sq_e"] / self.n
+
+    # -- fused metric views ------------------------------------------------
+
+    def error_stats(self) -> ErrorStats:
+        m = self.moments
+        return ErrorStats(
+            min_err=m["min_e"],
+            max_err=m["max_e"],
+            avg_err=m["sum_e"] / self.n,
+            avg_abs_err=m["sum_abs_e"] / self.n,
+            max_abs_err=max(abs(m["min_e"]), abs(m["max_e"])),
+        )
+
+    def rate_distortion(self) -> RateDistortion:
+        return finalize_rate_distortion(
+            self.n, self.mse, self.value_range, self.var_o
+        )
+
+    def pwr_error_stats(self) -> PwrErrorStats:
+        m = self.moments
+        if m["cnt_r"] == 0:
+            return PwrErrorStats(0.0, 0.0, 0.0, 0.0, self.n)
+        return PwrErrorStats(
+            min_pwr_err=m["min_r"],
+            max_pwr_err=m["max_r"],
+            avg_pwr_err=m["sum_r"] / m["cnt_r"],
+            max_abs_pwr_err=max(abs(m["min_r"]), abs(m["max_r"])),
+            excluded=self.pwr_excluded,
+        )
+
+    def pearson(self) -> float:
+        """Pearson correlation from the cached arrays (one centred pass)."""
+
+        def build():
+            co = self.o64 - self.mean_o
+            mean_d = self.moments["sum_d"] / self.n
+            cd = self.d64 - mean_d
+            so = math.sqrt(float(np.mean(co * co)))
+            sd = math.sqrt(float(np.mean(cd * cd)))
+            if so == 0.0 or sd == 0.0:
+                if np.array_equal(self.o64, self.d64):
+                    return 1.0
+                return float("nan")
+            return float(np.mean(co * cd)) / (so * sd)
+
+        return self._get("pearson", build)
+
+    def err_pdf(self, bins: int = DEFAULT_PDF_BINS) -> Pdf:
+        m = self.moments
+        return histogram_pdf(self.err.ravel(), m["min_e"], m["max_e"], bins)
+
+    def pwr_err_pdf(self, bins: int = DEFAULT_PDF_BINS) -> Pdf:
+        m = self.moments
+        return histogram_pdf(self.pwr_vals, m["min_r"], m["max_r"], bins)
+
+    def data_properties(
+        self, entropy_bins: int = DEFAULT_ENTROPY_BINS
+    ) -> DataProperties:
+        """Property analysis of the original field from cached moments."""
+        m = self.moments
+        var = self.var_o
+        return DataProperties(
+            min_value=m["min_o"],
+            max_value=m["max_o"],
+            value_range=self.value_range,
+            mean=self.mean_o,
+            std=math.sqrt(var),
+            variance=var,
+            entropy=entropy(self.o64, entropy_bins),
+            zeros=int(np.count_nonzero(self.o64 == 0.0)),
+            n_elements=self.n,
+        )

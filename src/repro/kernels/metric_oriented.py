@@ -81,6 +81,25 @@ def _shape3d(shape):
     return shape
 
 
+#: memoised moZC plan lists keyed by (planner, shape, config) — the plan
+#: construction is pure, and batch estimates re-request the same shapes
+_PLAN_CACHE: dict[tuple, list[KernelStats]] = {}
+
+
+def _memoised(planner):
+    """Cache a plan builder's output per (shape, config); returns copies."""
+
+    def wrapper(shape, config=None):
+        key = (planner.__name__, tuple(shape), config)
+        if key not in _PLAN_CACHE:
+            _PLAN_CACHE[key] = planner(shape, config)
+        return list(_PLAN_CACHE[key])
+
+    wrapper.__name__ = planner.__name__
+    wrapper.__doc__ = planner.__doc__
+    return wrapper
+
+
 def _cub_kernel(name: str, n: int, *, read_bytes: int, write_bytes: int,
                 flops: int, atomics: int = 0, launches: int = 2,
                 meta: dict | None = None) -> KernelStats:
@@ -104,6 +123,7 @@ def _cub_kernel(name: str, n: int, *, read_bytes: int, write_bytes: int,
     )
 
 
+@_memoised
 def plan_mo_pattern1(
     shape: tuple[int, int, int], config: Pattern1Config | None = None
 ) -> list[KernelStats]:
@@ -144,6 +164,7 @@ def plan_mo_pattern1(
     return plans
 
 
+@_memoised
 def plan_mo_pattern2(
     shape: tuple[int, int, int], config: Pattern2Config | None = None
 ) -> list[KernelStats]:
@@ -234,6 +255,7 @@ def plan_mo_pattern2(
     return plans
 
 
+@_memoised
 def plan_mo_pattern3(
     shape: tuple[int, int, int], config: Pattern3Config | None = None
 ) -> list[KernelStats]:

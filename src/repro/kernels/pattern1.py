@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ConfigError, ShapeError
 from repro.gpusim.counters import KernelStats
 from repro.gpusim.warp import warp_reduce
 from repro.metrics.error_stats import Pdf
@@ -202,15 +202,143 @@ def _block_reduce(partials: np.ndarray, op) -> float:
     return float(warp_reduce(per_warp[None, :], op)[0])
 
 
+def _result_from_sums(
+    n: int,
+    min_e: float,
+    max_e: float,
+    sum_e: float,
+    sum_abs_e: float,
+    sum_sq_e: float,
+    min_o: float,
+    max_o: float,
+    sum_o: float,
+    sum_sq_o: float,
+    min_r: float,
+    max_r: float,
+    sum_r: float,
+    cnt_r: float,
+    err_pdf: Pdf | None,
+    pwr_err_pdf: Pdf | None,
+) -> Pattern1Result:
+    """Grid-level accumulator sums -> the full Category-I result.
+
+    Shared by the blocked kernel execution, the workspace-fused fast
+    path, and the parallel slab combiners so the degenerate-case
+    conventions stay identical everywhere.
+    """
+    has_r = cnt_r > 0
+    if not has_r:
+        min_r = max_r = 0.0
+    avg_r = sum_r / cnt_r if has_r else 0.0
+
+    mse = sum_sq_e / n
+    rmse = math.sqrt(mse)
+    value_range = max_o - min_o
+    mean_o = sum_o / n
+    var_o = max(sum_sq_o / n - mean_o * mean_o, 0.0)
+
+    if value_range == 0.0:
+        nrmse = math.nan if mse > 0 else 0.0
+        psnr = math.nan
+    elif mse == 0.0:
+        nrmse, psnr = 0.0, math.inf
+    else:
+        nrmse = rmse / value_range
+        psnr = 20.0 * math.log10(value_range) - 10.0 * math.log10(mse)
+    if mse == 0.0:
+        snr = math.inf
+    elif var_o == 0.0:
+        snr = -math.inf
+    else:
+        snr = 10.0 * math.log10(var_o / mse)
+
+    return Pattern1Result(
+        n=n,
+        min_err=min_e,
+        max_err=max_e,
+        avg_err=sum_e / n,
+        avg_abs_err=sum_abs_e / n,
+        max_abs_err=max(abs(min_e), abs(max_e)),
+        mse=mse,
+        rmse=rmse,
+        value_range=value_range,
+        nrmse=nrmse,
+        snr=snr,
+        psnr=psnr,
+        min_pwr_err=min_r,
+        max_pwr_err=max_r,
+        avg_pwr_err=avg_r,
+        min_orig=min_o,
+        max_orig=max_o,
+        mean_orig=mean_o,
+        var_orig=var_o,
+        err_pdf=err_pdf,
+        pwr_err_pdf=pwr_err_pdf,
+        extras={"pwr_count": cnt_r, "sum_pwr": avg_r * cnt_r},
+    )
+
+
+def _execute_fused(workspace, config: Pattern1Config) -> Pattern1Result:
+    """Workspace-fused fast path: one pass builds every accumulator.
+
+    The workspace's per-slice partial sums stand in for the block
+    partials; the memoised ``err``/``pwr`` arrays feed the sweep-2
+    histograms without re-deriving them.
+    """
+    m = workspace.moments
+    from repro.core.workspace import histogram_pdf
+
+    err_pdf = histogram_pdf(
+        workspace.err.ravel(), m["min_e"], m["max_e"], config.pdf_bins
+    )
+    pwr_pdf = histogram_pdf(
+        workspace.pwr_vals, m["min_r"], m["max_r"], config.pdf_bins
+    )
+    return _result_from_sums(
+        workspace.n,
+        m["min_e"],
+        m["max_e"],
+        m["sum_e"],
+        m["sum_abs_e"],
+        m["sum_sq_e"],
+        m["min_o"],
+        m["max_o"],
+        m["sum_o"],
+        m["sum_sq_o"],
+        m["min_r"],
+        m["max_r"],
+        m["sum_r"],
+        m["cnt_r"],
+        err_pdf,
+        pwr_pdf,
+    )
+
+
 def execute_pattern1(
     orig: np.ndarray,
     dec: np.ndarray,
     config: Pattern1Config | None = None,
+    workspace=None,
 ) -> tuple[Pattern1Result, KernelStats]:
-    """Functional fused pattern-1 kernel (slice-per-block decomposition)."""
+    """Functional fused pattern-1 kernel (slice-per-block decomposition).
+
+    Passing a :class:`~repro.core.workspace.MetricWorkspace` selects the
+    host-fused fast path: accumulators come from the workspace's cached
+    per-slice partials (equal to the blocked execution to FP tolerance)
+    and the modelled :class:`KernelStats` are unchanged.
+    """
     config = config or Pattern1Config()
     orig = np.asarray(orig)
     dec = np.asarray(dec)
+    if workspace is not None:
+        _shape3d(workspace.shape)
+        if workspace.pwr_floor != config.pwr_floor:
+            raise ConfigError(
+                "workspace pwr_floor differs from the pattern-1 config"
+            )
+        return _execute_fused(workspace, config), plan_pattern1(
+            workspace.shape, config
+        )
     if orig.shape != dec.shape:
         raise ShapeError(f"shape mismatch: {orig.shape} vs {dec.shape}")
     nz, ny, nx = _shape3d(orig.shape)
@@ -276,28 +404,6 @@ def execute_pattern1(
     has_r = cnt_r > 0
     min_r = float(acc["min_r"].min()) if has_r else 0.0
     max_r = float(acc["max_r"].max()) if has_r else 0.0
-    avg_r = float(acc["sum_r"].sum()) / cnt_r if has_r else 0.0
-
-    mse = sum_sq_e / n
-    rmse = math.sqrt(mse)
-    value_range = max_o - min_o
-    mean_o = sum_o / n
-    var_o = max(sum_sq_o / n - mean_o * mean_o, 0.0)
-
-    if value_range == 0.0:
-        nrmse = math.nan if mse > 0 else 0.0
-        psnr = math.nan
-    elif mse == 0.0:
-        nrmse, psnr = 0.0, math.inf
-    else:
-        nrmse = rmse / value_range
-        psnr = 20.0 * math.log10(value_range) - 10.0 * math.log10(mse)
-    if mse == 0.0:
-        snr = math.inf
-    elif var_o == 0.0:
-        snr = -math.inf
-    else:
-        snr = 10.0 * math.log10(var_o / mse)
 
     # ---- sweep 2: histograms with global extrema ------------------------
     err_pdf = _sweep2_pdf(o64, d64, min_e, max_e, config.pdf_bins, kind="err")
@@ -306,29 +412,23 @@ def execute_pattern1(
         kind="pwr", floor=config.pwr_floor,
     )
 
-    result = Pattern1Result(
-        n=n,
-        min_err=min_e,
-        max_err=max_e,
-        avg_err=sum_e / n,
-        avg_abs_err=sum_abs_e / n,
-        max_abs_err=max(abs(min_e), abs(max_e)),
-        mse=mse,
-        rmse=rmse,
-        value_range=value_range,
-        nrmse=nrmse,
-        snr=snr,
-        psnr=psnr,
-        min_pwr_err=min_r,
-        max_pwr_err=max_r,
-        avg_pwr_err=avg_r,
-        min_orig=min_o,
-        max_orig=max_o,
-        mean_orig=mean_o,
-        var_orig=var_o,
-        err_pdf=err_pdf,
-        pwr_err_pdf=pwr_pdf,
-        extras={"pwr_count": cnt_r, "sum_pwr": avg_r * cnt_r},
+    result = _result_from_sums(
+        n,
+        min_e,
+        max_e,
+        sum_e,
+        sum_abs_e,
+        sum_sq_e,
+        min_o,
+        max_o,
+        sum_o,
+        sum_sq_o,
+        min_r,
+        max_r,
+        float(acc["sum_r"].sum()),
+        cnt_r,
+        err_pdf,
+        pwr_pdf,
     )
     return result, plan_pattern1(orig.shape, config)
 

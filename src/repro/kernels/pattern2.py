@@ -270,6 +270,57 @@ def _blocked_field_comparison(
     )
 
 
+def _blocked_field_comparisons_fused(
+    o64: np.ndarray, d64: np.ndarray, whichs: tuple[int, ...]
+) -> dict[int, DerivativeComparison]:
+    """One slab pass feeding every requested derived-field comparison.
+
+    The fused counterpart of :func:`_blocked_field_comparison`: each slab's
+    staged cube is evaluated once per input and the resulting stencil
+    fields feed all comparisons, instead of re-staging the slab for every
+    ``which``.  Per-``which`` accumulation visits slabs in the same order
+    as the unfused path, so results are bit-identical.
+    """
+    nz = o64.shape[0]
+    acc = {
+        w: {"sum_abs_o": 0.0, "sum_abs_d": 0.0, "sum_sq_diff": 0.0,
+            "max_diff": 0.0, "count": 0}
+        for w in whichs
+    }
+    for z0, z1 in _slab_ranges(nz):
+        fo_all = _slab_stencil_fields(o64, z0, z1)
+        fd_all = _slab_stencil_fields(d64, z0, z1)
+        for w in whichs:
+            fo, fd = fo_all[w], fd_all[w]
+            if fo.size == 0:
+                continue
+            a = acc[w]
+            diff = fd - fo
+            if w < 2:
+                # gradient/2nd-derivative magnitudes are sqrt outputs —
+                # already non-negative, abs would be an extra full pass
+                a["sum_abs_o"] += float(fo.sum())
+                a["sum_abs_d"] += float(fd.sum())
+            else:
+                a["sum_abs_o"] += float(np.abs(fo).sum())
+                a["sum_abs_d"] += float(np.abs(fd).sum())
+            a["sum_sq_diff"] += float((diff * diff).sum())
+            a["max_diff"] = max(a["max_diff"], float(np.abs(diff).max()))
+            a["count"] += fo.size
+    out: dict[int, DerivativeComparison] = {}
+    for w in whichs:
+        a = acc[w]
+        if a["count"] == 0:
+            raise ShapeError("field too small for the pattern-2 stencil")
+        out[w] = DerivativeComparison(
+            mean_orig=a["sum_abs_o"] / a["count"],
+            mean_dec=a["sum_abs_d"] / a["count"],
+            rms_diff=math.sqrt(a["sum_sq_diff"] / a["count"]),
+            max_diff=a["max_diff"],
+        )
+    return out
+
+
 def _blocked_autocorr(
     e: np.ndarray, max_lag: int, mu: float, var: float
 ) -> np.ndarray:
@@ -298,40 +349,99 @@ def _blocked_autocorr(
     return out
 
 
+def _fused_autocorr(
+    e: np.ndarray, max_lag: int, mu: float, var: float
+) -> np.ndarray:
+    """Whole-volume Eq. (2) autocorrelation with no per-lag temporaries.
+
+    The three directional cross-products are evaluated as einsum dot
+    products over strided views, so nothing beyond the centred error is
+    materialised — the host analogue of the kernel accumulating all three
+    shifted reads from the staged cube in registers.  Summation order
+    differs from :func:`_blocked_autocorr` only in the final three-way
+    add, well inside the checker-level 1e-9 tolerance.
+    """
+    nz, ny, nx = e.shape
+    out = np.empty(max_lag + 1)
+    out[0] = 1.0
+    if var == 0.0:
+        out[1:] = 0.0
+        return out
+    c = e - mu
+    for tau in range(1, max_lag + 1):
+        core = c[: nz - tau, : ny - tau, : nx - tau]
+        sz = c[tau:, : ny - tau, : nx - tau]
+        sy = c[: nz - tau, tau:, : nx - tau]
+        sx = c[: nz - tau, : ny - tau, tau:]
+        acc = (
+            np.einsum("ijk,ijk->", core, sz)
+            + np.einsum("ijk,ijk->", core, sy)
+            + np.einsum("ijk,ijk->", core, sx)
+        )
+        ne = (nz - tau) * (ny - tau) * (nx - tau)
+        out[tau] = float(acc) / 3.0 / ne / var
+    return out
+
+
 def execute_pattern2(
     orig: np.ndarray,
     dec: np.ndarray,
     config: Pattern2Config | None = None,
     err_mean: float | None = None,
     err_var: float | None = None,
+    workspace=None,
 ) -> tuple[Pattern2Result, KernelStats]:
     """Functional fused pattern-2 kernel (slab/cube decomposition).
 
     ``err_mean``/``err_var`` may be supplied from a pattern-1 run (the
     coordinator's cross-pattern reuse); otherwise they are computed here.
+    With a :class:`~repro.core.workspace.MetricWorkspace`, the cached
+    float64 views and error array are reused and each slab's stencil
+    fields are computed once for all comparisons.
     """
     config = config or Pattern2Config()
-    orig = np.asarray(orig)
-    dec = np.asarray(dec)
-    if orig.shape != dec.shape:
-        raise ShapeError(f"shape mismatch: {orig.shape} vs {dec.shape}")
-    shape = _shape3d(orig.shape)
-    config.validate(shape)
-    o64 = orig.astype(np.float64)
-    d64 = dec.astype(np.float64)
+    if workspace is not None:
+        shape = _shape3d(workspace.shape)
+        config.validate(shape)
+        o64, d64 = workspace.o64, workspace.d64
+        e = workspace.err
+    else:
+        orig = np.asarray(orig)
+        dec = np.asarray(dec)
+        if orig.shape != dec.shape:
+            raise ShapeError(f"shape mismatch: {orig.shape} vs {dec.shape}")
+        shape = _shape3d(orig.shape)
+        config.validate(shape)
+        o64 = orig.astype(np.float64)
+        d64 = dec.astype(np.float64)
+        e = None
 
     der1 = der2 = div = lap = None
-    if 1 in config.orders:
-        der1 = _blocked_field_comparison(o64, d64, 0)
-        div = _blocked_field_comparison(o64, d64, 2)
-    if 2 in config.orders:
-        der2 = _blocked_field_comparison(o64, d64, 1)
-        lap = _blocked_field_comparison(o64, d64, 3)
+    if workspace is not None:
+        whichs: tuple[int, ...] = ()
+        if 1 in config.orders:
+            whichs += (0, 2)
+        if 2 in config.orders:
+            whichs += (1, 3)
+        cmp = _blocked_field_comparisons_fused(o64, d64, whichs)
+        der1, div = cmp.get(0), cmp.get(2)
+        der2, lap = cmp.get(1), cmp.get(3)
+    else:
+        if 1 in config.orders:
+            der1 = _blocked_field_comparison(o64, d64, 0)
+            div = _blocked_field_comparison(o64, d64, 2)
+        if 2 in config.orders:
+            der2 = _blocked_field_comparison(o64, d64, 1)
+            lap = _blocked_field_comparison(o64, d64, 3)
 
-    e = d64 - o64
+    if e is None:
+        e = d64 - o64
     mu = float(e.mean()) if err_mean is None else err_mean
     var = float(e.var()) if err_var is None else err_var
-    ac = _blocked_autocorr(e, config.max_lag, mu, var)
+    if workspace is not None:
+        ac = _fused_autocorr(e, config.max_lag, mu, var)
+    else:
+        ac = _blocked_autocorr(e, config.max_lag, mu, var)
 
     result = Pattern2Result(
         der1=der1,

@@ -29,7 +29,7 @@ import numpy as np
 from repro.errors import ShapeError
 from repro.gpusim.counters import KernelStats
 from repro.gpusim.memory import SmemFifo
-from repro.metrics.ssim import SsimConfig, SsimResult, window_positions
+from repro.metrics.ssim import SsimConfig, SsimResult, box_sums, window_positions
 
 __all__ = [
     "Pattern3Config",
@@ -249,13 +249,68 @@ def _box_sums2d(a: np.ndarray, window: int, step: int) -> np.ndarray:
     return sat[y1, x1] - sat[y0, x1] - sat[y1, x0] + sat[y0, x0]
 
 
+def _execute_fused(workspace, config: Pattern3Config) -> Pattern3Result:
+    """Sliding-sum SSIM over the workspace's cached element products.
+
+    The summed-volume tables make every window statistic O(1) regardless
+    of window size, and the ``o²``/``d²``/``o·d`` products are read from
+    the shared workspace instead of being rebuilt per slice.
+    """
+    w, step = config.window, config.step
+    if config.dynamic_range is not None:
+        L = float(config.dynamic_range)
+    else:
+        m = workspace.moments
+        L = m["max_o"] - m["min_o"]
+    if L <= 0.0:
+        L = 1.0
+    c1 = (config.k1 * L) ** 2
+    c2 = (config.k2 * L) ** 2
+    volume = float(w**3)
+
+    s1 = box_sums(workspace.o64, w, step)
+    s2 = box_sums(workspace.d64, w, step)
+    sq1 = box_sums(workspace.o_sq, w, step)
+    sq2 = box_sums(workspace.d_sq, w, step)
+    s12 = box_sums(workspace.od, w, step)
+    if s1.size == 0:
+        raise ShapeError("no complete SSIM window fits the data")
+
+    mu1 = s1 / volume
+    mu2 = s2 / volume
+    var1 = np.maximum(sq1 / volume - mu1 * mu1, 0.0)
+    var2 = np.maximum(sq2 / volume - mu2 * mu2, 0.0)
+    cov = s12 / volume - mu1 * mu2
+    local = ((2 * mu1 * mu2 + c1) * (2 * cov + c2)) / (
+        (mu1 * mu1 + mu2 * mu2 + c1) * (var1 + var2 + c2)
+    )
+    return Pattern3Result(
+        ssim=float(local.mean()),
+        min_window_ssim=float(local.min()),
+        max_window_ssim=float(local.max()),
+        n_windows=int(local.size),
+    )
+
+
 def execute_pattern3(
     orig: np.ndarray,
     dec: np.ndarray,
     config: Pattern3Config | None = None,
+    workspace=None,
 ) -> tuple[Pattern3Result, KernelStats]:
-    """Functional FIFO-buffered SSIM kernel."""
+    """Functional FIFO-buffered SSIM kernel.
+
+    With a :class:`~repro.core.workspace.MetricWorkspace`, the sliding-sum
+    fast path replaces the per-slice FIFO walk (same result, asserted in
+    tests); the modelled :func:`plan_pattern3` cost is unchanged.
+    """
     config = config or Pattern3Config()
+    if workspace is not None:
+        nz, ny, nx = _shape3d(workspace.shape)
+        config.validate((nz, ny, nx))
+        return _execute_fused(workspace, config), plan_pattern3(
+            workspace.shape, config
+        )
     orig = np.asarray(orig)
     dec = np.asarray(dec)
     if orig.shape != dec.shape:

@@ -22,6 +22,31 @@ from repro.errors import ShapeError
 __all__ = ["amplitude_spectrum", "SpectralComparison", "spectral_comparison"]
 
 
+#: memoised radial shell assignment per (shape, bins): the frequency grid
+#: is a pure function of the field shape, and spectral comparisons always
+#: evaluate two same-shaped fields back to back
+_SHELL_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+_SHELL_CACHE_MAX = 64
+
+
+def _shell_assignment(shape: tuple[int, ...], bins: int):
+    key = (shape, bins)
+    if key not in _SHELL_CACHE:
+        if len(_SHELL_CACHE) >= _SHELL_CACHE_MAX:
+            _SHELL_CACHE.clear()
+        freqs = [np.fft.fftfreq(n) for n in shape[:-1]]
+        freqs.append(np.fft.rfftfreq(shape[-1]))
+        grids = np.meshgrid(*freqs, indexing="ij")
+        k = np.sqrt(sum(g * g for g in grids))
+        flat_k = k.ravel()
+        mask = flat_k > 0
+        edges = np.linspace(0.0, 0.5, bins + 1)
+        idx = np.clip(np.digitize(flat_k[mask], edges) - 1, 0, bins - 1)
+        counts = np.bincount(idx, minlength=bins)
+        _SHELL_CACHE[key] = (mask, idx, counts)
+    return _SHELL_CACHE[key]
+
+
 def amplitude_spectrum(data: np.ndarray, bins: int = 32) -> np.ndarray:
     """Radially-averaged FFT amplitude of a 1-3-D field.
 
@@ -39,18 +64,9 @@ def amplitude_spectrum(data: np.ndarray, bins: int = 32) -> np.ndarray:
         raise ValueError("bins must be >= 1")
 
     spectrum = np.abs(np.fft.rfftn(data))
-    freqs = [np.fft.fftfreq(n) for n in data.shape[:-1]]
-    freqs.append(np.fft.rfftfreq(data.shape[-1]))
-    grids = np.meshgrid(*freqs, indexing="ij")
-    k = np.sqrt(sum(g * g for g in grids))
-
-    flat_k = k.ravel()
+    mask, idx, counts = _shell_assignment(data.shape, bins)
     flat_a = spectrum.ravel()
-    mask = flat_k > 0
-    edges = np.linspace(0.0, 0.5, bins + 1)
-    idx = np.clip(np.digitize(flat_k[mask], edges) - 1, 0, bins - 1)
     sums = np.bincount(idx, weights=flat_a[mask], minlength=bins)
-    counts = np.bincount(idx, minlength=bins)
     out = np.zeros(bins)
     prev = None
     for i in range(bins):

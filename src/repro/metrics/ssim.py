@@ -23,7 +23,14 @@ import numpy as np
 
 from repro.errors import ShapeError
 
-__all__ = ["SsimConfig", "SsimResult", "ssim3d", "box_sums", "window_positions"]
+__all__ = [
+    "SsimConfig",
+    "SsimResult",
+    "ssim3d",
+    "ssim3d_naive",
+    "box_sums",
+    "window_positions",
+]
 
 
 @dataclass(frozen=True)
@@ -39,12 +46,20 @@ class SsimConfig:
     k2: float = 0.03
     #: dynamic range; ``None`` means max(orig) - min(orig)
     dynamic_range: float | None = None
+    #: ``"sliding"`` uses summed-area tables (O(N) per statistic,
+    #: independent of window size); ``"naive"`` recomputes every window
+    #: explicitly (O(N·w³)) and serves as the cross-check oracle.
+    method: str = "sliding"
 
     def validate(self, shape: tuple[int, ...]) -> None:
         if self.window < 1:
             raise ValueError("SSIM window must be >= 1")
         if self.step < 1:
             raise ValueError("SSIM step must be >= 1")
+        if self.method not in ("sliding", "naive"):
+            raise ValueError(
+                f"SSIM method must be 'sliding' or 'naive', got {self.method!r}"
+            )
         if any(n < self.window for n in shape):
             raise ShapeError(
                 f"field extents {shape} smaller than SSIM window {self.window}"
@@ -68,47 +83,48 @@ def window_positions(n: int, window: int, step: int) -> int:
     return (n - window) // step + 1
 
 
+def _axis_window_sums(a: np.ndarray, window: int, step: int, axis: int) -> np.ndarray:
+    """Sliding-window sums along one axis via a cumulative-sum difference."""
+    c = a.cumsum(axis=axis)
+    p = window_positions(a.shape[axis], window, step)
+
+    def sl(s):
+        return tuple(s if ax == axis else slice(None) for ax in range(a.ndim))
+
+    if step == 1:
+        # pure views: out[i] = c[i+w-1] - c[i-1], first window needs no lo
+        out = c[sl(slice(window - 1, window - 1 + p))].copy()
+        out[sl(slice(1, p))] -= c[sl(slice(0, p - 1))]
+        return out
+    idx = np.arange(p) * step
+    out = np.take(c, idx + window - 1, axis=axis)
+    lo = np.take(c, idx[1:] - 1, axis=axis)
+    out[sl(slice(1, p))] -= lo
+    return out
+
+
 def box_sums(a: np.ndarray, window: int, step: int) -> np.ndarray:
-    """Sliding-window sums of a 3-D array via a summed-area table.
+    """Sliding-window sums of a 3-D array via cascaded axis prefix sums.
 
     Returns an array of shape ``(pz, py, px)`` where ``p* =
     window_positions(n*, window, step)``; entry ``[i,j,k]`` is the sum of
     the ``window³`` cube whose origin is ``(i*step, j*step, k*step)``.
+    One cumsum + one subtraction per axis, with the array shrinking to
+    the window-position grid after each — cheaper than an 8-corner
+    summed-area-table gather and still O(N) independent of window size.
     """
     if a.ndim != 3:
         raise ShapeError(f"box_sums expects a 3-D array, got {a.shape}")
-    nz, ny, nx = a.shape
-    sat = np.zeros((nz + 1, ny + 1, nx + 1), dtype=np.float64)
-    sat[1:, 1:, 1:] = (
-        a.astype(np.float64).cumsum(axis=0).cumsum(axis=1).cumsum(axis=2)
-    )
-    w = window
-    pz = window_positions(nz, w, step)
-    py = window_positions(ny, w, step)
-    px = window_positions(nx, w, step)
-    iz = np.arange(pz) * step
-    iy = np.arange(py) * step
-    ix = np.arange(px) * step
-    z0, z1 = iz[:, None, None], iz[:, None, None] + w
-    y0, y1 = iy[None, :, None], iy[None, :, None] + w
-    x0, x1 = ix[None, None, :], ix[None, None, :] + w
-    return (
-        sat[z1, y1, x1]
-        - sat[z0, y1, x1]
-        - sat[z1, y0, x1]
-        - sat[z1, y1, x0]
-        + sat[z0, y0, x1]
-        + sat[z0, y1, x0]
-        + sat[z1, y0, x0]
-        - sat[z0, y0, x0]
-    )
+    out = a.astype(np.float64)
+    for axis in range(3):
+        out = _axis_window_sums(out, window, step, axis)
+    return out
 
 
-def ssim3d(
-    orig: np.ndarray, dec: np.ndarray, config: SsimConfig | None = None
-) -> SsimResult:
-    """Reference 3-D SSIM between an original/decompressed pair."""
-    config = config or SsimConfig()
+def _prepare(
+    orig: np.ndarray, dec: np.ndarray, config: SsimConfig
+) -> tuple[np.ndarray, np.ndarray, float, float]:
+    """Shared validation + constant derivation for both SSIM paths."""
     orig = np.asarray(orig)
     dec = np.asarray(dec)
     if orig.shape != dec.shape:
@@ -132,7 +148,71 @@ def ssim3d(
         L = 1.0
     c1 = (config.k1 * L) ** 2
     c2 = (config.k2 * L) ** 2
+    return o, d, c1, c2
 
+
+def ssim3d_naive(
+    orig: np.ndarray, dec: np.ndarray, config: SsimConfig | None = None
+) -> SsimResult:
+    """Oracle 3-D SSIM: every window's statistics recomputed explicitly.
+
+    O(N·w³) — each window position re-reads its full cube.  Kept as the
+    independent cross-check for the sliding-sum fast path; use only on
+    small fields.
+    """
+    config = config or SsimConfig()
+    o, d, c1, c2 = _prepare(orig, dec, config)
+    w, step = config.window, config.step
+    nz, ny, nx = o.shape
+    pz = window_positions(nz, w, step)
+    py = window_positions(ny, w, step)
+    px = window_positions(nx, w, step)
+
+    total = 0.0
+    count = 0
+    vmin, vmax = float("inf"), float("-inf")
+    for i in range(pz):
+        z0 = i * step
+        for j in range(py):
+            y0 = j * step
+            for k in range(px):
+                x0 = k * step
+                wo = o[z0 : z0 + w, y0 : y0 + w, x0 : x0 + w]
+                wd = d[z0 : z0 + w, y0 : y0 + w, x0 : x0 + w]
+                mu1 = float(wo.mean())
+                mu2 = float(wd.mean())
+                var1 = float(((wo - mu1) ** 2).mean())
+                var2 = float(((wd - mu2) ** 2).mean())
+                cov = float(((wo - mu1) * (wd - mu2)).mean())
+                local = ((2.0 * mu1 * mu2 + c1) * (2.0 * cov + c2)) / (
+                    (mu1 * mu1 + mu2 * mu2 + c1) * (var1 + var2 + c2)
+                )
+                total += local
+                count += 1
+                vmin = min(vmin, local)
+                vmax = max(vmax, local)
+    if count == 0:
+        raise ShapeError("no complete SSIM window fits the data")
+    return SsimResult(
+        ssim=total / count,
+        min_window_ssim=vmin,
+        max_window_ssim=vmax,
+        n_windows=count,
+    )
+
+
+def ssim3d(
+    orig: np.ndarray, dec: np.ndarray, config: SsimConfig | None = None
+) -> SsimResult:
+    """Reference 3-D SSIM between an original/decompressed pair.
+
+    Dispatches on ``config.method``: the default ``"sliding"`` path uses
+    summed-area tables; ``"naive"`` delegates to :func:`ssim3d_naive`.
+    """
+    config = config or SsimConfig()
+    if config.method == "naive":
+        return ssim3d_naive(orig, dec, config)
+    o, d, c1, c2 = _prepare(orig, dec, config)
     w, step = config.window, config.step
     volume = float(w**3)
     s1 = box_sums(o, w, step)

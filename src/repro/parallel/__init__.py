@@ -1,0 +1,32 @@
+"""Parallel batch pipeline: fan assessments out over fields and z-slabs.
+
+The paper saturates one GPU with fused kernels; a production assessment
+service additionally has to saturate the *host* — many fields per
+application, many applications per batch.  NumPy releases the GIL inside
+its C loops, so a thread pool gives real concurrency on multi-core hosts
+without pickling the arrays:
+
+* :func:`parallel_assess_dataset` / :func:`parallel_compare_pairs` — one
+  task per field, per-field error isolation, results identical to the
+  serial :func:`repro.core.batch.assess_dataset` regardless of worker
+  count (asserted in tests);
+* :func:`parallel_stream_field` — one huge field split into z-slabs,
+  each worker producing the same mergeable accumulators
+  :mod:`repro.core.streaming` carries, merged exactly like the
+  multi-GPU merge.
+"""
+
+from repro.parallel.chunking import parallel_stream_field, z_chunks
+from repro.parallel.executor import (
+    auto_workers,
+    parallel_assess_dataset,
+    parallel_compare_pairs,
+)
+
+__all__ = [
+    "auto_workers",
+    "parallel_assess_dataset",
+    "parallel_compare_pairs",
+    "parallel_stream_field",
+    "z_chunks",
+]

@@ -1,0 +1,71 @@
+"""Sliding-sum SSIM fast path vs the explicit per-window oracle."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ssim import SsimConfig, ssim3d, ssim3d_naive
+
+
+@pytest.fixture(scope="module")
+def pair():
+    rng = np.random.default_rng(31)
+    orig = np.cumsum(rng.normal(size=(12, 14, 16)), axis=1).astype(np.float32)
+    dec = orig + rng.normal(scale=5e-3, size=orig.shape).astype(np.float32)
+    return orig, dec
+
+
+class TestSlidingEqualsNaive:
+    @pytest.mark.parametrize("window,step", [
+        (4, 1), (4, 2), (4, 3), (6, 1), (6, 2), (8, 4), (12, 1),
+    ])
+    def test_window_step_sweep(self, pair, window, step):
+        cfg = SsimConfig(window=window, step=step)
+        fast = ssim3d(*pair, cfg)
+        slow = ssim3d_naive(*pair, cfg)
+        assert fast.n_windows == slow.n_windows
+        assert fast.ssim == pytest.approx(slow.ssim, rel=1e-9)
+        assert fast.min_window_ssim == pytest.approx(
+            slow.min_window_ssim, rel=1e-9
+        )
+        assert fast.max_window_ssim == pytest.approx(
+            slow.max_window_ssim, rel=1e-9
+        )
+
+    def test_window_covers_whole_field(self, pair):
+        cfg = SsimConfig(window=12, step=1)
+        fast = ssim3d(*pair, cfg)
+        slow = ssim3d_naive(*pair, cfg)
+        assert fast.n_windows == slow.n_windows
+        assert fast.ssim == pytest.approx(slow.ssim, rel=1e-9)
+
+    def test_explicit_dynamic_range(self, pair):
+        cfg = SsimConfig(window=5, step=2, dynamic_range=10.0)
+        assert ssim3d(*pair, cfg).ssim == pytest.approx(
+            ssim3d_naive(*pair, cfg).ssim, rel=1e-9
+        )
+
+    def test_identical_inputs_score_one(self, pair):
+        orig, _ = pair
+        cfg = SsimConfig(window=4, step=2)
+        assert ssim3d(orig, orig, cfg).ssim == pytest.approx(1.0)
+        assert ssim3d_naive(orig, orig, cfg).ssim == pytest.approx(1.0)
+
+    def test_constant_field(self):
+        orig = np.full((6, 6, 6), 2.5, dtype=np.float32)
+        cfg = SsimConfig(window=4)
+        assert ssim3d(orig, orig.copy(), cfg).ssim == pytest.approx(1.0)
+        assert ssim3d_naive(orig, orig.copy(), cfg).ssim == pytest.approx(1.0)
+
+
+class TestMethodDispatch:
+    def test_naive_method_routes_to_oracle(self, pair):
+        via_config = ssim3d(*pair, SsimConfig(window=5, method="naive"))
+        direct = ssim3d_naive(*pair, SsimConfig(window=5))
+        assert via_config == direct
+
+    def test_invalid_method_rejected(self, pair):
+        with pytest.raises(ValueError):
+            ssim3d(*pair, SsimConfig(window=5, method="magic"))
+
+    def test_default_is_sliding(self):
+        assert SsimConfig().method == "sliding"

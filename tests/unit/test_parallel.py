@@ -1,0 +1,188 @@
+"""Parallel batch execution must equal serial for any worker count."""
+
+import numpy as np
+import pytest
+
+from repro.config.schema import CheckerConfig
+from repro.core.batch import assess_dataset
+from repro.core.compare import compare_data
+from repro.core.streaming import StreamingChecker
+from repro.datasets.registry import generate_dataset
+from repro.errors import CheckerError, ShapeError
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+from repro.parallel import (
+    auto_workers,
+    parallel_assess_dataset,
+    parallel_compare_pairs,
+    parallel_stream_field,
+    z_chunks,
+)
+
+
+def small_config():
+    return CheckerConfig(
+        pattern2=Pattern2Config(max_lag=3),
+        pattern3=Pattern3Config(window=6),
+    )
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    rng = np.random.default_rng(11)
+    out = []
+    for i in range(3):
+        orig = rng.normal(size=(10, 12, 14)).astype(np.float32)
+        dec = orig + rng.normal(scale=1e-3, size=orig.shape).astype(np.float32)
+        out.append((f"f{i}", orig, dec))
+    return out
+
+
+class TestZChunks:
+    def test_balanced_cover(self):
+        assert z_chunks(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_chunks_than_slices(self):
+        chunks = z_chunks(3, 8)
+        assert chunks == [(0, 1), (1, 2), (2, 3)]
+
+    @pytest.mark.parametrize("nz,k", [(1, 1), (7, 2), (24, 5), (24, 24)])
+    def test_partition_properties(self, nz, k):
+        chunks = z_chunks(nz, k)
+        assert chunks[0][0] == 0 and chunks[-1][1] == nz
+        for (a0, a1), (b0, b1) in zip(chunks, chunks[1:]):
+            assert a1 == b0 and a1 > a0
+        sizes = [z1 - z0 for z0, z1 in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            z_chunks(0, 2)
+
+
+class TestAutoWorkers:
+    def test_clamped_to_tasks(self):
+        assert auto_workers(1) == 1
+        assert auto_workers(10_000) >= 1
+
+    def test_unbounded(self):
+        assert auto_workers() >= 1
+
+
+class TestParallelComparePairs:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_equals_serial(self, pairs, workers):
+        cfg = small_config()
+        batch = parallel_compare_pairs(pairs, config=cfg, workers=workers)
+        assert list(batch.reports) == [name for name, _, _ in pairs]
+        for name, orig, dec in pairs:
+            serial = compare_data(orig, dec, config=cfg, with_baselines=False)
+            got = batch.reports[name].scalars()
+            want = serial.scalars()
+            assert set(got) == set(want)
+            for key, val in want.items():
+                assert got[key] == pytest.approx(val, rel=1e-12), key
+
+    def test_empty_rejected(self):
+        with pytest.raises(CheckerError):
+            parallel_compare_pairs([])
+
+    def test_error_isolation_records(self, pairs):
+        bad = pairs + [("broken", np.zeros((4, 4, 4)), np.zeros((5, 5, 5)))]
+        batch = parallel_compare_pairs(
+            bad, config=small_config(), workers=2, on_error="record"
+        )
+        assert set(batch.reports) == {name for name, _, _ in pairs}
+        assert "broken" in batch.errors
+        assert "ShapeError" in batch.errors["broken"]
+
+    def test_error_isolation_raises_by_default(self, pairs):
+        bad = pairs + [("broken", np.zeros((4, 4, 4)), np.zeros((5, 5, 5)))]
+        with pytest.raises(ShapeError):
+            parallel_compare_pairs(bad, config=small_config(), workers=2)
+
+    def test_invalid_on_error(self, pairs):
+        with pytest.raises(CheckerError):
+            parallel_compare_pairs(pairs, on_error="ignore")
+
+
+class _ExplodingCompressor:
+    name = "exploding"
+
+    def compress(self, data):
+        raise ValueError("boom")
+
+    def decompress(self, blob):
+        raise ValueError("boom")
+
+
+class TestParallelAssessDataset:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_equals_serial(self, workers):
+        from repro.compressors.registry import get_compressor
+
+        dataset = generate_dataset("hurricane", scale=0.12, n_fields=3)
+        comp = get_compressor("uniform_quant", rel_bound=1e-3)
+        cfg = small_config()
+        serial = assess_dataset(dataset, comp, config=cfg)
+        par = parallel_assess_dataset(dataset, comp, config=cfg, workers=workers)
+        assert list(par.reports) == list(serial.reports)
+        for name, report in serial.reports.items():
+            got = par.reports[name].scalars()
+            for key, val in report.scalars().items():
+                if key.endswith("_throughput"):  # wall-clock, run-dependent
+                    continue
+                assert got[key] == pytest.approx(val, rel=1e-12), key
+
+    def test_failure_isolated(self):
+        dataset = generate_dataset("hurricane", scale=0.12, n_fields=2)
+        batch = parallel_assess_dataset(
+            dataset, _ExplodingCompressor(), workers=2, on_error="record"
+        )
+        assert not batch.reports
+        assert len(batch.errors) == 2
+        assert all("ValueError" in msg for msg in batch.errors.values())
+
+
+class TestParallelStreamField:
+    @pytest.fixture(scope="class")
+    def field_pair(self):
+        rng = np.random.default_rng(5)
+        orig = np.cumsum(
+            rng.normal(size=(18, 16, 20)), axis=0
+        ).astype(np.float32)
+        dec = orig + rng.normal(scale=1e-2, size=orig.shape).astype(np.float32)
+        return orig, dec
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_equals_streaming_checker(self, field_pair, workers):
+        orig, dec = field_pair
+        L = float(orig.max() - orig.min())
+        ssim_cfg = Pattern3Config(window=6, dynamic_range=L)
+        checker = StreamingChecker(
+            orig.shape[1:], max_lag=4, ssim=ssim_cfg
+        )
+        checker.update(orig, dec)
+        ref = checker.finalize()
+        got = parallel_stream_field(
+            orig, dec, max_lag=4, ssim=ssim_cfg, workers=workers
+        )
+        assert got.pattern1.mse == pytest.approx(ref.pattern1.mse, rel=1e-10)
+        assert got.pattern1.min_err == ref.pattern1.min_err
+        assert got.pattern1.max_err == ref.pattern1.max_err
+        assert got.pattern1.psnr == pytest.approx(ref.pattern1.psnr, rel=1e-10)
+        assert np.allclose(
+            got.autocorrelation, ref.autocorrelation, atol=1e-9
+        )
+        assert got.ssim == pytest.approx(ref.ssim, rel=1e-10)
+
+    def test_ssim_needs_dynamic_range(self, field_pair):
+        with pytest.raises(CheckerError):
+            parallel_stream_field(*field_pair, ssim=Pattern3Config(window=6))
+
+    def test_shape_guards(self, field_pair):
+        orig, dec = field_pair
+        with pytest.raises(ShapeError):
+            parallel_stream_field(orig[0], dec[0])
+        with pytest.raises(ShapeError):
+            parallel_stream_field(orig, dec, max_lag=30)
