@@ -7,6 +7,7 @@ Subcommands
 ``assess``       compress a synthetic field with a codec and assess it
 ``check``        assess + acceptance criteria (exit code for CI gates)
 ``estimate``     predict SZ compression ratio without compressing
+``explain``      print the execution plan for a metric selection
 ``generate``     synthesise a dataset bundle on disk
 ``table1``       print the pattern classification (paper Table I)
 ``profile``      print the runtime profile (paper Table II)
@@ -39,6 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("decompressed", help="raw float32 binary of the decompressed data")
     p.add_argument("--shape", required=True, help="z,y,x extents, e.g. 100,500,500")
     p.add_argument("--config", help="Z-checker-style .cfg file")
+    p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
+    p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
     p.add_argument("--json", dest="json_out", help="also write the report as JSON")
     p.add_argument("--dat-dir", help="also export PDFs/autocorrelation as .dat")
     p.add_argument("--html", dest="html_out",
@@ -51,6 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--codec", default="sz", help="sz|zfp|uniform_quant|decimate")
     p.add_argument("--rel-bound", type=float, default=1e-3)
     p.add_argument("--rate", type=float, default=8.0, help="zfp bits/value")
+    p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
+    p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
+
+    p = sub.add_parser(
+        "explain",
+        help="print the execution plan a metric selection compiles to",
+    )
+    p.add_argument("--config", help="Z-checker-style .cfg file")
+    p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
+    p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
+    p.add_argument("--shape", default=None,
+                   help="optional z,y,x extents to add modelled kernel costs")
 
     p = sub.add_parser("generate", help="synthesise a dataset bundle")
     p.add_argument("--dataset", required=True)
@@ -114,6 +129,26 @@ def _parse_shape(text: str) -> tuple[int, int, int]:
     return parts  # type: ignore[return-value]
 
 
+def _apply_overrides(config, metrics: str | None, backend: str | None):
+    """Overlay ``--metrics``/``--backend`` onto a (possibly None) config."""
+    from dataclasses import replace
+
+    from repro.config.defaults import default_config
+
+    config = config or default_config()
+    if metrics:
+        text = metrics.strip()
+        selection: tuple[str, ...] | str
+        if text.lower() == "all":
+            selection = "all"
+        else:
+            selection = tuple(t.strip() for t in text.split(",") if t.strip())
+        config = replace(config, metrics=selection)
+    if backend:
+        config = replace(config, backend=backend)
+    return config
+
+
 def _cmd_analyze(args) -> int:
     from repro.config.parser import load_config
     from repro.core.compare import compare_data
@@ -124,6 +159,7 @@ def _cmd_analyze(args) -> int:
     orig = read_raw(args.original, shape)
     dec = read_raw(args.decompressed, shape)
     config = load_config(args.config) if args.config else None
+    config = _apply_overrides(config, args.metrics, args.backend)
     report = compare_data(orig, dec, config=config)
     print(report_to_text(report))
     if args.json_out:
@@ -160,8 +196,21 @@ def _cmd_assess(args) -> int:
         f"assessing {args.codec} on {args.dataset}/{field_name} "
         f"shape={shape} ..."
     )
-    report = assess_compressor(field.data, codec)
+    config = _apply_overrides(None, args.metrics, args.backend)
+    report = assess_compressor(field.data, codec, config=config)
     print(report_to_text(report))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.config.parser import load_config
+    from repro.engine.plan import build_plan
+
+    config = load_config(args.config) if args.config else None
+    config = _apply_overrides(config, args.metrics, args.backend)
+    plan = build_plan(config)
+    shape = _parse_shape(args.shape) if args.shape else None
+    print(plan.explain(shape))
     return 0
 
 
@@ -357,6 +406,7 @@ def _cmd_trace(args) -> int:
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "assess": _cmd_assess,
+    "explain": _cmd_explain,
     "generate": _cmd_generate,
     "table1": _cmd_table1,
     "profile": _cmd_profile,

@@ -47,7 +47,7 @@ _ALIASES = {
 }
 
 _KNOWN = {
-    "GLOBAL": {"metrics", "patterns", "device", "auxiliary", "fused"},
+    "GLOBAL": {"metrics", "patterns", "device", "auxiliary", "fused", "backend"},
     "PATTERN1": {"pdf_bins", "pwr_floor"},
     "PATTERN2": {"max_lag", "orders"},
     "PATTERN3": {"window", "step", "k1", "k2", "dynamic_range", "yrows"},
@@ -109,6 +109,7 @@ def parse_config_text(text: str) -> CheckerConfig:
             device=g.get("device", "V100"),
             auxiliary=g.get("auxiliary", "true").lower() in ("1", "true", "yes"),
             fused=g.get("fused", "true").lower() in ("1", "true", "yes"),
+            backend=g.get("backend", ""),
             pattern1=Pattern1Config(
                 pdf_bins=int(p1.get("pdf_bins", 1024)),
                 pwr_floor=float(p1.get("pwr_floor", 0.0)),
@@ -161,6 +162,7 @@ def format_config(config: CheckerConfig) -> str:
         f"device = {config.device}",
         f"auxiliary = {'true' if config.auxiliary else 'false'}",
         f"fused = {'true' if config.fused else 'false'}",
+        *([f"backend = {config.backend}"] if config.backend else []),
         "",
         "[PATTERN1]",
         f"pdf_bins = {config.pattern1.pdf_bins}",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnknownMetricError
 from repro.kernels.pattern1 import Pattern1Config
 from repro.kernels.pattern2 import Pattern2Config
 from repro.kernels.pattern3 import Pattern3Config
@@ -36,6 +36,10 @@ class CheckerConfig:
     #: is computed once per assessment; ``False`` falls back to the
     #: historical per-consumer scans (kept as the cross-check path)
     fused: bool = True
+    #: execution backend name registered in :mod:`repro.engine.backends`
+    #: ("fused-host", "metric-oriented", "gpusim"); the empty string
+    #: derives the backend from ``fused`` when the plan is built
+    backend: str = ""
 
     def validate(self) -> None:
         if isinstance(self.metrics, str):
@@ -44,9 +48,17 @@ class CheckerConfig:
                     f'metrics must be a tuple of names or "all", got {self.metrics!r}'
                 )
         else:
-            unknown = [m for m in self.metrics if m not in METRIC_REGISTRY]
-            if unknown:
-                raise ConfigError(f"unknown metrics requested: {unknown}")
+            for m in self.metrics:
+                if m not in METRIC_REGISTRY:
+                    raise UnknownMetricError(m, known=METRIC_REGISTRY)
+        if self.backend:
+            from repro.engine.backends import known_backends
+
+            if self.backend not in known_backends():
+                raise ConfigError(
+                    f"unknown backend {self.backend!r}; "
+                    f"known: {sorted(known_backends())}"
+                )
         bad = [p for p in self.patterns if p not in _VALID_PATTERNS]
         if bad:
             raise ConfigError(f"patterns must be within {{1,2,3}}, got {bad}")

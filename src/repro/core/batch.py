@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config.schema import CheckerConfig
+from repro.core.checker import CuZChecker
 from repro.core.compare import assess_compressor
 from repro.core.report import AssessmentReport
 from repro.datasets.fields import Dataset
@@ -135,11 +136,14 @@ def assess_dataset(
         raise CheckerError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     if len(dataset) == 0:
         raise CheckerError(f"dataset {dataset.name!r} has no fields")
+    # one checker (and therefore one ExecutionPlan + one config.validate())
+    # serves every field of the application
+    checker = CuZChecker(config=config, with_baselines=with_baselines)
     batch = BatchAssessment(dataset_name=dataset.name)
     for f in dataset:
         try:
             batch.reports[f.name] = assess_compressor(
-                f.data, compressor, config=config, with_baselines=with_baselines
+                f.data, compressor, checker=checker
             )
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             if on_error == "raise":

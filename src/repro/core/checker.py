@@ -1,38 +1,30 @@
 """CuZChecker: the pattern-oriented assessment coordinator.
 
 This is the reproduction of the paper's "GPU module coordinator": it
-inspects the requested metrics, maps them onto the three computational
-patterns (Table I), launches the corresponding fused kernel once per
-pattern, and stitches the results — including the cross-pattern data
-reuse where the autocorrelation normalisation consumes the error moments
-the pattern-1 kernel already produced.
+builds one :class:`~repro.engine.plan.ExecutionPlan` from the requested
+metrics — mapping them onto the three computational patterns (Table I)
+and wiring the cross-pattern data reuse where the autocorrelation
+normalisation consumes the error moments the pattern-1 kernel already
+produced — then executes the plan on the configured backend and attaches
+the modelled framework timings.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.config.defaults import default_config
 from repro.config.schema import CheckerConfig
 from repro.core.frameworks import CuZC, FrameworkTiming, MoZC, OmpZC
 from repro.core.report import AssessmentReport
-from repro.core.workspace import MetricWorkspace
-from repro.errors import ShapeError
-from repro.kernels.pattern1 import execute_pattern1
-from repro.kernels.pattern2 import execute_pattern2
-from repro.kernels.pattern3 import execute_pattern3
-from repro.metrics.base import METRIC_REGISTRY, Pattern
-from repro.metrics.correlation import pearson
-from repro.metrics.properties import data_properties
-from repro.metrics.spectral import spectral_comparison
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.engine.backends import Backend
+    from repro.engine.plan import ExecutionPlan
 
 __all__ = ["CuZChecker"]
-
-_PATTERN_IDS = {
-    Pattern.GLOBAL_REDUCTION: 1,
-    Pattern.STENCIL: 2,
-    Pattern.SLIDING_WINDOW: 3,
-}
 
 
 class CuZChecker:
@@ -46,15 +38,23 @@ class CuZChecker:
     with_baselines:
         If true, reports also carry modelled moZC / ompZC timings so that
         speedups can be read directly off each report.
+    backend:
+        Execution backend override (name or instance); defaults to the
+        plan's resolution of ``config.backend`` / ``config.fused``.
     """
 
     def __init__(
         self,
         config: CheckerConfig | None = None,
         with_baselines: bool = False,
+        backend: str | Backend | None = None,
     ):
+        from repro.engine.plan import build_plan
+
         self.config = config or default_config()
-        self.config.validate()
+        # the plan validates the configuration exactly once; batch and
+        # parallel drivers reuse this checker instead of re-validating
+        self.plan: ExecutionPlan = build_plan(self.config, backend=backend)
         self.with_baselines = with_baselines
         self._cuzc = CuZC()
         self._mozc = MoZC()
@@ -64,93 +64,25 @@ class CuZChecker:
 
     def needed_patterns(self) -> tuple[int, ...]:
         """Patterns required by the configured metric selection."""
-        enabled = set(self.config.patterns)
-        if self.config.metrics == "all":
-            return tuple(sorted(enabled))
-        wanted = set()
-        for name in self.config.metric_names:
-            pattern = METRIC_REGISTRY[name].pattern
-            pid = _PATTERN_IDS.get(pattern)
-            if pid is not None:
-                wanted.add(pid)
-        return tuple(sorted(wanted & enabled))
+        return self.plan.patterns
 
-    def assess(self, orig: np.ndarray, dec: np.ndarray) -> AssessmentReport:
+    def assess(
+        self,
+        orig: np.ndarray,
+        dec: np.ndarray,
+        backend: str | Backend | None = None,
+    ) -> AssessmentReport:
         """Run the configured assessment on one data pair."""
-        orig = np.asarray(orig)
-        dec = np.asarray(dec)
-        if orig.shape != dec.shape:
-            raise ShapeError(
-                f"original {orig.shape} and decompressed {dec.shape} differ"
-            )
-        if orig.ndim != 3:
-            raise ShapeError(f"cuZ-Checker assesses 3-D fields, got {orig.shape}")
-
-        report = AssessmentReport(shape=orig.shape, config=self.config)
-        patterns = self.needed_patterns()
-
-        # the fused host engine: one workspace shares every derived array
-        # (error, squared error, element products, moments) across the
-        # pattern kernels and the auxiliary metrics
-        ws = (
-            MetricWorkspace(orig, dec, pwr_floor=self.config.pattern1.pwr_floor)
-            if self.config.fused
-            else None
-        )
-
-        if 1 in patterns:
-            report.pattern1, _ = execute_pattern1(
-                orig, dec, self.config.pattern1, workspace=ws
-            )
-        if 2 in patterns:
-            # cross-pattern reuse: error moments from the fused reductions
-            err_mean = err_var = None
-            if report.pattern1 is not None:
-                err_mean = report.pattern1.avg_err
-                err_var = max(
-                    report.pattern1.mse - report.pattern1.avg_err**2, 0.0
-                )
-            report.pattern2, _ = execute_pattern2(
-                orig,
-                dec,
-                self.config.pattern2,
-                err_mean=err_mean,
-                err_var=err_var,
-                workspace=ws,
-            )
-        if 3 in patterns:
-            report.pattern3, _ = execute_pattern3(
-                orig, dec, self.config.pattern3, workspace=ws
-            )
-
-        if self.config.auxiliary:
-            if ws is not None:
-                # float32→float64 is exact, so handing the workspace's
-                # cached views to the FFT is bit-identical and skips the
-                # conversion spectral_comparison would otherwise redo
-                spectral = spectral_comparison(ws.o64, ws.d64)
-                props = ws.data_properties()
-                pearson_r = ws.pearson()
-            else:
-                spectral = spectral_comparison(orig, dec)
-                props = data_properties(orig)
-                pearson_r = pearson(orig, dec)
-            report.auxiliary.update(
-                {
-                    "pearson": pearson_r,
-                    "entropy": props.entropy,
-                    "mean": props.mean,
-                    "std": props.std,
-                    "spectral_mean_rel_err": spectral.mean_rel_err,
-                    "spectral_noise_frequency": spectral.noise_frequency,
-                }
-            )
-
-        report.timings["cuZC"] = self.estimate(orig.shape)
+        report = self.plan.execute(orig, dec, backend=backend)
+        report.timings["cuZC"] = self.estimate(report.shape)
         if self.with_baselines:
-            report.timings["moZC"] = self._mozc.estimate(orig.shape, self.config)
-            report.timings["ompZC"] = self._ompzc.estimate(orig.shape, self.config)
+            report.timings["moZC"] = self._mozc.estimate(report.shape, self.config)
+            report.timings["ompZC"] = self._ompzc.estimate(report.shape, self.config)
         return report
+
+    def explain(self, shape: tuple[int, int, int] | None = None) -> str:
+        """Human-readable execution schedule (see ``repro explain``)."""
+        return self.plan.explain(shape)
 
     def estimate(self, shape: tuple[int, int, int]) -> FrameworkTiming:
         """Modelled cuZC execution time for a dataset shape."""

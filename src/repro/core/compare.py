@@ -18,6 +18,8 @@ def compare_data(
     dec: np.ndarray,
     config: CheckerConfig | None = None,
     with_baselines: bool = True,
+    backend: str | None = None,
+    checker: CuZChecker | None = None,
 ) -> AssessmentReport:
     """Assess an original/decompressed pair with every configured metric.
 
@@ -25,8 +27,15 @@ def compare_data(
     report holding every metric value plus modelled execution times for
     cuZC (and, by default, the moZC / ompZC baselines so speedups are
     directly readable).
+
+    Drivers that assess many pairs pass a prebuilt ``checker`` so the
+    execution plan (and its one-time configuration validation) is shared
+    across the whole run instead of rebuilt per pair.
     """
-    checker = CuZChecker(config=config, with_baselines=with_baselines)
+    if checker is None:
+        checker = CuZChecker(
+            config=config, with_baselines=with_baselines, backend=backend
+        )
     return checker.assess(orig, dec)
 
 
@@ -95,6 +104,8 @@ def assess_compressor(
     compressor,
     config: CheckerConfig | None = None,
     with_baselines: bool = False,
+    backend: str | None = None,
+    checker: CuZChecker | None = None,
 ) -> AssessmentReport:
     """Compress, decompress, and assess in one call.
 
@@ -110,7 +121,14 @@ def assess_compressor(
     dec = compressor.decompress(compressed)
     t2 = time.perf_counter()
 
-    report = compare_data(orig, dec, config=config, with_baselines=with_baselines)
+    report = compare_data(
+        orig,
+        dec,
+        config=config,
+        with_baselines=with_baselines,
+        backend=backend,
+        checker=checker,
+    )
     nbytes = orig.size * orig.dtype.itemsize
     report.auxiliary.update(
         {

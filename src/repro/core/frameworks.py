@@ -109,12 +109,13 @@ class AssessmentFramework(abc.ABC):
         Estimates are memoised per ``(shape, config)`` —
         :class:`CheckerConfig` is frozen/hashable — so batch assessments
         that reuse one checker over many same-shaped fields build each
-        execution plan once instead of once per field.
+        execution plan once instead of once per field.  The configuration
+        is assumed already validated (plan construction validates it
+        exactly once per run).
         """
         from repro.config.defaults import default_config
 
         config = config or default_config()
-        config.validate()
         key = (tuple(shape), config)
         cache = self.__dict__.setdefault("_estimate_cache", {})
         if key not in cache:

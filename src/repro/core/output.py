@@ -31,7 +31,7 @@ def report_to_text(report: AssessmentReport) -> str:
         "",
         "  metrics:",
     ]
-    for name, value in sorted(report.scalars().items()):
+    for name, value in report.scalars().items():  # Table-I order
         lines.append(f"    {name:<22} {_fmt(value)}")
     if report.pattern2 is not None:
         ac = np.asarray(report.pattern2.autocorrelation)

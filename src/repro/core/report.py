@@ -13,7 +13,7 @@ from repro.core.frameworks import FrameworkTiming
 from repro.kernels.pattern1 import Pattern1Result
 from repro.kernels.pattern2 import Pattern2Result
 from repro.kernels.pattern3 import Pattern3Result
-from repro.metrics.base import METRIC_REGISTRY, Pattern
+from repro.metrics.base import METRIC_REGISTRY, Pattern, canonical_metric_order
 
 __all__ = ["MetricValue", "AssessmentReport"]
 
@@ -47,7 +47,12 @@ class AssessmentReport:
     timings: dict[str, FrameworkTiming] = field(default_factory=dict)
 
     def scalars(self) -> dict[str, float]:
-        """All scalar metric values keyed by registry name."""
+        """All scalar metric values keyed by registry name.
+
+        Keys are in Table I row order (derived names the registry does
+        not know come last, alphabetically), so reports diff stably
+        across runs whatever order the patterns executed in.
+        """
         out: dict[str, float] = {}
         if self.pattern1 is not None:
             out.update(self.pattern1.as_dict())
@@ -56,7 +61,7 @@ class AssessmentReport:
         if self.pattern3 is not None:
             out.update(self.pattern3.as_dict())
         out.update(self.auxiliary)
-        return out
+        return {name: out[name] for name in canonical_metric_order(out)}
 
     def values(self) -> list[MetricValue]:
         """Typed metric values, including vector-valued results."""

@@ -27,6 +27,7 @@ import math
 
 import numpy as np
 
+from repro.core.workspace import finalize_rate_distortion
 from repro.errors import CheckerError, ShapeError
 from repro.gpusim.memory import SmemFifo
 from repro.kernels.pattern1 import Pattern1Result
@@ -131,6 +132,31 @@ class StreamingChecker:
             self._ssim_total = 0.0
             self._ssim_count = 0
         self._finalized = False
+
+    @classmethod
+    def from_config(
+        cls,
+        plane_shape: tuple[int, int],
+        config=None,
+    ) -> "StreamingChecker":
+        """Build a streaming checker from a :class:`CheckerConfig`.
+
+        The metric selection is routed through the execution planner
+        (validating the configuration once): autocorrelation streams only
+        when the plan schedules pattern 2, SSIM only when it schedules
+        pattern 3.
+        """
+        from repro.engine.plan import build_plan
+
+        plan = build_plan(config)
+        config = plan.config
+        patterns = plan.patterns
+        return cls(
+            plane_shape,
+            max_lag=config.pattern2.max_lag if 2 in patterns else 0,
+            ssim=config.pattern3 if 3 in patterns else None,
+            pwr_floor=config.pattern1.pwr_floor,
+        )
 
     # -- feeding -------------------------------------------------------------
 
@@ -248,24 +274,10 @@ class StreamingChecker:
         self._finalized = True
         n = self._n
         mse = self._sum_sq_e / n
-        rmse = math.sqrt(mse)
         value_range = self._max_o - self._min_o
         mean_o = self._sum_o / n
         var_o = max(self._sum_sq_o / n - mean_o * mean_o, 0.0)
-        if value_range == 0.0:
-            nrmse = math.nan if mse > 0 else 0.0
-            psnr = math.nan
-        elif mse == 0.0:
-            nrmse, psnr = 0.0, math.inf
-        else:
-            nrmse = rmse / value_range
-            psnr = 20.0 * math.log10(value_range) - 10.0 * math.log10(mse)
-        if mse == 0.0:
-            snr = math.inf
-        elif var_o == 0.0:
-            snr = -math.inf
-        else:
-            snr = 10.0 * math.log10(var_o / mse)
+        rd = finalize_rate_distortion(n, mse, value_range, var_o)
         has_r = self._cnt_r > 0
         pattern1 = Pattern1Result(
             n=n,
@@ -275,11 +287,11 @@ class StreamingChecker:
             avg_abs_err=self._sum_abs_e / n,
             max_abs_err=max(abs(self._min_e), abs(self._max_e)),
             mse=mse,
-            rmse=rmse,
+            rmse=rd.rmse,
             value_range=value_range,
-            nrmse=nrmse,
-            snr=snr,
-            psnr=psnr,
+            nrmse=rd.nrmse,
+            snr=rd.snr,
+            psnr=rd.psnr,
             min_pwr_err=self._min_r if has_r else 0.0,
             max_pwr_err=self._max_r if has_r else 0.0,
             avg_pwr_err=self._sum_r / self._cnt_r if has_r else 0.0,

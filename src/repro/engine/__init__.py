@@ -1,0 +1,37 @@
+"""Unified execution engine: metric -> pattern -> backend pipeline.
+
+Every assessment entry point builds an :class:`~repro.engine.plan.ExecutionPlan`
+(via :func:`~repro.engine.plan.build_plan`) and executes it on a registered
+:class:`~repro.engine.backends.Backend` instead of dispatching pattern
+kernels by hand.
+"""
+
+from repro.engine.backends import (
+    Backend,
+    FusedHostBackend,
+    GpuSimBackend,
+    MetricOrientedBackend,
+    get_backend,
+    known_backends,
+    register_backend,
+)
+from repro.engine.plan import (
+    ExecutionPlan,
+    PlanStep,
+    build_plan,
+    resolve_backend_name,
+)
+
+__all__ = [
+    "Backend",
+    "FusedHostBackend",
+    "MetricOrientedBackend",
+    "GpuSimBackend",
+    "get_backend",
+    "known_backends",
+    "register_backend",
+    "ExecutionPlan",
+    "PlanStep",
+    "build_plan",
+    "resolve_backend_name",
+]

@@ -1,0 +1,346 @@
+"""Execution backends: how one :class:`~repro.engine.plan.ExecutionPlan`
+step turns into metric values and modelled kernel launches.
+
+The plan layer decides *what* runs (metric subset → pattern groups →
+dependency DAG); a :class:`Backend` decides *how*:
+
+``fused-host``
+    The shared-:class:`~repro.core.workspace.MetricWorkspace` path: every
+    derived array is materialised once and feeds all pattern kernels plus
+    the auxiliary metrics — the host analogue of the paper's fused
+    cooperative kernels.
+``metric-oriented``
+    The moZC-style path: each pattern executes standalone (no shared
+    workspace, no cross-pattern moment reuse), mirroring one kernel
+    pipeline per metric.  Values are identical to ``fused-host`` — only
+    the modelled cost differs (its :meth:`Backend.kernel_plans` returns
+    the per-metric moZC kernel lists).
+``gpusim``
+    The fused dataflow plus modelled-cost execution: every pattern step
+    additionally builds its :class:`~repro.gpusim.counters.KernelStats`
+    plan, validates the launch geometry against the configured device via
+    :class:`repro.gpusim.launch.LaunchConfig`, prices it with the cost
+    model, and records it in :attr:`GpuSimBackend.launch_log` — the
+    counter tests assert pattern skipping against.
+
+Backends register by name; new execution strategies (async, sharded,
+real-GPU) plug in through :func:`register_backend` without touching the
+entry points, which all dispatch through plans.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.workspace import MetricWorkspace
+from repro.errors import CheckerError
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.launch import LaunchConfig
+from repro.kernels.metric_oriented import (
+    plan_mo_pattern1,
+    plan_mo_pattern2,
+    plan_mo_pattern3,
+)
+from repro.kernels.pattern1 import Pattern1Result, execute_pattern1, plan_pattern1
+from repro.kernels.pattern2 import Pattern2Result, execute_pattern2, plan_pattern2
+from repro.kernels.pattern3 import Pattern3Result, execute_pattern3, plan_pattern3
+from repro.metrics.correlation import pearson
+from repro.metrics.properties import data_properties
+from repro.metrics.spectral import spectral_comparison
+
+__all__ = [
+    "RunContext",
+    "Backend",
+    "FusedHostBackend",
+    "MetricOrientedBackend",
+    "GpuSimBackend",
+    "register_backend",
+    "get_backend",
+    "known_backends",
+]
+
+
+@dataclass
+class RunContext:
+    """Mutable per-execution state shared by a plan's steps.
+
+    Carries the cross-step intermediates of the dependency DAG: the
+    workspace (fused backends) and the pattern-1 error moments the
+    pattern-2 autocorrelation normalisation consumes.
+    """
+
+    plan: "object"
+    orig: np.ndarray
+    dec: np.ndarray
+    workspace: MetricWorkspace | None = None
+    err_mean: float | None = None
+    err_var: float | None = None
+    extras: dict = field(default_factory=dict)
+
+
+class Backend(abc.ABC):
+    """One execution strategy for plan steps.
+
+    Subclasses implement the three pattern hooks plus the auxiliary
+    computation; the shared :meth:`run_step` orchestration handles step
+    dispatch, cross-pattern moment publication, and launch recording.
+    """
+
+    #: registry name; subclasses must override
+    name: str = ""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, plan, orig: np.ndarray, dec: np.ndarray) -> RunContext:
+        """Create the per-execution context (workspace allocation, ...)."""
+        return RunContext(plan=plan, orig=orig, dec=dec)
+
+    # -- step execution ----------------------------------------------------
+
+    def run_step(self, step, ctx: RunContext, report) -> None:
+        """Execute one plan step, filling ``report`` and updating ``ctx``."""
+        if step.kind == "pattern1":
+            report.pattern1, stats = self._pattern1(ctx)
+            # publish the error moments for the pattern-2 normalisation
+            ctx.err_mean = report.pattern1.avg_err
+            ctx.err_var = max(
+                report.pattern1.mse - report.pattern1.avg_err**2, 0.0
+            )
+            self._on_launch([stats])
+        elif step.kind == "pattern2":
+            report.pattern2, stats = self._pattern2(ctx)
+            self._on_launch([stats])
+        elif step.kind == "pattern3":
+            report.pattern3, stats = self._pattern3(ctx)
+            self._on_launch([stats])
+        elif step.kind == "auxiliary":
+            report.auxiliary.update(self._auxiliary(ctx, step.metrics))
+        else:  # pragma: no cover — plans only emit the four kinds
+            raise CheckerError(f"unknown plan step kind {step.kind!r}")
+
+    def _on_launch(self, stats_list: list[KernelStats]) -> None:
+        """Hook invoked with the kernel stats of each pattern step."""
+
+    # -- pattern hooks -----------------------------------------------------
+
+    @abc.abstractmethod
+    def _pattern1(self, ctx: RunContext) -> tuple[Pattern1Result, KernelStats]:
+        ...
+
+    @abc.abstractmethod
+    def _pattern2(self, ctx: RunContext) -> tuple[Pattern2Result, KernelStats]:
+        ...
+
+    @abc.abstractmethod
+    def _pattern3(self, ctx: RunContext) -> tuple[Pattern3Result, KernelStats]:
+        ...
+
+    @abc.abstractmethod
+    def _auxiliary(self, ctx: RunContext, names: tuple[str, ...]) -> dict:
+        ...
+
+    # -- introspection -----------------------------------------------------
+
+    def kernel_plans(self, step, shape, config) -> list[KernelStats]:
+        """Modelled kernel launches this backend performs for one step."""
+        if step.kind == "pattern1":
+            return [plan_pattern1(shape, config.pattern1)]
+        if step.kind == "pattern2":
+            return [plan_pattern2(shape, config.pattern2)]
+        if step.kind == "pattern3":
+            return [plan_pattern3(shape, config.pattern3)]
+        return []  # auxiliary metrics run host-side
+
+
+class FusedHostBackend(Backend):
+    """PR 1's fused path: one shared workspace feeds every consumer."""
+
+    name = "fused-host"
+
+    def begin(self, plan, orig, dec) -> RunContext:
+        ctx = super().begin(plan, orig, dec)
+        ctx.workspace = MetricWorkspace(
+            orig, dec, pwr_floor=plan.config.pattern1.pwr_floor
+        )
+        return ctx
+
+    def _pattern1(self, ctx):
+        return execute_pattern1(
+            ctx.orig, ctx.dec, ctx.plan.config.pattern1, workspace=ctx.workspace
+        )
+
+    def _pattern2(self, ctx):
+        err_mean, err_var = ctx.err_mean, ctx.err_var
+        if err_mean is None:
+            # no pattern-1 step in this plan: take the moments from the
+            # shared workspace, which reduces them exactly as the
+            # pattern-1 kernel would — a subset plan therefore returns
+            # bit-identical values to the full assessment
+            es = ctx.workspace.error_stats()
+            mse = ctx.workspace.rate_distortion().mse
+            err_mean = es.avg_err
+            err_var = max(mse - err_mean**2, 0.0)
+        return execute_pattern2(
+            ctx.orig,
+            ctx.dec,
+            ctx.plan.config.pattern2,
+            err_mean=err_mean,
+            err_var=err_var,
+            workspace=ctx.workspace,
+        )
+
+    def _pattern3(self, ctx):
+        return execute_pattern3(
+            ctx.orig, ctx.dec, ctx.plan.config.pattern3, workspace=ctx.workspace
+        )
+
+    def _auxiliary(self, ctx, names):
+        # float32→float64 is exact, so handing the workspace's cached
+        # views to the FFT is bit-identical and skips the conversion
+        # spectral_comparison would otherwise redo
+        ws = ctx.workspace
+        out: dict[str, float] = {}
+        if "pearson" in names:
+            out["pearson"] = ws.pearson()
+        if {"entropy", "mean", "std"} & set(names):
+            props = ws.data_properties()
+            if "entropy" in names:
+                out["entropy"] = props.entropy
+            if "mean" in names:
+                out["mean"] = props.mean
+            if "std" in names:
+                out["std"] = props.std
+        if "spectral" in names:
+            spectral = spectral_comparison(ws.o64, ws.d64)
+            out["spectral_mean_rel_err"] = spectral.mean_rel_err
+            out["spectral_noise_frequency"] = spectral.noise_frequency
+        return out
+
+
+class MetricOrientedBackend(Backend):
+    """moZC-style standalone execution: no workspace, no moment reuse."""
+
+    name = "metric-oriented"
+
+    def _pattern1(self, ctx):
+        return execute_pattern1(ctx.orig, ctx.dec, ctx.plan.config.pattern1)
+
+    def _pattern2(self, ctx):
+        # standalone: the error moments are recomputed on the fly, the
+        # per-metric discipline moZC models
+        return execute_pattern2(ctx.orig, ctx.dec, ctx.plan.config.pattern2)
+
+    def _pattern3(self, ctx):
+        return execute_pattern3(ctx.orig, ctx.dec, ctx.plan.config.pattern3)
+
+    def _auxiliary(self, ctx, names):
+        out: dict[str, float] = {}
+        if "pearson" in names:
+            out["pearson"] = pearson(ctx.orig, ctx.dec)
+        if {"entropy", "mean", "std"} & set(names):
+            props = data_properties(ctx.orig)
+            if "entropy" in names:
+                out["entropy"] = props.entropy
+            if "mean" in names:
+                out["mean"] = props.mean
+            if "std" in names:
+                out["std"] = props.std
+        if "spectral" in names:
+            spectral = spectral_comparison(ctx.orig, ctx.dec)
+            out["spectral_mean_rel_err"] = spectral.mean_rel_err
+            out["spectral_noise_frequency"] = spectral.noise_frequency
+        return out
+
+    def kernel_plans(self, step, shape, config):
+        if step.kind == "pattern1":
+            return plan_mo_pattern1(shape, config.pattern1)
+        if step.kind == "pattern2":
+            return plan_mo_pattern2(shape, config.pattern2)
+        if step.kind == "pattern3":
+            return plan_mo_pattern3(shape, config.pattern3)
+        return []
+
+
+class GpuSimBackend(FusedHostBackend):
+    """Fused values plus modelled-cost execution on the simulated device.
+
+    Each pattern step's kernel plan is validated as a real launch against
+    the configured :class:`~repro.gpusim.device.DeviceSpec` and priced by
+    the cost model; :attr:`launch_log` records every launch so tests can
+    assert that a subset plan skips the unneeded kernels.
+    """
+
+    name = "gpusim"
+
+    def __init__(self):
+        self.launch_log: list[KernelStats] = []
+        self.modelled_seconds: dict[str, float] = {}
+
+    def _on_launch(self, stats_list):
+        from repro.core.frameworks import device_by_name
+        from repro.gpusim.costmodel import kernel_time
+
+        device = device_by_name(self._config.device)
+        for stats in stats_list:
+            LaunchConfig(
+                grid_x=stats.grid_blocks,
+                block_x=stats.threads_per_block,
+                smem_per_block=stats.smem_per_block,
+                regs_per_thread=stats.regs_per_thread,
+            ).validate(device)
+            self.modelled_seconds[stats.name] = kernel_time(stats, device).total
+            self.launch_log.append(stats)
+
+    def begin(self, plan, orig, dec):
+        self._config = plan.config
+        return super().begin(plan, orig, dec)
+
+    @property
+    def launched_patterns(self) -> tuple[int, ...]:
+        """Distinct pattern ids launched so far, sorted."""
+        return tuple(
+            sorted({s.meta.get("pattern") for s in self.launch_log} - {None})
+        )
+
+
+_BACKENDS: dict[str, type[Backend]] = {}
+
+
+def register_backend(cls: type[Backend]) -> type[Backend]:
+    """Register a backend class under its ``name`` (idempotent)."""
+    if not cls.name:
+        raise ValueError(f"backend class {cls.__name__} has no name")
+    existing = _BACKENDS.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"conflicting registration for backend {cls.name!r}")
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+def known_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(backend: str | Backend) -> Backend:
+    """Resolve a backend name (or pass an instance through).
+
+    Names return a *fresh* instance so per-run state (e.g. the gpusim
+    launch log) never leaks between executions.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    try:
+        return _BACKENDS[backend]()
+    except KeyError:
+        raise CheckerError(
+            f"unknown backend {backend!r}; known: {sorted(_BACKENDS)}"
+        ) from None
+
+
+register_backend(FusedHostBackend)
+register_backend(MetricOrientedBackend)
+register_backend(GpuSimBackend)

@@ -1,0 +1,272 @@
+"""Execution planning: metric subset → pattern groups → dependency DAG.
+
+:func:`build_plan` is the single place where a requested metric selection
+is turned into work.  It validates the configuration once, expands the
+selection against the metric registry, groups metrics by their Table I
+pattern, orders the resulting steps so cross-pattern intermediates flow
+forward (the pattern-2 autocorrelation normalisation consumes the error
+moments the pattern-1 reductions already produced), and binds the plan to
+a named :class:`~repro.engine.backends.Backend`.
+
+Every assessment entry point — :class:`~repro.core.checker.CuZChecker`,
+the streaming checker, batch/parallel/multi-GPU drivers and
+:func:`~repro.core.compare.compare_data` — builds one of these plans
+instead of hand-dispatching pattern kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.schema import CheckerConfig
+from repro.core.report import AssessmentReport
+from repro.engine.backends import Backend, get_backend
+from repro.errors import ShapeError
+from repro.gpusim.counters import KernelStats
+from repro.metrics.base import (
+    METRIC_REGISTRY,
+    Pattern,
+    canonical_metric_order,
+    resolve_metrics,
+)
+
+__all__ = ["PlanStep", "ExecutionPlan", "build_plan", "resolve_backend_name"]
+
+#: auxiliary metrics the assessment itself computes; the remaining
+#: auxiliary registry entries (compression_ratio, *_throughput) are
+#: provided by the compressor driver, not by array analysis
+_CHECKER_AUX = frozenset({"pearson", "spectral", "entropy", "mean", "std"})
+
+_PATTERN_IDS = {
+    Pattern.GLOBAL_REDUCTION: 1,
+    Pattern.STENCIL: 2,
+    Pattern.SLIDING_WINDOW: 3,
+}
+
+_STEP_LABELS = {
+    "pattern1": "pattern 1 (global reduction)",
+    "pattern2": "pattern 2 (stencil-like)",
+    "pattern3": "pattern 3 (sliding window)",
+    "auxiliary": "auxiliary (host-side)",
+}
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One schedulable unit of an :class:`ExecutionPlan`.
+
+    ``consumes``/``produces`` name the cross-step intermediates of the
+    dependency DAG (workspace arrays and the pattern-1 error moments);
+    they drive :meth:`ExecutionPlan.explain` and document why the steps
+    are ordered the way they are.
+    """
+
+    kind: str  # "pattern1" | "pattern2" | "pattern3" | "auxiliary"
+    metrics: tuple[str, ...]
+    consumes: tuple[str, ...] = ()
+    produces: tuple[str, ...] = ()
+
+    @property
+    def pattern_id(self) -> int | None:
+        """Numeric pattern id for kernel steps, ``None`` for auxiliary."""
+        if self.kind.startswith("pattern"):
+            return int(self.kind[-1])
+        return None
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A validated, ordered schedule for one metric selection.
+
+    Plans are immutable and reusable: one plan can execute any number of
+    data pairs (each :meth:`execute` gets a fresh backend run context),
+    which is how the batch and parallel drivers amortise configuration
+    validation across a whole dataset.
+    """
+
+    config: CheckerConfig
+    #: the resolved selection, Table-I ordered
+    metrics: tuple[str, ...]
+    steps: tuple[PlanStep, ...]
+    #: default backend name; ``execute`` may override per call
+    backend: str
+    #: requested metrics no step computes (compression bookkeeping that
+    #: the compressor driver fills in, or auxiliary metrics disabled by
+    #: ``auxiliary=False``)
+    unplanned: tuple[str, ...] = ()
+
+    # -- execution ---------------------------------------------------------
+
+    @property
+    def patterns(self) -> tuple[int, ...]:
+        """Numeric pattern ids this plan launches, sorted."""
+        return tuple(
+            sorted(s.pattern_id for s in self.steps if s.pattern_id is not None)
+        )
+
+    def execute(
+        self,
+        orig: np.ndarray,
+        dec: np.ndarray,
+        backend: str | Backend | None = None,
+    ) -> AssessmentReport:
+        """Run the plan on one data pair and return the filled report."""
+        orig = np.asarray(orig)
+        dec = np.asarray(dec)
+        if orig.shape != dec.shape:
+            raise ShapeError(
+                f"original {orig.shape} and decompressed {dec.shape} differ"
+            )
+        if orig.ndim != 3:
+            raise ShapeError(f"cuZ-Checker assesses 3-D fields, got {orig.shape}")
+
+        be = get_backend(backend if backend is not None else self.backend)
+        report = AssessmentReport(shape=orig.shape, config=self.config)
+        ctx = be.begin(self, orig, dec)
+        for step in self.steps:
+            be.run_step(step, ctx, report)
+        return report
+
+    # -- introspection -----------------------------------------------------
+
+    def kernel_plans(
+        self,
+        shape: tuple[int, int, int],
+        backend: str | Backend | None = None,
+    ) -> list[KernelStats]:
+        """Modelled kernel launches for a dataset shape, in step order."""
+        be = get_backend(backend if backend is not None else self.backend)
+        out: list[KernelStats] = []
+        for step in self.steps:
+            out.extend(be.kernel_plans(step, shape, self.config))
+        return out
+
+    def explain(self, shape: tuple[int, int, int] | None = None) -> str:
+        """Human-readable schedule; with ``shape``, adds modelled cost."""
+        lines = [
+            f"execution plan: {len(self.metrics)} metric(s) -> "
+            f"{len(self.steps)} step(s), backend={self.backend}",
+            f"  device: {self.config.device}; patterns enabled: "
+            + (", ".join(str(p) for p in self.config.patterns) or "none"),
+        ]
+        for i, step in enumerate(self.steps, 1):
+            lines.append(f"  step {i}: {_STEP_LABELS[step.kind]}")
+            lines.append("    metrics:  " + ", ".join(step.metrics))
+            if step.consumes:
+                lines.append("    consumes: " + ", ".join(step.consumes))
+            if step.produces:
+                lines.append("    produces: " + ", ".join(step.produces))
+        if self.unplanned:
+            lines.append(
+                "  not planned (external or disabled): "
+                + ", ".join(self.unplanned)
+            )
+        if shape is not None:
+            from repro.core.frameworks import device_by_name
+            from repro.gpusim.costmodel import kernel_time
+
+            device = device_by_name(self.config.device)
+            plans = self.kernel_plans(shape)
+            lines.append(
+                f"  modelled kernels for shape {tuple(shape)} on {device.name}:"
+            )
+            total = 0.0
+            for stats in plans:
+                seconds = kernel_time(stats, device).total
+                total += seconds
+                lines.append(
+                    f"    {stats.name:<28s} grid={stats.grid_blocks:<6d} "
+                    f"t={seconds * 1e3:.3f} ms"
+                )
+            if not plans:
+                lines.append("    (no kernel launches)")
+            lines.append(f"    total modelled kernel time: {total * 1e3:.3f} ms")
+        return "\n".join(lines)
+
+
+def resolve_backend_name(
+    config: CheckerConfig, backend: str | Backend | None = None
+) -> str:
+    """Apply the backend precedence rule: argument > config > ``fused``."""
+    if isinstance(backend, Backend):
+        return backend.name
+    if backend:
+        return backend
+    if config.backend:
+        return config.backend
+    return "fused-host" if config.fused else "metric-oriented"
+
+
+def build_plan(
+    config: CheckerConfig | None = None,
+    backend: str | Backend | None = None,
+) -> ExecutionPlan:
+    """Turn a configuration into an :class:`ExecutionPlan`.
+
+    Validates the configuration exactly once; callers that reuse the
+    returned plan (batch, parallel, streaming) never re-validate.
+    """
+    if config is None:
+        from repro.config.defaults import default_config
+
+        config = default_config()
+    config.validate()
+
+    metrics = resolve_metrics(config.metrics)
+    enabled = set(config.patterns)
+
+    by_pattern: dict[int, list[str]] = {1: [], 2: [], 3: []}
+    aux: list[str] = []
+    unplanned: list[str] = []
+    for name in metrics:
+        pid = _PATTERN_IDS.get(METRIC_REGISTRY[name].pattern)
+        if pid is None:
+            if name in _CHECKER_AUX and config.auxiliary:
+                aux.append(name)
+            else:
+                unplanned.append(name)
+        elif pid in enabled:
+            by_pattern[pid].append(name)
+        else:
+            unplanned.append(name)
+
+    steps: list[PlanStep] = []
+    if by_pattern[1]:
+        steps.append(
+            PlanStep(
+                kind="pattern1",
+                metrics=tuple(by_pattern[1]),
+                consumes=("err", "sq_err", "pwr_vals"),
+                produces=("err_moments", "value_range"),
+            )
+        )
+    if by_pattern[2]:
+        # the autocorrelation normalisation reuses the pattern-1 error
+        # moments when that step runs; standalone it recomputes them
+        consumes = ("err",)
+        if by_pattern[1]:
+            consumes += ("err_moments",)
+        steps.append(
+            PlanStep(kind="pattern2", metrics=tuple(by_pattern[2]),
+                     consumes=consumes)
+        )
+    if by_pattern[3]:
+        steps.append(
+            PlanStep(kind="pattern3", metrics=tuple(by_pattern[3]),
+                     consumes=("o64", "d64"))
+        )
+    if aux:
+        steps.append(
+            PlanStep(kind="auxiliary", metrics=tuple(aux),
+                     consumes=("o64", "d64", "moments"))
+        )
+
+    return ExecutionPlan(
+        config=config,
+        metrics=metrics,
+        steps=tuple(steps),
+        backend=resolve_backend_name(config, backend),
+        unplanned=canonical_metric_order(unplanned),
+    )

@@ -8,6 +8,8 @@ core.
 
 from __future__ import annotations
 
+import difflib
+
 __all__ = [
     "ReproError",
     "ConfigError",
@@ -70,8 +72,36 @@ class CheckerError(ReproError):
     """Raised for errors in the assessment coordinator."""
 
 
-class UnknownMetricError(CheckerError):
-    """Raised when a requested metric name is not registered."""
+class UnknownMetricError(CheckerError, ConfigError):
+    """Raised when a requested metric name is not registered.
+
+    Derives from both :class:`CheckerError` and :class:`ConfigError`: an
+    unknown metric can surface from a checker call or from configuration
+    parsing, and callers historically catch either base.
+
+    When constructed with the registry's known names, the message carries
+    the sorted list of valid metrics and — when the unknown name looks
+    like a typo — a "did you mean" suggestion.
+    """
+
+    def __init__(self, name: str, known=None):
+        self.metric: str | None = None
+        self.suggestion: str | None = None
+        if known is None:
+            # free-text compatibility form: the argument is the message
+            super().__init__(str(name))
+            return
+        self.metric = str(name)
+        valid = sorted(known)
+        message = (
+            f"metric {name!r} is not registered; valid metrics: "
+            f"{', '.join(valid)}"
+        )
+        close = difflib.get_close_matches(str(name), valid, n=1)
+        if close:
+            self.suggestion = close[0]
+            message += f" — did you mean {close[0]!r}?"
+        super().__init__(message)
 
 
 class MetricDependencyError(CheckerError):

@@ -11,7 +11,7 @@ passes or need no array processing at all.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import UnknownMetricError
 
@@ -23,6 +23,9 @@ __all__ = [
     "metrics_by_pattern",
     "pattern_of",
     "table1",
+    "table1_row",
+    "canonical_metric_order",
+    "resolve_metrics",
     "PATTERN1_METRICS",
     "PATTERN2_METRICS",
     "PATTERN3_METRICS",
@@ -64,6 +67,11 @@ class MetricSpec:
 
 METRIC_REGISTRY: dict[str, MetricSpec] = {}
 
+#: Table I row of each metric, assigned in registration order.  Report
+#: ordering sorts by this explicitly rather than trusting dict insertion
+#: order, so metric listings stay stable however the registry is mutated.
+_TABLE1_ROWS: dict[str, int] = {}
+
 
 def register_metric(spec: MetricSpec) -> MetricSpec:
     """Add a metric to the global registry (idempotent on equal specs)."""
@@ -71,6 +79,7 @@ def register_metric(spec: MetricSpec) -> MetricSpec:
     if existing is not None and existing != spec:
         raise ValueError(f"conflicting registration for metric {spec.name!r}")
     METRIC_REGISTRY[spec.name] = spec
+    _TABLE1_ROWS.setdefault(spec.name, len(_TABLE1_ROWS))
     return spec
 
 
@@ -153,9 +162,47 @@ PATTERN3_METRICS: tuple[str, ...] = tuple(
 )
 
 
+def table1_row(name: str) -> int:
+    """Table I row index of a registered metric (0-based)."""
+    try:
+        return _TABLE1_ROWS[name]
+    except KeyError:
+        raise UnknownMetricError(name, known=METRIC_REGISTRY) from None
+
+
+def canonical_metric_order(names) -> tuple[str, ...]:
+    """Sort metric names by Table I row (unknown names last, by name).
+
+    The single ordering rule every report and plan uses, so metric
+    listings diff stably across runs and registry mutations.
+    """
+    big = len(_TABLE1_ROWS)
+    return tuple(
+        sorted(names, key=lambda n: (_TABLE1_ROWS.get(n, big), n))
+    )
+
+
+def resolve_metrics(selection) -> tuple[str, ...]:
+    """Expand ``"all"``/a name list into a validated, Table-I-ordered tuple.
+
+    Raises :class:`UnknownMetricError` — complete with the valid-name list
+    and a closest-match suggestion — for any unregistered name.
+    """
+    if isinstance(selection, str):
+        if selection != "all":
+            raise UnknownMetricError(selection, known=METRIC_REGISTRY)
+        return canonical_metric_order(METRIC_REGISTRY)
+    for name in selection:
+        if name not in METRIC_REGISTRY:
+            raise UnknownMetricError(name, known=METRIC_REGISTRY)
+    return canonical_metric_order(dict.fromkeys(selection))
+
+
 def metrics_by_pattern(pattern: Pattern) -> tuple[str, ...]:
-    """All registered metric names with the given pattern."""
-    return tuple(n for n, s in METRIC_REGISTRY.items() if s.pattern is pattern)
+    """All registered metric names with the given pattern, in Table I order."""
+    return canonical_metric_order(
+        n for n, s in METRIC_REGISTRY.items() if s.pattern is pattern
+    )
 
 
 def pattern_of(name: str) -> Pattern:
@@ -163,10 +210,7 @@ def pattern_of(name: str) -> Pattern:
     try:
         return METRIC_REGISTRY[name].pattern
     except KeyError:
-        raise UnknownMetricError(
-            f"metric {name!r} is not registered; known metrics: "
-            f"{sorted(METRIC_REGISTRY)}"
-        ) from None
+        raise UnknownMetricError(name, known=METRIC_REGISTRY) from None
 
 
 def table1() -> dict[str, tuple[str, ...]]:

@@ -2,16 +2,19 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from dataclasses import replace
+
 from repro.config.defaults import default_config
 from repro.config.schema import CheckerConfig
 from repro.core.frameworks import CuZC
+from repro.core.workspace import finalize_rate_distortion
+from repro.engine.plan import build_plan
 from repro.errors import ShapeError
-from repro.kernels.pattern1 import Pattern1Result, execute_pattern1
+from repro.kernels.pattern1 import Pattern1Result
 from repro.multigpu.comm import NvLinkSpec, NVLINK_V100, allreduce_time, halo_exchange_time
 from repro.multigpu.partition import partition_z
 
@@ -51,6 +54,14 @@ class MultiGpuCuZC:
         self.config = config or default_config()
         self.link = link
         self._cuzc = CuZC()
+        # per-rank plan: pattern 1 only, standalone execution so a rank's
+        # reductions are bit-identical to a bare single-device pattern-1
+        # run whatever the global backend choice is (the merge is tested
+        # against that at rel=1e-12)
+        self._rank_plan = build_plan(
+            replace(self.config, metrics="all", patterns=(1,), auxiliary=False),
+            backend="metric-oriented",
+        )
 
     def _halo(self) -> int:
         """One-sided z-halo required by the configured metrics."""
@@ -107,8 +118,8 @@ class MultiGpuCuZC:
         results = []
         for part in parts:
             sl = slice(part.z0, part.z1)
-            r, _ = execute_pattern1(orig[sl], dec[sl], self.config.pattern1)
-            results.append(r)
+            rank_report = self._rank_plan.execute(orig[sl], dec[sl])
+            results.append(rank_report.pattern1)
         return merge_pattern1(results)
 
 
@@ -138,24 +149,10 @@ def merge_pattern1(results: list[Pattern1Result]) -> Pattern1Result:
     max_r = max((r.max_pwr_err for r in with_pwr), default=0.0)
 
     mse = sum_sq / n
-    rmse = math.sqrt(mse)
     value_range = max_o - min_o
     mean_o = sum_o / n
     var_o = max(sum_sq_o / n - mean_o * mean_o, 0.0)
-    if value_range == 0.0:
-        nrmse = math.nan if mse > 0 else 0.0
-        psnr = math.nan
-    elif mse == 0.0:
-        nrmse, psnr = 0.0, math.inf
-    else:
-        nrmse = rmse / value_range
-        psnr = 20.0 * math.log10(value_range) - 10.0 * math.log10(mse)
-    if mse == 0.0:
-        snr = math.inf
-    elif var_o == 0.0:
-        snr = -math.inf
-    else:
-        snr = 10.0 * math.log10(var_o / mse)
+    rd = finalize_rate_distortion(n, mse, value_range, var_o)
 
     return Pattern1Result(
         n=n,
@@ -165,11 +162,11 @@ def merge_pattern1(results: list[Pattern1Result]) -> Pattern1Result:
         avg_abs_err=sum_abs / n,
         max_abs_err=max(abs(min_e), abs(max_e)),
         mse=mse,
-        rmse=rmse,
+        rmse=rd.rmse,
         value_range=value_range,
-        nrmse=nrmse,
-        snr=snr,
-        psnr=psnr,
+        nrmse=rd.nrmse,
+        snr=rd.snr,
+        psnr=rd.psnr,
         min_pwr_err=min_r,
         max_pwr_err=max_r,
         avg_pwr_err=sum_r / cnt_r if cnt_r else 0.0,

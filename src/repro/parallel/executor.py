@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.config.schema import CheckerConfig
 from repro.core.batch import BatchAssessment
+from repro.core.checker import CuZChecker
 from repro.core.compare import assess_compressor, compare_data
 from repro.datasets.fields import Dataset
 from repro.errors import CheckerError
@@ -92,11 +93,15 @@ def parallel_assess_dataset(
         raise CheckerError(f"dataset {dataset.name!r} has no fields")
     workers = workers or auto_workers(len(dataset))
     batch = BatchAssessment(dataset_name=dataset.name)
+    # one shared checker: the execution plan is built (and the config
+    # validated) once, then every worker thread executes it — plans are
+    # immutable and each execution gets its own backend context
+    checker = CuZChecker(config=config, with_baselines=with_baselines)
     tasks = [
         (
             f.name,
             lambda data=f.data: assess_compressor(
-                data, compressor, config=config, with_baselines=with_baselines
+                data, compressor, checker=checker
             ),
         )
         for f in dataset
@@ -123,13 +128,9 @@ def parallel_compare_pairs(
         raise CheckerError("no pairs to assess")
     workers = workers or auto_workers(len(pairs))
     batch = BatchAssessment(dataset_name=dataset_name)
+    checker = CuZChecker(config=config, with_baselines=with_baselines)
     tasks = [
-        (
-            name,
-            lambda o=o, d=d: compare_data(
-                o, d, config=config, with_baselines=with_baselines
-            ),
-        )
+        (name, lambda o=o, d=d: compare_data(o, d, checker=checker))
         for name, o, d in pairs
     ]
     return _run_isolated(tasks, workers, on_error, batch)

@@ -1,0 +1,138 @@
+"""Every assessment entry point routes through the execution planner."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config.schema import CheckerConfig
+from repro.core.checker import CuZChecker
+from repro.core.compare import compare_data
+from repro.core.streaming import StreamingChecker
+from repro.engine import GpuSimBackend, build_plan
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+from repro.multigpu.checker import MultiGpuCuZC
+
+
+def small_config(**kw):
+    return CheckerConfig(
+        pattern2=Pattern2Config(max_lag=kw.pop("max_lag", 3)),
+        pattern3=Pattern3Config(window=kw.pop("window", 6)),
+        **kw,
+    )
+
+
+class TestCheckerRouting:
+    def test_checker_exposes_its_plan(self):
+        checker = CuZChecker(small_config(metrics=("psnr", "ssim")))
+        assert checker.plan.patterns == (1, 3)
+        assert checker.needed_patterns() == (1, 3)
+        assert "pattern 1" in checker.explain()
+
+    def test_metric_subset_skips_kernel_launches(self, noisy_pair):
+        be = GpuSimBackend()
+        checker = CuZChecker(small_config(metrics=("psnr",)))
+        report = checker.assess(*noisy_pair, backend=be)
+        assert be.launched_patterns == (1,)
+        assert report.pattern2 is None and report.pattern3 is None
+        assert "psnr" in report.scalars()
+
+    def test_config_backend_respected(self, noisy_pair):
+        report = compare_data(
+            *noisy_pair,
+            config=small_config(backend="metric-oriented"),
+            with_baselines=False,
+        )
+        baseline = compare_data(
+            *noisy_pair, config=small_config(), with_baselines=False
+        )
+        assert report.scalars()["psnr"] == pytest.approx(
+            baseline.scalars()["psnr"], rel=1e-12
+        )
+
+    def test_shared_checker_reused(self, noisy_pair):
+        checker = CuZChecker(small_config(), with_baselines=False)
+        r = compare_data(*noisy_pair, checker=checker)
+        assert r.scalars() == checker.assess(*noisy_pair).scalars()
+
+
+class TestStreamingFromConfig:
+    def test_metric_selection_disables_streams(self):
+        sc = StreamingChecker.from_config(
+            (24, 28), config=small_config(metrics=("psnr",))
+        )
+        assert sc.max_lag == 0
+        assert sc.ssim_config is None
+
+    def test_full_config_matches_batch(self, noisy_pair):
+        orig, dec = noisy_pair
+        cfg = CheckerConfig(
+            pattern2=Pattern2Config(max_lag=3),
+            pattern3=Pattern3Config(window=6, dynamic_range=4.0),
+        )
+        sc = StreamingChecker.from_config(orig.shape[1:], config=cfg)
+        for z in range(0, orig.shape[0], 5):
+            sc.update(orig[z:z + 5], dec[z:z + 5])
+        result = sc.finalize()
+        batch = build_plan(cfg).execute(orig, dec)
+        assert result.scalars()["psnr"] == pytest.approx(
+            batch.scalars()["psnr"], rel=1e-12
+        )
+        np.testing.assert_allclose(
+            result.autocorrelation,
+            batch.pattern2.autocorrelation,
+            rtol=1e-9,
+        )
+
+
+class TestMultiGpuRouting:
+    def test_rank_plan_merge_matches_single_device(self, noisy_pair):
+        orig, dec = noisy_pair
+        merged = MultiGpuCuZC(3, config=small_config()).assess_pattern1(orig, dec)
+        single = build_plan(small_config()).execute(
+            orig, dec, backend="metric-oriented"
+        ).pattern1
+        assert merged.psnr == pytest.approx(single.psnr, rel=1e-12)
+        assert merged.mse == pytest.approx(single.mse, rel=1e-12)
+
+
+class TestExplainCli:
+    def test_explain_default(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern 1 (global reduction)" in out
+        assert "backend=fused-host" in out
+
+    def test_explain_subset_with_shape_and_backend(self, capsys):
+        rc = main([
+            "explain", "--metrics", "psnr,ssim",
+            "--backend", "gpusim", "--shape", "20,24,28",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend=gpusim" in out
+        assert "pattern 2" not in out
+        assert "modelled kernels" in out
+
+    def test_explain_typo_suggestion(self, capsys):
+        from repro.errors import UnknownMetricError
+
+        with pytest.raises(UnknownMetricError, match="did you mean 'psnr'"):
+            main(["explain", "--metrics", "psn"])
+
+    def test_analyze_metric_subset(self, tmp_path, noisy_pair, capsys):
+        from repro.io.raw import write_raw
+
+        orig, dec = noisy_pair
+        a, b = tmp_path / "o.f32", tmp_path / "d.f32"
+        write_raw(a, orig)
+        write_raw(b, dec)
+        shape = ",".join(map(str, orig.shape))
+        rc = main([
+            "analyze", str(a), str(b), "--shape", shape,
+            "--metrics", "psnr,nrmse",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "psnr" in out
+        assert "ssim" not in out
