@@ -38,7 +38,10 @@ def sweep_error_bounds(
     from repro.compressors.sz import SZCompressor
 
     if compressor_factory is None:
-        compressor_factory = lambda rb: SZCompressor(rel_bound=rb)  # noqa: E731
+
+        def compressor_factory(rb):
+            return SZCompressor(rel_bound=rb)
+
     data = np.asarray(data)
     points = []
     for bound in bounds:

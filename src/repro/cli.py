@@ -10,7 +10,8 @@ Subcommands
 ``explain``      print the execution plan for a metric selection
 ``generate``     synthesise a dataset bundle on disk
 ``table1``       print the pattern classification (paper Table I)
-``profile``      print the runtime profile (paper Table II)
+``table2``       print the runtime profile (paper Table II)
+``profile``      run an assessment under the telemetry tracer and export profiles
 ``speedups``     print modelled speedups (paper Figs. 10/12)
 ``throughput``   print modelled throughputs (paper Fig. 11)
 ``trace``        export a chrome://tracing timeline of a kernel plan
@@ -75,8 +76,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table1", help="print the metric pattern classification")
 
-    p = sub.add_parser("profile", help="print the Table II runtime profile")
+    p = sub.add_parser("table2", help="print the Table II runtime profile")
     p.add_argument("--paper-shapes", action="store_true", default=True)
+
+    p = sub.add_parser(
+        "profile",
+        help="run an assessment under the telemetry tracer and export "
+        "a chrome trace, a CSV, and per-kernel/per-metric summaries",
+    )
+    p.add_argument("original", nargs="?", default=None,
+                   help="raw float32 original (omit to profile a synthetic field)")
+    p.add_argument("decompressed", nargs="?", default=None,
+                   help="raw float32 decompressed (needs --shape)")
+    p.add_argument("--shape", help="z,y,x extents of the raw pair")
+    p.add_argument("--dataset", default="hurricane",
+                   help="synthetic dataset when no file pair is given")
+    p.add_argument("--field", default=None, help="field name (default: first)")
+    p.add_argument("--scale", type=float, default=0.05, help="shape scale factor")
+    p.add_argument("--codec", default="sz",
+                   help="codec for the synthetic path: sz|zfp|uniform_quant|decimate")
+    p.add_argument("--rel-bound", type=float, default=1e-3)
+    p.add_argument("--rate", type=float, default=8.0, help="zfp bits/value")
+    p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
+    p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="profile this many assessment runs in one trace")
+    p.add_argument("--out-dir", default="profile_out",
+                   help="directory for trace.json and spans.csv")
 
     p = sub.add_parser("speedups", help="print modelled speedups (Figs. 10/12)")
     p.add_argument("--pattern", type=int, choices=(1, 2, 3), default=None,
@@ -237,13 +263,70 @@ def _cmd_table1(args) -> int:
     return 0
 
 
-def _cmd_profile(args) -> int:
+def _cmd_table2(args) -> int:
     from repro.core.profiles import runtime_profile
     from repro.datasets.registry import PAPER_SHAPES
     from repro.viz.ascii import ascii_table
 
     rows = [r.formatted() for r in runtime_profile(PAPER_SHAPES)]
     print(ascii_table(rows, title="Runtime profile (paper Table II)"))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from pathlib import Path
+
+    from repro.telemetry import Tracer, summary_tables, write_chrome_trace, write_csv
+
+    tracer = Tracer()
+    if args.original is not None:
+        if args.decompressed is None or not args.shape:
+            raise SystemExit(
+                "profile needs either no positionals (synthetic field) or "
+                "an original+decompressed raw pair with --shape"
+            )
+        from repro.core.compare import compare_data
+        from repro.io.raw import read_raw
+
+        shape = _parse_shape(args.shape)
+        orig = read_raw(args.original, shape)
+        dec = read_raw(args.decompressed, shape)
+        config = _apply_overrides(None, args.metrics, args.backend)
+        source = f"{args.original} vs {args.decompressed} {shape}"
+        for _ in range(max(1, args.repeat)):
+            compare_data(orig, dec, config=config, with_baselines=False,
+                         tracer=tracer)
+    else:
+        from repro.compressors.registry import get_compressor
+        from repro.core.compare import assess_compressor
+        from repro.datasets.registry import dataset_info, generate_field, scaled_shape
+
+        info = dataset_info(args.dataset)
+        field_name = args.field or info.field_names[0]
+        shape = scaled_shape(args.dataset, args.scale)
+        field = generate_field(args.dataset, field_name, shape=shape)
+        if args.codec == "zfp":
+            codec = get_compressor("zfp", rate=args.rate)
+        elif args.codec == "decimate":
+            codec = get_compressor("decimate")
+        else:
+            codec = get_compressor(args.codec, rel_bound=args.rel_bound)
+        config = _apply_overrides(None, args.metrics, args.backend)
+        source = f"{args.codec} on {args.dataset}/{field_name} {shape}"
+        for _ in range(max(1, args.repeat)):
+            assess_compressor(field.data, codec, config=config, tracer=tracer)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = write_chrome_trace(
+        tracer.spans, out_dir / "trace.json", process_name=f"cuzchecker profile: {source}"
+    )
+    csv_path = write_csv(tracer.spans, out_dir / "spans.csv")
+    print(f"profiled {source}")
+    print(summary_tables(tracer.spans))
+    print(f"\nchrome trace -> {trace_path} (open in chrome://tracing or "
+          "https://ui.perfetto.dev)")
+    print(f"span CSV     -> {csv_path}")
     return 0
 
 
@@ -409,6 +492,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "generate": _cmd_generate,
     "table1": _cmd_table1,
+    "table2": _cmd_table2,
     "profile": _cmd_profile,
     "speedups": _cmd_speedups,
     "throughput": _cmd_throughput,

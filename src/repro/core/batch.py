@@ -21,6 +21,7 @@ from repro.core.compare import assess_compressor
 from repro.core.report import AssessmentReport
 from repro.datasets.fields import Dataset
 from repro.errors import CheckerError
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["FieldSummary", "BatchAssessment", "assess_dataset"]
 
@@ -124,29 +125,35 @@ def assess_dataset(
     config: CheckerConfig | None = None,
     with_baselines: bool = False,
     on_error: str = "raise",
+    tracer: Tracer | None = None,
 ) -> BatchAssessment:
     """Compress + assess every field of an application dataset.
 
     ``on_error="record"`` isolates per-field failures: the exception is
     stored in :attr:`BatchAssessment.errors` under the field name and the
     remaining fields still run.  The parallel counterpart is
-    :func:`repro.parallel.parallel_assess_dataset`.
+    :func:`repro.parallel.parallel_assess_dataset`.  With a ``tracer``,
+    the batch records one ``field`` span per field with the full
+    plan → step → kernel hierarchy nested underneath.
     """
     if on_error not in ("raise", "record"):
         raise CheckerError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     if len(dataset) == 0:
         raise CheckerError(f"dataset {dataset.name!r} has no fields")
+    tracer = tracer if tracer is not None else NULL_TRACER
     # one checker (and therefore one ExecutionPlan + one config.validate())
     # serves every field of the application
-    checker = CuZChecker(config=config, with_baselines=with_baselines)
+    checker = CuZChecker(config=config, with_baselines=with_baselines, tracer=tracer)
     batch = BatchAssessment(dataset_name=dataset.name)
-    for f in dataset:
-        try:
-            batch.reports[f.name] = assess_compressor(
-                f.data, compressor, checker=checker
-            )
-        except Exception as exc:  # noqa: BLE001 — isolation is the point
-            if on_error == "raise":
-                raise
-            batch.errors[f.name] = f"{type(exc).__name__}: {exc}"
+    with tracer.span(f"batch:{dataset.name}", category="batch", fields=len(dataset)):
+        for f in dataset:
+            try:
+                with tracer.span(f.name, category="field", bytes=f.data.nbytes):
+                    batch.reports[f.name] = assess_compressor(
+                        f.data, compressor, checker=checker
+                    )
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                if on_error == "raise":
+                    raise
+                batch.errors[f.name] = f"{type(exc).__name__}: {exc}"
     return batch

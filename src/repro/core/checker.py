@@ -19,6 +19,7 @@ from repro.config.defaults import default_config
 from repro.config.schema import CheckerConfig
 from repro.core.frameworks import CuZC, FrameworkTiming, MoZC, OmpZC
 from repro.core.report import AssessmentReport
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.engine.backends import Backend
@@ -41,6 +42,9 @@ class CuZChecker:
     backend:
         Execution backend override (name or instance); defaults to the
         plan's resolution of ``config.backend`` / ``config.fused``.
+    tracer:
+        Telemetry tracer every assessment records its span hierarchy
+        into; defaults to the disabled no-op tracer.
     """
 
     def __init__(
@@ -48,6 +52,7 @@ class CuZChecker:
         config: CheckerConfig | None = None,
         with_baselines: bool = False,
         backend: str | Backend | None = None,
+        tracer: Tracer | None = None,
     ):
         from repro.engine.plan import build_plan
 
@@ -56,6 +61,7 @@ class CuZChecker:
         # parallel drivers reuse this checker instead of re-validating
         self.plan: ExecutionPlan = build_plan(self.config, backend=backend)
         self.with_baselines = with_baselines
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._cuzc = CuZC()
         self._mozc = MoZC()
         self._ompzc = OmpZC()
@@ -71,9 +77,13 @@ class CuZChecker:
         orig: np.ndarray,
         dec: np.ndarray,
         backend: str | Backend | None = None,
+        tracer: Tracer | None = None,
     ) -> AssessmentReport:
         """Run the configured assessment on one data pair."""
-        report = self.plan.execute(orig, dec, backend=backend)
+        report = self.plan.execute(
+            orig, dec, backend=backend,
+            tracer=tracer if tracer is not None else self.tracer,
+        )
         report.timings["cuZC"] = self.estimate(report.shape)
         if self.with_baselines:
             report.timings["moZC"] = self._mozc.estimate(report.shape, self.config)

@@ -9,6 +9,7 @@ import numpy as np
 from repro.config.schema import CheckerConfig
 from repro.core.checker import CuZChecker
 from repro.core.report import AssessmentReport
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["compare_data", "compare_data_2d", "assess_compressor"]
 
@@ -20,6 +21,7 @@ def compare_data(
     with_baselines: bool = True,
     backend: str | None = None,
     checker: CuZChecker | None = None,
+    tracer: Tracer | None = None,
 ) -> AssessmentReport:
     """Assess an original/decompressed pair with every configured metric.
 
@@ -36,7 +38,7 @@ def compare_data(
         checker = CuZChecker(
             config=config, with_baselines=with_baselines, backend=backend
         )
-    return checker.assess(orig, dec)
+    return checker.assess(orig, dec, tracer=tracer)
 
 
 def compare_data_2d(
@@ -106,6 +108,7 @@ def assess_compressor(
     with_baselines: bool = False,
     backend: str | None = None,
     checker: CuZChecker | None = None,
+    tracer: Tracer | None = None,
 ) -> AssessmentReport:
     """Compress, decompress, and assess in one call.
 
@@ -115,10 +118,15 @@ def assess_compressor(
     decompression throughputs of this Python implementation.
     """
     orig = np.asarray(orig)
+    tr = tracer if tracer is not None else (
+        checker.tracer if checker is not None else NULL_TRACER
+    )
     t0 = time.perf_counter()
-    compressed = compressor.compress(orig)
+    with tr.span("compress", category="codec", bytes=orig.nbytes):
+        compressed = compressor.compress(orig)
     t1 = time.perf_counter()
-    dec = compressor.decompress(compressed)
+    with tr.span("decompress", category="codec", bytes=compressed.nbytes):
+        dec = compressor.decompress(compressed)
     t2 = time.perf_counter()
 
     report = compare_data(
@@ -128,6 +136,7 @@ def assess_compressor(
         with_baselines=with_baselines,
         backend=backend,
         checker=checker,
+        tracer=tracer,
     )
     nbytes = orig.size * orig.dtype.itemsize
     report.auxiliary.update(

@@ -33,6 +33,7 @@ from repro.gpusim.memory import SmemFifo
 from repro.kernels.pattern1 import Pattern1Result
 from repro.kernels.pattern3 import Pattern3Config, N_WINDOW_ACCUMS, _box_sums2d
 from repro.metrics.ssim import window_positions
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["StreamingChecker", "StreamingResult"]
 
@@ -75,6 +76,7 @@ class StreamingChecker:
         max_lag: int = 10,
         ssim: Pattern3Config | None = None,
         pwr_floor: float = 0.0,
+        tracer: Tracer | None = None,
     ):
         if len(plane_shape) != 2 or min(plane_shape) < 1:
             raise ShapeError(f"plane_shape must be (ny, nx), got {plane_shape}")
@@ -93,6 +95,8 @@ class StreamingChecker:
         self.max_lag = max_lag
         self.ssim_config = ssim
         self.pwr_floor = pwr_floor
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._chunk_index = 0
 
         # -- pattern-1 accumulators ---------------------------------------
         self._n = 0
@@ -138,6 +142,7 @@ class StreamingChecker:
         cls,
         plane_shape: tuple[int, int],
         config=None,
+        tracer: Tracer | None = None,
     ) -> "StreamingChecker":
         """Build a streaming checker from a :class:`CheckerConfig`.
 
@@ -156,6 +161,7 @@ class StreamingChecker:
             max_lag=config.pattern2.max_lag if 2 in patterns else 0,
             ssim=config.pattern3 if 3 in patterns else None,
             pwr_floor=config.pattern1.pwr_floor,
+            tracer=tracer,
         )
 
     # -- feeding -------------------------------------------------------------
@@ -175,10 +181,16 @@ class StreamingChecker:
                 f"chunks must be (cz, {self.ny}, {self.nx}), got "
                 f"{orig_chunk.shape}"
             )
-        for o_slice, d_slice in zip(orig_chunk, dec_chunk):
-            self._ingest_slice(
-                o_slice.astype(np.float64), d_slice.astype(np.float64)
-            )
+        with self.tracer.span(
+            f"chunk{self._chunk_index}", category="step",
+            bytes=orig_chunk.nbytes + dec_chunk.nbytes,
+            z0=self._z, cz=orig_chunk.shape[0],
+        ):
+            for o_slice, d_slice in zip(orig_chunk, dec_chunk):
+                self._ingest_slice(
+                    o_slice.astype(np.float64), d_slice.astype(np.float64)
+                )
+        self._chunk_index += 1
 
     def _ingest_slice(self, o: np.ndarray, d: np.ndarray) -> None:
         e = d - o
@@ -272,6 +284,12 @@ class StreamingChecker:
         if self._n == 0:
             raise CheckerError("no data was streamed")
         self._finalized = True
+        with self.tracer.span(
+            "finalize", category="step", slices=self._z, elements=self._n
+        ):
+            return self._finalize_result()
+
+    def _finalize_result(self) -> StreamingResult:
         n = self._n
         mse = self._sum_sq_e / n
         value_range = self._max_o - self._min_o

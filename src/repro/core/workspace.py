@@ -191,7 +191,10 @@ class MetricWorkspace:
 
         def build():
             nz = self.shape[0] if len(self.shape) == 3 else 1
-            flat = lambda a: a.reshape(nz, -1)  # noqa: E731
+
+            def flat(a):
+                return a.reshape(nz, -1)
+
             return {
                 "sum_e": flat(self.err).sum(axis=1),
                 "sum_abs_e": flat(self.abs_err).sum(axis=1),

@@ -50,6 +50,7 @@ from repro.kernels.pattern3 import Pattern3Result, execute_pattern3, plan_patter
 from repro.metrics.correlation import pearson
 from repro.metrics.properties import data_properties
 from repro.metrics.spectral import spectral_comparison
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = [
     "RunContext",
@@ -69,7 +70,8 @@ class RunContext:
 
     Carries the cross-step intermediates of the dependency DAG: the
     workspace (fused backends) and the pattern-1 error moments the
-    pattern-2 autocorrelation normalisation consumes.
+    pattern-2 autocorrelation normalisation consumes — plus the run's
+    tracer (:data:`~repro.telemetry.tracer.NULL_TRACER` by default).
     """
 
     plan: "object"
@@ -78,6 +80,7 @@ class RunContext:
     workspace: MetricWorkspace | None = None
     err_mean: float | None = None
     err_var: float | None = None
+    tracer: Tracer = NULL_TRACER
     extras: dict = field(default_factory=dict)
 
 
@@ -103,26 +106,50 @@ class Backend(abc.ABC):
     def run_step(self, step, ctx: RunContext, report) -> None:
         """Execute one plan step, filling ``report`` and updating ``ctx``."""
         if step.kind == "pattern1":
-            report.pattern1, stats = self._pattern1(ctx)
-            # publish the error moments for the pattern-2 normalisation
-            ctx.err_mean = report.pattern1.avg_err
-            ctx.err_var = max(
-                report.pattern1.mse - report.pattern1.avg_err**2, 0.0
-            )
-            self._on_launch([stats])
+            with ctx.tracer.span("pattern1", category="kernel", pattern=1) as sp:
+                report.pattern1, stats = self._pattern1(ctx)
+                # publish the error moments for the pattern-2 normalisation
+                ctx.err_mean = report.pattern1.avg_err
+                ctx.err_var = max(
+                    report.pattern1.mse - report.pattern1.avg_err**2, 0.0
+                )
+                self._on_launch([stats])
+                self._annotate(sp, stats)
         elif step.kind == "pattern2":
-            report.pattern2, stats = self._pattern2(ctx)
-            self._on_launch([stats])
+            with ctx.tracer.span("pattern2", category="kernel", pattern=2) as sp:
+                report.pattern2, stats = self._pattern2(ctx)
+                self._on_launch([stats])
+                self._annotate(sp, stats)
         elif step.kind == "pattern3":
-            report.pattern3, stats = self._pattern3(ctx)
-            self._on_launch([stats])
+            with ctx.tracer.span("pattern3", category="kernel", pattern=3) as sp:
+                report.pattern3, stats = self._pattern3(ctx)
+                self._on_launch([stats])
+                self._annotate(sp, stats)
         elif step.kind == "auxiliary":
-            report.auxiliary.update(self._auxiliary(ctx, step.metrics))
+            with ctx.tracer.span(
+                "host.auxiliary", category="kernel", pattern="aux",
+                bytes=ctx.orig.nbytes + ctx.dec.nbytes,
+            ):
+                report.auxiliary.update(self._auxiliary(ctx, step.metrics))
         else:  # pragma: no cover — plans only emit the four kinds
             raise CheckerError(f"unknown plan step kind {step.kind!r}")
 
     def _on_launch(self, stats_list: list[KernelStats]) -> None:
         """Hook invoked with the kernel stats of each pattern step."""
+
+    def _annotate(self, sp, stats: KernelStats) -> None:
+        """Fill a kernel span from the executed kernel's stats record.
+
+        Runs after :meth:`_on_launch` so backends that price launches
+        (gpusim) can layer their modelled numbers on top.
+        """
+        sp.name = stats.name
+        sp.bytes = stats.global_bytes
+        sp.attrs.update(
+            launches=stats.launches,
+            grid_blocks=stats.grid_blocks,
+            threads_per_block=stats.threads_per_block,
+        )
 
     # -- pattern hooks -----------------------------------------------------
 
@@ -278,6 +305,7 @@ class GpuSimBackend(FusedHostBackend):
     def __init__(self):
         self.launch_log: list[KernelStats] = []
         self.modelled_seconds: dict[str, float] = {}
+        self.cost_log: dict[str, object] = {}
 
     def _on_launch(self, stats_list):
         from repro.core.frameworks import device_by_name
@@ -291,8 +319,23 @@ class GpuSimBackend(FusedHostBackend):
                 smem_per_block=stats.smem_per_block,
                 regs_per_thread=stats.regs_per_thread,
             ).validate(device)
-            self.modelled_seconds[stats.name] = kernel_time(stats, device).total
+            cost = kernel_time(stats, device)
+            self.modelled_seconds[stats.name] = cost.total
+            self.cost_log[stats.name] = cost
+            self._device = device
             self.launch_log.append(stats)
+
+    def _annotate(self, sp, stats):
+        super()._annotate(sp, stats)
+        cost = self.cost_log.get(stats.name)
+        if cost is None:  # pragma: no cover — _on_launch always precedes
+            return
+        sp.attrs.update(
+            modelled_ms=cost.total * 1e3,
+            modelled_cycles=cost.total * self._device.core_clock_hz,
+            occupancy=cost.occupancy.occupancy,
+            bound=cost.bound,
+        )
 
     def begin(self, plan, orig, dec):
         self._config = plan.config

@@ -31,6 +31,7 @@ from repro.metrics.base import (
     canonical_metric_order,
     resolve_metrics,
 )
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["PlanStep", "ExecutionPlan", "build_plan", "resolve_backend_name"]
 
@@ -111,8 +112,14 @@ class ExecutionPlan:
         orig: np.ndarray,
         dec: np.ndarray,
         backend: str | Backend | None = None,
+        tracer: Tracer | None = None,
     ) -> AssessmentReport:
-        """Run the plan on one data pair and return the filled report."""
+        """Run the plan on one data pair and return the filled report.
+
+        With a ``tracer``, the run records the plan → step → kernel span
+        hierarchy (see :mod:`repro.telemetry`); without one, the hooks
+        cost a single attribute check per region.
+        """
         orig = np.asarray(orig)
         dec = np.asarray(dec)
         if orig.shape != dec.shape:
@@ -122,11 +129,27 @@ class ExecutionPlan:
         if orig.ndim != 3:
             raise ShapeError(f"cuZ-Checker assesses 3-D fields, got {orig.shape}")
 
+        tracer = tracer if tracer is not None else NULL_TRACER
         be = get_backend(backend if backend is not None else self.backend)
         report = AssessmentReport(shape=orig.shape, config=self.config)
-        ctx = be.begin(self, orig, dec)
-        for step in self.steps:
-            be.run_step(step, ctx, report)
+        with tracer.span(
+            "plan",
+            category="plan",
+            bytes=orig.nbytes + dec.nbytes,
+            backend=be.name,
+            shape=str(tuple(orig.shape)),
+            metrics=",".join(self.metrics),
+        ):
+            ctx = be.begin(self, orig, dec)
+            ctx.tracer = tracer
+            for step in self.steps:
+                with tracer.span(
+                    step.kind,
+                    category="step",
+                    pattern=step.pattern_id if step.pattern_id is not None else "aux",
+                    metrics=",".join(step.metrics),
+                ):
+                    be.run_step(step, ctx, report)
         return report
 
     # -- introspection -----------------------------------------------------

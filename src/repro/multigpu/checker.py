@@ -17,6 +17,7 @@ from repro.errors import ShapeError
 from repro.kernels.pattern1 import Pattern1Result
 from repro.multigpu.comm import NvLinkSpec, NVLINK_V100, allreduce_time, halo_exchange_time
 from repro.multigpu.partition import partition_z
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["MultiGpuTiming", "MultiGpuCuZC", "merge_pattern1"]
 
@@ -103,23 +104,44 @@ class MultiGpuCuZC:
         )
 
     def assess_pattern1(
-        self, orig: np.ndarray, dec: np.ndarray
+        self,
+        orig: np.ndarray,
+        dec: np.ndarray,
+        tracer: Tracer | None = None,
     ) -> Pattern1Result:
         """Functional decomposed pattern-1 run with exact merging.
 
         Each rank reduces its owned planes; the merged result equals a
         single-device run bit-for-bit up to FP summation order (tested).
+        With a ``tracer``, each rank records into its own sub-tracer and
+        the per-rank traces are merged back with stable ids — one export
+        track per rank, every rank's spans hanging off its ``rank<i>``
+        span.
         """
         orig = np.asarray(orig)
         dec = np.asarray(dec)
         if orig.shape != dec.shape or orig.ndim != 3:
             raise ShapeError("pattern-1 multi-GPU assessment needs matching 3-D fields")
+        tracer = tracer if tracer is not None else NULL_TRACER
         parts = partition_z(orig.shape[0], self.n_gpus, halo=0)
         results = []
-        for part in parts:
-            sl = slice(part.z0, part.z1)
-            rank_report = self._rank_plan.execute(orig[sl], dec[sl])
-            results.append(rank_report.pattern1)
+        with tracer.span(
+            "multigpu.pattern1", category="plan",
+            ranks=len(parts), bytes=orig.nbytes + dec.nbytes,
+        ):
+            for rank, part in enumerate(parts):
+                sl = slice(part.z0, part.z1)
+                sub = Tracer(enabled=tracer.enabled, clock=tracer._clock)
+                with tracer.span(
+                    f"rank{rank}", category="rank",
+                    rank=rank, z0=part.z0, z1=part.z1,
+                ) as rank_span:
+                    rank_report = self._rank_plan.execute(
+                        orig[sl], dec[sl], tracer=sub
+                    )
+                if tracer.enabled:
+                    tracer.merge(sub, parent=rank_span, track=rank + 1)
+                results.append(rank_report.pattern1)
         return merge_pattern1(results)
 
 

@@ -19,6 +19,7 @@ from repro.core.checker import CuZChecker
 from repro.core.compare import assess_compressor, compare_data
 from repro.datasets.fields import Dataset
 from repro.errors import CheckerError
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = [
     "auto_workers",
@@ -35,36 +36,57 @@ def auto_workers(n_tasks: int | None = None) -> int:
     return max(1, cores)
 
 
-def _run_isolated(tasks, workers: int, on_error: str, batch: BatchAssessment):
+def _run_isolated(
+    tasks,
+    workers: int,
+    on_error: str,
+    batch: BatchAssessment,
+    tracer: Tracer = NULL_TRACER,
+):
     """Run ``(name, thunk)`` tasks, filling ``batch`` in task order.
 
     ``workers == 1`` degenerates to a plain loop (no pool overhead); the
     pool path submits everything and collects in submission order, so the
     report dict's iteration order is the dataset's field order either way.
+    Every task runs inside a ``field`` span explicitly parented under the
+    driver's root span — worker threads have empty span stacks, so the
+    cross-thread nesting must be handed over, not inherited.
     """
     if on_error not in ("raise", "record"):
         raise CheckerError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     tasks = list(tasks)
-    if workers == 1:
-        outcomes = []
-        for name, thunk in tasks:
-            try:
-                outcomes.append((name, thunk(), None))
-            except Exception as exc:  # noqa: BLE001 — isolation is the point
-                if on_error == "raise":
-                    raise
-                outcomes.append((name, None, exc))
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [(name, pool.submit(thunk)) for name, thunk in tasks]
+    with tracer.span(
+        f"parallel:{batch.dataset_name}", category="batch",
+        tasks=len(tasks), workers=workers,
+    ) as root:
+        parent = root if tracer.enabled else None
+
+        def _traced(name, thunk):
+            with tracer.span(name, category="field", parent=parent):
+                return thunk()
+
+        if workers == 1:
             outcomes = []
-            for name, fut in futures:
+            for name, thunk in tasks:
                 try:
-                    outcomes.append((name, fut.result(), None))
-                except Exception as exc:  # noqa: BLE001
+                    outcomes.append((name, _traced(name, thunk), None))
+                except Exception as exc:  # noqa: BLE001 — isolation is the point
                     if on_error == "raise":
                         raise
                     outcomes.append((name, None, exc))
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (name, pool.submit(_traced, name, thunk)) for name, thunk in tasks
+                ]
+                outcomes = []
+                for name, fut in futures:
+                    try:
+                        outcomes.append((name, fut.result(), None))
+                    except Exception as exc:  # noqa: BLE001
+                        if on_error == "raise":
+                            raise
+                        outcomes.append((name, None, exc))
     for name, report, exc in outcomes:
         if exc is None:
             batch.reports[name] = report
@@ -80,6 +102,7 @@ def parallel_assess_dataset(
     with_baselines: bool = False,
     workers: int | None = None,
     on_error: str = "raise",
+    tracer: Tracer | None = None,
 ) -> BatchAssessment:
     """Parallel counterpart of :func:`repro.core.batch.assess_dataset`.
 
@@ -92,11 +115,12 @@ def parallel_assess_dataset(
     if len(dataset) == 0:
         raise CheckerError(f"dataset {dataset.name!r} has no fields")
     workers = workers or auto_workers(len(dataset))
+    tracer = tracer if tracer is not None else NULL_TRACER
     batch = BatchAssessment(dataset_name=dataset.name)
     # one shared checker: the execution plan is built (and the config
     # validated) once, then every worker thread executes it — plans are
     # immutable and each execution gets its own backend context
-    checker = CuZChecker(config=config, with_baselines=with_baselines)
+    checker = CuZChecker(config=config, with_baselines=with_baselines, tracer=tracer)
     tasks = [
         (
             f.name,
@@ -106,7 +130,7 @@ def parallel_assess_dataset(
         )
         for f in dataset
     ]
-    return _run_isolated(tasks, workers, on_error, batch)
+    return _run_isolated(tasks, workers, on_error, batch, tracer=tracer)
 
 
 def parallel_compare_pairs(
@@ -116,6 +140,7 @@ def parallel_compare_pairs(
     workers: int | None = None,
     on_error: str = "raise",
     dataset_name: str = "pairs",
+    tracer: Tracer | None = None,
 ) -> BatchAssessment:
     """Assess pre-decompressed ``(name, orig, dec)`` pairs in parallel.
 
@@ -127,10 +152,11 @@ def parallel_compare_pairs(
     if not pairs:
         raise CheckerError("no pairs to assess")
     workers = workers or auto_workers(len(pairs))
+    tracer = tracer if tracer is not None else NULL_TRACER
     batch = BatchAssessment(dataset_name=dataset_name)
-    checker = CuZChecker(config=config, with_baselines=with_baselines)
+    checker = CuZChecker(config=config, with_baselines=with_baselines, tracer=tracer)
     tasks = [
         (name, lambda o=o, d=d: compare_data(o, d, checker=checker))
         for name, o, d in pairs
     ]
-    return _run_isolated(tasks, workers, on_error, batch)
+    return _run_isolated(tasks, workers, on_error, batch, tracer=tracer)

@@ -1,0 +1,33 @@
+"""Telemetry: span tracing of the execution engine plus exporters.
+
+Enable tracing by passing a :class:`Tracer` to any entry point
+(``CuZChecker(tracer=...)``, ``compare_data(..., tracer=...)``,
+``assess_dataset(..., tracer=...)``, ...) and export the collected
+spans with :func:`write_chrome_trace` / :func:`write_csv`, or print the
+paper-style breakdown with :func:`summary_tables`.  The ``cuzchecker
+profile`` subcommand wires all of this together.
+"""
+
+from repro.telemetry.export import (
+    chrome_trace_events,
+    csv_text,
+    kernel_summary,
+    metric_summary,
+    summary_tables,
+    write_chrome_trace,
+    write_csv,
+)
+from repro.telemetry.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "csv_text",
+    "write_csv",
+    "kernel_summary",
+    "metric_summary",
+    "summary_tables",
+]

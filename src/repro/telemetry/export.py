@@ -1,0 +1,190 @@
+"""Exporters for span traces: chrome://tracing JSON, flat CSV, summaries.
+
+Three consumers of the same :class:`~repro.telemetry.tracer.Span` list:
+
+* :func:`write_chrome_trace` — the timeline view (chrome://tracing or
+  Perfetto), one lane per track (thread or rank);
+* :func:`write_csv` — a flat machine-readable table for notebooks and
+  the nightly-artifact diffing;
+* :func:`kernel_summary` / :func:`metric_summary` — the paper-style
+  breakdown tables: per-kernel totals (the Fig. 8 layout: one row per
+  kernel with wall/modelled time and effective bandwidth) and the
+  Table-I-ordered per-metric view mapping each metric to the pattern
+  step and kernel that computed it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.tracer import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "csv_text",
+    "write_csv",
+    "kernel_summary",
+    "metric_summary",
+    "summary_tables",
+]
+
+
+def _fmt_us(value: float) -> float:
+    """Microsecond timestamps rounded to ns precision for stable output."""
+    return round(value, 3)
+
+
+def chrome_trace_events(
+    spans: list[Span], process_name: str = "cuZ-Checker assessment"
+) -> list[dict]:
+    """Complete-event ("ph": "X") list for a span trace."""
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "args": {"name": process_name}}
+    ]
+    for sp in sorted(spans, key=lambda s: (s.track, s.start_us, s.span_id)):
+        args = {"span_id": sp.span_id, **sp.attrs}
+        if sp.parent_id is not None:
+            args["parent_id"] = sp.parent_id
+        if sp.bytes:
+            args["bytes"] = sp.bytes
+        events.append(
+            {
+                "name": sp.name,
+                "cat": sp.category,
+                "ph": "X",
+                "ts": _fmt_us(sp.start_us),
+                "dur": _fmt_us(sp.duration_us),
+                "pid": 0,
+                "tid": sp.track,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    spans: list[Span],
+    path: str | Path,
+    process_name: str = "cuZ-Checker assessment",
+) -> Path:
+    """Write the trace as a chrome://tracing / Perfetto JSON file."""
+    path = Path(path)
+    payload = {"traceEvents": chrome_trace_events(spans, process_name)}
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+_CSV_HEADER = "span_id,parent_id,track,category,name,start_us,dur_us,bytes,attrs"
+
+
+def csv_text(spans: list[Span]) -> str:
+    """Flat CSV of the trace; ``attrs`` is a sorted-key JSON column."""
+    lines = [_CSV_HEADER]
+    for sp in sorted(spans, key=lambda s: (s.track, s.start_us, s.span_id)):
+        attrs = json.dumps(sp.attrs, sort_keys=True, default=str)
+        attrs = '"' + attrs.replace('"', '""') + '"'
+        lines.append(
+            f"{sp.span_id},"
+            f"{'' if sp.parent_id is None else sp.parent_id},"
+            f"{sp.track},{sp.category},{sp.name},"
+            f"{_fmt_us(sp.start_us)},{_fmt_us(sp.duration_us)},"
+            f"{sp.bytes},{attrs}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(spans: list[Span], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(csv_text(spans))
+    return path
+
+
+def kernel_summary(spans: list[Span]) -> list[dict]:
+    """Per-kernel aggregate rows (the Fig. 8 per-kernel layout).
+
+    One row per kernel name: launch count, total wall time, bytes
+    touched, effective host bandwidth, and — when the gpusim backend
+    recorded them — modelled time, cycles, and occupancy.
+    """
+    grouped: dict[str, list[Span]] = {}
+    for sp in spans:
+        if sp.category == "kernel":
+            grouped.setdefault(sp.name, []).append(sp)
+    rows = []
+    for name in sorted(grouped):
+        group = grouped[name]
+        wall_us = sum(s.duration_us for s in group)
+        nbytes = sum(s.bytes for s in group)
+        row = {
+            "kernel": name,
+            "pattern": group[0].attrs.get("pattern", ""),
+            "calls": len(group),
+            "wall_ms": round(wall_us / 1e3, 3),
+            "bytes": nbytes,
+            "GB/s": round(nbytes / max(wall_us * 1e-6, 1e-12) / 1e9, 2),
+        }
+        modelled = [s.attrs["modelled_ms"] for s in group if "modelled_ms" in s.attrs]
+        if modelled:
+            row["modelled_ms"] = round(sum(modelled), 3)
+        cycles = [s.attrs["modelled_cycles"] for s in group if "modelled_cycles" in s.attrs]
+        if cycles:
+            row["modelled_cycles"] = int(sum(cycles))
+        occ = [s.attrs["occupancy"] for s in group if "occupancy" in s.attrs]
+        if occ:
+            row["occupancy"] = round(sum(occ) / len(occ), 3)
+        rows.append(row)
+    return rows
+
+
+def metric_summary(spans: list[Span]) -> list[dict]:
+    """Table-I-ordered per-metric rows: metric → pattern step → kernel.
+
+    Step spans carry the metric list they computed; each metric maps to
+    its step's wall time (shared by the metrics fused into that step)
+    and the kernel the step launched.
+    """
+    from repro.metrics.base import canonical_metric_order
+
+    per_metric: dict[str, dict] = {}
+    for sp in spans:
+        if sp.category != "step" or "metrics" not in sp.attrs:
+            continue
+        kernels = ",".join(
+            s.name
+            for s in spans
+            if s.parent_id == sp.span_id and s.category == "kernel"
+        )
+        for metric in str(sp.attrs["metrics"]).split(","):
+            if not metric:
+                continue
+            row = per_metric.setdefault(
+                metric,
+                {
+                    "metric": metric,
+                    "pattern": sp.attrs.get("pattern", ""),
+                    "step": sp.name,
+                    "kernels": kernels,
+                    "wall_ms": 0.0,
+                },
+            )
+            row["wall_ms"] = round(row["wall_ms"] + sp.duration_us / 1e3, 3)
+    ordered = canonical_metric_order(per_metric)
+    return [per_metric[m] for m in ordered]
+
+
+def summary_tables(spans: list[Span]) -> str:
+    """Render both summaries as aligned text tables."""
+    from repro.viz.ascii import ascii_table
+
+    parts = []
+    kernels = kernel_summary(spans)
+    if kernels:
+        parts.append(ascii_table(kernels, title="per-kernel profile"))
+    metrics = metric_summary(spans)
+    if metrics:
+        parts.append(ascii_table(metrics, title="per-metric profile (Table I order)"))
+    if not parts:
+        return "(no kernel or step spans recorded)"
+    return "\n\n".join(parts)

@@ -1,0 +1,242 @@
+"""Span-based tracing of the execution engine.
+
+One :class:`Tracer` collects :class:`Span` records for a whole run —
+plan → pattern step → kernel, plus driver-level spans (batch fields,
+parallel tasks, multi-GPU ranks, codec calls).  The design constraints:
+
+* **near-zero overhead when disabled** — :meth:`Tracer.span` on a
+  disabled tracer returns a shared no-op context manager without
+  allocating anything, so the engine can call it unconditionally;
+* **thread-safe nesting** — the open-span stack is thread-local, so
+  spans opened by thread-pool workers nest under whatever that worker
+  opened, and an explicit ``parent=`` hands a worker the driver's root
+  span across the thread boundary;
+* **mergeable** — per-rank sub-tracers (multi-GPU) merge into a parent
+  tracer with a stable id remapping, so a decomposed run exports one
+  coherent timeline with one track per rank.
+
+Timestamps are microseconds relative to the tracer's construction, the
+unit the chrome://tracing exporter needs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One timed region of an assessment.
+
+    ``category`` encodes the level of the hierarchy ("plan", "step",
+    "kernel", "field", "rank", "codec", ...); ``track`` is the export
+    lane (thread index, or rank after a multi-GPU merge); ``bytes`` is
+    the global-memory traffic the region touched, when known.
+    """
+
+    name: str
+    category: str = "span"
+    start_us: float = 0.0
+    end_us: float = 0.0
+    span_id: int = 0
+    parent_id: int | None = None
+    track: int = 0
+    bytes: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+class _NullSpan:
+    """Shared no-op span handle returned by disabled tracers.
+
+    Accepts the same mutations a live :class:`Span` does (rename,
+    byte counts, attrs) so call sites never branch on tracer state.
+    """
+
+    __slots__ = ("name", "category", "bytes", "attrs")
+
+    def __init__(self):
+        self.name = ""
+        self.category = ""
+        self.bytes = 0
+        self.attrs = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one live span."""
+
+    __slots__ = ("_tracer", "span", "_explicit_parent")
+
+    def __init__(self, tracer: "Tracer", span: Span, parent: Span | None):
+        self._tracer = tracer
+        self.span = span
+        self._explicit_parent = parent
+
+    def __enter__(self) -> Span:
+        tr = self._tracer
+        sp = self.span
+        stack = tr._stack()
+        if self._explicit_parent is not None:
+            sp.parent_id = self._explicit_parent.span_id
+        elif stack:
+            sp.parent_id = stack[-1].span_id
+        sp.track = tr._track()
+        sp.start_us = (tr._clock() - tr._epoch) * 1e6
+        stack.append(sp)
+        return sp
+
+    def __exit__(self, *exc) -> bool:
+        tr = self._tracer
+        sp = self.span
+        sp.end_us = (tr._clock() - tr._epoch) * 1e6
+        stack = tr._stack()
+        if stack and stack[-1] is sp:
+            stack.pop()
+        with tr._lock:
+            tr.spans.append(sp)
+        return False
+
+
+class Tracer:
+    """Collects a hierarchical span trace of one (or many) assessments.
+
+    Parameters
+    ----------
+    enabled:
+        When false, :meth:`span` is a no-op returning a shared null
+        handle — the engine's tracing hooks cost one attribute check.
+    clock:
+        Monotonic clock in seconds; injectable for deterministic tests.
+    """
+
+    def __init__(self, enabled: bool = True, clock=time.perf_counter):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._local = threading.local()
+        self._tracks: dict[int, int] = {}
+
+    # -- internals ---------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _track(self) -> int:
+        """Small stable integer lane for the calling thread."""
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._tracks:
+                self._tracks[ident] = len(self._tracks)
+            return self._tracks[ident]
+
+    def _reserve(self, count: int) -> int:
+        """Reserve ``count`` span ids, returning the first."""
+        with self._lock:
+            base = self._next_id
+            self._next_id += count
+            return base
+
+    # -- public API --------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        category: str = "span",
+        parent: Span | None = None,
+        bytes: int = 0,
+        **attrs,
+    ):
+        """Open a span as a context manager yielding the :class:`Span`.
+
+        ``parent`` overrides the thread-local nesting — drivers hand
+        their root span to worker threads this way.  Keyword arguments
+        become the span's exported ``attrs``.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        sp = Span(
+            name=name,
+            category=category,
+            span_id=self._reserve(1),
+            bytes=bytes,
+            attrs=dict(attrs),
+        )
+        return _SpanHandle(self, sp, parent)
+
+    def merge(
+        self,
+        other: "Tracer",
+        parent: Span | None = None,
+        track: int | None = None,
+    ) -> None:
+        """Fold a sub-tracer's spans into this tracer.
+
+        Ids are remapped by a stable offset (reserved from this tracer's
+        counter), root spans of ``other`` are attached under ``parent``,
+        timestamps are shifted onto this tracer's epoch, and every
+        merged span is assigned ``track`` (one export lane per rank).
+        """
+        if not other.spans:
+            return
+        base = self._reserve(other._next_id)
+        shift_us = (other._epoch - self._epoch) * 1e6
+        merged: list[Span] = []
+        for sp in other.spans:
+            merged.append(
+                Span(
+                    name=sp.name,
+                    category=sp.category,
+                    start_us=sp.start_us + shift_us,
+                    end_us=sp.end_us + shift_us,
+                    span_id=base + sp.span_id,
+                    parent_id=(
+                        base + sp.parent_id
+                        if sp.parent_id is not None
+                        else (parent.span_id if parent is not None else None)
+                    ),
+                    track=track if track is not None else sp.track,
+                    bytes=sp.bytes,
+                    attrs=dict(sp.attrs),
+                )
+            )
+        with self._lock:
+            self.spans.extend(merged)
+
+    # -- convenience -------------------------------------------------------
+
+    def sorted_spans(self) -> list[Span]:
+        """Spans in (track, start, id) order — the export order."""
+        return sorted(self.spans, key=lambda s: (s.track, s.start_us, s.span_id))
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+
+#: shared disabled tracer: the default for every entry point, so tracing
+#: hooks run unconditionally at the cost of one ``enabled`` check
+NULL_TRACER = Tracer(enabled=False)

@@ -85,10 +85,21 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert "Category I" in out and "ssim" in out
 
-    def test_profile(self, capsys):
-        assert main(["profile"]) == 0
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
         out = capsys.readouterr().out
         assert "14.3k" in out and "17.0KB" in out
+
+    def test_profile(self, tmp_path, capsys):
+        rc = main([
+            "profile", "--dataset", "miranda", "--scale", "0.05",
+            "--metrics", "psnr", "--out-dir", str(tmp_path / "prof"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-kernel profile" in out
+        assert (tmp_path / "prof" / "trace.json").exists()
+        assert (tmp_path / "prof" / "spans.csv").exists()
 
     def test_speedups_overall(self, capsys):
         assert main(["speedups"]) == 0

@@ -1,0 +1,238 @@
+"""Trace composition across the engine's drivers.
+
+Every entry point — single compare, batch, thread-pool parallel,
+multi-GPU decomposition, the profile CLI — must produce one coherent
+span tree: plan → step → kernel nested under whatever driver span opened
+it, whichever thread or rank did the work.
+"""
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.compressors.sz import SZCompressor
+from repro.config.schema import CheckerConfig
+from repro.core.batch import assess_dataset
+from repro.core.compare import compare_data
+from repro.core.streaming import StreamingChecker
+from repro.datasets.registry import generate_dataset
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+from repro.multigpu.checker import MultiGpuCuZC
+from repro.parallel import parallel_compare_pairs
+from repro.telemetry.tracer import Tracer
+
+
+def small_config():
+    return CheckerConfig(
+        pattern2=Pattern2Config(max_lag=2),
+        pattern3=Pattern3Config(window=6),
+    )
+
+
+@pytest.fixture(scope="module")
+def pair():
+    rng = np.random.default_rng(7)
+    orig = rng.normal(size=(12, 16, 18)).astype(np.float32)
+    dec = orig + rng.normal(scale=1e-3, size=orig.shape).astype(np.float32)
+    return orig, dec
+
+
+class TestSingleCompare:
+    def test_plan_step_kernel_hierarchy(self, pair):
+        tracer = Tracer()
+        compare_data(*pair, config=small_config(), tracer=tracer)
+        plans = [s for s in tracer.spans if s.category == "plan"]
+        assert len(plans) == 1
+        steps = tracer.children(plans[0])
+        assert all(s.category == "step" for s in steps)
+        kernels = [s for s in tracer.spans if s.category == "kernel"]
+        assert kernels, "no kernel spans recorded"
+        step_ids = {s.span_id for s in steps}
+        assert all(k.parent_id in step_ids for k in kernels)
+        # kernel spans carry the modelled launch geometry
+        named = [k for k in kernels if k.name.startswith("cuZC.")]
+        assert named and all(k.bytes > 0 for k in named)
+        assert all("grid_blocks" in k.attrs for k in named)
+
+    def test_gpusim_kernels_carry_cost_model(self, pair):
+        tracer = Tracer()
+        compare_data(
+            *pair, config=small_config(), backend="gpusim", tracer=tracer
+        )
+        kernels = [
+            s for s in tracer.spans
+            if s.category == "kernel" and s.name.startswith("cuZC.")
+        ]
+        assert kernels
+        for k in kernels:
+            assert k.attrs["modelled_ms"] > 0
+            assert k.attrs["modelled_cycles"] > 0
+            assert 0 < k.attrs["occupancy"] <= 1.0
+            assert k.attrs["bound"] in ("memory", "compute", "latency")
+
+    def test_disabled_by_default(self, pair):
+        # no tracer argument: the shared NULL tracer records nothing
+        compare_data(*pair, config=small_config())
+        from repro.telemetry.tracer import NULL_TRACER
+
+        assert NULL_TRACER.spans == []
+
+
+class TestBatchSpans:
+    def test_field_spans_wrap_plans(self):
+        ds = generate_dataset("miranda", scale=0.05, n_fields=2)
+        tracer = Tracer()
+        assess_dataset(
+            ds, SZCompressor(rel_bound=1e-3), config=small_config(),
+            tracer=tracer,
+        )
+        roots = tracer.roots()
+        assert [r.category for r in roots] == ["batch"]
+        fields = tracer.children(roots[0])
+        assert {f.category for f in fields} == {"field"}
+        assert len(fields) == 2
+        for f in fields:
+            cats = {c.category for c in tracer.children(f)}
+            # codec spans (compress/decompress) and the plan hang off the field
+            assert "plan" in cats and "codec" in cats
+
+
+class TestParallelSpans:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_tasks_nest_under_root_across_threads(self, pair, workers):
+        orig, dec = pair
+        pairs = [(f"f{i}", orig, dec) for i in range(3)]
+        tracer = Tracer()
+        parallel_compare_pairs(
+            pairs, config=small_config(), workers=workers, tracer=tracer
+        )
+        roots = tracer.roots()
+        assert len(roots) == 1 and roots[0].category == "batch"
+        fields = tracer.children(roots[0])
+        assert sorted(f.name for f in fields) == ["f0", "f1", "f2"]
+        # the full hierarchy exists under every field, whichever thread ran it
+        for f in fields:
+            plans = [c for c in tracer.children(f) if c.category == "plan"]
+            assert len(plans) == 1
+        if workers > 1:
+            # worker threads landed on their own export tracks
+            assert len({f.track for f in fields} | {roots[0].track}) > 1
+
+
+class TestMultiGpuSpans:
+    def test_per_rank_merge_tracks_and_parents(self, pair):
+        orig, dec = pair
+        tracer = Tracer()
+        MultiGpuCuZC(n_gpus=3).assess_pattern1(orig, dec, tracer=tracer)
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["multigpu.pattern1"]
+        ranks = tracer.children(roots[0])
+        assert sorted(r.name for r in ranks) == ["rank0", "rank1", "rank2"]
+        for i, rank in enumerate(sorted(ranks, key=lambda s: s.attrs["rank"])):
+            sub = tracer.children(rank)
+            # the rank's merged sub-trace hangs off its rank span...
+            assert sub, f"rank{i} has no merged spans"
+            assert all(s.track == i + 1 for s in sub)  # ...on its own track
+            # and contains that rank's pattern-1 kernel execution
+            descendants = list(sub)
+            frontier = list(sub)
+            while frontier:
+                nxt = [c for s in frontier for c in tracer.children(s)]
+                descendants.extend(nxt)
+                frontier = nxt
+            assert any(
+                s.category == "kernel" and s.name == "cuZC.pattern1"
+                for s in descendants
+            )
+        ids = [s.span_id for s in tracer.spans]
+        assert len(ids) == len(set(ids)), "merge produced colliding span ids"
+
+    def test_result_unchanged_by_tracing(self, pair):
+        orig, dec = pair
+        checker = MultiGpuCuZC(n_gpus=2)
+        plain = checker.assess_pattern1(orig, dec)
+        traced = checker.assess_pattern1(orig, dec, tracer=Tracer())
+        assert plain.psnr == traced.psnr
+        assert plain.mse == traced.mse
+
+
+class TestStreamingSpans:
+    def test_chunk_and_finalize_spans(self, pair):
+        orig, dec = pair
+        tracer = Tracer()
+        sc = StreamingChecker(
+            orig.shape[1:], max_lag=2,
+            ssim=Pattern3Config(window=6, dynamic_range=8.0),
+            tracer=tracer,
+        )
+        for z0 in range(0, orig.shape[0], 4):
+            sc.update(orig[z0:z0 + 4], dec[z0:z0 + 4])
+        sc.finalize()
+        names = [s.name for s in tracer.spans]
+        assert "chunk0" in names and "chunk2" in names
+        assert "finalize" in names
+
+
+class TestProfileCli:
+    def test_profile_artifacts_match_explain(self, tmp_path, capsys):
+        out_dir = tmp_path / "prof"
+        rc = main([
+            "profile", "--dataset", "hurricane", "--scale", "0.05",
+            "--metrics", "psnr,ssim", "--backend", "gpusim",
+            "--out-dir", str(out_dir),
+        ])
+        assert rc == 0
+        profile_out = capsys.readouterr().out
+
+        trace = json.loads((out_dir / "trace.json").read_text())
+        events = trace["traceEvents"]
+        assert events[0]["ph"] == "M"
+        kernels = {
+            e["name"] for e in events
+            if e.get("ph") == "X" and e.get("cat") == "kernel"
+        }
+
+        # the kernels the profile recorded are exactly the compiled plan's
+        rc = main([
+            "explain", "--shape", "16,20,20",
+            "--metrics", "psnr,ssim", "--backend", "gpusim",
+        ])
+        assert rc == 0
+        explain_out = capsys.readouterr().out
+        planned = set(re.findall(r"cuZC\.\w+", explain_out))
+        assert kernels == planned
+
+        assert "per-kernel profile" in profile_out
+        assert "modelled_ms" in profile_out
+        csv = (out_dir / "spans.csv").read_text().strip().split("\n")
+        assert csv[0].startswith("span_id,parent_id,")
+        assert len(csv) > len(kernels)
+
+    def test_profile_raw_pair(self, pair_files_profile, tmp_path, capsys):
+        a, b, shape = pair_files_profile
+        out_dir = tmp_path / "prof"
+        rc = main([
+            "profile", str(a), str(b),
+            "--shape", ",".join(map(str, shape)),
+            "--metrics", "psnr",
+            "--out-dir", str(out_dir),
+        ])
+        assert rc == 0
+        assert (out_dir / "trace.json").exists()
+        assert "per-metric profile" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def pair_files_profile(tmp_path, banded_pair):
+    from repro.io.raw import write_raw
+
+    orig, dec = banded_pair
+    a = tmp_path / "orig.f32"
+    b = tmp_path / "dec.f32"
+    write_raw(a, orig)
+    write_raw(b, dec)
+    return a, b, orig.shape

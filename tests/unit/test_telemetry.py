@@ -1,0 +1,284 @@
+"""Tracer, exporter, and summary unit tests (deterministic clock)."""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.kernels.pattern1 import execute_pattern1
+from repro.telemetry.export import (
+    chrome_trace_events,
+    csv_text,
+    kernel_summary,
+    metric_summary,
+    summary_tables,
+    write_chrome_trace,
+    write_csv,
+)
+from repro.telemetry.tracer import NULL_TRACER, Span, Tracer
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden"
+
+
+class ManualClock:
+    """Injectable clock: time only moves when the test advances it."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def golden_trace() -> Tracer:
+    """The fixed plan→step→kernel scenario behind the golden files."""
+    clock = ManualClock()
+    tr = Tracer(clock=clock)
+    with tr.span("plan", category="plan", bytes=2048, backend="fused-host"):
+        clock.advance(0.001)
+        with tr.span("pattern1", category="step", pattern=1, metrics="psnr"):
+            clock.advance(0.002)
+            with tr.span("cuZC.pattern1", category="kernel", bytes=1024, pattern=1):
+                clock.advance(0.003)
+        clock.advance(0.0005)
+    return tr
+
+
+class TestNesting:
+    def test_stack_nesting_and_ids(self):
+        clock = ManualClock()
+        tr = Tracer(clock=clock)
+        with tr.span("outer") as outer:
+            clock.advance(0.001)
+            with tr.span("inner") as inner:
+                clock.advance(0.001)
+            with tr.span("sibling") as sibling:
+                clock.advance(0.001)
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+        assert len({outer.span_id, inner.span_id, sibling.span_id}) == 3
+        # spans are appended on exit, so children precede the root
+        assert [s.name for s in tr.spans] == ["inner", "sibling", "outer"]
+        assert [s.name for s in tr.sorted_spans()] == ["outer", "inner", "sibling"]
+        assert tr.roots() == [outer]
+        assert tr.children(outer) == [inner, sibling]
+
+    def test_timestamps_from_injected_clock(self):
+        tr = golden_trace()
+        by_name = {s.name: s for s in tr.spans}
+        assert by_name["plan"].start_us == 0.0
+        assert round(by_name["plan"].duration_us, 3) == 6500.0
+        assert round(by_name["pattern1"].start_us, 3) == 1000.0
+        assert round(by_name["cuZC.pattern1"].duration_us, 3) == 3000.0
+
+    def test_explicit_parent_beats_stack(self):
+        tr = Tracer(clock=ManualClock())
+        with tr.span("root") as root:
+            with tr.span("open"):
+                with tr.span("handed", parent=root) as handed:
+                    pass
+        assert handed.parent_id == root.span_id
+
+    def test_cross_thread_parent_handoff(self):
+        """Worker threads have empty stacks; parent= carries nesting over."""
+        tr = Tracer(clock=ManualClock())
+        seen = {}
+
+        def worker(root):
+            with tr.span("task", parent=root) as sp:
+                seen["task"] = sp
+            with tr.span("orphan") as sp:
+                seen["orphan"] = sp
+
+        with tr.span("root") as root:
+            t = threading.Thread(target=worker, args=(root,))
+            t.start()
+            t.join()
+        assert seen["task"].parent_id == root.span_id
+        # without a handoff the worker's span is a root, not a child of
+        # whatever the main thread had open
+        assert seen["orphan"].parent_id is None
+        # each thread gets its own export track
+        assert seen["task"].track != root.track
+
+
+class TestDisabled:
+    def test_null_span_is_shared_singleton(self):
+        a = NULL_TRACER.span("x", category="kernel", bytes=4)
+        b = NULL_TRACER.span("y")
+        assert a is b
+
+    def test_no_spans_recorded(self):
+        tr = Tracer(enabled=False)
+        with tr.span("plan") as sp:
+            sp.name = "renamed"
+            sp.bytes = 123
+            sp.attrs["k"] = 1
+        assert tr.spans == []
+
+    def test_overhead_under_five_percent(self):
+        """Disabled tracing hooks on the fused pattern-1 microbenchmark."""
+        rng = np.random.default_rng(3)
+        orig = rng.normal(size=(8, 16, 16)).astype(np.float32)
+        dec = orig + rng.normal(scale=1e-3, size=orig.shape).astype(np.float32)
+        iters = 20
+
+        def bare() -> float:
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                execute_pattern1(orig, dec)
+            return time.perf_counter() - t0
+
+        def traced() -> float:
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                with NULL_TRACER.span("pattern1", category="kernel"):
+                    execute_pattern1(orig, dec)
+            return time.perf_counter() - t0
+
+        bare()  # warm caches before timing
+        # best-of-5 with retries: absolute overhead is ~1 us per iteration
+        # of attribute checks, but CI machines jitter
+        for attempt in range(3):
+            best_bare = min(bare() for _ in range(5))
+            best_traced = min(traced() for _ in range(5))
+            if best_traced <= best_bare * 1.05:
+                return
+        assert best_traced <= best_bare * 1.05
+
+
+class TestMerge:
+    def test_stable_ids_epoch_shift_and_track(self):
+        clock = ManualClock()
+        tr = Tracer(clock=clock)
+        with tr.span("driver") as root:
+            clock.advance(0.010)
+        sub = Tracer(clock=clock)  # epoch = 10 ms after the parent's
+        with sub.span("rank-plan") as plan:
+            clock.advance(0.001)
+            with sub.span("rank-kernel", category="kernel"):
+                clock.advance(0.002)
+        tr.merge(sub, parent=root, track=5)
+
+        merged = {s.name: s for s in tr.spans if s.name.startswith("rank")}
+        assert len(merged) == 2
+        # ids were remapped past the parent tracer's counter: no collisions
+        ids = [s.span_id for s in tr.spans]
+        assert len(ids) == len(set(ids))
+        assert merged["rank-plan"].parent_id == root.span_id
+        assert merged["rank-kernel"].parent_id == merged["rank-plan"].span_id
+        assert merged["rank-plan"].track == 5
+        assert merged["rank-kernel"].track == 5
+        # timestamps shifted onto the parent epoch: sub's t=0 is 10 ms in
+        assert round(merged["rank-plan"].start_us, 3) == 10000.0
+        # ids reserved during merge: the next live span doesn't collide
+        with tr.span("after") as after:
+            pass
+        assert after.span_id not in ids
+        assert plan.span_id != merged["rank-plan"].span_id  # sub untouched
+
+    def test_merge_empty_sub_is_noop(self):
+        tr = Tracer(clock=ManualClock())
+        tr.merge(Tracer(clock=ManualClock()))
+        assert tr.spans == []
+
+
+class TestExporters:
+    def test_chrome_trace_golden(self, tmp_path):
+        tr = golden_trace()
+        path = write_chrome_trace(tr.spans, tmp_path / "trace.json")
+        assert path.read_text() == (GOLDEN / "trace.json").read_text()
+
+    def test_csv_golden(self, tmp_path):
+        tr = golden_trace()
+        path = write_csv(tr.spans, tmp_path / "spans.csv")
+        assert path.read_text() == (GOLDEN / "spans.csv").read_text()
+
+    def test_chrome_events_structure(self):
+        events = chrome_trace_events(golden_trace().spans)
+        meta, first, *rest = events
+        assert meta["ph"] == "M"
+        assert first["name"] == "plan" and first["ph"] == "X"
+        assert first["args"]["bytes"] == 2048
+        assert "parent_id" not in first["args"]
+        kernel = events[-1]
+        assert kernel["name"] == "cuZC.pattern1"
+        assert kernel["args"]["parent_id"] == events[2]["args"]["span_id"]
+        # valid JSON end to end
+        json.loads(json.dumps({"traceEvents": events}))
+
+    def test_csv_quotes_attrs(self):
+        text = csv_text(golden_trace().spans)
+        lines = text.strip().split("\n")
+        assert lines[0].startswith("span_id,parent_id,track,")
+        assert len(lines) == 4
+        assert '"{""backend"": ""fused-host""}"' in lines[1]
+
+
+class TestSummaries:
+    @staticmethod
+    def _kernel(name, start, end, nbytes, **attrs):
+        return Span(
+            name=name, category="kernel", start_us=start, end_us=end,
+            span_id=attrs.pop("span_id", 0), parent_id=attrs.pop("parent_id", None),
+            bytes=nbytes, attrs=attrs,
+        )
+
+    def test_kernel_summary_aggregates(self):
+        spans = [
+            self._kernel("cuZC.pattern1", 0, 1000, 10**6, pattern=1),
+            self._kernel("cuZC.pattern1", 2000, 4000, 10**6, pattern=1),
+            self._kernel(
+                "cuZC.pattern3", 0, 500, 2000, pattern=3,
+                modelled_ms=1.5, modelled_cycles=4000, occupancy=0.25,
+            ),
+        ]
+        rows = {r["kernel"]: r for r in kernel_summary(spans)}
+        p1 = rows["cuZC.pattern1"]
+        assert p1["calls"] == 2
+        assert p1["wall_ms"] == 3.0
+        assert p1["bytes"] == 2 * 10**6
+        assert p1["GB/s"] == round(2e6 / 3e-3 / 1e9, 2)
+        assert "modelled_ms" not in p1
+        p3 = rows["cuZC.pattern3"]
+        assert p3["modelled_ms"] == 1.5
+        assert p3["modelled_cycles"] == 4000
+        assert p3["occupancy"] == 0.25
+
+    def test_metric_summary_splits_and_orders(self):
+        step1 = Span(
+            name="pattern1", category="step", start_us=0, end_us=2000,
+            span_id=1, attrs={"pattern": 1, "metrics": "psnr,max_err"},
+        )
+        step3 = Span(
+            name="pattern3", category="step", start_us=2000, end_us=5000,
+            span_id=2, attrs={"pattern": 3, "metrics": "ssim"},
+        )
+        kern = self._kernel(
+            "cuZC.pattern1", 0, 1000, 64, pattern=1, span_id=3, parent_id=1
+        )
+        rows = metric_summary([step1, step3, kern])
+        by_metric = {r["metric"]: r for r in rows}
+        assert set(by_metric) == {"psnr", "max_err", "ssim"}
+        # Table-I order: error metrics before PSNR before SSIM
+        names = [r["metric"] for r in rows]
+        assert names.index("max_err") < names.index("psnr") < names.index("ssim")
+        assert by_metric["psnr"]["wall_ms"] == 2.0  # shared step time
+        assert by_metric["psnr"]["kernels"] == "cuZC.pattern1"
+        assert by_metric["ssim"]["kernels"] == ""
+
+    def test_summary_tables_renders(self):
+        tr = golden_trace()
+        text = summary_tables(tr.spans)
+        assert "per-kernel profile" in text
+        assert "per-metric profile (Table I order)" in text
+        assert "cuZC.pattern1" in text
+
+    def test_summary_tables_empty(self):
+        assert "no kernel or step spans" in summary_tables([])

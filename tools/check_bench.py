@@ -1,0 +1,131 @@
+"""Perf-regression gate for the host-fusion benchmark.
+
+Compares a fresh ``bench_host_fusion.py`` run against the committed
+``BENCH_host_fusion.json`` trajectory and fails (exit 1) when any fused
+path regressed by more than the threshold.  Absolute wall-clock differs
+wildly across CI machines, so the *gated* quantities are the in-run
+speedup ratios (fused vs unfused, sliding vs naive SSIM) — a slowdown
+of the fused implementation shows up as a drop in its speedup over the
+reference implementation measured on the same machine in the same run.
+Raw seconds are printed in the delta table for context but not gated.
+
+Baseline values are the medians over the committed runs with the same
+``--quick`` flag as the fresh run, which keeps one noisy historical
+entry from moving the gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_host_fusion.py --quick --output fresh.json
+    python tools/check_bench.py --fresh fresh.json [--baseline BENCH_host_fusion.json]
+        [--threshold 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: (label, path into one run entry, gated?) — gated rows are speedup
+#: ratios and fail the check when fresh < baseline * (1 - threshold);
+#: seconds rows are informational
+ROWS = [
+    ("fused vs unfused speedup", ("fused", "speedup"), True),
+    ("sliding vs naive SSIM speedup", ("ssim", "speedup"), True),
+    ("fused seconds", ("fused", "fused_seconds"), False),
+    ("unfused seconds", ("fused", "unfused_seconds"), False),
+    ("sliding SSIM seconds", ("ssim", "sliding_seconds"), False),
+    ("parallel x1 seconds", ("parallel", "workers", "1", "seconds"), False),
+    ("parallel x4 seconds", ("parallel", "workers", "4", "seconds"), False),
+    ("slab x1 seconds", ("slab", "workers", "1", "seconds"), False),
+    ("slab x4 seconds", ("slab", "workers", "4", "seconds"), False),
+]
+
+
+def _lookup(entry: dict, path: tuple[str, ...]) -> float | None:
+    node = entry
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node)
+
+
+def _load_runs(path: Path) -> list[dict]:
+    doc = json.loads(path.read_text())
+    runs = doc.get("runs", [])
+    if not runs:
+        raise SystemExit(f"{path} contains no benchmark runs")
+    return runs
+
+
+def compare(fresh: dict, baseline_runs: list[dict], threshold: float):
+    """Build the delta table and the list of gate failures."""
+    matching = [r for r in baseline_runs if r.get("quick") == fresh.get("quick")]
+    if not matching:
+        matching = baseline_runs
+    table = []
+    failures = []
+    for label, path, gated in ROWS:
+        fresh_val = _lookup(fresh, path)
+        base_vals = [v for v in (_lookup(r, path) for r in matching) if v is not None]
+        if fresh_val is None or not base_vals:
+            continue
+        base = statistics.median(base_vals)
+        delta = (fresh_val - base) / base if base else 0.0
+        row = {
+            "metric": label,
+            "baseline": f"{base:.4g}",
+            "fresh": f"{fresh_val:.4g}",
+            "delta": f"{delta:+.1%}",
+            "gate": f"> {-threshold:.0%}" if gated else "(info)",
+        }
+        if gated and fresh_val < base * (1.0 - threshold):
+            row["gate"] = "FAIL"
+            failures.append(
+                f"{label}: {fresh_val:.4g} is more than {threshold:.0%} below "
+                f"the baseline median {base:.4g}"
+            )
+        table.append(row)
+    return table, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="JSON written by a fresh bench_host_fusion.py run")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_host_fusion.json",
+    )
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="maximum tolerated fractional slowdown (default 0.15)")
+    args = parser.parse_args(argv)
+
+    fresh = _load_runs(args.fresh)[-1]
+    baseline_runs = _load_runs(args.baseline)
+    table, failures = compare(fresh, baseline_runs, args.threshold)
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    try:
+        from repro.viz.ascii import ascii_table
+
+        print(ascii_table(table, title="host-fusion benchmark vs committed baseline"))
+    except ImportError:  # keep the gate usable without the package
+        for row in table:
+            print(row)
+
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf regression gate passed (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
