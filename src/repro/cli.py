@@ -43,6 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", help="Z-checker-style .cfg file")
     p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
     p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
+    p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
     p.add_argument("--json", dest="json_out", help="also write the report as JSON")
     p.add_argument("--dat-dir", help="also export PDFs/autocorrelation as .dat")
     p.add_argument("--html", dest="html_out",
@@ -57,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=8.0, help="zfp bits/value")
     p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
     p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
+    p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
 
     p = sub.add_parser(
         "explain",
@@ -65,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", help="Z-checker-style .cfg file")
     p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
     p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
+    p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
     p.add_argument("--shape", default=None,
                    help="optional z,y,x extents to add modelled kernel costs")
 
@@ -99,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=8.0, help="zfp bits/value")
     p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
     p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
+    p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
+    p.add_argument("--memory", action="store_true",
+                   help="also record per-span tracemalloc peaks (slower)")
     p.add_argument("--repeat", type=int, default=1,
                    help="profile this many assessment runs in one trace")
     p.add_argument("--out-dir", default="profile_out",
@@ -155,8 +161,13 @@ def _parse_shape(text: str) -> tuple[int, int, int]:
     return parts  # type: ignore[return-value]
 
 
-def _apply_overrides(config, metrics: str | None, backend: str | None):
-    """Overlay ``--metrics``/``--backend`` onto a (possibly None) config."""
+def _apply_overrides(
+    config,
+    metrics: str | None,
+    backend: str | None,
+    tiling: str | None = None,
+):
+    """Overlay ``--metrics``/``--backend``/``--tiling`` onto a config."""
     from dataclasses import replace
 
     from repro.config.defaults import default_config
@@ -172,6 +183,17 @@ def _apply_overrides(config, metrics: str | None, backend: str | None):
         config = replace(config, metrics=selection)
     if backend:
         config = replace(config, backend=backend)
+    if tiling:
+        text = tiling.strip().lower()
+        if text in ("auto", "off"):
+            config = replace(config, tiling=text)
+        else:
+            try:
+                config = replace(config, tiling=int(text))
+            except ValueError:
+                raise SystemExit(
+                    f"--tiling must be auto, off or a slab depth, got {tiling!r}"
+                ) from None
     return config
 
 
@@ -185,7 +207,7 @@ def _cmd_analyze(args) -> int:
     orig = read_raw(args.original, shape)
     dec = read_raw(args.decompressed, shape)
     config = load_config(args.config) if args.config else None
-    config = _apply_overrides(config, args.metrics, args.backend)
+    config = _apply_overrides(config, args.metrics, args.backend, args.tiling)
     report = compare_data(orig, dec, config=config)
     print(report_to_text(report))
     if args.json_out:
@@ -222,7 +244,7 @@ def _cmd_assess(args) -> int:
         f"assessing {args.codec} on {args.dataset}/{field_name} "
         f"shape={shape} ..."
     )
-    config = _apply_overrides(None, args.metrics, args.backend)
+    config = _apply_overrides(None, args.metrics, args.backend, args.tiling)
     report = assess_compressor(field.data, codec, config=config)
     print(report_to_text(report))
     return 0
@@ -233,7 +255,7 @@ def _cmd_explain(args) -> int:
     from repro.engine.plan import build_plan
 
     config = load_config(args.config) if args.config else None
-    config = _apply_overrides(config, args.metrics, args.backend)
+    config = _apply_overrides(config, args.metrics, args.backend, args.tiling)
     plan = build_plan(config)
     shape = _parse_shape(args.shape) if args.shape else None
     print(plan.explain(shape))
@@ -274,11 +296,14 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    import tracemalloc
     from pathlib import Path
 
     from repro.telemetry import Tracer, summary_tables, write_chrome_trace, write_csv
 
-    tracer = Tracer()
+    tracer = Tracer(trace_memory=args.memory)
+    if args.memory:
+        tracemalloc.start()
     if args.original is not None:
         if args.decompressed is None or not args.shape:
             raise SystemExit(
@@ -291,7 +316,7 @@ def _cmd_profile(args) -> int:
         shape = _parse_shape(args.shape)
         orig = read_raw(args.original, shape)
         dec = read_raw(args.decompressed, shape)
-        config = _apply_overrides(None, args.metrics, args.backend)
+        config = _apply_overrides(None, args.metrics, args.backend, args.tiling)
         source = f"{args.original} vs {args.decompressed} {shape}"
         for _ in range(max(1, args.repeat)):
             compare_data(orig, dec, config=config, with_baselines=False,
@@ -311,11 +336,13 @@ def _cmd_profile(args) -> int:
             codec = get_compressor("decimate")
         else:
             codec = get_compressor(args.codec, rel_bound=args.rel_bound)
-        config = _apply_overrides(None, args.metrics, args.backend)
+        config = _apply_overrides(None, args.metrics, args.backend, args.tiling)
         source = f"{args.codec} on {args.dataset}/{field_name} {shape}"
         for _ in range(max(1, args.repeat)):
             assess_compressor(field.data, codec, config=config, tracer=tracer)
 
+    if args.memory:
+        tracemalloc.stop()
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     trace_path = write_chrome_trace(

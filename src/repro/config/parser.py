@@ -47,7 +47,10 @@ _ALIASES = {
 }
 
 _KNOWN = {
-    "GLOBAL": {"metrics", "patterns", "device", "auxiliary", "fused", "backend"},
+    "GLOBAL": {
+        "metrics", "patterns", "device", "auxiliary", "fused", "backend",
+        "tiling",
+    },
     "PATTERN1": {"pdf_bins", "pwr_floor"},
     "PATTERN2": {"max_lag", "orders"},
     "PATTERN3": {"window", "step", "k1", "k2", "dynamic_range", "yrows"},
@@ -94,6 +97,18 @@ def parse_config_text(text: str) -> CheckerConfig:
     p2 = sections.get("PATTERN2", {})
     p3 = sections.get("PATTERN3", {})
 
+    tiling_raw = g.get("tiling", "auto").strip()
+    tiling: str | int
+    if tiling_raw.lower() in ("auto", "off"):
+        tiling = tiling_raw.lower()
+    else:
+        try:
+            tiling = int(tiling_raw)
+        except ValueError as exc:
+            raise ConfigError(
+                f"tiling must be 'auto', 'off' or a slab depth, got {tiling_raw!r}"
+            ) from exc
+
     try:
         metrics_raw = g.get("metrics", "all")
         metrics: tuple[str, ...] | str
@@ -110,6 +125,7 @@ def parse_config_text(text: str) -> CheckerConfig:
             auxiliary=g.get("auxiliary", "true").lower() in ("1", "true", "yes"),
             fused=g.get("fused", "true").lower() in ("1", "true", "yes"),
             backend=g.get("backend", ""),
+            tiling=tiling,
             pattern1=Pattern1Config(
                 pdf_bins=int(p1.get("pdf_bins", 1024)),
                 pwr_floor=float(p1.get("pwr_floor", 0.0)),
@@ -163,6 +179,7 @@ def format_config(config: CheckerConfig) -> str:
         f"auxiliary = {'true' if config.auxiliary else 'false'}",
         f"fused = {'true' if config.fused else 'false'}",
         *([f"backend = {config.backend}"] if config.backend else []),
+        f"tiling = {config.tiling}",
         "",
         "[PATTERN1]",
         f"pdf_bins = {config.pattern1.pdf_bins}",

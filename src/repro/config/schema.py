@@ -40,8 +40,24 @@ class CheckerConfig:
     #: ("fused-host", "metric-oriented", "gpusim"); the empty string
     #: derives the backend from ``fused`` when the plan is built
     backend: str = ""
+    #: z-slab tiling of the fused host path: ``"auto"`` tiles large 3-D
+    #: fields with a cache-sized slab, ``"off"`` keeps whole-array
+    #: execution, an integer forces that slab depth
+    tiling: str | int = "auto"
 
     def validate(self) -> None:
+        if isinstance(self.tiling, bool) or (
+            isinstance(self.tiling, int) and self.tiling < 1
+        ):
+            raise ConfigError(
+                f"tiling must be 'auto', 'off' or a slab depth >= 1, "
+                f"got {self.tiling!r}"
+            )
+        if isinstance(self.tiling, str) and self.tiling not in ("auto", "off"):
+            raise ConfigError(
+                f"tiling must be 'auto', 'off' or a slab depth >= 1, "
+                f"got {self.tiling!r}"
+            )
         if isinstance(self.metrics, str):
             if self.metrics != "all":
                 raise ConfigError(

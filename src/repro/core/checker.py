@@ -7,6 +7,12 @@ and wiring the cross-pattern data reuse where the autocorrelation
 normalisation consumes the error moments the pattern-1 kernel already
 produced — then executes the plan on the configured backend and attaches
 the modelled framework timings.
+
+On the fused-host backend, large 3-D fields additionally execute in the
+cache-blocked tiled mode (``config.tiling``, see
+:mod:`repro.engine.tiling`): z-slabs stream through every selected
+pattern-1/2 reduction while cache-hot instead of materialising
+whole-array intermediates per metric.
 """
 
 from __future__ import annotations

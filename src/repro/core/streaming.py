@@ -13,24 +13,25 @@ small carry buffer of trailing slices:
   :class:`~repro.kernels.pattern3.Pattern3Config` (the global range is
   unknowable mid-stream);
 * **autocorrelation** — exact: raw lagged cross-products accumulate
-  per-slice (a pair at lag τ becomes valid exactly when its τ-later
+  per-chunk (a pair at lag τ becomes valid exactly when its τ-later
   slice arrives) and the mean-centring correction is applied once at
   :meth:`finalize`.
 
-Equality with the batch kernels is asserted in tests for arbitrary
-chunkings.
+The pattern-1 and autocorrelation accumulation is shared with the tiled
+executor: both feed consecutive z-blocks into one
+:class:`~repro.engine.tiling.TileAccumulator`, so the chunk-merge maths
+lives in exactly one place.  Equality with the batch kernels is asserted
+in tests for arbitrary chunkings.
 """
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
-from repro.core.workspace import finalize_rate_distortion
+from repro.engine.tiling import TileAccumulator
 from repro.errors import CheckerError, ShapeError
 from repro.gpusim.memory import SmemFifo
-from repro.kernels.pattern1 import Pattern1Result
+from repro.kernels.pattern1 import Pattern1Result, result_from_sums
 from repro.kernels.pattern3 import Pattern3Config, N_WINDOW_ACCUMS, _box_sums2d
 from repro.metrics.ssim import window_positions
 from repro.telemetry.tracer import NULL_TRACER, Tracer
@@ -98,29 +99,12 @@ class StreamingChecker:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._chunk_index = 0
 
-        # -- pattern-1 accumulators ---------------------------------------
-        self._n = 0
-        self._min_e = math.inf
-        self._max_e = -math.inf
-        self._sum_e = 0.0
-        self._sum_abs_e = 0.0
-        self._sum_sq_e = 0.0
-        self._min_o = math.inf
-        self._max_o = -math.inf
-        self._sum_o = 0.0
-        self._sum_sq_o = 0.0
-        self._min_r = math.inf
-        self._max_r = -math.inf
-        self._sum_r = 0.0
-        self._cnt_r = 0.0
-
-        # -- autocorrelation raw sums per lag ------------------------------
-        self._ac_ab = np.zeros(max_lag + 1)
-        self._ac_a = np.zeros(max_lag + 1)
-        self._ac_b = np.zeros(max_lag + 1)
-        self._ac_n = np.zeros(max_lag + 1, dtype=np.int64)
-        #: carry: last max_lag error slices (float64)
-        self._carry: list[np.ndarray] = []
+        # pattern-1 + autocorrelation accumulation (including the rolling
+        # carry of the last max_lag error slices) is the tiled executor's
+        # accumulator, fed caller-sized chunks instead of slabs
+        self._acc = TileAccumulator(
+            plane_shape, max_lag=max_lag, pwr_floor=pwr_floor
+        )
 
         # -- streaming SSIM -------------------------------------------------
         self._z = 0
@@ -186,78 +170,38 @@ class StreamingChecker:
             bytes=orig_chunk.nbytes + dec_chunk.nbytes,
             z0=self._z, cz=orig_chunk.shape[0],
         ):
-            for o_slice, d_slice in zip(orig_chunk, dec_chunk):
-                self._ingest_slice(
-                    o_slice.astype(np.float64), d_slice.astype(np.float64)
-                )
+            o64 = orig_chunk.astype(np.float64)
+            d64 = dec_chunk.astype(np.float64)
+            z0 = self._z
+            self._acc.add_block(o64, d64, d64 - o64)
+            if self.ssim_config is not None:
+                for i in range(o64.shape[0]):
+                    self._ingest_ssim_slice(z0 + i, o64[i], d64[i])
+            self._z = self._acc.z
         self._chunk_index += 1
 
-    def _ingest_slice(self, o: np.ndarray, d: np.ndarray) -> None:
-        e = d - o
-        # -- pattern-1 -----------------------------------------------------
-        self._n += e.size
-        self._min_e = min(self._min_e, float(e.min()))
-        self._max_e = max(self._max_e, float(e.max()))
-        self._sum_e += float(e.sum())
-        self._sum_abs_e += float(np.abs(e).sum())
-        self._sum_sq_e += float((e * e).sum())
-        self._min_o = min(self._min_o, float(o.min()))
-        self._max_o = max(self._max_o, float(o.max()))
-        self._sum_o += float(o.sum())
-        self._sum_sq_o += float((o * o).sum())
-        mask = np.abs(o) > self.pwr_floor
-        if mask.any():
-            r = e[mask] / o[mask]
-            self._min_r = min(self._min_r, float(r.min()))
-            self._max_r = max(self._max_r, float(r.max()))
-            self._sum_r += float(r.sum())
-            self._cnt_r += float(mask.sum())
+    @property
+    def _carry(self) -> np.ndarray:
+        """The rolling error-slice carry (one entry per tracked lag)."""
+        carry = self._acc._carry
+        if carry is None:
+            return np.zeros((0, self.ny, self.nx))
+        return carry
 
-        # -- autocorrelation -----------------------------------------------
-        if self.max_lag >= 1:
-            for tau in range(1, self.max_lag + 1):
-                if self._z >= tau:
-                    self._emit_ac(self._carry[-tau], e, tau)
-            self._carry.append(e)
-            if len(self._carry) > self.max_lag:
-                self._carry.pop(0)
-
-        # -- SSIM ------------------------------------------------------------
-        if self.ssim_config is not None:
-            cfg = self.ssim_config
-            slot = np.stack(
-                [
-                    _box_sums2d(o, cfg.window, cfg.step),
-                    _box_sums2d(d, cfg.window, cfg.step),
-                    _box_sums2d(o * o, cfg.window, cfg.step),
-                    _box_sums2d(d * d, cfg.window, cfg.step),
-                    _box_sums2d(o * d, cfg.window, cfg.step),
-                ]
-            )
-            self._fifo.push(self._z, slot)
-            k = self._z
-            if k >= cfg.window - 1 and (k - cfg.window + 1) % cfg.step == 0:
-                self._reduce_ssim_window()
-        self._z += 1
-
-    def _emit_ac(self, core_slice: np.ndarray, later_slice: np.ndarray,
-                 tau: int) -> None:
-        """Contributions of the (z, z+tau) slice pair at lag ``tau``.
-
-        ``core_slice`` is the error slice tau steps back (now provably in
-        the valid region); its three shifted partners are the z-shifted
-        later slice plus its own in-plane y/x shifts.
-        """
-        ny, nx = self.ny, self.nx
-        core = core_slice[: ny - tau, : nx - tau]
-        shift_z = later_slice[: ny - tau, : nx - tau]
-        shift_y = core_slice[tau:, : nx - tau]
-        shift_x = core_slice[: ny - tau, tau:]
-        b = shift_z + shift_y + shift_x
-        self._ac_ab[tau] += float((core * b).sum())
-        self._ac_a[tau] += float(core.sum())
-        self._ac_b[tau] += float(b.sum())
-        self._ac_n[tau] += core.size
+    def _ingest_ssim_slice(self, k: int, o: np.ndarray, d: np.ndarray) -> None:
+        cfg = self.ssim_config
+        slot = np.stack(
+            [
+                _box_sums2d(o, cfg.window, cfg.step),
+                _box_sums2d(d, cfg.window, cfg.step),
+                _box_sums2d(o * o, cfg.window, cfg.step),
+                _box_sums2d(d * d, cfg.window, cfg.step),
+                _box_sums2d(o * d, cfg.window, cfg.step),
+            ]
+        )
+        self._fifo.push(k, slot)
+        if k >= cfg.window - 1 and (k - cfg.window + 1) % cfg.step == 0:
+            self._reduce_ssim_window()
 
     def _reduce_ssim_window(self) -> None:
         cfg = self.ssim_config
@@ -281,68 +225,39 @@ class StreamingChecker:
 
     def finalize(self) -> StreamingResult:
         """Close the stream and compute the final metric values."""
-        if self._n == 0:
+        if self._acc.n == 0:
             raise CheckerError("no data was streamed")
         self._finalized = True
         with self.tracer.span(
-            "finalize", category="step", slices=self._z, elements=self._n
+            "finalize", category="step", slices=self._z, elements=self._acc.n
         ):
             return self._finalize_result()
 
     def _finalize_result(self) -> StreamingResult:
-        n = self._n
-        mse = self._sum_sq_e / n
-        value_range = self._max_o - self._min_o
-        mean_o = self._sum_o / n
-        var_o = max(self._sum_sq_o / n - mean_o * mean_o, 0.0)
-        rd = finalize_rate_distortion(n, mse, value_range, var_o)
-        has_r = self._cnt_r > 0
-        pattern1 = Pattern1Result(
-            n=n,
-            min_err=self._min_e,
-            max_err=self._max_e,
-            avg_err=self._sum_e / n,
-            avg_abs_err=self._sum_abs_e / n,
-            max_abs_err=max(abs(self._min_e), abs(self._max_e)),
-            mse=mse,
-            rmse=rd.rmse,
-            value_range=value_range,
-            nrmse=rd.nrmse,
-            snr=rd.snr,
-            psnr=rd.psnr,
-            min_pwr_err=self._min_r if has_r else 0.0,
-            max_pwr_err=self._max_r if has_r else 0.0,
-            avg_pwr_err=self._sum_r / self._cnt_r if has_r else 0.0,
-            min_orig=self._min_o,
-            max_orig=self._max_o,
-            mean_orig=mean_o,
-            var_orig=var_o,
-            extras={"pwr_count": self._cnt_r, "sum_pwr": self._sum_r,
-                    "streamed": True},
+        a = self._acc
+        pattern1 = result_from_sums(
+            a.n,
+            a.min_e,
+            a.max_e,
+            a.sum_e,
+            a.sum_abs_e,
+            a.sum_sq_e,
+            a.min_o,
+            a.max_o,
+            a.sum_o,
+            a.sum_sq_o,
+            a.min_r,
+            a.max_r,
+            a.sum_r,
+            a.cnt_r,
+            None,
+            None,
+        )
+        pattern1.extras.update(
+            pwr_count=a.cnt_r, sum_pwr=a.sum_r, streamed=True
         )
 
-        ac = None
-        if self.max_lag >= 1:
-            mu = self._sum_e / n
-            var = max(self._sum_sq_e / n - mu * mu, 0.0)
-            ac = np.empty(self.max_lag + 1)
-            ac[0] = 1.0
-            if var == 0.0:
-                ac[1:] = 0.0
-            else:
-                for tau in range(1, self.max_lag + 1):
-                    ne = int(self._ac_n[tau])
-                    if ne == 0:
-                        ac[tau] = 0.0
-                        continue
-                    # Σ(a-μ)(Σ_i b_i - 3μ) = Σab - μΣb - 3μΣa + 3 n μ²
-                    centered = (
-                        self._ac_ab[tau]
-                        - mu * self._ac_b[tau]
-                        - 3.0 * mu * self._ac_a[tau]
-                        + 3.0 * ne * mu * mu
-                    )
-                    ac[tau] = centered / 3.0 / ne / var
+        ac = a.finalize_autocorr() if self.max_lag >= 1 else None
 
         ssim = None
         if self.ssim_config is not None:

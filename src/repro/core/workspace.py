@@ -30,6 +30,7 @@ results are tested against.
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 
@@ -45,9 +46,52 @@ from repro.metrics.rate_distortion import RateDistortion
 
 __all__ = [
     "MetricWorkspace",
+    "ScratchPool",
+    "default_scratch_pool",
     "finalize_rate_distortion",
     "histogram_pdf",
 ]
+
+
+class ScratchPool:
+    """Reusable buffer pool: steady-state assessment allocates nothing.
+
+    Buffers are keyed by ``(tag, shape, dtype)`` and handed out as raw
+    ``np.empty`` storage — callers must fully overwrite what they read.
+    A pool must only serve one live consumer at a time (two workspaces
+    sharing a pool would alias each other's arrays), which is why the
+    engine wires it in explicitly instead of pooling by default: the
+    backend creates one workspace per assessment, sequentially, so the
+    previous assessment's buffers are always dead when reused.
+    """
+
+    def __init__(self):
+        self._buffers: dict[tuple, np.ndarray] = {}
+
+    def get(self, tag: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        key = (tag, tuple(shape), np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+_pool_local = threading.local()
+
+
+def default_scratch_pool() -> ScratchPool:
+    """The thread's shared pool (one live consumer per thread at a time)."""
+    pool = getattr(_pool_local, "pool", None)
+    if pool is None:
+        pool = _pool_local.pool = ScratchPool()
+    return pool
 
 
 def finalize_rate_distortion(
@@ -104,7 +148,13 @@ class MetricWorkspace:
     fields (1-D/2-D inputs reduce over a single "slice").
     """
 
-    def __init__(self, orig: np.ndarray, dec: np.ndarray, pwr_floor: float = 0.0):
+    def __init__(
+        self,
+        orig: np.ndarray,
+        dec: np.ndarray,
+        pwr_floor: float = 0.0,
+        scratch: ScratchPool | None = None,
+    ):
         orig = np.asarray(orig)
         dec = np.asarray(dec)
         if orig.shape != dec.shape:
@@ -118,6 +168,7 @@ class MetricWorkspace:
         self.shape = orig.shape
         self.n = orig.size
         self.pwr_floor = pwr_floor
+        self._scratch = scratch
         self._cache: dict[str, object] = {}
 
     def _get(self, key: str, build):
@@ -125,39 +176,71 @@ class MetricWorkspace:
             self._cache[key] = build()
         return self._cache[key]
 
+    def _derived(self, key: str, fill) -> np.ndarray:
+        """A full-size derived array: pooled storage when a scratch pool
+        was wired in (``fill`` writes into the buffer via ``out=``),
+        freshly allocated otherwise.  Values are identical either way —
+        the pool only changes where the result lives."""
+
+        def build():
+            if self._scratch is None:
+                out = np.empty(self.shape)
+            else:
+                out = self._scratch.get(f"ws.{key}", self.shape)
+            fill(out)
+            return out
+
+        return self._get(key, build)
+
+    def cached_nbytes(self) -> int:
+        """Bytes held by materialised full-size intermediates (telemetry)."""
+        return sum(
+            v.nbytes for v in self._cache.values() if isinstance(v, np.ndarray)
+        )
+
     # -- derived arrays (each materialised at most once) -------------------
 
     @property
     def o64(self) -> np.ndarray:
-        return self._get("o64", lambda: self.orig.astype(np.float64))
+        return self._derived("o64", lambda out: np.copyto(out, self.orig))
 
     @property
     def d64(self) -> np.ndarray:
-        return self._get("d64", lambda: self.dec.astype(np.float64))
+        return self._derived("d64", lambda out: np.copyto(out, self.dec))
 
     @property
     def err(self) -> np.ndarray:
-        return self._get("err", lambda: self.d64 - self.o64)
+        return self._derived(
+            "err", lambda out: np.subtract(self.d64, self.o64, out=out)
+        )
 
     @property
     def abs_err(self) -> np.ndarray:
-        return self._get("abs_err", lambda: np.abs(self.err))
+        return self._derived("abs_err", lambda out: np.abs(self.err, out=out))
 
     @property
     def sq_err(self) -> np.ndarray:
-        return self._get("sq_err", lambda: self.err * self.err)
+        return self._derived(
+            "sq_err", lambda out: np.multiply(self.err, self.err, out=out)
+        )
 
     @property
     def o_sq(self) -> np.ndarray:
-        return self._get("o_sq", lambda: self.o64 * self.o64)
+        return self._derived(
+            "o_sq", lambda out: np.multiply(self.o64, self.o64, out=out)
+        )
 
     @property
     def d_sq(self) -> np.ndarray:
-        return self._get("d_sq", lambda: self.d64 * self.d64)
+        return self._derived(
+            "d_sq", lambda out: np.multiply(self.d64, self.d64, out=out)
+        )
 
     @property
     def od(self) -> np.ndarray:
-        return self._get("od", lambda: self.o64 * self.d64)
+        return self._derived(
+            "od", lambda out: np.multiply(self.o64, self.d64, out=out)
+        )
 
     @property
     def pwr_mask(self) -> np.ndarray:
@@ -279,16 +362,32 @@ class MetricWorkspace:
         """Pearson correlation from the cached arrays (one centred pass)."""
 
         def build():
-            co = self.o64 - self.mean_o
             mean_d = self.moments["sum_d"] / self.n
-            cd = self.d64 - mean_d
-            so = math.sqrt(float(np.mean(co * co)))
-            sd = math.sqrt(float(np.mean(cd * cd)))
+            if self._scratch is None:
+                co = self.o64 - self.mean_o
+                cd = self.d64 - mean_d
+                so = math.sqrt(float(np.mean(co * co)))
+                sd = math.sqrt(float(np.mean(cd * cd)))
+                if so == 0.0 or sd == 0.0:
+                    if np.array_equal(self.o64, self.d64):
+                        return 1.0
+                    return float("nan")
+                return float(np.mean(co * cd)) / (so * sd)
+            # pooled path: centred fields in reused buffers, moments via
+            # dot products — no temporaries beyond the two buffers
+            co = self._scratch.get("ws.centered_o", self.shape)
+            cd = self._scratch.get("ws.centered_d", self.shape)
+            np.subtract(self.o64, self.mean_o, out=co)
+            np.subtract(self.d64, mean_d, out=cd)
+            cof = co.reshape(-1)
+            cdf = cd.reshape(-1)
+            so = math.sqrt(float(np.dot(cof, cof)) / self.n)
+            sd = math.sqrt(float(np.dot(cdf, cdf)) / self.n)
             if so == 0.0 or sd == 0.0:
                 if np.array_equal(self.o64, self.d64):
                     return 1.0
                 return float("nan")
-            return float(np.mean(co * cd)) / (so * sd)
+            return float(np.dot(cof, cdf)) / self.n / (so * sd)
 
         return self._get("pearson", build)
 

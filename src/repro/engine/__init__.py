@@ -21,6 +21,11 @@ from repro.engine.plan import (
     build_plan,
     resolve_backend_name,
 )
+from repro.engine.tiling import (
+    TileAccumulator,
+    TiledAssessment,
+    resolve_slab,
+)
 
 __all__ = [
     "Backend",
@@ -34,4 +39,7 @@ __all__ = [
     "PlanStep",
     "build_plan",
     "resolve_backend_name",
+    "TileAccumulator",
+    "TiledAssessment",
+    "resolve_slab",
 ]

@@ -35,7 +35,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.workspace import MetricWorkspace
+from repro.core.workspace import MetricWorkspace, default_scratch_pool
+from repro.engine.tiling import TiledAssessment, resolve_slab
 from repro.errors import CheckerError
 from repro.gpusim.counters import KernelStats
 from repro.gpusim.launch import LaunchConfig
@@ -115,11 +116,13 @@ class Backend(abc.ABC):
                 )
                 self._on_launch([stats])
                 self._annotate(sp, stats)
+                self._annotate_host(sp, ctx)
         elif step.kind == "pattern2":
             with ctx.tracer.span("pattern2", category="kernel", pattern=2) as sp:
                 report.pattern2, stats = self._pattern2(ctx)
                 self._on_launch([stats])
                 self._annotate(sp, stats)
+                self._annotate_host(sp, ctx)
         elif step.kind == "pattern3":
             with ctx.tracer.span("pattern3", category="kernel", pattern=3) as sp:
                 report.pattern3, stats = self._pattern3(ctx)
@@ -129,8 +132,9 @@ class Backend(abc.ABC):
             with ctx.tracer.span(
                 "host.auxiliary", category="kernel", pattern="aux",
                 bytes=ctx.orig.nbytes + ctx.dec.nbytes,
-            ):
+            ) as sp:
                 report.auxiliary.update(self._auxiliary(ctx, step.metrics))
+                self._annotate_host(sp, ctx)
         else:  # pragma: no cover — plans only emit the four kinds
             raise CheckerError(f"unknown plan step kind {step.kind!r}")
 
@@ -150,6 +154,17 @@ class Backend(abc.ABC):
             grid_blocks=stats.grid_blocks,
             threads_per_block=stats.threads_per_block,
         )
+
+    def _annotate_host(self, sp, ctx: RunContext) -> None:
+        """Host-execution attributes: how this backend actually moved data
+        (slab depth and cumulative host bytes for the tiled path, cached
+        intermediate footprint for the whole-array workspace path)."""
+        tiled = ctx.extras.get("tiled")
+        if tiled is not None:
+            sp.attrs["tiling_slab"] = tiled.slab
+            sp.attrs["host_bytes"] = tiled.bytes_touched
+        elif ctx.workspace is not None:
+            sp.attrs["host_bytes"] = ctx.workspace.cached_nbytes()
 
     # -- pattern hooks -----------------------------------------------------
 
@@ -189,17 +204,59 @@ class FusedHostBackend(Backend):
 
     def begin(self, plan, orig, dec) -> RunContext:
         ctx = super().begin(plan, orig, dec)
-        ctx.workspace = MetricWorkspace(
-            orig, dec, pwr_floor=plan.config.pattern1.pwr_floor
-        )
+        kinds = {s.kind for s in plan.steps}
+        has_p1 = "pattern1" in kinds
+        has_p2 = "pattern2" in kinds
+        slab = None
+        if has_p1 or has_p2:
+            slab = resolve_slab(
+                orig.shape,
+                getattr(plan.config, "tiling", "off"),
+                itemsize=np.asarray(orig).dtype.itemsize,
+            )
+        if slab is not None:
+            aux_names: tuple[str, ...] = ()
+            for s in plan.steps:
+                if s.kind == "auxiliary":
+                    aux_names = tuple(s.metrics)
+            # tiled single-pass mode: no whole-array workspace at all —
+            # pattern 3 and the spectral FFT (inherently whole-array)
+            # fall back to standalone execution on the raw inputs
+            ctx.extras["tiled"] = TiledAssessment(
+                orig,
+                dec,
+                plan.config,
+                slab,
+                want_pdfs=has_p1,
+                want_pattern2=has_p2,
+                aux_names=aux_names,
+                scratch=default_scratch_pool(),
+            )
+        else:
+            ctx.workspace = MetricWorkspace(
+                orig,
+                dec,
+                pwr_floor=plan.config.pattern1.pwr_floor,
+                scratch=default_scratch_pool(),
+            )
         return ctx
 
     def _pattern1(self, ctx):
+        tiled = ctx.extras.get("tiled")
+        if tiled is not None:
+            return tiled.pattern1_result(), plan_pattern1(
+                tiled.shape, ctx.plan.config.pattern1
+            )
         return execute_pattern1(
             ctx.orig, ctx.dec, ctx.plan.config.pattern1, workspace=ctx.workspace
         )
 
     def _pattern2(self, ctx):
+        tiled = ctx.extras.get("tiled")
+        if tiled is not None:
+            return tiled.pattern2_result(ctx.err_mean, ctx.err_var), plan_pattern2(
+                tiled.shape, ctx.plan.config.pattern2
+            )
         err_mean, err_var = ctx.err_mean, ctx.err_var
         if err_mean is None:
             # no pattern-1 step in this plan: take the moments from the
@@ -225,6 +282,14 @@ class FusedHostBackend(Backend):
         )
 
     def _auxiliary(self, ctx, names):
+        tiled = ctx.extras.get("tiled")
+        if tiled is not None:
+            out = tiled.aux_values(names)
+            if "spectral" in names:
+                spectral = spectral_comparison(ctx.orig, ctx.dec)
+                out["spectral_mean_rel_err"] = spectral.mean_rel_err
+                out["spectral_noise_frequency"] = spectral.noise_frequency
+            return out
         # float32→float64 is exact, so handing the workspace's cached
         # views to the FFT is bit-identical and skips the conversion
         # spectral_comparison would otherwise redo

@@ -174,6 +174,15 @@ class ExecutionPlan:
             f"  device: {self.config.device}; patterns enabled: "
             + (", ".join(str(p) for p in self.config.patterns) or "none"),
         ]
+        tiling = getattr(self.config, "tiling", "off")
+        tiling_line = f"  tiling: {tiling}"
+        if shape is not None:
+            from repro.engine.tiling import resolve_slab
+
+            slab = resolve_slab(tuple(shape), tiling)
+            resolved = "whole-array" if slab is None else f"slab_nz={slab}"
+            tiling_line += f" ({resolved} for shape {tuple(shape)})"
+        lines.append(tiling_line)
         for i, step in enumerate(self.steps, 1):
             lines.append(f"  step {i}: {_STEP_LABELS[step.kind]}")
             lines.append("    metrics:  " + ", ".join(step.metrics))

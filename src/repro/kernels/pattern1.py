@@ -35,6 +35,7 @@ __all__ = [
     "Pattern1Result",
     "plan_pattern1",
     "execute_pattern1",
+    "result_from_sums",
     "BLOCK_X",
     "BLOCK_Y",
     "REGS_PER_THREAD",
@@ -202,7 +203,7 @@ def _block_reduce(partials: np.ndarray, op) -> float:
     return float(warp_reduce(per_warp[None, :], op)[0])
 
 
-def _result_from_sums(
+def result_from_sums(
     n: int,
     min_e: float,
     max_e: float,
@@ -223,8 +224,9 @@ def _result_from_sums(
     """Grid-level accumulator sums -> the full Category-I result.
 
     Shared by the blocked kernel execution, the workspace-fused fast
-    path, and the parallel slab combiners so the degenerate-case
-    conventions stay identical everywhere.
+    path, the tiled/streaming accumulators, and the parallel slab
+    combiners so the degenerate-case conventions stay identical
+    everywhere.
     """
     has_r = cnt_r > 0
     if not has_r:
@@ -294,7 +296,7 @@ def _execute_fused(workspace, config: Pattern1Config) -> Pattern1Result:
     pwr_pdf = histogram_pdf(
         workspace.pwr_vals, m["min_r"], m["max_r"], config.pdf_bins
     )
-    return _result_from_sums(
+    return result_from_sums(
         workspace.n,
         m["min_e"],
         m["max_e"],
@@ -412,7 +414,7 @@ def execute_pattern1(
         kind="pwr", floor=config.pwr_floor,
     )
 
-    result = _result_from_sums(
+    result = result_from_sums(
         n,
         min_e,
         max_e,

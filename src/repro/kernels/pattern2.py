@@ -42,6 +42,7 @@ __all__ = [
     "Pattern2Result",
     "plan_pattern2",
     "execute_pattern2",
+    "stencil_fields_local",
     "TILE",
     "TILE_Z",
 ]
@@ -211,19 +212,13 @@ def _slab_ranges(nz: int) -> list[tuple[int, int]]:
     return [(z0, min(z0 + TILE_Z, nz)) for z0 in range(0, nz, TILE_Z)]
 
 
-def _slab_stencil_fields(
-    f: np.ndarray, z0: int, z1: int
+def stencil_fields_local(
+    local: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """(grad magnitude, 2nd-deriv magnitude, divergence, laplacian) for the
-    interior rows this slab owns, computed from a haloed local view —
-    exactly what the staged shared-memory cube provides the block."""
-    nz = f.shape[0]
-    lo = max(z0, 1)
-    hi = min(z1, nz - 1)
-    if lo >= hi:
-        empty = np.zeros((0, f.shape[1] - 2, f.shape[2] - 2))
-        return empty, empty, empty, empty
-    local = f[lo - 1 : hi + 1]  # one halo slice each side
+    """(grad magnitude, 2nd-deriv magnitude, divergence, laplacian) of the
+    interior of one ±1-haloed local block — the maths a thread block runs
+    on its staged shared-memory cube.  Shared with the tiled executor,
+    which feeds slab-sized copies instead of whole-array views."""
     c = local[1:-1, 1:-1, 1:-1]
     dz = (local[2:, 1:-1, 1:-1] - local[:-2, 1:-1, 1:-1]) / 2.0
     dy = (local[1:-1, 2:, 1:-1] - local[1:-1, :-2, 1:-1]) / 2.0
@@ -234,6 +229,20 @@ def _slab_stencil_fields(
     grad = np.sqrt(dx * dx + dy * dy + dz * dz)
     der2 = np.sqrt(dxx * dxx + dyy * dyy + dzz * dzz)
     return grad, der2, dz + dy + dx, dzz + dyy + dxx
+
+
+def _slab_stencil_fields(
+    f: np.ndarray, z0: int, z1: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stencil fields for the interior rows slab ``[z0, z1)`` owns,
+    computed from a haloed view of the whole array."""
+    nz = f.shape[0]
+    lo = max(z0, 1)
+    hi = min(z1, nz - 1)
+    if lo >= hi:
+        empty = np.zeros((0, f.shape[1] - 2, f.shape[2] - 2))
+        return empty, empty, empty, empty
+    return stencil_fields_local(f[lo - 1 : hi + 1])
 
 
 def _blocked_field_comparison(

@@ -52,23 +52,77 @@ def spatial_autocorrelation(error: np.ndarray, max_lag: int = 10) -> np.ndarray:
         out[1:] = 0.0
         return out
     nz, ny, nx = e.shape
-    for tau in range(1, max_lag + 1):
+    # valid-region sizes for every lag at once (hoisted out of the loop)
+    taus = np.arange(1, max_lag + 1)
+    ne = (nz - taus) * (ny - taus) * (nx - taus)
+    for i, tau in enumerate(taus):
         core = c[: nz - tau, : ny - tau, : nx - tau]
         shift_z = c[tau:, : ny - tau, : nx - tau]
         shift_y = c[: nz - tau, tau:, : nx - tau]
         shift_x = c[: nz - tau, : ny - tau, tau:]
-        ne = (nz - tau) * (ny - tau) * (nx - tau)
-        acc = np.sum(core * (shift_z + shift_y + shift_x)) / 3.0
-        out[tau] = acc / ne / var
+        # dot products over strided views: no shifted-copy temporaries;
+        # only the final three-way add differs from the naive grouping
+        # (verified within 1e-12 relative in tests)
+        acc = (
+            np.einsum("ijk,ijk->", core, shift_z)
+            + np.einsum("ijk,ijk->", core, shift_y)
+            + np.einsum("ijk,ijk->", core, shift_x)
+        ) / 3.0
+        out[i + 1] = acc / ne[i] / var
     return out
 
 
-def series_autocorrelation(error: np.ndarray, max_lag: int = 10) -> np.ndarray:
+#: below this size the per-lag dot products beat the FFT's setup cost
+_FFT_MIN_SIZE = 4096
+#: with only a few lags, O(n·lags) direct work is already cheap
+_FFT_MIN_LAGS = 4
+
+_SERIES_METHODS = ("auto", "fft", "direct")
+
+
+def _series_direct(c: np.ndarray, n: int, var: float, max_lag: int) -> np.ndarray:
+    out = np.empty(max_lag + 1)
+    out[0] = 1.0
+    for k in range(1, max_lag + 1):
+        out[k] = float(np.dot(c[:-k], c[k:])) / (n * var)
+    return out
+
+
+def _series_fft(c: np.ndarray, n: int, var: float, max_lag: int) -> np.ndarray:
+    """All lags in one rfft/irfft round trip (Wiener–Khinchin).
+
+    Zero-padding to at least ``n + max_lag`` turns the circular
+    correlation into the linear one the direct estimator computes, so
+    the two agree to FP tolerance; the padded length is rounded up to a
+    power of two for the fastest transform.
+    """
+    nfft = 1 << (n + max_lag - 1).bit_length()
+    f = np.fft.rfft(c, nfft)
+    acov = np.fft.irfft(f * np.conj(f), nfft)[: max_lag + 1]
+    out = acov / (n * var)
+    out[0] = 1.0  # exact by definition, not up to FFT round-off
+    return out
+
+
+def series_autocorrelation(
+    error: np.ndarray, max_lag: int = 10, method: str = "auto"
+) -> np.ndarray:
     """Classical autocorrelation of the flattened error sequence.
 
     Uses the biased estimator ``ρ(k) = Σ_t (e_t-μ)(e_{t+k}-μ) / (n σ²)``
     (the convention of most statistics texts and of Z-checker's plots).
+
+    ``method`` selects the implementation, mirroring ``SsimConfig.method``:
+    ``"direct"`` is the per-lag dot-product oracle (O(n·lags)),
+    ``"fft"`` computes every lag from one rfft/irfft round trip
+    (O(n log n)), and ``"auto"`` picks the FFT once the series is long
+    enough for its setup cost to pay off.  Both agree to FP tolerance
+    (property-tested).
     """
+    if method not in _SERIES_METHODS:
+        raise ValueError(
+            f"method must be one of {_SERIES_METHODS}, got {method!r}"
+        )
     e = np.asarray(error, dtype=np.float64).ravel()
     if max_lag < 0:
         raise ValueError("max_lag must be >= 0")
@@ -83,6 +137,12 @@ def series_autocorrelation(error: np.ndarray, max_lag: int = 10) -> np.ndarray:
         return out
     c = e - mu
     n = e.size
-    for k in range(1, max_lag + 1):
-        out[k] = float(np.dot(c[:-k], c[k:])) / (n * var)
-    return out
+    if method == "auto":
+        method = (
+            "fft"
+            if n >= _FFT_MIN_SIZE and max_lag >= _FFT_MIN_LAGS
+            else "direct"
+        )
+    if method == "fft":
+        return _series_fft(c, n, var, max_lag)
+    return _series_direct(c, n, var, max_lag)

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import CheckerError, ShapeError
 from repro.core.streaming import StreamingResult
-from repro.kernels.pattern1 import _result_from_sums
+from repro.kernels.pattern1 import result_from_sums
 from repro.kernels.pattern3 import Pattern3Config
 from repro.metrics.ssim import box_sums, window_positions
 
@@ -194,7 +194,7 @@ def parallel_stream_field(
 
     # -- grid-level merge (associative, same as the multi-GPU merge) ------
     n = sum(p["n"] for p in parts)
-    pattern1 = _result_from_sums(
+    pattern1 = result_from_sums(
         n,
         min(p["min_e"] for p in parts),
         max(p["max_e"] for p in parts),

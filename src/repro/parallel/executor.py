@@ -28,9 +28,30 @@ __all__ = [
 ]
 
 
+def _available_cores() -> int:
+    """Cores this process may actually run on, not the machine's total.
+
+    ``os.cpu_count()`` reports the physical machine; under a cgroup /
+    affinity-restricted container the scheduler may only hand us a
+    subset, and oversubscribing a single core with pool threads is a
+    measured slowdown (0.76x at 2 workers on a 1-core host — the pool
+    adds dispatch overhead with no parallelism to buy it back; see
+    EXPERIMENTS.md).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # non-Linux: no affinity API
+        return os.cpu_count() or 1
+
+
 def auto_workers(n_tasks: int | None = None) -> int:
-    """Worker count: every core, but never more workers than tasks."""
-    cores = os.cpu_count() or 1
+    """Worker count: every *available* core, never more workers than tasks.
+
+    Returns 1 on single-core (or affinity-restricted-to-one-core) hosts,
+    which makes :func:`parallel_assess_dataset` degenerate to the plain
+    serial loop in ``_run_isolated`` — no thread pool is built at all.
+    """
+    cores = _available_cores()
     if n_tasks is not None:
         return max(1, min(cores, n_tasks))
     return max(1, cores)

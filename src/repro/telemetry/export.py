@@ -134,6 +134,12 @@ def kernel_summary(spans: list[Span]) -> list[dict]:
         occ = [s.attrs["occupancy"] for s in group if "occupancy" in s.attrs]
         if occ:
             row["occupancy"] = round(sum(occ) / len(occ), 3)
+        peaks = [s.attrs["mem_peak_kb"] for s in group if "mem_peak_kb" in s.attrs]
+        if peaks:
+            row["peak_MB"] = round(max(peaks) / 1024.0, 1)
+        host = [s.attrs["host_bytes"] for s in group if "host_bytes" in s.attrs]
+        if host:
+            row["host_MB"] = round(max(host) / (1024.0 * 1024.0), 1)
         rows.append(row)
     return rows
 

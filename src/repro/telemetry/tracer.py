@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 
 __all__ = ["Span", "Tracer", "NULL_TRACER"]
@@ -81,12 +82,13 @@ _NULL_SPAN = _NullSpan()
 class _SpanHandle:
     """Context manager that opens/closes one live span."""
 
-    __slots__ = ("_tracer", "span", "_explicit_parent")
+    __slots__ = ("_tracer", "span", "_explicit_parent", "_mem0")
 
     def __init__(self, tracer: "Tracer", span: Span, parent: Span | None):
         self._tracer = tracer
         self.span = span
         self._explicit_parent = parent
+        self._mem0 = None
 
     def __enter__(self) -> Span:
         tr = self._tracer
@@ -97,6 +99,14 @@ class _SpanHandle:
         elif stack:
             sp.parent_id = stack[-1].span_id
         sp.track = tr._track()
+        if tr.trace_memory and tracemalloc.is_tracing():
+            # tracemalloc has one global peak; per-span peaks need a
+            # reset on entry plus a slot where children propagate their
+            # own peaks back up (reset_peak would otherwise hide a
+            # child's high-water mark from its parent)
+            self._mem0 = tracemalloc.get_traced_memory()[0]
+            tr._memstack().append(0)
+            tracemalloc.reset_peak()
         sp.start_us = (tr._clock() - tr._epoch) * 1e6
         stack.append(sp)
         return sp
@@ -105,6 +115,15 @@ class _SpanHandle:
         tr = self._tracer
         sp = self.span
         sp.end_us = (tr._clock() - tr._epoch) * 1e6
+        if self._mem0 is not None:
+            current, peak = tracemalloc.get_traced_memory()
+            memstack = tr._memstack()
+            my_peak = max(peak, memstack.pop() if memstack else 0)
+            sp.attrs["mem_peak_kb"] = round(my_peak / 1024.0, 1)
+            sp.attrs["mem_delta_kb"] = round((current - self._mem0) / 1024.0, 1)
+            if memstack:
+                memstack[-1] = max(memstack[-1], my_peak)
+            tracemalloc.reset_peak()
         stack = tr._stack()
         if stack and stack[-1] is sp:
             stack.pop()
@@ -123,10 +142,22 @@ class Tracer:
         handle — the engine's tracing hooks cost one attribute check.
     clock:
         Monotonic clock in seconds; injectable for deterministic tests.
+    trace_memory:
+        When true and :mod:`tracemalloc` is tracing, every span records
+        ``mem_peak_kb`` (the allocation high-water mark while it was
+        open, children included) and ``mem_delta_kb`` (net allocation
+        change) in its attrs.  Off by default — tracemalloc slows
+        allocation-heavy code, so the profiler enables it explicitly.
     """
 
-    def __init__(self, enabled: bool = True, clock=time.perf_counter):
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock=time.perf_counter,
+        trace_memory: bool = False,
+    ):
         self.enabled = enabled
+        self.trace_memory = trace_memory
         self.spans: list[Span] = []
         self._clock = clock
         self._epoch = clock()
@@ -141,6 +172,13 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+        return stack
+
+    def _memstack(self) -> list[int]:
+        """Per-thread child-peak propagation slots (see ``_SpanHandle``)."""
+        stack = getattr(self._local, "memstack", None)
+        if stack is None:
+            stack = self._local.memstack = []
         return stack
 
     def _track(self) -> int:

@@ -1,0 +1,254 @@
+"""Unit coverage of the tiled execution layer: slab resolution, the
+shared TileAccumulator, the scratch pool, config plumbing, plan
+explanation, telemetry memory attributes, and worker auto-detection."""
+
+import os
+import tracemalloc
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config.defaults import default_config
+from repro.config.parser import format_config, parse_config_text
+from repro.config.schema import CheckerConfig
+from repro.core.compare import compare_data
+from repro.core.workspace import MetricWorkspace, ScratchPool, default_scratch_pool
+from repro.engine.plan import build_plan
+from repro.engine.tiling import (
+    AUTO_MIN_BYTES,
+    TileAccumulator,
+    TiledAssessment,
+    resolve_slab,
+)
+from repro.errors import ConfigError
+from repro.metrics.autocorrelation import spatial_autocorrelation
+from repro.parallel.executor import auto_workers
+from repro.telemetry.export import kernel_summary
+from repro.telemetry.tracer import Tracer
+
+
+def _pair(shape=(12, 13, 14), seed=9):
+    rng = np.random.default_rng(seed)
+    orig = rng.normal(2.0, 1.0, size=shape).astype(np.float32)
+    dec = (orig + rng.normal(scale=0.02, size=shape)).astype(np.float32)
+    return orig, dec
+
+
+class TestResolveSlab:
+    BIG = (256, 256, 256)  # 64 MiB at float32
+
+    def test_off_is_whole_array(self):
+        assert resolve_slab(self.BIG, "off") is None
+
+    def test_non_3d_is_whole_array(self):
+        assert resolve_slab((4096, 4096), "auto") is None
+        assert resolve_slab((2, 3, 4, 5), 8) is None
+
+    def test_explicit_int_always_tiles(self):
+        assert resolve_slab((6, 7, 8), 4) == 4
+        # clamped to nz, never beyond
+        assert resolve_slab((6, 7, 8), 100) == 6
+
+    def test_bool_and_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_slab(self.BIG, True)
+        with pytest.raises(ConfigError):
+            resolve_slab(self.BIG, 0)
+        with pytest.raises(ConfigError):
+            resolve_slab(self.BIG, "sometimes")
+
+    def test_auto_small_field_stays_whole(self):
+        shape = (16, 32, 32)
+        assert shape[0] * shape[1] * shape[2] * 4 < AUTO_MIN_BYTES
+        assert resolve_slab(shape, "auto") is None
+
+    def test_auto_large_field_tiles(self):
+        slab = resolve_slab(self.BIG, "auto")
+        assert slab is not None
+        assert 4 <= slab <= 64
+        assert slab < self.BIG[0]
+
+    def test_auto_shallow_field_stays_whole(self):
+        # plenty of bytes but too few z planes for a sub-nz slab
+        assert resolve_slab((4, 2048, 2048), "auto") is None
+
+
+class TestTileAccumulator:
+    def test_moments_match_workspace(self):
+        orig, dec = _pair()
+        o64 = orig.astype(np.float64)
+        d64 = dec.astype(np.float64)
+        acc = TileAccumulator(orig.shape[1:], pwr_floor=0.0)
+        for z0 in range(0, orig.shape[0], 5):
+            z1 = min(z0 + 5, orig.shape[0])
+            acc.add_block(o64[z0:z1], d64[z0:z1], d64[z0:z1] - o64[z0:z1])
+        ws = MetricWorkspace(orig, dec)
+        err = ws.err
+        assert acc.n == err.size
+        assert acc.min_e == err.min()
+        assert acc.max_e == err.max()
+        assert acc.sum_e == pytest.approx(err.sum(), rel=1e-12)
+        assert acc.sum_sq_e == pytest.approx((err * err).sum(), rel=1e-12)
+        assert acc.mean_e == pytest.approx(err.mean(), rel=1e-12)
+        assert acc.var_e == pytest.approx(err.var(), rel=1e-10)
+
+    @pytest.mark.parametrize("block", [1, 2, 3, 5, 12])
+    def test_autocorr_matches_reference(self, block):
+        orig, dec = _pair()
+        err = dec.astype(np.float64) - orig.astype(np.float64)
+        ref = spatial_autocorrelation(err, max_lag=4)
+        acc = TileAccumulator(orig.shape[1:], max_lag=4)
+        for z0 in range(0, orig.shape[0], block):
+            z1 = min(z0 + block, orig.shape[0])
+            o = orig[z0:z1].astype(np.float64)
+            d = dec[z0:z1].astype(np.float64)
+            acc.add_block(o, d, d - o)
+        np.testing.assert_allclose(
+            acc.finalize_autocorr(), ref, rtol=1e-7, atol=1e-9
+        )
+
+    def test_carry_bounded_by_max_lag(self):
+        acc = TileAccumulator((8, 9), max_lag=3)
+        block = np.ones((2, 8, 9))
+        for _ in range(5):
+            acc.add_block(block, block * 1.5, block * 0.5)
+        assert acc._carry.shape == (3, 8, 9)
+
+    def test_no_carry_without_lags(self):
+        acc = TileAccumulator((8, 9), max_lag=0)
+        assert acc._carry is None
+
+
+class TestScratchPool:
+    def test_reuse_identity(self):
+        pool = ScratchPool()
+        a = pool.get("buf", (4, 5))
+        b = pool.get("buf", (4, 5))
+        assert a is b
+        assert pool.get("buf", (4, 6)) is not a
+        assert pool.get("other", (4, 5)) is not a
+
+    def test_nbytes_and_clear(self):
+        pool = ScratchPool()
+        pool.get("x", (10, 10))
+        assert pool.nbytes() == 10 * 10 * 8
+        pool.clear()
+        assert pool.nbytes() == 0
+
+    def test_default_pool_is_per_thread_singleton(self):
+        assert default_scratch_pool() is default_scratch_pool()
+
+    def test_tiled_run_reuses_buffers_across_assessments(self):
+        orig, dec = _pair()
+        pool = ScratchPool()
+        config = default_config()
+        t1 = TiledAssessment(orig, dec, config, 4, scratch=pool)
+        t1.sweep2()
+        n1 = pool.nbytes()
+        t2 = TiledAssessment(orig, dec, config, 4, scratch=pool)
+        t2.sweep2()
+        # steady state: second assessment allocated nothing new
+        assert pool.nbytes() == n1
+
+
+class TestConfigTiling:
+    def test_default_is_auto(self):
+        assert default_config().tiling == "auto"
+
+    def test_parse_and_format_round_trip(self):
+        for raw, value in (("auto", "auto"), ("off", "off"), ("8", 8)):
+            cfg = parse_config_text(f"[GLOBAL]\ntiling = {raw}\n")
+            assert cfg.tiling == value
+            assert parse_config_text(format_config(cfg)).tiling == value
+
+    def test_parse_bad_value_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("[GLOBAL]\ntiling = banana\n")
+
+    def test_validate_rejects_bad_values(self):
+        for bad in (0, -3, True, "sometimes"):
+            with pytest.raises(ConfigError):
+                replace(CheckerConfig(), tiling=bad).validate()
+
+    def test_explain_reports_tiling(self):
+        plan = build_plan(replace(default_config(), tiling=8))
+        text = plan.explain((64, 256, 256))
+        assert "tiling: 8" in text
+        assert "slab_nz=8" in text
+        text_off = build_plan(replace(default_config(), tiling="off")).explain(
+            (64, 256, 256)
+        )
+        assert "tiling: off" in text_off
+        assert "whole-array" in text_off
+
+
+class TestTiledBackendTelemetry:
+    def test_spans_carry_slab_and_bytes(self):
+        orig, dec = _pair()
+        tracer = Tracer()
+        config = replace(default_config(), tiling=4)
+        compare_data(orig, dec, config=config, with_baselines=False, tracer=tracer)
+        tiled_spans = [s for s in tracer.spans if "tiling_slab" in s.attrs]
+        assert tiled_spans
+        assert all(s.attrs["tiling_slab"] == 4 for s in tiled_spans)
+        assert any(s.attrs.get("host_bytes", 0) > 0 for s in tiled_spans)
+
+    def test_memory_attrs_nested_peaks(self):
+        tracer = Tracer(trace_memory=True)
+        tracemalloc.start()
+        try:
+            with tracer.span("outer") as outer:
+                with tracer.span("inner") as inner:
+                    blob = np.empty(512 * 1024)  # ~4 MB inside the child
+                    blob[0] = 1.0
+        finally:
+            tracemalloc.stop()
+        assert "mem_peak_kb" in outer.attrs and "mem_peak_kb" in inner.attrs
+        assert inner.attrs["mem_peak_kb"] >= 4000
+        # the parent's high-water mark includes its child's
+        assert outer.attrs["mem_peak_kb"] >= inner.attrs["mem_peak_kb"]
+
+    def test_kernel_summary_peak_column(self):
+        tracer = Tracer(trace_memory=True)
+        tracemalloc.start()
+        try:
+            with tracer.span("k1", category="kernel", bytes=1024):
+                buf = np.empty(256 * 1024)
+                buf[0] = 1.0
+        finally:
+            tracemalloc.stop()
+        rows = kernel_summary(tracer.spans)
+        assert rows and rows[0]["peak_MB"] >= 1.9
+
+    def test_memory_off_by_default(self):
+        tracer = Tracer()
+        tracemalloc.start()
+        try:
+            with tracer.span("plain") as sp:
+                pass
+        finally:
+            tracemalloc.stop()
+        assert "mem_peak_kb" not in sp.attrs
+
+
+class TestAutoWorkers:
+    def test_single_core_means_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0}, raising=False)
+        assert auto_workers() == 1
+        assert auto_workers(8) == 1
+
+    def test_respects_affinity_not_machine(self, monkeypatch):
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2, 3}, raising=False
+        )
+        assert auto_workers() == 4
+        assert auto_workers(2) == 2
+
+    def test_falls_back_without_affinity_api(self, monkeypatch):
+        def boom(pid):
+            raise AttributeError("no sched_getaffinity on this platform")
+
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert auto_workers() == 3

@@ -34,7 +34,11 @@ from pathlib import Path
 ROWS = [
     ("fused vs unfused speedup", ("fused", "speedup"), True),
     ("sliding vs naive SSIM speedup", ("ssim", "speedup"), True),
+    ("tiled vs whole speedup", ("tiled", "speedup"), True),
+    ("tiled peak-memory reduction", ("tiled", "peak_reduction"), True),
     ("fused seconds", ("fused", "fused_seconds"), False),
+    ("tiled seconds", ("tiled", "tiled_seconds"), False),
+    ("whole-array seconds", ("tiled", "whole_seconds"), False),
     ("unfused seconds", ("fused", "unfused_seconds"), False),
     ("sliding SSIM seconds", ("ssim", "sliding_seconds"), False),
     ("parallel x1 seconds", ("parallel", "workers", "1", "seconds"), False),
