@@ -6,8 +6,10 @@ Measures, on real NumPy execution (no modelled costs):
   :class:`~repro.core.workspace.MetricWorkspace` against the historical
   per-consumer scans (``CheckerConfig(fused=False)``);
 * **parallel batch scaling** — ``parallel_compare_pairs`` at 1/2/4
-  workers over a multi-field synthetic dataset;
-* **slab parallelism** — ``parallel_stream_field`` on one large field;
+  workers over a multi-field synthetic dataset (thread pool, and a
+  second section for the shared-memory process pool where available);
+* **slab parallelism** — ``parallel_stream_field`` on one large field
+  (thread and process sections likewise);
 * **sliding vs naive SSIM** — the summed-area fast path against the
   explicit per-window oracle.
 
@@ -74,23 +76,31 @@ def bench_fused(shape, repeats):
     }
 
 
-def bench_parallel(shape, n_fields, repeats):
-    from repro.parallel import parallel_compare_pairs
+def bench_parallel(shape, n_fields, repeats, executor=None):
+    from repro.parallel import parallel_compare_pairs, warm_process_pool
 
     pairs = [
         (f"field{i}", *_make_pair(shape, seed=10 + i)) for i in range(n_fields)
     ]
     out = {"shape": list(shape), "n_fields": n_fields, "workers": {}}
+    if executor:
+        out["executor"] = executor
     t1 = None
     for w in (1, 2, 4):
-        t = _best_of(lambda w=w: parallel_compare_pairs(pairs, workers=w), repeats)
+        if executor == "process" and w > 1:
+            # spawn + import up front so the timed region is steady-state
+            warm_process_pool(w)
+        t = _best_of(
+            lambda w=w: parallel_compare_pairs(pairs, workers=w, executor=executor),
+            repeats,
+        )
         t1 = t1 if t1 is not None else t
         out["workers"][str(w)] = {"seconds": t, "speedup_vs_1": t1 / t}
     return out
 
 
-def bench_slab(shape, repeats):
-    from repro.parallel import parallel_stream_field
+def bench_slab(shape, repeats, executor=None):
+    from repro.parallel import parallel_stream_field, warm_process_pool
 
     orig, dec = _make_pair(shape, seed=42)
     L = float(orig.max() - orig.min())
@@ -98,10 +108,16 @@ def bench_slab(shape, repeats):
 
     cfg = Pattern3Config(dynamic_range=L)
     out = {"shape": list(shape), "workers": {}}
+    if executor:
+        out["executor"] = executor
     t1 = None
     for w in (1, 2, 4):
+        if executor == "process" and w > 1:
+            warm_process_pool(w)
         t = _best_of(
-            lambda w=w: parallel_stream_field(orig, dec, ssim=cfg, workers=w),
+            lambda w=w: parallel_stream_field(
+                orig, dec, ssim=cfg, workers=w, executor=executor
+            ),
             repeats,
         )
         t1 = t1 if t1 is not None else t
@@ -202,15 +218,37 @@ def main(argv=None) -> int:
         tiled_shape = (64, 256, 256)
         n_fields, repeats = 4, 3
 
+    try:
+        avail_cores = len(os.sched_getaffinity(0))
+    except AttributeError:
+        avail_cores = os.cpu_count() or 1
+
     entry = {
         "quick": args.quick,
         "cpu_count": os.cpu_count(),
+        "avail_cores": avail_cores,
         "fused": bench_fused(shape, repeats),
         "parallel": bench_parallel(par_shape, n_fields, repeats),
         "slab": bench_slab(slab_shape, repeats),
         "ssim": bench_ssim((10, 28, 28), repeats),
         "tiled": bench_tiled(tiled_shape, repeats, args.quick),
     }
+
+    from repro.parallel import process_available
+
+    if process_available():
+        entry["parallel_process"] = bench_parallel(
+            par_shape, n_fields, repeats, executor="process"
+        )
+        entry["slab_process"] = bench_slab(slab_shape, repeats, executor="process")
+        # how processes compare to the GIL-bound thread pool on this host,
+        # measured in the same run
+        for proc_key, thread_key in (
+            ("parallel_process", "parallel"), ("slab_process", "slab"),
+        ):
+            t_thread = entry[thread_key]["workers"]["4"]["seconds"]
+            t_proc = entry[proc_key]["workers"]["4"]["seconds"]
+            entry[proc_key]["vs_thread_x4"] = t_thread / t_proc
 
     doc = {"runs": []}
     if args.output.exists():
@@ -228,6 +266,13 @@ def main(argv=None) -> int:
     )
     for w, row in entry["parallel"]["workers"].items():
         print(f"parallel x{w}: {row['seconds']:.3f}s ({row['speedup_vs_1']:.2f}x)")
+    for key in ("parallel_process", "slab_process"):
+        if key not in entry:
+            continue
+        for w, row in entry[key]["workers"].items():
+            print(f"{key} x{w}: {row['seconds']:.3f}s ({row['speedup_vs_1']:.2f}x)")
+        print(f"{key} vs thread x4: {entry[key]['vs_thread_x4']:.2f}x "
+              f"({entry['avail_cores']} usable cores)")
     s = entry["ssim"]
     print(
         f"ssim sliding {s['sliding_seconds']:.4f}s vs naive "

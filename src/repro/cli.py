@@ -44,6 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
     p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
     p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
+    p.add_argument("--executor",
+                   help="parallel executor: auto|serial|thread|process")
     p.add_argument("--json", dest="json_out", help="also write the report as JSON")
     p.add_argument("--dat-dir", help="also export PDFs/autocorrelation as .dat")
     p.add_argument("--html", dest="html_out",
@@ -59,6 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
     p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
     p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
+    p.add_argument("--executor",
+                   help="parallel executor: auto|serial|thread|process")
 
     p = sub.add_parser(
         "explain",
@@ -68,6 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
     p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
     p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
+    p.add_argument("--executor",
+                   help="parallel executor: auto|serial|thread|process")
     p.add_argument("--shape", default=None,
                    help="optional z,y,x extents to add modelled kernel costs")
 
@@ -103,6 +109,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
     p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
     p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
+    p.add_argument("--executor",
+                   help="parallel executor: auto|serial|thread|process")
     p.add_argument("--memory", action="store_true",
                    help="also record per-span tracemalloc peaks (slower)")
     p.add_argument("--repeat", type=int, default=1,
@@ -166,8 +174,9 @@ def _apply_overrides(
     metrics: str | None,
     backend: str | None,
     tiling: str | None = None,
+    executor: str | None = None,
 ):
-    """Overlay ``--metrics``/``--backend``/``--tiling`` onto a config."""
+    """Overlay ``--metrics``/``--backend``/``--tiling``/``--executor``."""
     from dataclasses import replace
 
     from repro.config.defaults import default_config
@@ -194,6 +203,14 @@ def _apply_overrides(
                 raise SystemExit(
                     f"--tiling must be auto, off or a slab depth, got {tiling!r}"
                 ) from None
+    if executor:
+        text = executor.strip().lower()
+        if text not in ("auto", "serial", "thread", "process"):
+            raise SystemExit(
+                f"--executor must be auto, serial, thread or process, "
+                f"got {executor!r}"
+            )
+        config = replace(config, executor=text)
     return config
 
 
@@ -207,7 +224,8 @@ def _cmd_analyze(args) -> int:
     orig = read_raw(args.original, shape)
     dec = read_raw(args.decompressed, shape)
     config = load_config(args.config) if args.config else None
-    config = _apply_overrides(config, args.metrics, args.backend, args.tiling)
+    config = _apply_overrides(config, args.metrics, args.backend, args.tiling,
+                              args.executor)
     report = compare_data(orig, dec, config=config)
     print(report_to_text(report))
     if args.json_out:
@@ -244,7 +262,8 @@ def _cmd_assess(args) -> int:
         f"assessing {args.codec} on {args.dataset}/{field_name} "
         f"shape={shape} ..."
     )
-    config = _apply_overrides(None, args.metrics, args.backend, args.tiling)
+    config = _apply_overrides(None, args.metrics, args.backend, args.tiling,
+                              args.executor)
     report = assess_compressor(field.data, codec, config=config)
     print(report_to_text(report))
     return 0
@@ -255,7 +274,8 @@ def _cmd_explain(args) -> int:
     from repro.engine.plan import build_plan
 
     config = load_config(args.config) if args.config else None
-    config = _apply_overrides(config, args.metrics, args.backend, args.tiling)
+    config = _apply_overrides(config, args.metrics, args.backend, args.tiling,
+                              args.executor)
     plan = build_plan(config)
     shape = _parse_shape(args.shape) if args.shape else None
     print(plan.explain(shape))
@@ -316,7 +336,8 @@ def _cmd_profile(args) -> int:
         shape = _parse_shape(args.shape)
         orig = read_raw(args.original, shape)
         dec = read_raw(args.decompressed, shape)
-        config = _apply_overrides(None, args.metrics, args.backend, args.tiling)
+        config = _apply_overrides(None, args.metrics, args.backend,
+                                  args.tiling, args.executor)
         source = f"{args.original} vs {args.decompressed} {shape}"
         for _ in range(max(1, args.repeat)):
             compare_data(orig, dec, config=config, with_baselines=False,
@@ -336,7 +357,8 @@ def _cmd_profile(args) -> int:
             codec = get_compressor("decimate")
         else:
             codec = get_compressor(args.codec, rel_bound=args.rel_bound)
-        config = _apply_overrides(None, args.metrics, args.backend, args.tiling)
+        config = _apply_overrides(None, args.metrics, args.backend,
+                                  args.tiling, args.executor)
         source = f"{args.codec} on {args.dataset}/{field_name} {shape}"
         for _ in range(max(1, args.repeat)):
             assess_compressor(field.data, codec, config=config, tracer=tracer)

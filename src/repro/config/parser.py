@@ -49,7 +49,7 @@ _ALIASES = {
 _KNOWN = {
     "GLOBAL": {
         "metrics", "patterns", "device", "auxiliary", "fused", "backend",
-        "tiling",
+        "tiling", "executor",
     },
     "PATTERN1": {"pdf_bins", "pwr_floor"},
     "PATTERN2": {"max_lag", "orders"},
@@ -126,6 +126,7 @@ def parse_config_text(text: str) -> CheckerConfig:
             fused=g.get("fused", "true").lower() in ("1", "true", "yes"),
             backend=g.get("backend", ""),
             tiling=tiling,
+            executor=g.get("executor", "").lower(),
             pattern1=Pattern1Config(
                 pdf_bins=int(p1.get("pdf_bins", 1024)),
                 pwr_floor=float(p1.get("pwr_floor", 0.0)),
@@ -180,6 +181,7 @@ def format_config(config: CheckerConfig) -> str:
         f"fused = {'true' if config.fused else 'false'}",
         *([f"backend = {config.backend}"] if config.backend else []),
         f"tiling = {config.tiling}",
+        *([f"executor = {config.executor}"] if config.executor else []),
         "",
         "[PATTERN1]",
         f"pdf_bins = {config.pattern1.pdf_bins}",

@@ -44,8 +44,18 @@ class CheckerConfig:
     #: fields with a cache-sized slab, ``"off"`` keeps whole-array
     #: execution, an integer forces that slab depth
     tiling: str | int = "auto"
+    #: parallel executor for the batch/slab drivers: ``"auto"`` picks
+    #: processes when the host can actually scale them, ``"thread"`` /
+    #: ``"process"`` force that pool kind, ``"serial"`` disables pooling;
+    #: the empty string keeps each driver's historical default
+    executor: str = ""
 
     def validate(self) -> None:
+        if self.executor not in ("", "auto", "serial", "thread", "process"):
+            raise ConfigError(
+                f"executor must be auto, serial, thread or process, "
+                f"got {self.executor!r}"
+            )
         if isinstance(self.tiling, bool) or (
             isinstance(self.tiling, int) and self.tiling < 1
         ):

@@ -126,20 +126,40 @@ def assess_dataset(
     with_baselines: bool = False,
     on_error: str = "raise",
     tracer: Tracer | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
 ) -> BatchAssessment:
     """Compress + assess every field of an application dataset.
 
     ``on_error="record"`` isolates per-field failures: the exception is
     stored in :attr:`BatchAssessment.errors` under the field name and the
-    remaining fields still run.  The parallel counterpart is
-    :func:`repro.parallel.parallel_assess_dataset`.  With a ``tracer``,
-    the batch records one ``field`` span per field with the full
-    plan → step → kernel hierarchy nested underneath.
+    remaining fields still run.  With a ``tracer``, the batch records one
+    ``field`` span per field with the full plan → step → kernel
+    hierarchy nested underneath.
+
+    ``executor`` (argument or ``config.executor``) routes the batch
+    through :func:`repro.parallel.parallel_assess_dataset` — ``"auto"``
+    picks the process pool when the host can scale it; the default stays
+    the historical serial loop.
     """
     if on_error not in ("raise", "record"):
         raise CheckerError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     if len(dataset) == 0:
         raise CheckerError(f"dataset {dataset.name!r} has no fields")
+    chosen = executor or (config.executor if config is not None else "")
+    if chosen and chosen != "serial":
+        from repro.parallel.executor import parallel_assess_dataset
+
+        return parallel_assess_dataset(
+            dataset,
+            compressor,
+            config=config,
+            with_baselines=with_baselines,
+            workers=workers,
+            on_error=on_error,
+            tracer=tracer,
+            executor=chosen,
+        )
     tracer = tracer if tracer is not None else NULL_TRACER
     # one checker (and therefore one ExecutionPlan + one config.validate())
     # serves every field of the application

@@ -84,11 +84,13 @@ class CuZChecker:
         dec: np.ndarray,
         backend: str | Backend | None = None,
         tracer: Tracer | None = None,
+        extras: dict | None = None,
     ) -> AssessmentReport:
         """Run the configured assessment on one data pair."""
         report = self.plan.execute(
             orig, dec, backend=backend,
             tracer=tracer if tracer is not None else self.tracer,
+            extras=extras,
         )
         report.timings["cuZC"] = self.estimate(report.shape)
         if self.with_baselines:

@@ -22,6 +22,7 @@ def compare_data(
     backend: str | None = None,
     checker: CuZChecker | None = None,
     tracer: Tracer | None = None,
+    extras: dict | None = None,
 ) -> AssessmentReport:
     """Assess an original/decompressed pair with every configured metric.
 
@@ -32,13 +33,15 @@ def compare_data(
 
     Drivers that assess many pairs pass a prebuilt ``checker`` so the
     execution plan (and its one-time configuration validation) is shared
-    across the whole run instead of rebuilt per pair.
+    across the whole run instead of rebuilt per pair.  ``extras`` seeds
+    the backend run context (the process executor passes the
+    shared-memory payload size through here so host spans carry it).
     """
     if checker is None:
         checker = CuZChecker(
             config=config, with_baselines=with_baselines, backend=backend
         )
-    return checker.assess(orig, dec, tracer=tracer)
+    return checker.assess(orig, dec, tracer=tracer, extras=extras)
 
 
 def compare_data_2d(
@@ -109,6 +112,7 @@ def assess_compressor(
     backend: str | None = None,
     checker: CuZChecker | None = None,
     tracer: Tracer | None = None,
+    extras: dict | None = None,
 ) -> AssessmentReport:
     """Compress, decompress, and assess in one call.
 
@@ -137,6 +141,7 @@ def assess_compressor(
         backend=backend,
         checker=checker,
         tracer=tracer,
+        extras=extras,
     )
     nbytes = orig.size * orig.dtype.itemsize
     report.auxiliary.update(

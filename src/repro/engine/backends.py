@@ -158,13 +158,18 @@ class Backend(abc.ABC):
     def _annotate_host(self, sp, ctx: RunContext) -> None:
         """Host-execution attributes: how this backend actually moved data
         (slab depth and cumulative host bytes for the tiled path, cached
-        intermediate footprint for the whole-array workspace path)."""
+        intermediate footprint for the whole-array workspace path, and
+        the shared-memory payload when a process worker attached to
+        published fields)."""
         tiled = ctx.extras.get("tiled")
         if tiled is not None:
             sp.attrs["tiling_slab"] = tiled.slab
             sp.attrs["host_bytes"] = tiled.bytes_touched
         elif ctx.workspace is not None:
             sp.attrs["host_bytes"] = ctx.workspace.cached_nbytes()
+        shm_bytes = ctx.extras.get("shm_bytes")
+        if shm_bytes:
+            sp.attrs["shm_bytes"] = shm_bytes
 
     # -- pattern hooks -----------------------------------------------------
 

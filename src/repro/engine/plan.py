@@ -16,6 +16,7 @@ instead of hand-dispatching pattern kernels.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,7 +34,13 @@ from repro.metrics.base import (
 )
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 
-__all__ = ["PlanStep", "ExecutionPlan", "build_plan", "resolve_backend_name"]
+__all__ = [
+    "PlanStep",
+    "ExecutionPlan",
+    "build_plan",
+    "resolve_backend_name",
+    "resolve_executor_name",
+]
 
 #: auxiliary metrics the assessment itself computes; the remaining
 #: auxiliary registry entries (compression_ratio, *_throughput) are
@@ -97,6 +104,10 @@ class ExecutionPlan:
     #: the compressor driver fills in, or auxiliary metrics disabled by
     #: ``auxiliary=False``)
     unplanned: tuple[str, ...] = ()
+    #: parallel executor the batch/slab drivers should use for plans
+    #: built from this configuration ("auto" | "serial" | "thread" |
+    #: "process"); single-pair execution ignores it
+    executor: str = "auto"
 
     # -- execution ---------------------------------------------------------
 
@@ -113,12 +124,16 @@ class ExecutionPlan:
         dec: np.ndarray,
         backend: str | Backend | None = None,
         tracer: Tracer | None = None,
+        extras: dict | None = None,
     ) -> AssessmentReport:
         """Run the plan on one data pair and return the filled report.
 
         With a ``tracer``, the run records the plan → step → kernel span
         hierarchy (see :mod:`repro.telemetry`); without one, the hooks
-        cost a single attribute check per region.
+        cost a single attribute check per region.  ``extras`` seeds the
+        run context's extras dict — process workers pass
+        ``{"shm_bytes": ...}`` so the host spans record how much of the
+        input arrived over shared memory.
         """
         orig = np.asarray(orig)
         dec = np.asarray(dec)
@@ -142,6 +157,8 @@ class ExecutionPlan:
         ):
             ctx = be.begin(self, orig, dec)
             ctx.tracer = tracer
+            if extras:
+                ctx.extras.update(extras)
             for step in self.steps:
                 with tracer.span(
                     step.kind,
@@ -183,6 +200,17 @@ class ExecutionPlan:
             resolved = "whole-array" if slab is None else f"slab_nz={slab}"
             tiling_line += f" ({resolved} for shape {tuple(shape)})"
         lines.append(tiling_line)
+        executor_line = f"  executor: {self.executor}"
+        if self.executor in ("auto", "process"):
+            from repro.parallel.executor import resolve_executor
+
+            with warnings.catch_warnings():
+                # a forced "process" on a host without shared memory
+                # warns at run time; explain just reports the outcome
+                warnings.simplefilter("ignore")
+                resolved_executor = resolve_executor(self.executor)
+            executor_line += f" ({resolved_executor} on this host)"
+        lines.append(executor_line)
         for i, step in enumerate(self.steps, 1):
             lines.append(f"  step {i}: {_STEP_LABELS[step.kind]}")
             lines.append("    metrics:  " + ", ".join(step.metrics))
@@ -229,6 +257,18 @@ def resolve_backend_name(
     if config.backend:
         return config.backend
     return "fused-host" if config.fused else "metric-oriented"
+
+
+def resolve_executor_name(config: CheckerConfig, executor: str | None = None) -> str:
+    """Apply the executor precedence rule: argument > config > ``auto``.
+
+    Resolution stops at the *named* choice — mapping ``"auto"`` onto a
+    concrete pool kind is the drivers' job at run time (it depends on the
+    executing host, not on the plan).
+    """
+    if executor:
+        return executor
+    return getattr(config, "executor", "") or "auto"
 
 
 def build_plan(
@@ -301,4 +341,5 @@ def build_plan(
         steps=tuple(steps),
         backend=resolve_backend_name(config, backend),
         unplanned=canonical_metric_order(unplanned),
+        executor=resolve_executor_name(config),
     )

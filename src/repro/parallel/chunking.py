@@ -9,6 +9,14 @@ counted exactly once), and sliding-sum SSIM window statistics for the
 window origins the slab owns.  The merge is the associative grid-level
 reduce, so the result equals the serial streaming/batch answers to FP
 tolerance (asserted in tests).
+
+Each slab converts only its own window (slab + halo) to float64, so a
+job touches O(slab) memory whatever the field size — which is what lets
+the process executor ship a slab as a :class:`SharedField` handle plus
+two integers and have the worker read its share of the published pages
+directly.  Because serial, thread and process execution all run this
+identical per-slab code in the identical order at the same slab count,
+their merged results are *bit-identical* (property-tested).
 """
 
 from __future__ import annotations
@@ -43,18 +51,36 @@ def z_chunks(nz: int, n_chunks: int) -> list[tuple[int, int]]:
 
 
 def _slab_partials(
-    o64: np.ndarray,
-    d64: np.ndarray,
+    orig: np.ndarray,
+    dec: np.ndarray,
     z0: int,
     z1: int,
     max_lag: int,
     ssim: Pattern3Config | None,
     pwr_floor: float,
 ) -> dict:
-    """All mergeable accumulators for one slab (plus its trailing halo)."""
-    nz, ny, nx = o64.shape
-    o = o64[z0:z1]
-    d = d64[z0:z1]
+    """All mergeable accumulators for one slab (plus its trailing halo).
+
+    ``orig``/``dec`` are the whole fields in their native dtype; only the
+    ``[z0, hi)`` window this slab actually reads — its own slices, the
+    autocorrelation halo, and the tail of any SSIM window it owns — is
+    converted to float64 here, inside the worker.
+    """
+    nz, ny, nx = orig.shape
+
+    hi_ext = min(z1 + max_lag, nz) if max_lag >= 1 else z1
+    origins: list[int] = []
+    if ssim is not None:
+        w, step = ssim.window, ssim.step
+        origins = [k for k in range(0, nz - w + 1, step) if z0 <= k < z1]
+        if origins:
+            hi_ext = max(hi_ext, origins[-1] + w)
+
+    o64 = orig[z0:hi_ext].astype(np.float64)
+    d64 = dec[z0:hi_ext].astype(np.float64)
+    m = z1 - z0
+    o = o64[:m]
+    d = d64[:m]
     e = d - o
 
     p: dict = {
@@ -87,17 +113,17 @@ def _slab_partials(
     p["ac_b"] = np.zeros(max_lag + 1)
     p["ac_n"] = np.zeros(max_lag + 1, dtype=np.int64)
     if max_lag >= 1:
-        halo_hi = min(z1 + max_lag, nz)
-        eh = d64[z0:halo_hi] - o64[z0:halo_hi]
+        halo = min(z1 + max_lag, nz) - z0
+        eh = d64[:halo] - o64[:halo]
         for tau in range(1, max_lag + 1):
             hi = min(z1, nz - tau)  # core slices this slab owns at lag tau
             if z0 >= hi:
                 continue
-            m = hi - z0
-            core = eh[:m, : ny - tau, : nx - tau]
-            shift_z = eh[tau : m + tau, : ny - tau, : nx - tau]
-            shift_y = eh[:m, tau:, : nx - tau]
-            shift_x = eh[:m, : ny - tau, tau:]
+            depth = hi - z0
+            core = eh[:depth, : ny - tau, : nx - tau]
+            shift_z = eh[tau : depth + tau, : ny - tau, : nx - tau]
+            shift_y = eh[:depth, tau:, : nx - tau]
+            shift_x = eh[:depth, : ny - tau, tau:]
             b = shift_z + shift_y + shift_x
             p["ac_ab"][tau] = float((core * b).sum())
             p["ac_a"][tau] = float(core.sum())
@@ -107,32 +133,58 @@ def _slab_partials(
     # -- SSIM windows whose z-origin lies in this slab --------------------
     p["ssim_total"] = 0.0
     p["ssim_count"] = 0
-    if ssim is not None:
+    if origins:
         w, step = ssim.window, ssim.step
-        origins = [k for k in range(0, nz - w + 1, step) if z0 <= k < z1]
-        if origins:
-            lo, hi = origins[0], origins[-1] + w
-            ol, dl = o64[lo:hi], d64[lo:hi]
-            s1 = box_sums(ol, w, step)
-            s2 = box_sums(dl, w, step)
-            sq1 = box_sums(ol * ol, w, step)
-            sq2 = box_sums(dl * dl, w, step)
-            s12 = box_sums(ol * dl, w, step)
-            L = float(ssim.dynamic_range)
-            c1 = (ssim.k1 * L) ** 2
-            c2 = (ssim.k2 * L) ** 2
-            volume = float(w**3)
-            mu1 = s1 / volume
-            mu2 = s2 / volume
-            var1 = np.maximum(sq1 / volume - mu1 * mu1, 0.0)
-            var2 = np.maximum(sq2 / volume - mu2 * mu2, 0.0)
-            cov = s12 / volume - mu1 * mu2
-            local = ((2 * mu1 * mu2 + c1) * (2 * cov + c2)) / (
-                (mu1 * mu1 + mu2 * mu2 + c1) * (var1 + var2 + c2)
-            )
-            p["ssim_total"] = float(local.sum())
-            p["ssim_count"] = int(local.size)
+        lo, hi = origins[0], origins[-1] + w
+        ol, dl = o64[lo - z0 : hi - z0], d64[lo - z0 : hi - z0]
+        s1 = box_sums(ol, w, step)
+        s2 = box_sums(dl, w, step)
+        sq1 = box_sums(ol * ol, w, step)
+        sq2 = box_sums(dl * dl, w, step)
+        s12 = box_sums(ol * dl, w, step)
+        L = float(ssim.dynamic_range)
+        c1 = (ssim.k1 * L) ** 2
+        c2 = (ssim.k2 * L) ** 2
+        volume = float(w**3)
+        mu1 = s1 / volume
+        mu2 = s2 / volume
+        var1 = np.maximum(sq1 / volume - mu1 * mu1, 0.0)
+        var2 = np.maximum(sq2 / volume - mu2 * mu2, 0.0)
+        cov = s12 / volume - mu1 * mu2
+        local = ((2 * mu1 * mu2 + c1) * (2 * cov + c2)) / (
+            (mu1 * mu1 + mu2 * mu2 + c1) * (var1 + var2 + c2)
+        )
+        p["ssim_total"] = float(local.sum())
+        p["ssim_count"] = int(local.size)
     return p
+
+
+def _slab_job(orig_handle, dec_handle, z0, z1, max_lag, ssim, pwr_floor):
+    """Process-worker job: attach to the published field, do one slab."""
+    orig = orig_handle.attach()
+    dec = dec_handle.attach()
+    partials = _slab_partials(orig, dec, z0, z1, max_lag, ssim, pwr_floor)
+    orig = dec = None  # noqa: F841 — release the views before unmapping
+    orig_handle.close()
+    dec_handle.close()
+    return partials
+
+
+def _process_slab_partials(orig, dec, slabs, max_lag, ssim, pwr_floor, workers):
+    """Fan slabs over the spawn pool; both fields published exactly once."""
+    from repro.parallel.executor import _get_pool
+    from repro.parallel.shm import shared_fields
+
+    pool = _get_pool(workers)
+    with shared_fields([orig, dec]) as (orig_handle, dec_handle):
+        futures = [
+            pool.submit(
+                _slab_job, orig_handle, dec_handle, z0, z1, max_lag, ssim,
+                pwr_floor,
+            )
+            for z0, z1 in slabs
+        ]
+        return [fut.result() for fut in futures]
 
 
 def parallel_stream_field(
@@ -142,15 +194,21 @@ def parallel_stream_field(
     ssim: Pattern3Config | None = None,
     pwr_floor: float = 0.0,
     workers: int | None = None,
+    executor: str | None = None,
 ) -> StreamingResult:
-    """Assess one huge field by fanning z-slabs across a thread pool.
+    """Assess one huge field by fanning z-slabs across a worker pool.
 
     The parallel counterpart of driving one
     :class:`~repro.core.streaming.StreamingChecker` over the whole field:
     same accumulators, merged associatively.  Like streaming, SSIM needs
     an explicit ``dynamic_range`` (a slab cannot know the global range).
+
+    ``executor`` selects the pool kind (``"thread"`` default,
+    ``"process"`` for shared-memory worker processes, ``"serial"`` for an
+    in-process slab loop — the bit-identical reference for the parallel
+    modes at the same ``workers`` count).
     """
-    from repro.parallel.executor import auto_workers
+    from repro.parallel.executor import auto_workers, resolve_executor
 
     orig = np.asarray(orig)
     dec = np.asarray(dec)
@@ -177,17 +235,22 @@ def parallel_stream_field(
         ):
             raise ShapeError("plane too small for the SSIM window")
 
-    o64 = orig.astype(np.float64)
-    d64 = dec.astype(np.float64)
-    workers = workers or auto_workers(nz)
+    executor = resolve_executor(executor)
+    workers = workers or auto_workers(
+        nz, executor=executor, task_nbytes=orig.nbytes + dec.nbytes
+    )
     slabs = z_chunks(nz, workers)
 
     def run(slab):
         z0, z1 = slab
-        return _slab_partials(o64, d64, z0, z1, max_lag, ssim, pwr_floor)
+        return _slab_partials(orig, dec, z0, z1, max_lag, ssim, pwr_floor)
 
-    if len(slabs) == 1 or workers == 1:
+    if len(slabs) == 1 or executor == "serial":
         parts = [run(s) for s in slabs]
+    elif executor == "process":
+        parts = _process_slab_partials(
+            orig, dec, slabs, max_lag, ssim, pwr_floor, workers
+        )
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             parts = list(pool.map(run, slabs))

@@ -1,0 +1,184 @@
+"""Zero-copy field publication over POSIX shared memory.
+
+The process executor never pickles array data.  The driver *publishes*
+each field into a :mod:`multiprocessing.shared_memory` segment and hands
+workers a :class:`SharedField` — a handle that pickles as just
+``(name, shape, dtype)``.  Workers :meth:`~SharedField.attach` to the
+segment and get a read-only NumPy view onto the same physical pages, so
+a 4 GB field costs a few hundred bytes on the job queue.
+
+Ownership rules (the leak-proofing contract):
+
+* the **creator** owns the segment and is the only party allowed to
+  :meth:`~SharedField.unlink` it — drivers publish through
+  :func:`shared_fields`, whose ``finally`` block unlinks even when a
+  worker crashed mid-assessment;
+* **attachers** only ever map and unmap — spawn-pool workers share the
+  driver's resource-tracker process, so their attach-side registrations
+  collapse into the owner's and the single unlink-by-owner settles the
+  tracker's books (and if the driver is SIGKILLed before it can unlink,
+  that same tracker reaps the registered segments);
+* unlinking is idempotent — a segment already gone is not an error, so
+  crash-cleanup paths can run unconditionally.
+"""
+
+from __future__ import annotations
+
+import secrets
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import CheckerError
+
+__all__ = ["SharedField", "shared_fields", "shm_available"]
+
+
+class _AttachedArray(np.ndarray):
+    """View subclass that pins the shared-memory mapping backing it.
+
+    Without the pin, a garbage-collected handle would unmap the segment
+    under a live view — a segfault, not an exception — so every view
+    :meth:`SharedField.attach` hands out carries a reference to its
+    :class:`~multiprocessing.shared_memory.SharedMemory`.
+    """
+
+    _keepalive = None
+
+
+class SharedField:
+    """Handle to one array published in a shared-memory segment.
+
+    Pickles as ``(name, shape, dtype)`` only — the receiver re-attaches
+    by name, the array bytes never travel through the pickle stream
+    (property-tested: a handle to a field of any size pickles to a few
+    hundred bytes).
+    """
+
+    __slots__ = ("name", "shape", "dtype", "_shm", "_owner")
+
+    def __init__(self, name: str, shape, dtype):
+        self.name = name
+        self.shape = tuple(int(n) for n in shape)
+        self.dtype = np.dtype(dtype)
+        self._shm: shared_memory.SharedMemory | None = None
+        self._owner = False
+
+    # -- pickling: handle only, never data --------------------------------
+
+    def __reduce__(self):
+        return (SharedField, (self.name, self.shape, self.dtype.str))
+
+    @property
+    def nbytes(self) -> int:
+        n = 1
+        for extent in self.shape:
+            n *= extent
+        return n * self.dtype.itemsize
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, array: np.ndarray, name: str | None = None) -> "SharedField":
+        """Publish ``array`` into a fresh segment; the caller is the owner."""
+        array = np.ascontiguousarray(array)
+        name = name or f"repro-{secrets.token_hex(6)}"
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes), name=name
+        )
+        np.ndarray(array.shape, array.dtype, buffer=shm.buf)[...] = array
+        handle = cls(shm.name, array.shape, array.dtype)
+        handle._shm = shm
+        handle._owner = True
+        return handle
+
+    def attach(self) -> np.ndarray:
+        """Map the segment and return a read-only view of the field."""
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(name=self.name)
+        view = np.ndarray(self.shape, self.dtype, buffer=self._shm.buf)
+        view = view.view(_AttachedArray)
+        view._keepalive = self._shm
+        view.flags.writeable = False
+        return view
+
+    def close(self) -> None:
+        """Unmap this process's view; the segment itself survives."""
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:
+                # a live NumPy view still references the mapping — closing
+                # now would pull pages out from under it; the mapping is
+                # reclaimed when the process exits
+                return
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Remove the segment (owner only); idempotent once gone."""
+        if not self._owner:
+            raise CheckerError(
+                f"only the creator of shared field {self.name!r} may unlink it"
+            )
+        try:
+            shm = self._shm or shared_memory.SharedMemory(name=self.name)
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def destroy(self) -> None:
+        """Owner teardown: unlink the name, then drop the local mapping."""
+        if self._owner:
+            self.unlink()
+        self.close()
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "SharedField":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.destroy()
+        return False
+
+
+@contextmanager
+def shared_fields(arrays):
+    """Publish many arrays at once, unlinking all of them on exit.
+
+    The ``finally`` teardown runs whatever happened downstream — worker
+    crash, pool breakage, KeyboardInterrupt — so a batch can never strand
+    segments in ``/dev/shm``.
+    """
+    handles: list[SharedField] = []
+    try:
+        for array in arrays:
+            handles.append(SharedField.create(array))
+        yield handles
+    finally:
+        for handle in handles:
+            try:
+                handle.destroy()
+            except Exception:  # noqa: BLE001 — best-effort cleanup
+                pass
+
+
+_SHM_AVAILABLE: bool | None = None
+
+
+def shm_available() -> bool:
+    """Can this platform create (and re-open) shared-memory segments?"""
+    global _SHM_AVAILABLE
+    if _SHM_AVAILABLE is None:
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            try:
+                shared_memory.SharedMemory(name=probe.name).close()
+            finally:
+                probe.close()
+                probe.unlink()
+            _SHM_AVAILABLE = True
+        except Exception:  # noqa: BLE001 — any failure means "not here"
+            _SHM_AVAILABLE = False
+    return _SHM_AVAILABLE

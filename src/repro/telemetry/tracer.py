@@ -236,12 +236,30 @@ class Tracer:
         timestamps are shifted onto this tracer's epoch, and every
         merged span is assigned ``track`` (one export lane per rank).
         """
-        if not other.spans:
+        self.merge_spans(other.spans, other._epoch, parent=parent, track=track)
+
+    def merge_spans(
+        self,
+        spans: list[Span],
+        epoch: float,
+        parent: Span | None = None,
+        track: int | None = None,
+    ) -> None:
+        """Fold raw spans recorded against ``epoch`` into this tracer.
+
+        The picklable half of :meth:`merge`: a process worker ships
+        ``(tracer.spans, tracer._epoch)`` home and the driver folds them
+        in with the same stable id remapping the multi-rank merge uses.
+        ``time.perf_counter`` is CLOCK_MONOTONIC (system-wide on Linux),
+        so shifting the worker's epoch onto ours lines the per-process
+        lanes up on one wall-clock timeline.
+        """
+        if not spans:
             return
-        base = self._reserve(other._next_id)
-        shift_us = (other._epoch - self._epoch) * 1e6
+        base = self._reserve(max(sp.span_id for sp in spans) + 1)
+        shift_us = (epoch - self._epoch) * 1e6
         merged: list[Span] = []
-        for sp in other.spans:
+        for sp in spans:
             merged.append(
                 Span(
                     name=sp.name,

@@ -1,0 +1,279 @@
+"""Process executor: resolution, sizing, equality, isolation, plumbing."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.compressors.registry import get_compressor
+from repro.config.parser import format_config, parse_config_text
+from repro.config.schema import CheckerConfig
+from repro.datasets.registry import generate_dataset
+from repro.engine.plan import build_plan, resolve_executor_name
+from repro.errors import CheckerError, ConfigError
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+from repro.parallel import (
+    auto_workers,
+    parallel_assess_dataset,
+    parallel_compare_pairs,
+    parallel_stream_field,
+    process_available,
+    resolve_executor,
+)
+from repro.telemetry.tracer import Tracer
+
+needs_process = pytest.mark.skipif(
+    not process_available(), reason="platform cannot run the process executor"
+)
+
+
+def small_config() -> CheckerConfig:
+    return CheckerConfig(
+        pattern2=Pattern2Config(max_lag=3),
+        pattern3=Pattern3Config(window=6),
+    )
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    rng = np.random.default_rng(11)
+    out = []
+    for i in range(3):
+        orig = rng.normal(size=(10, 12, 14)).astype(np.float32)
+        dec = (orig + rng.normal(scale=1e-3, size=orig.shape)).astype(np.float32)
+        out.append((f"field{i}", orig, dec))
+    return out
+
+
+class TestAutoWorkersExecutor:
+    def test_ram_clamp_limits_process_workers(self, monkeypatch):
+        from repro.parallel import executor as mod
+
+        monkeypatch.setattr(mod, "_available_cores", lambda: 16)
+        # half of 1 GiB free / (8 x 32 MiB per task) -> 2 affordable workers
+        monkeypatch.setattr(mod, "_available_ram_bytes", lambda: 1 << 30)
+        assert auto_workers(16, executor="process", task_nbytes=32 << 20) == 2
+
+    def test_thread_mode_ignores_ram(self, monkeypatch):
+        from repro.parallel import executor as mod
+
+        monkeypatch.setattr(mod, "_available_cores", lambda: 4)
+        monkeypatch.setattr(mod, "_available_ram_bytes", lambda: 1)
+        assert auto_workers(8, executor="thread", task_nbytes=1 << 30) == 4
+
+    def test_never_below_one(self, monkeypatch):
+        from repro.parallel import executor as mod
+
+        monkeypatch.setattr(mod, "_available_cores", lambda: 4)
+        monkeypatch.setattr(mod, "_available_ram_bytes", lambda: 0)
+        assert auto_workers(4, executor="process", task_nbytes=1 << 30) == 1
+
+    def test_unknown_ram_means_no_clamp(self, monkeypatch):
+        from repro.parallel import executor as mod
+
+        monkeypatch.setattr(mod, "_available_cores", lambda: 4)
+        monkeypatch.setattr(mod, "_available_ram_bytes", lambda: None)
+        assert auto_workers(8, executor="process", task_nbytes=1 << 40) == 4
+
+
+class TestResolveExecutor:
+    def test_default_is_thread(self):
+        assert resolve_executor() == "thread"
+
+    def test_argument_beats_config(self):
+        cfg = CheckerConfig(executor="thread")
+        assert resolve_executor("serial", cfg) == "serial"
+
+    def test_config_used_when_no_argument(self):
+        cfg = CheckerConfig(executor="serial")
+        assert resolve_executor(None, cfg) == "serial"
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(CheckerError, match="executor must be"):
+            resolve_executor("fibers")
+
+    def test_auto_resolves_to_a_real_executor(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # auto must never warn
+            assert resolve_executor("auto") in ("thread", "process")
+
+    def test_auto_prefers_process_on_multicore(self, monkeypatch):
+        from repro.parallel import executor as mod
+
+        monkeypatch.setattr(mod, "process_available", lambda: True)
+        monkeypatch.setattr(mod, "_available_cores", lambda: 8)
+        assert resolve_executor("auto") == "process"
+
+    def test_forced_process_falls_back_with_warning(self, monkeypatch):
+        from repro.parallel import executor as mod
+
+        monkeypatch.setattr(mod, "process_available", lambda: False)
+        with pytest.warns(RuntimeWarning, match="falling back to threads"):
+            assert resolve_executor("process") == "thread"
+
+
+@needs_process
+class TestProcessComparePairs:
+    def test_matches_serial_bitwise(self, pairs):
+        serial = parallel_compare_pairs(pairs, config=small_config(), workers=1)
+        proc = parallel_compare_pairs(
+            pairs, config=small_config(), workers=2, executor="process"
+        )
+        assert list(proc.reports) == [name for name, _, _ in pairs]
+        for name in serial.reports:
+            s, p = serial.reports[name].scalars(), proc.reports[name].scalars()
+            assert s == p  # bit-identical, not merely close
+            assert np.array_equal(
+                serial.reports[name].pattern2.autocorrelation,
+                proc.reports[name].pattern2.autocorrelation,
+            )
+
+    def test_error_isolation_across_processes(self, pairs):
+        bad = pairs + [("broken", pairs[0][1], pairs[0][2][:4])]
+        batch = parallel_compare_pairs(
+            bad, config=small_config(), workers=2,
+            executor="process", on_error="record",
+        )
+        assert set(batch.reports) == {name for name, _, _ in pairs}
+        assert "ShapeError" in batch.errors["broken"]
+
+    def test_error_raise_crosses_process_boundary(self, pairs):
+        from repro.errors import ShapeError
+
+        bad = pairs + [("broken", pairs[0][1], pairs[0][2][:4])]
+        with pytest.raises(ShapeError, match="differ"):
+            parallel_compare_pairs(
+                bad, config=small_config(), workers=2,
+                executor="process", on_error="raise",
+            )
+
+    def test_worker_traces_merge_with_lanes(self, pairs):
+        tracer = Tracer()
+        parallel_compare_pairs(
+            pairs, config=small_config(), workers=2,
+            executor="process", tracer=tracer,
+        )
+        fields = [sp for sp in tracer.spans if sp.category == "field"]
+        assert len(fields) == len(pairs)
+        assert all(sp.track >= 1 for sp in fields)
+        assert any("shm_bytes" in sp.attrs for sp in tracer.spans)
+        assert any(sp.category == "kernel" for sp in tracer.spans)
+        roots = [sp for sp in tracer.spans if sp.category == "batch"]
+        assert roots and roots[0].attrs["executor"] == "process"
+
+
+class _LambdaCompressor:
+    """Deliberately unpicklable: refuses to serialise like a
+    closure-bound codec would."""
+
+    name = "lambda_quant"
+
+    def compress(self, data):
+        return data.copy()  # ndarray doubles as the "buffer" (has .nbytes)
+
+    def decompress(self, buf):
+        return buf
+
+    def __getstate__(self):
+        raise TypeError("cannot pickle closure-bound compressor")
+
+
+@needs_process
+class TestProcessAssessDataset:
+    def test_matches_serial_bitwise(self):
+        dataset = generate_dataset("hurricane", scale=0.12, n_fields=3)
+        compressor = get_compressor("uniform_quant", rel_bound=1e-3)
+        serial = parallel_assess_dataset(
+            dataset, compressor, config=small_config(), workers=1
+        )
+        proc = parallel_assess_dataset(
+            dataset, compressor, config=small_config(),
+            workers=2, executor="process",
+        )
+        assert list(proc.reports) == list(serial.reports)
+        for name in serial.reports:
+            s, p = serial.reports[name].scalars(), proc.reports[name].scalars()
+            assert s.keys() == p.keys()
+            for key in s:
+                if key.endswith("_throughput"):
+                    continue  # wall-clock of this run, not a metric
+                assert s[key] == p[key], key
+
+    def test_unpicklable_compressor_falls_back_to_threads(self):
+        dataset = generate_dataset("hurricane", scale=0.12, n_fields=2)
+        with pytest.warns(RuntimeWarning, match="does not pickle"):
+            batch = parallel_assess_dataset(
+                dataset, _LambdaCompressor(), config=small_config(),
+                workers=2, executor="process",
+            )
+        assert len(batch.reports) == 2
+
+
+@needs_process
+class TestProcessStreamField:
+    def test_slabs_match_serial_bitwise(self):
+        rng = np.random.default_rng(7)
+        orig = rng.normal(size=(17, 12, 14)).astype(np.float32)
+        dec = (orig + rng.normal(scale=1e-3, size=orig.shape)).astype(np.float32)
+        span = float(orig.max() - orig.min())
+        kwargs = dict(max_lag=3, ssim=Pattern3Config(window=6, dynamic_range=span))
+        serial = parallel_stream_field(
+            orig, dec, workers=3, executor="serial", **kwargs
+        )
+        proc = parallel_stream_field(
+            orig, dec, workers=3, executor="process", **kwargs
+        )
+        assert serial.ssim == proc.ssim
+        assert serial.pattern1.psnr == proc.pattern1.psnr
+        assert np.array_equal(serial.autocorrelation, proc.autocorrelation)
+
+
+class TestExecutorPlumbing:
+    def test_config_validates_executor(self):
+        with pytest.raises(ConfigError, match="executor must be"):
+            CheckerConfig(executor="fibers").validate()
+
+    def test_config_round_trips_executor(self):
+        cfg = CheckerConfig(executor="process")
+        text = format_config(cfg)
+        assert "executor = process" in text
+        assert parse_config_text(text) == cfg
+
+    def test_default_config_omits_executor_line(self):
+        assert "executor" not in format_config(CheckerConfig())
+
+    def test_plan_carries_executor(self):
+        plan = build_plan(CheckerConfig(executor="serial"))
+        assert plan.executor == "serial"
+        assert "executor: serial" in plan.explain()
+
+    def test_plan_defaults_to_auto(self):
+        plan = build_plan(CheckerConfig())
+        assert plan.executor == "auto"
+        assert "executor: auto" in plan.explain()
+
+    def test_resolve_executor_name_precedence(self):
+        cfg = CheckerConfig(executor="thread")
+        assert resolve_executor_name(cfg) == "thread"
+        assert resolve_executor_name(cfg, "serial") == "serial"
+        assert resolve_executor_name(CheckerConfig()) == "auto"
+
+    def test_assess_dataset_routes_executor(self):
+        from repro.core.batch import assess_dataset
+
+        dataset = generate_dataset("hurricane", scale=0.12, n_fields=2)
+        compressor = get_compressor("uniform_quant", rel_bound=1e-3)
+        serial = assess_dataset(dataset, compressor, config=small_config())
+        routed = assess_dataset(
+            dataset, compressor, config=small_config(),
+            executor="thread", workers=2,
+        )
+        assert list(routed.reports) == list(serial.reports)
+        for name in serial.reports:
+            s, r = serial.reports[name].scalars(), routed.reports[name].scalars()
+            assert s.keys() == r.keys()
+            for key in s:
+                if key.endswith("_throughput"):
+                    continue  # wall-clock of this run, not a metric
+                assert s[key] == pytest.approx(r[key], rel=1e-12), key

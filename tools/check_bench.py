@@ -13,6 +13,12 @@ Baseline values are the medians over the committed runs with the same
 ``--quick`` flag as the fresh run, which keeps one noisy historical
 entry from moving the gate.
 
+The process-executor sections additionally pass through an *absolute*
+core-aware gate (:func:`process_gate`): hosts with two or more usable
+cores must show a real x4 speedup over serial, single-core hosts must
+stay within the parity floor — overhead bounded even where parallelism
+is physically unavailable.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_host_fusion.py --quick --output fresh.json
@@ -45,7 +51,54 @@ ROWS = [
     ("parallel x4 seconds", ("parallel", "workers", "4", "seconds"), False),
     ("slab x1 seconds", ("slab", "workers", "1", "seconds"), False),
     ("slab x4 seconds", ("slab", "workers", "4", "seconds"), False),
+    ("process batch x4 speedup",
+     ("parallel_process", "workers", "4", "speedup_vs_1"), False),
+    ("process slab x4 speedup",
+     ("slab_process", "workers", "4", "speedup_vs_1"), False),
+    ("process vs thread batch x4", ("parallel_process", "vs_thread_x4"), False),
+    ("process vs thread slab x4", ("slab_process", "vs_thread_x4"), False),
+    ("process batch x4 seconds",
+     ("parallel_process", "workers", "4", "seconds"), False),
+    ("process slab x4 seconds",
+     ("slab_process", "workers", "4", "seconds"), False),
 ]
+
+#: absolute floors on the process executor's best speedup-vs-serial
+#: (max over the 2- and 4-worker rows), keyed by whether the run's host
+#: could actually parallelise.  A multi-core host must beat serial
+#: outright at some worker count; a host with one usable core physically
+#: cannot (there is no second core to run the second worker), so the
+#: floor there only bounds the pool's dispatch + attach + context-switch
+#: overhead (measured 0.6-0.85x on the 1-core reference container,
+#: task-size dependent — the smaller the field, the larger the IPC share).
+PROCESS_FLOOR_MULTI_CORE = 1.0
+PROCESS_FLOOR_SINGLE_CORE = 0.5
+
+
+def process_gate(fresh: dict) -> list[str]:
+    """Core-aware absolute gate on the process executor sections."""
+    cores = int(fresh.get("avail_cores") or 1)
+    multi = cores >= 2
+    floor = PROCESS_FLOOR_MULTI_CORE if multi else PROCESS_FLOOR_SINGLE_CORE
+    kind = "speedup" if multi else "parity"
+    failures = []
+    for label, section in (
+        ("process batch", "parallel_process"), ("process slab", "slab_process"),
+    ):
+        values = [
+            _lookup(fresh, (section, "workers", w, "speedup_vs_1"))
+            for w in ("2", "4")
+        ]
+        values = [v for v in values if v is not None]
+        if not values:
+            continue  # host cannot run the process executor at all
+        best = max(values)
+        if best <= floor:
+            failures.append(
+                f"{label}: best speedup_vs_1 {best:.3f} is below the "
+                f"{kind} floor {floor} ({cores} usable cores)"
+            )
+    return failures
 
 
 def _lookup(entry: dict, path: tuple[str, ...]) -> float | None:
@@ -112,6 +165,7 @@ def main(argv=None) -> int:
     fresh = _load_runs(args.fresh)[-1]
     baseline_runs = _load_runs(args.baseline)
     table, failures = compare(fresh, baseline_runs, args.threshold)
+    failures += process_gate(fresh)
 
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     try:
