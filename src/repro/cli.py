@@ -46,6 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
     p.add_argument("--executor",
                    help="parallel executor: auto|serial|thread|process")
+    p.add_argument("--calibration",
+                   help="dispatch calibration table: auto|off|<path>")
     p.add_argument("--json", dest="json_out", help="also write the report as JSON")
     p.add_argument("--dat-dir", help="also export PDFs/autocorrelation as .dat")
     p.add_argument("--html", dest="html_out",
@@ -63,6 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
     p.add_argument("--executor",
                    help="parallel executor: auto|serial|thread|process")
+    p.add_argument("--calibration",
+                   help="dispatch calibration table: auto|off|<path>")
 
     p = sub.add_parser(
         "explain",
@@ -74,8 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
     p.add_argument("--executor",
                    help="parallel executor: auto|serial|thread|process")
+    p.add_argument("--calibration",
+                   help="dispatch calibration table: auto|off|<path>")
     p.add_argument("--shape", default=None,
-                   help="optional z,y,x extents to add modelled kernel costs")
+                   help="optional z,y,x extents to add modelled kernel costs "
+                        "and the dispatch candidate table")
+    p.add_argument("--json", dest="json_out", action="store_true",
+                   help="emit the plan (steps, resolved executor, candidate "
+                        "costs) as machine-readable JSON")
 
     p = sub.add_parser("generate", help="synthesise a dataset bundle")
     p.add_argument("--dataset", required=True)
@@ -111,6 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
     p.add_argument("--executor",
                    help="parallel executor: auto|serial|thread|process")
+    p.add_argument("--calibration",
+                   help="dispatch calibration table: auto|off|<path>")
     p.add_argument("--memory", action="store_true",
                    help="also record per-span tracemalloc peaks (slower)")
     p.add_argument("--repeat", type=int, default=1,
@@ -175,8 +187,10 @@ def _apply_overrides(
     backend: str | None,
     tiling: str | None = None,
     executor: str | None = None,
+    calibration: str | None = None,
 ):
-    """Overlay ``--metrics``/``--backend``/``--tiling``/``--executor``."""
+    """Overlay ``--metrics``/``--backend``/``--tiling``/``--executor``/
+    ``--calibration``."""
     from dataclasses import replace
 
     from repro.config.defaults import default_config
@@ -211,6 +225,8 @@ def _apply_overrides(
                 f"got {executor!r}"
             )
         config = replace(config, executor=text)
+    if calibration:
+        config = replace(config, calibration=calibration.strip())
     return config
 
 
@@ -225,7 +241,7 @@ def _cmd_analyze(args) -> int:
     dec = read_raw(args.decompressed, shape)
     config = load_config(args.config) if args.config else None
     config = _apply_overrides(config, args.metrics, args.backend, args.tiling,
-                              args.executor)
+                              args.executor, args.calibration)
     report = compare_data(orig, dec, config=config)
     print(report_to_text(report))
     if args.json_out:
@@ -263,22 +279,27 @@ def _cmd_assess(args) -> int:
         f"shape={shape} ..."
     )
     config = _apply_overrides(None, args.metrics, args.backend, args.tiling,
-                              args.executor)
+                              args.executor, args.calibration)
     report = assess_compressor(field.data, codec, config=config)
     print(report_to_text(report))
     return 0
 
 
 def _cmd_explain(args) -> int:
+    import json
+
     from repro.config.parser import load_config
     from repro.engine.plan import build_plan
 
     config = load_config(args.config) if args.config else None
     config = _apply_overrides(config, args.metrics, args.backend, args.tiling,
-                              args.executor)
-    plan = build_plan(config)
+                              args.executor, args.calibration)
     shape = _parse_shape(args.shape) if args.shape else None
-    print(plan.explain(shape))
+    plan = build_plan(config, shape=shape)
+    if args.json_out:
+        print(json.dumps(plan.to_dict(shape), indent=2, sort_keys=True))
+    else:
+        print(plan.explain(shape))
     return 0
 
 
@@ -337,7 +358,8 @@ def _cmd_profile(args) -> int:
         orig = read_raw(args.original, shape)
         dec = read_raw(args.decompressed, shape)
         config = _apply_overrides(None, args.metrics, args.backend,
-                                  args.tiling, args.executor)
+                                  args.tiling, args.executor,
+                                  args.calibration)
         source = f"{args.original} vs {args.decompressed} {shape}"
         for _ in range(max(1, args.repeat)):
             compare_data(orig, dec, config=config, with_baselines=False,
@@ -358,7 +380,8 @@ def _cmd_profile(args) -> int:
         else:
             codec = get_compressor(args.codec, rel_bound=args.rel_bound)
         config = _apply_overrides(None, args.metrics, args.backend,
-                                  args.tiling, args.executor)
+                                  args.tiling, args.executor,
+                                  args.calibration)
         source = f"{args.codec} on {args.dataset}/{field_name} {shape}"
         for _ in range(max(1, args.repeat)):
             assess_compressor(field.data, codec, config=config, tracer=tracer)

@@ -49,7 +49,7 @@ _ALIASES = {
 _KNOWN = {
     "GLOBAL": {
         "metrics", "patterns", "device", "auxiliary", "fused", "backend",
-        "tiling", "executor",
+        "tiling", "executor", "calibration",
     },
     "PATTERN1": {"pdf_bins", "pwr_floor"},
     "PATTERN2": {"max_lag", "orders"},
@@ -127,6 +127,7 @@ def parse_config_text(text: str) -> CheckerConfig:
             backend=g.get("backend", ""),
             tiling=tiling,
             executor=g.get("executor", "").lower(),
+            calibration=g.get("calibration", "auto"),
             pattern1=Pattern1Config(
                 pdf_bins=int(p1.get("pdf_bins", 1024)),
                 pwr_floor=float(p1.get("pwr_floor", 0.0)),
@@ -182,6 +183,11 @@ def format_config(config: CheckerConfig) -> str:
         *([f"backend = {config.backend}"] if config.backend else []),
         f"tiling = {config.tiling}",
         *([f"executor = {config.executor}"] if config.executor else []),
+        *(
+            [f"calibration = {config.calibration}"]
+            if config.calibration != "auto"
+            else []
+        ),
         "",
         "[PATTERN1]",
         f"pdf_bins = {config.pattern1.pdf_bins}",

@@ -49,12 +49,22 @@ class CheckerConfig:
     #: ``"process"`` force that pool kind, ``"serial"`` disables pooling;
     #: the empty string keeps each driver's historical default
     executor: str = ""
+    #: adaptive-dispatch calibration table: ``"auto"`` (or empty) uses
+    #: the per-user cache (``~/.cache/cuzchecker/calibration.json``),
+    #: ``"off"`` disables measured-ratio correction (raw roofline
+    #: predictions), anything else is an explicit table path
+    calibration: str = "auto"
 
     def validate(self) -> None:
         if self.executor not in ("", "auto", "serial", "thread", "process"):
             raise ConfigError(
                 f"executor must be auto, serial, thread or process, "
                 f"got {self.executor!r}"
+            )
+        if not isinstance(self.calibration, str):
+            raise ConfigError(
+                f"calibration must be 'auto', 'off' or a table path, "
+                f"got {self.calibration!r}"
             )
         if isinstance(self.tiling, bool) or (
             isinstance(self.tiling, int) and self.tiling < 1

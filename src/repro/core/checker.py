@@ -68,6 +68,10 @@ class CuZChecker:
         self.plan: ExecutionPlan = build_plan(self.config, backend=backend)
         self.with_baselines = with_baselines
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._backend_arg = backend
+        # per-shape adaptive plans (dataclasses.replace of self.plan —
+        # dispatch never re-validates the already-validated config)
+        self._plans: dict[tuple, ExecutionPlan] = {}
         self._cuzc = CuZC()
         self._mozc = MoZC()
         self._ompzc = OmpZC()
@@ -86,8 +90,32 @@ class CuZChecker:
         tracer: Tracer | None = None,
         extras: dict | None = None,
     ) -> AssessmentReport:
-        """Run the configured assessment on one data pair."""
-        report = self.plan.execute(
+        """Run the configured assessment on one data pair.
+
+        The executing plan is re-targeted per input shape by the adaptive
+        dispatcher (memoised per shape/dtype); an explicit ``backend``
+        argument bypasses dispatch entirely — the caller asked for that
+        backend, not for the cheapest one.
+        """
+        plan = self.plan
+        if backend is None:
+            arr = np.asarray(orig)
+            if arr.ndim == 3:
+                key = (arr.shape, arr.dtype.itemsize)
+                plan = self._plans.get(key)
+                if plan is None:
+                    from repro.engine.dispatch import dispatch_plan
+
+                    pinned = None
+                    if self._backend_arg is not None or self.config.backend:
+                        pinned = self.plan.backend
+                    plan = dispatch_plan(
+                        self.plan, arr.shape, arr.dtype.itemsize, pinned=pinned
+                    )
+                    self._plans[key] = plan
+            else:
+                plan = self.plan
+        report = plan.execute(
             orig, dec, backend=backend,
             tracer=tracer if tracer is not None else self.tracer,
             extras=extras,

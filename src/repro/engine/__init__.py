@@ -8,12 +8,20 @@ kernels by hand.
 
 from repro.engine.backends import (
     Backend,
+    CompiledHostBackend,
     FusedHostBackend,
     GpuSimBackend,
     MetricOrientedBackend,
     get_backend,
     known_backends,
     register_backend,
+)
+from repro.engine.dispatch import (
+    CalibrationTable,
+    Decision,
+    choose,
+    dispatch_plan,
+    resolve_calibration,
 )
 from repro.engine.plan import (
     ExecutionPlan,
@@ -25,16 +33,23 @@ from repro.engine.tiling import (
     TileAccumulator,
     TiledAssessment,
     resolve_slab,
+    slab_candidates,
 )
 
 __all__ = [
     "Backend",
     "FusedHostBackend",
+    "CompiledHostBackend",
     "MetricOrientedBackend",
     "GpuSimBackend",
     "get_backend",
     "known_backends",
     "register_backend",
+    "CalibrationTable",
+    "Decision",
+    "choose",
+    "dispatch_plan",
+    "resolve_calibration",
     "ExecutionPlan",
     "PlanStep",
     "build_plan",
@@ -42,4 +57,5 @@ __all__ = [
     "TileAccumulator",
     "TiledAssessment",
     "resolve_slab",
+    "slab_candidates",
 ]

@@ -59,6 +59,7 @@ __all__ = [
     "FusedHostBackend",
     "MetricOrientedBackend",
     "GpuSimBackend",
+    "CompiledHostBackend",
     "register_backend",
     "get_backend",
     "known_backends",
@@ -317,6 +318,53 @@ class FusedHostBackend(Backend):
         return out
 
 
+class CompiledHostBackend(FusedHostBackend):
+    """The fused dataflow with the two measured hot spots — the pattern-2
+    ±1 stencil and the sliding SSIM window — replaced by single-pass
+    compiled kernels (:mod:`repro.engine.compiled`).
+
+    Values are identical to ``fused-host`` (the compiled kernels reduce
+    in the same order and always compute the full stencil set, so metric
+    subsets stay bit-identical); only the constant factor differs, which
+    is why the dispatcher selects this backend purely on calibrated cost.
+    Without Numba the kernels run interpreted — registration never
+    depends on the import, but the dispatcher only *enumerates* this
+    backend when :func:`repro.engine.compiled.available` is true, and
+    plans that name it explicitly fall back to ``fused-host`` with a
+    one-line warning.
+    """
+
+    name = "compiled-host"
+
+    def _pattern2(self, ctx):
+        from repro.engine.compiled import execute_pattern2_compiled
+
+        if ctx.extras.get("tiled") is not None or ctx.workspace is None:
+            # the compiled stencil is a whole-array single pass; tiled
+            # layouts keep the interpreted slab path
+            return super()._pattern2(ctx)
+        err_mean, err_var = ctx.err_mean, ctx.err_var
+        if err_mean is None:
+            # same moment-resolution rule as the fused path: a subset
+            # plan takes the moments from the shared workspace so it
+            # returns bit-identical values to the full assessment
+            es = ctx.workspace.error_stats()
+            mse = ctx.workspace.rate_distortion().mse
+            err_mean = es.avg_err
+            err_var = max(mse - err_mean**2, 0.0)
+        return execute_pattern2_compiled(
+            ctx.workspace, ctx.plan.config.pattern2,
+            err_mean=err_mean, err_var=err_var,
+        )
+
+    def _pattern3(self, ctx):
+        from repro.engine.compiled import execute_pattern3_compiled
+
+        if ctx.workspace is None:
+            return super()._pattern3(ctx)
+        return execute_pattern3_compiled(ctx.workspace, ctx.plan.config.pattern3)
+
+
 class MetricOrientedBackend(Backend):
     """moZC-style standalone execution: no workspace, no moment reuse."""
 
@@ -455,5 +503,6 @@ def get_backend(backend: str | Backend) -> Backend:
 
 
 register_backend(FusedHostBackend)
+register_backend(CompiledHostBackend)
 register_backend(MetricOrientedBackend)
 register_backend(GpuSimBackend)

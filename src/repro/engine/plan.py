@@ -108,6 +108,10 @@ class ExecutionPlan:
     #: built from this configuration ("auto" | "serial" | "thread" |
     #: "process"); single-pair execution ignores it
     executor: str = "auto"
+    #: adaptive-dispatch verdict (:class:`repro.engine.dispatch.Decision`)
+    #: when the plan was built or re-targeted for a concrete shape;
+    #: ``None`` for shape-free plans (static rules apply)
+    decision: object | None = None
 
     # -- execution ---------------------------------------------------------
 
@@ -147,6 +151,19 @@ class ExecutionPlan:
         tracer = tracer if tracer is not None else NULL_TRACER
         be = get_backend(backend if backend is not None else self.backend)
         report = AssessmentReport(shape=orig.shape, config=self.config)
+        # per-step cost predictions feed the calibration loop: spans carry
+        # the dispatcher's base prediction so ``tools/calibrate.py fit``
+        # can fold measured/predicted ratios back into the table.  An
+        # explicit backend override bypasses the decision (it priced a
+        # different backend).
+        predicted = None
+        decision = self.decision
+        if (
+            decision is not None
+            and backend is None
+            and tuple(orig.shape) == decision.shape
+        ):
+            predicted = decision.chosen.steps
         with tracer.span(
             "plan",
             category="plan",
@@ -159,13 +176,17 @@ class ExecutionPlan:
             ctx.tracer = tracer
             if extras:
                 ctx.extras.update(extras)
-            for step in self.steps:
-                with tracer.span(
-                    step.kind,
+            for i, step in enumerate(self.steps):
+                attrs = dict(
                     category="step",
                     pattern=step.pattern_id if step.pattern_id is not None else "aux",
                     metrics=",".join(step.metrics),
-                ):
+                )
+                if predicted is not None and i < len(predicted):
+                    attrs["predicted_ms"] = predicted[i].ms
+                    attrs["predicted_base_ms"] = predicted[i].base_ms
+                    attrs["calibration_key"] = predicted[i].key
+                with tracer.span(step.kind, **attrs):
                     be.run_step(step, ctx, report)
         return report
 
@@ -243,7 +264,76 @@ class ExecutionPlan:
             if not plans:
                 lines.append("    (no kernel launches)")
             lines.append(f"    total modelled kernel time: {total * 1e3:.3f} ms")
+        decision = self._decision_for(shape)
+        if decision is not None:
+            lines.append(
+                f"  dispatch candidates for shape {tuple(decision.shape)} "
+                f"(calibration: {decision.calibration}):"
+            )
+            for cand in decision.candidates:
+                marker = "  <- chosen" if cand is decision.chosen else ""
+                lines.append(
+                    f"    {cand.label:<28s} predicted={cand.total_ms:8.3f} ms "
+                    f"[{cand.source}]{marker}"
+                )
         return "\n".join(lines)
+
+    def _decision_for(self, shape):
+        """The attached decision when it matches ``shape``, else a fresh
+        one computed on the fly (``None`` when dispatch cannot price)."""
+        if shape is None:
+            return self.decision
+        shape = tuple(shape)
+        if self.decision is not None and self.decision.shape == shape:
+            return self.decision
+        from repro.engine.dispatch import dispatch_plan
+
+        return dispatch_plan(self, shape).decision
+
+    def to_dict(self, shape: tuple[int, int, int] | None = None) -> dict:
+        """Machine-readable plan description (``cuzchecker explain --json``)."""
+        out = {
+            "backend": self.backend,
+            "executor": self.executor,
+            "metrics": list(self.metrics),
+            "patterns": list(self.patterns),
+            "tiling": getattr(self.config, "tiling", "off"),
+            "device": self.config.device,
+            "unplanned": list(self.unplanned),
+            "steps": [
+                {
+                    "kind": s.kind,
+                    "metrics": list(s.metrics),
+                    "consumes": list(s.consumes),
+                    "produces": list(s.produces),
+                }
+                for s in self.steps
+            ],
+        }
+        if self.executor in ("auto", "process"):
+            from repro.parallel.executor import resolve_executor
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                out["resolved_executor"] = resolve_executor(self.executor)
+        if shape is not None:
+            out["shape"] = list(shape)
+            from repro.core.frameworks import device_by_name
+            from repro.gpusim.costmodel import kernel_time
+
+            device = device_by_name(self.config.device)
+            out["modelled_kernels"] = [
+                {
+                    "name": stats.name,
+                    "grid_blocks": stats.grid_blocks,
+                    "modelled_ms": kernel_time(stats, device).total * 1e3,
+                }
+                for stats in self.kernel_plans(shape)
+            ]
+        decision = self._decision_for(shape)
+        if decision is not None:
+            out["dispatch"] = decision.to_dict()
+        return out
 
 
 def resolve_backend_name(
@@ -274,11 +364,19 @@ def resolve_executor_name(config: CheckerConfig, executor: str | None = None) ->
 def build_plan(
     config: CheckerConfig | None = None,
     backend: str | Backend | None = None,
+    shape: tuple[int, int, int] | None = None,
+    itemsize: int = 4,
 ) -> ExecutionPlan:
     """Turn a configuration into an :class:`ExecutionPlan`.
 
     Validates the configuration exactly once; callers that reuse the
     returned plan (batch, parallel, streaming) never re-validate.
+
+    With a 3-D ``shape``, the plan is additionally run through the
+    adaptive dispatcher (:func:`repro.engine.dispatch.dispatch_plan`):
+    backend and tiling slab are chosen by calibrated predicted cost and
+    the costed candidate table is attached as :attr:`ExecutionPlan.decision`.
+    Shape-free plans keep the static rules.
     """
     if config is None:
         from repro.config.defaults import default_config
@@ -335,11 +433,30 @@ def build_plan(
                      consumes=("o64", "d64", "moments"))
         )
 
-    return ExecutionPlan(
+    backend_name = resolve_backend_name(config, backend)
+    if backend_name == "compiled-host":
+        from repro.engine import compiled
+
+        if not compiled.available():
+            warnings.warn(
+                "compiled-host requested but Numba is not importable; "
+                "falling back to fused-host",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            backend_name = "fused-host"
+
+    plan = ExecutionPlan(
         config=config,
         metrics=metrics,
         steps=tuple(steps),
-        backend=resolve_backend_name(config, backend),
+        backend=backend_name,
         unplanned=canonical_metric_order(unplanned),
         executor=resolve_executor_name(config),
     )
+    if shape is not None and len(tuple(shape)) == 3:
+        from repro.engine.dispatch import dispatch_plan
+
+        pinned = backend_name if (backend or config.backend) else None
+        plan = dispatch_plan(plan, tuple(shape), itemsize, pinned=pinned)
+    return plan

@@ -52,6 +52,7 @@ __all__ = [
     "AUTO_MIN_BYTES",
     "AUTO_SLAB_BYTES",
     "resolve_slab",
+    "slab_candidates",
     "TileAccumulator",
     "TiledAssessment",
 ]
@@ -100,6 +101,37 @@ def resolve_slab(
     raise ConfigError(
         f"tiling must be 'auto', 'off' or a positive slab depth, got {tiling!r}"
     )
+
+
+def slab_candidates(
+    shape: tuple[int, ...],
+    tiling: str | int,
+    itemsize: int = 4,
+) -> tuple[int | None, ...]:
+    """Slab depths worth costing for a shape (``None`` = whole-array).
+
+    The dispatch predictor's candidate grid.  Pinned settings stay
+    pinned: ``"off"`` and explicit integers yield exactly what
+    :func:`resolve_slab` would.  ``"auto"`` on fields below
+    :data:`AUTO_MIN_BYTES` keeps the single whole-array candidate — the
+    bit-exact small-field behaviour must not depend on a calibration
+    table — while larger fields get whole-array, the auto depth, and two
+    fixed depths bracketing the usual cache sweet spot.
+    """
+    if len(shape) != 3 or tiling == "off":
+        return (None,)
+    if isinstance(tiling, bool):
+        raise ConfigError(f"tiling must be 'auto', 'off' or an int, got {tiling!r}")
+    nz = shape[0]
+    if isinstance(tiling, int):
+        return (resolve_slab(shape, tiling, itemsize),)
+    out: set[int | None] = {None, resolve_slab(shape, tiling, itemsize)}
+    if out == {None}:
+        return (None,)
+    for depth in (16, 32):
+        if 1 <= depth < nz:
+            out.add(depth)
+    return tuple(sorted(out, key=lambda s: -1 if s is None else s))
 
 
 class TileAccumulator:

@@ -31,7 +31,7 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.counters import KernelStats
 from repro.gpusim.occupancy import Occupancy, occupancy_for
 
-__all__ = ["CostBreakdown", "kernel_time", "kernels_time"]
+__all__ = ["CostBreakdown", "kernel_time", "kernel_times", "kernels_time"]
 
 #: resident warps per SM at which memory bandwidth reaches half its peak
 MEM_HALF_SAT_WARPS = 6.0
@@ -154,6 +154,18 @@ def kernel_time(stats: KernelStats, device: DeviceSpec) -> CostBreakdown:
         wave_penalty=wave_penalty,
         occupancy=occ,
     )
+
+
+def kernel_times(
+    stats_list: list[KernelStats], device: DeviceSpec
+) -> list[CostBreakdown]:
+    """Per-kernel cost breakdowns for a plan's launch sequence.
+
+    The candidate-costing entry point the adaptive dispatcher uses for
+    modelled (gpusim) backends: one breakdown per launch, in order, so
+    per-step subtotals can be keyed into the calibration table.
+    """
+    return [kernel_time(s, device) for s in stats_list]
 
 
 def kernels_time(stats_list: list[KernelStats], device: DeviceSpec) -> float:

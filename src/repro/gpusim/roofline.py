@@ -19,7 +19,14 @@ from repro.gpusim.costmodel import (
 from repro.gpusim.counters import KernelStats
 from repro.gpusim.device import DeviceSpec, V100
 
-__all__ = ["RooflinePoint", "roofline_point", "roofline_report"]
+__all__ = [
+    "RooflinePoint",
+    "roofline_point",
+    "roofline_report",
+    "HostRoof",
+    "DEFAULT_HOST_ROOF",
+    "host_kernel_seconds",
+]
 
 
 @dataclass(frozen=True)
@@ -78,3 +85,64 @@ def roofline_report(
 ) -> list[RooflinePoint]:
     """Roofline points for a list of kernel plans."""
     return [roofline_point(p, device) for p in plans]
+
+
+# ---------------------------------------------------------------------------
+# host roofs: the candidate-costing half of adaptive dispatch
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HostRoof:
+    """Empirical roofs of the *host* NumPy execution engine.
+
+    The dispatch predictor (:mod:`repro.engine.dispatch`) prices every
+    host-backend candidate with the same roofline shape as the device
+    model — ``max(memory, compute)`` — but against host ceilings.  These
+    are deliberately coarse seeds: per-step measured-vs-predicted ratios
+    from the telemetry layer are folded into a persistent calibration
+    table, so only the *relative* ordering these produce out of the box
+    matters, and even that is corrected after the first ``fit``.
+    """
+
+    #: sustained bytes/s for DRAM-resident single-thread NumPy streaming
+    stream_bandwidth: float = 8e9
+    #: sustained bytes/s when the working set stays in the last-level
+    #: cache (the tiled path's reason to exist)
+    cache_bandwidth: float = 24e9
+    #: modelled device-ops/s equivalent the host interpreter+BLAS reach
+    op_rate: float = 1.2e9
+    #: assumed last-level cache size for the cache-resident test
+    llc_bytes: int = 32 << 20
+
+
+DEFAULT_HOST_ROOF = HostRoof()
+
+#: host traffic inflation over the modelled f32 device traffic: the host
+#: path works on float64 conversions and materialises reduction inputs
+HOST_TRAFFIC_FACTOR = 3.0
+
+#: the modelled device flops include GPU stall-factor inflations
+#: (``P2_STALL_FACTOR``, ``P3_STALL_FACTOR``) the host never pays; these
+#: per-pattern discounts map modelled ops back to host-relevant work
+HOST_OP_DISCOUNT = {1: 1.0, 2: 1.6, 3: 30.0}
+
+
+def host_kernel_seconds(
+    stats: KernelStats,
+    roof: HostRoof = DEFAULT_HOST_ROOF,
+    cached: bool = False,
+) -> float:
+    """Host-roofline time estimate for one modelled kernel plan.
+
+    ``cached`` selects the cache bandwidth — the whole-array path earns
+    it only when the workspace fits the LLC, the tiled path by
+    construction.
+    """
+    stats.validate()
+    bw = roof.cache_bandwidth if cached else roof.stream_bandwidth
+    mem_time = HOST_TRAFFIC_FACTOR * stats.global_bytes / bw
+    pattern = stats.meta.get("pattern")
+    discount = HOST_OP_DISCOUNT.get(pattern, 1.0)
+    compute_time = _total_ops(stats) / discount / roof.op_rate
+    return max(mem_time, compute_time)

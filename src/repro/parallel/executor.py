@@ -41,6 +41,7 @@ from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = [
     "auto_workers",
+    "cost_aware_workers",
     "parallel_assess_dataset",
     "parallel_compare_pairs",
     "process_available",
@@ -79,11 +80,13 @@ def _available_ram_bytes() -> int | None:
     return None
 
 
-#: conservative per-worker working set as a multiple of one task's input
-#: bytes: the float64 copies of both arrays (4x for float32 inputs) plus
-#: the error/squared-error/product intermediates the fused workspace
-#: caches while a pattern step runs
-_WORKER_FOOTPRINT_FACTOR = 8
+#: per-worker working set as a multiple of one task's input bytes.  The
+#: fused workspace keeps o64 + d64 + err live concurrently (24 bytes per
+#: float32 input element = 6x the 4-byte input); the remaining
+#: intermediates are transient scratch-pool checkouts that never overlap
+#: them at peak.  The earlier 8x was over-conservative and cost a worker
+#: on RAM-tight multicore hosts (ROADMAP multicore-gate note).
+_WORKER_FOOTPRINT_FACTOR = 6
 
 
 def auto_workers(
@@ -110,6 +113,36 @@ def auto_workers(
             affordable = max(1, int((budget // 2) // per_worker))
             workers = min(workers, affordable)
     return max(1, workers)
+
+
+def cost_aware_workers(
+    n_tasks: int, executor: str, task_nbytes: int = 0
+) -> int:
+    """Worker count chosen by predicted pool wall time.
+
+    :func:`auto_workers` caps by cores and RAM; within that cap, the
+    dispatch cost model (:func:`repro.engine.dispatch.predict_pool_seconds`)
+    prices every candidate count — per-task IPC and per-worker spin-up
+    for processes, the GIL-serial fraction for threads — and the argmin
+    wins.  On a single-core host the cap is 1 and the drivers degenerate
+    to the serial loop exactly as before.
+    """
+    cap = auto_workers(n_tasks, executor=executor, task_nbytes=task_nbytes)
+    if cap <= 1 or executor == "serial":
+        return cap
+    try:
+        from repro.engine.dispatch import (
+            estimate_assess_seconds,
+            predict_pool_seconds,
+        )
+
+        task_s = estimate_assess_seconds(task_nbytes)
+        return min(
+            range(1, cap + 1),
+            key=lambda w: predict_pool_seconds(n_tasks, task_s, w, executor),
+        )
+    except Exception:  # noqa: BLE001 — the cap is always a safe answer
+        return cap
 
 
 def process_available() -> bool:
@@ -280,6 +313,40 @@ def _job_compare(name, orig_handle, dec_handle, checker_blob, trace):
     return out
 
 
+def _job_batch(job_fn, items):
+    """Worker job: run several per-field jobs in one submit.
+
+    Small fields drown in per-task IPC (pickle + queue round-trip per
+    submit); grouping several of them per job amortises that while
+    running the *same* per-field code on the same bytes, so batched
+    results stay bit-identical to one-job-per-field.  Items execute in
+    submission order; each keeps its own trace payload.
+    """
+    return [(name, job_fn(name, *args)) for name, args in items]
+
+
+#: minimum input bytes one process-pool job should carry; fields smaller
+#: than this are grouped until a job reaches it (or tasks run out)
+_MIN_JOB_BYTES = 4 << 20
+
+
+def _group_jobs(jobs, workers: int, task_nbytes: int):
+    """Chunk ordered jobs so each group carries ≥ ``_MIN_JOB_BYTES``.
+
+    Never groups beyond ``ceil(n / workers)`` — batching must not starve
+    a worker that could otherwise run concurrently.
+    """
+    n = len(jobs)
+    if n <= 1 or task_nbytes >= _MIN_JOB_BYTES:
+        size = 1
+    else:
+        size = min(
+            -(-_MIN_JOB_BYTES // max(task_nbytes, 1)),  # ceil division
+            -(-n // workers),
+        )
+    return [jobs[i : i + size] for i in range(0, n, size)]
+
+
 def _job_assess(name, handle, compressor_blob, checker_blob, trace):
     """Worker job: compress + assess one published field."""
     tracer = Tracer() if trace else NULL_TRACER
@@ -379,49 +446,51 @@ def _run_process_jobs(
     batch: BatchAssessment,
     tracer: Tracer,
     shm_bytes: int,
+    task_nbytes: int = 0,
 ):
     """Submit ``(name, args)`` jobs to the spawn pool, filling ``batch``.
 
-    Worker traces come home as picklable ``(spans, epoch, pid)`` payloads
-    and merge under the driver's root span with one export lane per
-    worker process — the same stable-id merge the multi-GPU ranks use.
+    Small fields are grouped several-per-submit (see :func:`_group_jobs`)
+    to amortise IPC; group results come back in submission order, so the
+    report dict keeps the dataset's field order bit-identically.  Worker
+    traces come home as picklable ``(spans, epoch, pid)`` payloads and
+    merge under the driver's root span with one export lane per worker
+    process — the same stable-id merge the multi-GPU ranks use.
     """
     _check_on_error(on_error)
     jobs = list(jobs)
+    groups = _group_jobs(jobs, workers, task_nbytes)
     pool = _get_pool(workers)
     lanes: dict[int, int] = {}
     with tracer.span(
         f"parallel:{batch.dataset_name}", category="batch",
-        tasks=len(jobs), workers=workers, executor="process",
-        shm_bytes=shm_bytes,
+        tasks=len(jobs), jobs=len(groups), workers=workers,
+        executor="process", shm_bytes=shm_bytes,
     ) as root:
         parent = root if tracer.enabled else None
         try:
-            futures = [
-                (name, pool.submit(job_fn, name, *args)) for name, args in jobs
-            ]
+            futures = [pool.submit(_job_batch, job_fn, group) for group in groups]
         except RuntimeError:
             # a previous batch broke this pool; build a fresh one
             _discard_pool(workers)
             pool = _get_pool(workers)
-            futures = [
-                (name, pool.submit(job_fn, name, *args)) for name, args in jobs
-            ]
+            futures = [pool.submit(_job_batch, job_fn, group) for group in groups]
         outcomes = []
-        for name, fut in futures:
+        for group, fut in zip(groups, futures):
             try:
-                report, exc, trace = fut.result()
+                results = fut.result()
             except BrokenProcessPool as broken:
                 _discard_pool(workers)
-                report, trace = None, None
-                exc = CheckerError(f"worker process died: {broken}")
-            if trace is not None:
-                spans, epoch, pid = trace
-                lane = lanes.setdefault(pid, len(lanes) + 1)
-                tracer.merge_spans(spans, epoch, parent=parent, track=lane)
-            if exc is not None and on_error == "raise":
-                raise exc
-            outcomes.append((name, report, exc))
+                err = CheckerError(f"worker process died: {broken}")
+                results = [(name, (None, err, None)) for name, _ in group]
+            for name, (report, exc, trace) in results:
+                if trace is not None:
+                    spans, epoch, pid = trace
+                    lane = lanes.setdefault(pid, len(lanes) + 1)
+                    tracer.merge_spans(spans, epoch, parent=parent, track=lane)
+                if exc is not None and on_error == "raise":
+                    raise exc
+                outcomes.append((name, report, exc))
     for name, report, exc in outcomes:
         if exc is None:
             batch.reports[name] = report
@@ -454,7 +523,7 @@ def parallel_assess_dataset(
     executor = resolve_executor(executor, config)
     fields = list(dataset)
     task_nbytes = max(f.data.nbytes for f in fields)
-    workers = workers or auto_workers(
+    workers = workers or cost_aware_workers(
         len(fields), executor=executor, task_nbytes=task_nbytes
     )
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -475,6 +544,7 @@ def parallel_assess_dataset(
                 return _run_process_jobs(
                     jobs, _job_assess, workers, on_error, batch, tracer,
                     shm_bytes=sum(h.nbytes for h in handles),
+                    task_nbytes=task_nbytes,
                 )
 
     # serial / thread path: one shared checker — the execution plan is
@@ -520,7 +590,7 @@ def parallel_compare_pairs(
         raise CheckerError("no pairs to assess")
     executor = resolve_executor(executor, config)
     task_nbytes = max(o.nbytes + d.nbytes for _, o, d in pairs)
-    workers = workers or auto_workers(
+    workers = workers or cost_aware_workers(
         len(pairs), executor=executor, task_nbytes=task_nbytes
     )
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -541,6 +611,7 @@ def parallel_compare_pairs(
             return _run_process_jobs(
                 jobs, _job_compare, workers, on_error, batch, tracer,
                 shm_bytes=sum(h.nbytes for h in handles),
+                task_nbytes=task_nbytes,
             )
 
     checker = CuZChecker(config=config, with_baselines=with_baselines, tracer=tracer)

@@ -26,7 +26,7 @@ import time
 import tracemalloc
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "Tracer", "NULL_TRACER"]
+__all__ = ["Span", "Tracer", "NULL_TRACER", "calibration_observations"]
 
 
 @dataclass
@@ -291,6 +291,27 @@ class Tracer:
 
     def roots(self) -> list[Span]:
         return [s for s in self.spans if s.parent_id is None]
+
+
+def calibration_observations(spans: list[Span]):
+    """Yield ``(key, measured_s, predicted_base_s)`` triples from a trace.
+
+    The measure half of the dispatch calibration loop: step spans
+    executed under an adaptive decision carry ``calibration_key`` and
+    ``predicted_base_ms`` attrs (see :meth:`ExecutionPlan.execute`);
+    ``tools/calibrate.py fit`` folds these into the persistent table.
+    Spans without the attrs — untraced runs, explicit backend overrides,
+    non-step spans — are skipped.
+    """
+    for sp in spans:
+        key = sp.attrs.get("calibration_key")
+        base_ms = sp.attrs.get("predicted_base_ms")
+        if not key or not base_ms:
+            continue
+        measured_s = sp.duration_us / 1e6
+        if measured_s <= 0:
+            continue
+        yield key, measured_s, base_ms / 1e3
 
 
 #: shared disabled tracer: the default for every entry point, so tracing

@@ -110,7 +110,9 @@ class TestBackendResolution:
             small_config(backend="cuda").validate()
 
     def test_known_backends(self):
-        assert known_backends() == ("fused-host", "gpusim", "metric-oriented")
+        assert known_backends() == (
+            "compiled-host", "fused-host", "gpusim", "metric-oriented"
+        )
 
     def test_nameless_backend_rejected(self):
         class Anon(Backend):
@@ -126,7 +128,9 @@ class TestBackendResolution:
 class TestRegistryBackendCompleteness:
     """Every registered metric is executable by every registered backend."""
 
-    @pytest.mark.parametrize("backend", ["fused-host", "metric-oriented", "gpusim"])
+    @pytest.mark.parametrize(
+        "backend", ["fused-host", "compiled-host", "metric-oriented", "gpusim"]
+    )
     @pytest.mark.parametrize("name", sorted(METRIC_REGISTRY))
     def test_single_metric_plan_executes(self, backend, name, noisy_pair):
         plan = build_plan(small_config(metrics=(name,)))
@@ -149,7 +153,9 @@ class TestCrossBackendEquality:
         ("nrmse", "snr", "ssim", "divergence"),
     ]
 
-    @pytest.mark.parametrize("backend", ["fused-host", "metric-oriented", "gpusim"])
+    @pytest.mark.parametrize(
+        "backend", ["fused-host", "compiled-host", "metric-oriented", "gpusim"]
+    )
     def test_subset_equals_full_run(self, backend, noisy_pair):
         full = build_plan(small_config()).execute(*noisy_pair, backend=backend)
         full_scalars = full.scalars()

@@ -1,0 +1,154 @@
+"""Tests for the optional compiled (Numba) hot-path backend.
+
+The registry suite in ``test_engine.py`` already runs every metric
+through ``compiled-host``; this file covers what that sweep cannot:
+kernel-level agreement with the NumPy reference implementations, the
+no-op ``njit`` fallback on hosts without Numba, and the build-time
+degradation to ``fused-host``.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config.schema import CheckerConfig
+from repro.engine import build_plan, get_backend
+from repro.engine.compiled import (
+    NUMBA_AVAILABLE,
+    available,
+    compiled_ssim_accumulate,
+    compiled_stencil_partials,
+)
+from repro.kernels.pattern2 import Pattern2Config
+from repro.kernels.pattern3 import Pattern3Config
+from repro.metrics.ssim import SsimConfig, ssim3d
+
+
+def small_config(**kw):
+    return CheckerConfig(
+        pattern2=Pattern2Config(max_lag=kw.pop("max_lag", 3)),
+        pattern3=Pattern3Config(window=kw.pop("window", 6)),
+        **kw,
+    )
+
+
+class TestAvailability:
+    def test_available_reflects_import(self):
+        assert available() is NUMBA_AVAILABLE
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba installed")
+    def test_njit_fallback_is_noop(self):
+        from repro.engine.compiled import njit
+
+        def f(x):
+            return x + 1
+
+        assert njit(f) is f
+        assert njit(cache=True)(f) is f
+        assert njit(f)(1) == 2
+
+
+class TestStencilKernel:
+    def test_matches_fused_pattern2(self, noisy_pair):
+        """Compiled partials reproduce the fused NumPy stencil stats."""
+        plan = small_config()
+        full = build_plan(plan).execute(*noisy_pair, backend="fused-host")
+        compiled = build_plan(plan).execute(*noisy_pair, backend="compiled-host")
+        for key in (
+            "derivative_order1", "derivative_order2",
+            "divergence", "laplacian",
+        ):
+            f = full.scalars()[key]
+            c = compiled.scalars()[key]
+            assert math.isclose(f, c, rel_tol=1e-9, abs_tol=1e-12), key
+
+    def test_partials_shape_and_nonnegativity(self, noisy_pair):
+        o, d = noisy_pair
+        parts = compiled_stencil_partials(
+            o.astype(np.float64), d.astype(np.float64)
+        )
+        assert parts.shape == (4, 4)
+        # sq-diff sums and max-abs-diffs cannot be negative
+        assert (parts[:, 2] >= 0).all()
+        assert (parts[:, 3] >= 0).all()
+
+    def test_identical_inputs_zero_diffs(self):
+        o = np.linspace(0, 1, 6 * 6 * 6).reshape(6, 6, 6)
+        parts = compiled_stencil_partials(o, o.copy())
+        assert parts[:, 2] == pytest.approx(0.0)
+        assert parts[:, 3] == pytest.approx(0.0)
+
+
+class TestSsimKernel:
+    @pytest.mark.parametrize("step", [1, 2, 6])
+    def test_matches_sliding_ssim(self, noisy_pair, step):
+        """Cascaded sliding sums agree with the summed-area reference,
+        including the step<window overlap reuse and step>=window reset
+        paths."""
+        o, d = noisy_pair
+        cfg = SsimConfig(window=6, step=step)
+        ref = ssim3d(o, d, cfg)
+        L = float(o.max() - o.min())
+        c1 = (cfg.k1 * L) ** 2
+        c2 = (cfg.k2 * L) ** 2
+        total, count, vmin, vmax = compiled_ssim_accumulate(
+            o.astype(np.float64), d.astype(np.float64),
+            cfg.window, cfg.step, c1, c2,
+        )
+        assert count == ref.n_windows
+        assert total / count == pytest.approx(ref.ssim, rel=1e-9)
+        assert vmin == pytest.approx(ref.min_window_ssim, rel=1e-9)
+        assert vmax == pytest.approx(ref.max_window_ssim, rel=1e-9)
+
+    def test_backend_level_ssim_equality(self, noisy_pair):
+        full = build_plan(small_config(metrics=("ssim",))).execute(
+            *noisy_pair, backend="fused-host"
+        )
+        compiled = build_plan(small_config(metrics=("ssim",))).execute(
+            *noisy_pair, backend="compiled-host"
+        )
+        assert compiled.scalars()["ssim"] == pytest.approx(
+            full.scalars()["ssim"], rel=1e-9
+        )
+
+
+class TestGracefulDegradation:
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba installed")
+    def test_build_plan_falls_back_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="falling back to fused-host"):
+            plan = build_plan(small_config(backend="compiled-host"))
+        assert plan.backend == "fused-host"
+
+    def test_backend_still_registered(self):
+        # the backend object itself always exists (explicit execute()
+        # overrides may exercise it interpreted); only *planning* gates
+        # on availability
+        backend = get_backend("compiled-host")
+        assert backend.name == "compiled-host"
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba installed")
+    def test_dispatcher_never_enumerates_unavailable_backend(self):
+        from repro.engine.dispatch import choose
+
+        decision = choose(build_plan(small_config()), (8, 16, 16), 4)
+        assert all(c.backend != "compiled-host" for c in decision.candidates)
+
+
+class TestTiledFallback:
+    def test_tiled_pattern2_delegates_to_fused(self, noisy_pair):
+        """compiled-host refuses the tiled pattern-2 surface and defers
+        to the parent fused implementation — results stay identical."""
+        cfg = small_config(tiling=8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            tiled = build_plan(cfg).execute(*noisy_pair, backend="compiled-host")
+            whole = build_plan(small_config()).execute(
+                *noisy_pair, backend="fused-host"
+            )
+        assert tiled.scalars()["laplacian"] == pytest.approx(
+            whole.scalars()["laplacian"], rel=1e-9
+        )

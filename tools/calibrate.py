@@ -1,38 +1,60 @@
 #!/usr/bin/env python3
-"""Calibration harness: prints every paper-target quantity side by side.
+"""Calibration harness.
 
-Run after touching any cost-model constant; EXPERIMENTS.md records the
-final numbers.  Targets come from the paper's Section IV:
+Two modes:
 
-  Fig 10  overall speedups:   cuZC/ompZC 22.6-31.2, cuZC/moZC 1.49-1.7
-  Fig 11a pattern-1 GB/s:     cuZC 103-137, moZC 17-31, ompZC 0.44-0.51
-  Fig 11c pattern-3 MB/s:     cuZC 497-758, moZC 351-514, ompZC 24.8-26.6
-  Fig 12a pattern-1 speedups: 227-268 (ompZC), 3.49-6.38 (moZC)
-  Fig 12b pattern-2 speedups: 17.1-47.4 (ompZC), 1.79-1.86 (moZC)
-  Fig 12c pattern-3 speedups: 19.2-28.5 (ompZC), 1.42-1.63 (moZC)
+``report`` (default)
+    Prints every paper-target quantity side by side.  Run after touching
+    any cost-model constant; EXPERIMENTS.md records the final numbers.
+    Targets come from the paper's Section IV:
+
+      Fig 10  overall speedups:   cuZC/ompZC 22.6-31.2, cuZC/moZC 1.49-1.7
+      Fig 11a pattern-1 GB/s:     cuZC 103-137, moZC 17-31, ompZC 0.44-0.51
+      Fig 11c pattern-3 MB/s:     cuZC 497-758, moZC 351-514, ompZC 24.8-26.6
+      Fig 12a pattern-1 speedups: 227-268 (ompZC), 3.49-6.38 (moZC)
+      Fig 12b pattern-2 speedups: 17.1-47.4 (ompZC), 1.79-1.86 (moZC)
+      Fig 12c pattern-3 speedups: 19.2-28.5 (ompZC), 1.42-1.63 (moZC)
+
+``fit``
+    The measure half of the adaptive-dispatch loop: runs traced
+    assessments of every static (backend, tiling) candidate on this
+    host, extracts per-step (measured, predicted) pairs from the span
+    attrs, folds the ratios into the persistent calibration table with
+    the geometric EMA, and saves it (host-fingerprinted).  Subsequent
+    ``build_plan(shape=...)`` calls read the table and their predictions
+    move toward this host's measured behaviour.
+
+      python tools/calibrate.py fit [--table PATH] [--repeats N] [--quick]
 """
 
-from repro.config.defaults import default_config
-from repro.core.frameworks import CuZC, MoZC, OmpZC
-from repro.datasets.registry import PAPER_SHAPES
+from __future__ import annotations
 
-CONFIG = default_config()
-FW = {"cuZC": CuZC(), "moZC": MoZC(), "ompZC": OmpZC()}
+import argparse
+import dataclasses
+import sys
+from collections import defaultdict
+from pathlib import Path
 
 
 def fmt_range(values):
     return f"{min(values):8.3f} – {max(values):8.3f}"
 
 
-def main():
+def cmd_report(args) -> int:
+    from repro.config.defaults import default_config
+    from repro.core.frameworks import CuZC, MoZC, OmpZC
+    from repro.datasets.registry import PAPER_SHAPES
+
+    config = default_config()
+    fw = {"cuZC": CuZC(), "moZC": MoZC(), "ompZC": OmpZC()}
     est = {
-        name: {ds: fw.estimate(shape, CONFIG) for ds, shape in PAPER_SHAPES.items()}
-        for name, fw in FW.items()
+        name: {ds: f.estimate(shape, config) for ds, shape in PAPER_SHAPES.items()}
+        for name, f in fw.items()
     }
 
     print("=== per-pattern throughput (paper counts orig+dec bytes) ===")
     for p, unit, div in ((1, "GB/s", 1e9), (2, "GB/s", 1e9), (3, "MB/s", 1e6)):
-        for name in FW:
+        for name in fw:
             vals = {
                 ds: est[name][ds].throughput(p) / div for ds in PAPER_SHAPES
             }
@@ -45,17 +67,13 @@ def main():
     print("=== per-pattern speedups of cuZC ===")
     for p in (1, 2, 3):
         for base in ("ompZC", "moZC"):
-            vals = [
-                est[base][ds].pattern_seconds[p] / est["cuZC"][ds].pattern_seconds[p]
-                for ds in PAPER_SHAPES
-            ]
             named = {
                 ds: est[base][ds].pattern_seconds[p]
                 / est["cuZC"][ds].pattern_seconds[p]
                 for ds in PAPER_SHAPES
             }
             print(
-                f"  P{p} vs {base:6s}: {fmt_range(vals)}   "
+                f"  P{p} vs {base:6s}: {fmt_range(list(named.values()))}   "
                 + "  ".join(f"{ds[:4]}={v:7.2f}" for ds, v in named.items())
             )
         print()
@@ -80,7 +98,112 @@ def main():
             + "  ".join(f"P{p}={s:9.5f}" for p, s in t.pattern_seconds.items())
             + f"  total={t.total_seconds:9.5f}"
         )
+    return 0
+
+
+def _fit_pairs(shape, rng):
+    import numpy as np
+
+    orig = rng.standard_normal(shape).astype(np.float32)
+    dec = (orig + rng.normal(scale=1e-3, size=shape)).astype(np.float32)
+    return orig, dec
+
+
+def _static_candidates(shape):
+    """Every (backend, tiling) the dispatcher could pick for ``shape``."""
+    from repro.engine import compiled
+    from repro.engine.tiling import slab_candidates
+
+    backends = ["fused-host", "metric-oriented"]
+    if compiled.available():
+        backends.append("compiled-host")
+    out = []
+    for backend in backends:
+        slabs = (
+            (None,)
+            if backend == "compiled-host"
+            else slab_candidates(shape, "auto")
+        )
+        for slab in slabs:
+            out.append((backend, "off" if slab is None else int(slab)))
+    return out
+
+
+def cmd_fit(args) -> int:
+    import numpy as np
+
+    from repro.config.defaults import default_config
+    from repro.engine.dispatch import (
+        CalibrationTable,
+        clear_decision_cache,
+        default_calibration_path,
+        host_fingerprint,
+    )
+    from repro.engine.plan import build_plan
+    from repro.telemetry.tracer import Tracer, calibration_observations
+
+    path = Path(args.table) if args.table else default_calibration_path()
+    table = CalibrationTable.load(path)
+    table.host = host_fingerprint()
+
+    shapes = [(24, 64, 64)] if args.quick else [(24, 64, 64), (48, 128, 128)]
+    rng = np.random.default_rng(args.seed)
+    # calibration="off": the fit runs must record the *raw* roofline
+    # predictions, not ones already corrected by the existing table
+    base_cfg = dataclasses.replace(default_config(), calibration="off")
+
+    observations: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for shape in shapes:
+        orig, dec = _fit_pairs(shape, rng)
+        for backend, tiling in _static_candidates(shape):
+            cfg = dataclasses.replace(base_cfg, backend=backend, tiling=tiling)
+            plan = build_plan(cfg, shape=shape, itemsize=orig.dtype.itemsize)
+            tracer = Tracer()
+            for _ in range(max(1, args.repeats)):
+                plan.execute(orig, dec, tracer=tracer)
+            for key, measured, base in calibration_observations(tracer.spans):
+                observations[key].append((measured, base))
+            print(
+                f"  measured {backend}/tiling={tiling} on {shape}: "
+                f"{len(tracer.spans)} spans"
+            )
+
+    for key in sorted(observations):
+        # best-of-repeats is the least noisy estimate of the achievable
+        # time; fold one observation per key per fit run
+        measured, base = min(observations[key], key=lambda mb: mb[0])
+        before = table.ratio(key)
+        after = table.fold(key, measured, base)
+        print(
+            f"  {key:40s} ratio {before:8.4f} -> {after:8.4f} "
+            f"(measured {measured * 1e3:8.3f} ms, predicted {base * 1e3:8.3f} ms)"
+        )
+    if not observations:
+        print("no calibration observations collected; table unchanged")
+        return 1
+    saved = table.save(path)
+    clear_decision_cache()
+    print(f"calibration table written to {saved}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="mode")
+    sub.add_parser("report", help="print paper-target quantities")
+    p = sub.add_parser("fit", help="fit the dispatch calibration table")
+    p.add_argument("--table", default=None,
+                   help="table path (default: the per-user cache)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timed repeats per candidate (best-of wins)")
+    p.add_argument("--quick", action="store_true",
+                   help="one small shape only")
+    p.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.mode in (None, "report"):
+        return cmd_report(args)
+    return cmd_fit(args)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -19,6 +19,10 @@ cores must show a real x4 speedup over serial, single-core hosts must
 stay within the parity floor — overhead bounded even where parallelism
 is physically unavailable.
 
+The ``dispatch`` section passes through :func:`dispatch_gate`: on every
+case the calibrated adaptive plan must either pick the measured-best
+static (backend, tiling) candidate or land within 5% of its wall-clock.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_host_fusion.py --quick --output fresh.json
@@ -73,6 +77,29 @@ ROWS = [
 #: task-size dependent — the smaller the field, the larger the IPC share).
 PROCESS_FLOOR_MULTI_CORE = 1.0
 PROCESS_FLOOR_SINGLE_CORE = 0.5
+
+#: adaptive dispatch must land within this factor of the measured-best
+#: static candidate on every ``dispatch`` section case (unless it chose
+#: the best candidate outright, in which case timing noise is irrelevant)
+DISPATCH_TOLERANCE = 1.05
+
+
+def dispatch_gate(fresh: dict) -> list[str]:
+    """Absolute gate: adaptive plan within 5% of the best static plan."""
+    cases = (fresh.get("dispatch") or {}).get("cases") or []
+    failures = []
+    for case in cases:
+        if case.get("matched_best"):
+            continue
+        ratio = float(case.get("adaptive_vs_best", 0.0))
+        if ratio > DISPATCH_TOLERANCE:
+            failures.append(
+                f"dispatch {tuple(case.get('shape', ()))}: adaptive chose "
+                f"{case.get('adaptive_chosen')} at {ratio:.3f}x the best "
+                f"static {case.get('best_static')} "
+                f"(tolerance {DISPATCH_TOLERANCE}x)"
+            )
+    return failures
 
 
 def process_gate(fresh: dict) -> list[str]:
@@ -166,6 +193,7 @@ def main(argv=None) -> int:
     baseline_runs = _load_runs(args.baseline)
     table, failures = compare(fresh, baseline_runs, args.threshold)
     failures += process_gate(fresh)
+    failures += dispatch_gate(fresh)
 
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     try:
