@@ -12,9 +12,14 @@ Subcommands
 ``table1``       print the pattern classification (paper Table I)
 ``table2``       print the runtime profile (paper Table II)
 ``profile``      run an assessment under the telemetry tracer and export profiles
+``serve``        run the resident assessment server (HTTP/JSON, warm caches)
 ``speedups``     print modelled speedups (paper Figs. 10/12)
 ``throughput``   print modelled throughputs (paper Fig. 11)
 ``trace``        export a chrome://tracing timeline of a kernel plan
+
+Every assessment subcommand routes through one
+:class:`~repro.service.session.CheckerSession`, the same warm-state
+service layer the server runs on — the CLI is a one-job session.
 """
 
 from __future__ import annotations
@@ -86,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", dest="json_out", action="store_true",
                    help="emit the plan (steps, resolved executor, candidate "
                         "costs) as machine-readable JSON")
+    p.add_argument("--session", action="store_true",
+                   help="also show which warm caches a resident session "
+                        "(cuzchecker serve) would reuse for this plan")
 
     p = sub.add_parser("generate", help="synthesise a dataset bundle")
     p.add_argument("--dataset", required=True)
@@ -129,6 +137,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile this many assessment runs in one trace")
     p.add_argument("--out-dir", default="profile_out",
                    help="directory for trace.json and spans.csv")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resident assessment server (asyncio HTTP/JSON with "
+        "cross-request warm caches)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 picks a free one and prints it)")
+    p.add_argument("--config", help="Z-checker-style .cfg file")
+    p.add_argument("--metrics", help='metric subset, e.g. "psnr,ssim" (default: all)')
+    p.add_argument("--backend", help="execution backend: fused-host|metric-oriented|gpusim")
+    p.add_argument("--tiling", help="fused-host tiling: auto|off|<slab depth>")
+    p.add_argument("--executor",
+                   help="parallel executor: auto|serial|thread|process")
+    p.add_argument("--calibration",
+                   help="dispatch calibration table: auto|off|<path>")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission-control bound on queued jobs (429 beyond)")
+    p.add_argument("--job-workers", type=int, default=1,
+                   help="concurrent assessment jobs (threads on the shared "
+                        "session)")
 
     p = sub.add_parser("speedups", help="print modelled speedups (Figs. 10/12)")
     p.add_argument("--pattern", type=int, choices=(1, 2, 3), default=None,
@@ -232,9 +262,9 @@ def _apply_overrides(
 
 def _cmd_analyze(args) -> int:
     from repro.config.parser import load_config
-    from repro.core.compare import compare_data
     from repro.core.output import report_to_text, write_report_dats, write_report_json
     from repro.io.raw import read_raw
+    from repro.service.session import CheckerSession
 
     shape = _parse_shape(args.shape)
     orig = read_raw(args.original, shape)
@@ -242,7 +272,9 @@ def _cmd_analyze(args) -> int:
     config = load_config(args.config) if args.config else None
     config = _apply_overrides(config, args.metrics, args.backend, args.tiling,
                               args.executor, args.calibration)
-    report = compare_data(orig, dec, config=config)
+    # a one-job session: the CLI shares the server's warm code path
+    with CheckerSession(config=config, with_baselines=True) as session:
+        report = session.assess(orig, dec)
     print(report_to_text(report))
     if args.json_out:
         write_report_json(report, args.json_out)
@@ -260,9 +292,9 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_assess(args) -> int:
     from repro.compressors.registry import get_compressor
-    from repro.core.compare import assess_compressor
     from repro.core.output import report_to_text
     from repro.datasets.registry import dataset_info, generate_field, scaled_shape
+    from repro.service.session import CheckerSession
 
     info = dataset_info(args.dataset)
     field_name = args.field or info.field_names[0]
@@ -280,7 +312,8 @@ def _cmd_assess(args) -> int:
     )
     config = _apply_overrides(None, args.metrics, args.backend, args.tiling,
                               args.executor, args.calibration)
-    report = assess_compressor(field.data, codec, config=config)
+    with CheckerSession(config=config) as session:
+        report = session.assess_compressor(field.data, codec)
     print(report_to_text(report))
     return 0
 
@@ -297,9 +330,18 @@ def _cmd_explain(args) -> int:
     shape = _parse_shape(args.shape) if args.shape else None
     plan = build_plan(config, shape=shape)
     if args.json_out:
-        print(json.dumps(plan.to_dict(shape), indent=2, sort_keys=True))
+        payload = plan.to_dict(shape)
+        if getattr(args, "session", False):
+            from repro.service.session import CheckerSession
+
+            payload["session"] = CheckerSession(config=config).stats()
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(plan.explain(shape))
+        if getattr(args, "session", False):
+            from repro.service.session import CheckerSession
+
+            print(CheckerSession(config=config).describe_warm_state(shape))
     return 0
 
 
@@ -351,8 +393,8 @@ def _cmd_profile(args) -> int:
                 "profile needs either no positionals (synthetic field) or "
                 "an original+decompressed raw pair with --shape"
             )
-        from repro.core.compare import compare_data
         from repro.io.raw import read_raw
+        from repro.service.session import CheckerSession
 
         shape = _parse_shape(args.shape)
         orig = read_raw(args.original, shape)
@@ -361,13 +403,15 @@ def _cmd_profile(args) -> int:
                                   args.tiling, args.executor,
                                   args.calibration)
         source = f"{args.original} vs {args.decompressed} {shape}"
-        for _ in range(max(1, args.repeat)):
-            compare_data(orig, dec, config=config, with_baselines=False,
-                         tracer=tracer)
+        # --repeat under one session shows the warm-path profile: the
+        # first job builds the plan, the rest hit the shape memo
+        with CheckerSession(config=config) as session:
+            for _ in range(max(1, args.repeat)):
+                session.assess(orig, dec, tracer=tracer)
     else:
         from repro.compressors.registry import get_compressor
-        from repro.core.compare import assess_compressor
         from repro.datasets.registry import dataset_info, generate_field, scaled_shape
+        from repro.service.session import CheckerSession
 
         info = dataset_info(args.dataset)
         field_name = args.field or info.field_names[0]
@@ -383,8 +427,9 @@ def _cmd_profile(args) -> int:
                                   args.tiling, args.executor,
                                   args.calibration)
         source = f"{args.codec} on {args.dataset}/{field_name} {shape}"
-        for _ in range(max(1, args.repeat)):
-            assess_compressor(field.data, codec, config=config, tracer=tracer)
+        with CheckerSession(config=config) as session:
+            for _ in range(max(1, args.repeat)):
+                session.assess_compressor(field.data, codec, tracer=tracer)
 
     if args.memory:
         tracemalloc.stop()
@@ -457,8 +502,8 @@ def _cmd_throughput(args) -> int:
 def _cmd_check(args) -> int:
     from repro.compressors.registry import get_compressor
     from repro.core.acceptance import AcceptanceCriteria
-    from repro.core.compare import assess_compressor
     from repro.datasets.registry import dataset_info, generate_field, scaled_shape
+    from repro.service.session import CheckerSession
 
     info = dataset_info(args.dataset)
     field_name = args.field or info.field_names[0]
@@ -471,7 +516,10 @@ def _cmd_check(args) -> int:
         codec = get_compressor("decimate")
     else:
         codec = get_compressor(args.codec, rel_bound=args.rel_bound)
-    report = assess_compressor(field.data, codec, with_baselines=False)
+    with CheckerSession() as session:
+        report = session.assess_compressor(
+            field.data, codec, with_baselines=False
+        )
 
     criteria = (
         AcceptanceCriteria.strict()
@@ -558,6 +606,50 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.config.parser import load_config
+    from repro.server.app import AssessmentServer
+    from repro.service.session import CheckerSession
+
+    config = load_config(args.config) if args.config else None
+    config = _apply_overrides(config, args.metrics, args.backend, args.tiling,
+                              args.executor, args.calibration)
+    session = CheckerSession(config=config)
+    server = AssessmentServer(
+        session=session,
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        job_workers=args.job_workers,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        # the smoke harness parses this line to discover a --port 0 bind
+        print(
+            f"session {session.session_id} serving on "
+            f"http://{server.host}:{server.port}",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        session.close(wait=True)  # idempotent; covers Ctrl-C mid-accept
+    from repro.parallel.shm import active_segment_count
+
+    print(
+        f"server stopped cleanly (live shm segments: {active_segment_count()})",
+        flush=True,
+    )
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "assess": _cmd_assess,
@@ -566,6 +658,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
     "speedups": _cmd_speedups,
     "throughput": _cmd_throughput,
     "check": _cmd_check,

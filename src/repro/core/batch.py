@@ -128,6 +128,7 @@ def assess_dataset(
     tracer: Tracer | None = None,
     executor: str | None = None,
     workers: int | None = None,
+    session=None,
 ) -> BatchAssessment:
     """Compress + assess every field of an application dataset.
 
@@ -140,7 +141,10 @@ def assess_dataset(
     ``executor`` (argument or ``config.executor``) routes the batch
     through :func:`repro.parallel.parallel_assess_dataset` — ``"auto"``
     picks the process pool when the host can scale it; the default stays
-    the historical serial loop.
+    the historical serial loop.  A ``session``
+    (:class:`~repro.service.session.CheckerSession`) supplies the warm
+    checker instead of building a fresh one, so repeated batches reuse
+    plans, dispatch decisions, and scratch buffers.
     """
     if on_error not in ("raise", "record"):
         raise CheckerError(f"on_error must be 'raise' or 'record', got {on_error!r}")
@@ -159,11 +163,19 @@ def assess_dataset(
             on_error=on_error,
             tracer=tracer,
             executor=chosen,
+            session=session,
         )
-    tracer = tracer if tracer is not None else NULL_TRACER
+    if tracer is None:
+        tracer = session.tracer if session is not None else NULL_TRACER
     # one checker (and therefore one ExecutionPlan + one config.validate())
-    # serves every field of the application
-    checker = CuZChecker(config=config, with_baselines=with_baselines, tracer=tracer)
+    # serves every field of the application; a session makes that checker
+    # persistent across whole batch calls
+    if session is not None:
+        checker = session.checker_for(config, with_baselines)
+    else:
+        checker = CuZChecker(
+            config=config, with_baselines=with_baselines, tracer=tracer
+        )
     batch = BatchAssessment(dataset_name=dataset.name)
     with tracer.span(f"batch:{dataset.name}", category="batch", fields=len(dataset)):
         for f in dataset:

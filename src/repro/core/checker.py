@@ -72,6 +72,11 @@ class CuZChecker:
         # per-shape adaptive plans (dataclasses.replace of self.plan —
         # dispatch never re-validates the already-validated config)
         self._plans: dict[tuple, ExecutionPlan] = {}
+        #: warm-state observability: how often the per-shape plan memo
+        #: served an assessment without re-running dispatch (a resident
+        #: session exports these through ``/metrics``)
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         self._cuzc = CuZC()
         self._mozc = MoZC()
         self._ompzc = OmpZC()
@@ -113,6 +118,9 @@ class CuZChecker:
                         self.plan, arr.shape, arr.dtype.itemsize, pinned=pinned
                     )
                     self._plans[key] = plan
+                    self.plan_cache_misses += 1
+                else:
+                    self.plan_cache_hits += 1
             else:
                 plan = self.plan
         report = plan.execute(

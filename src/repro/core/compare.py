@@ -23,6 +23,7 @@ def compare_data(
     checker: CuZChecker | None = None,
     tracer: Tracer | None = None,
     extras: dict | None = None,
+    session=None,
 ) -> AssessmentReport:
     """Assess an original/decompressed pair with every configured metric.
 
@@ -33,14 +34,20 @@ def compare_data(
 
     Drivers that assess many pairs pass a prebuilt ``checker`` so the
     execution plan (and its one-time configuration validation) is shared
-    across the whole run instead of rebuilt per pair.  ``extras`` seeds
-    the backend run context (the process executor passes the
-    shared-memory payload size through here so host spans carry it).
+    across the whole run instead of rebuilt per pair; a ``session``
+    (:class:`~repro.service.session.CheckerSession`) goes further and
+    reuses the checker *across calls* — warm results are bit-identical
+    to cold ones.  ``extras`` seeds the backend run context (the process
+    executor passes the shared-memory payload size through here so host
+    spans carry it).
     """
     if checker is None:
-        checker = CuZChecker(
-            config=config, with_baselines=with_baselines, backend=backend
-        )
+        if session is not None:
+            checker = session.checker_for(config, with_baselines, backend)
+        else:
+            checker = CuZChecker(
+                config=config, with_baselines=with_baselines, backend=backend
+            )
     return checker.assess(orig, dec, tracer=tracer, extras=extras)
 
 
@@ -113,6 +120,7 @@ def assess_compressor(
     checker: CuZChecker | None = None,
     tracer: Tracer | None = None,
     extras: dict | None = None,
+    session=None,
 ) -> AssessmentReport:
     """Compress, decompress, and assess in one call.
 
@@ -142,6 +150,7 @@ def assess_compressor(
         checker=checker,
         tracer=tracer,
         extras=extras,
+        session=session,
     )
     nbytes = orig.size * orig.dtype.itemsize
     report.auxiliary.update(

@@ -47,9 +47,11 @@ from repro.metrics.rate_distortion import RateDistortion
 __all__ = [
     "MetricWorkspace",
     "ScratchPool",
+    "clear_scratch_pools",
     "default_scratch_pool",
     "finalize_rate_distortion",
     "histogram_pdf",
+    "scratch_pool_bytes",
 ]
 
 
@@ -84,6 +86,12 @@ class ScratchPool:
 
 
 _pool_local = threading.local()
+#: every thread-local default pool ever created in this process, so a
+#: long-lived owner (a :class:`~repro.service.session.CheckerSession`)
+#: can report pooled bytes across worker threads and release them on
+#: close without having to run code on each thread
+_ALL_POOLS: list[ScratchPool] = []
+_POOLS_LOCK = threading.Lock()
 
 
 def default_scratch_pool() -> ScratchPool:
@@ -91,7 +99,30 @@ def default_scratch_pool() -> ScratchPool:
     pool = getattr(_pool_local, "pool", None)
     if pool is None:
         pool = _pool_local.pool = ScratchPool()
+        with _POOLS_LOCK:
+            _ALL_POOLS.append(pool)
     return pool
+
+
+def scratch_pool_bytes() -> int:
+    """Total bytes currently held by every thread's default pool."""
+    with _POOLS_LOCK:
+        return sum(pool.nbytes() for pool in _ALL_POOLS)
+
+
+def clear_scratch_pools() -> int:
+    """Release every default pool's buffers; returns the bytes freed.
+
+    Buffers are only dropped, never unmapped under a live consumer: a
+    workspace that checked an array out keeps its own reference, so an
+    in-flight assessment on another thread finishes on the old storage
+    while the pool starts fresh.
+    """
+    with _POOLS_LOCK:
+        freed = sum(pool.nbytes() for pool in _ALL_POOLS)
+        for pool in _ALL_POOLS:
+            pool.clear()
+    return freed
 
 
 def finalize_rate_distortion(

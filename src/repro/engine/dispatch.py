@@ -46,6 +46,7 @@ import os
 import platform
 import sys
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -66,6 +67,7 @@ __all__ = [
     "resolve_calibration",
     "host_fingerprint",
     "choose",
+    "decision_cache_size",
     "dispatch_plan",
     "predict_pool_seconds",
     "estimate_assess_seconds",
@@ -111,6 +113,46 @@ THREAD_PARALLEL_FRACTION = 0.35
 # ---------------------------------------------------------------------------
 # calibration table
 # ---------------------------------------------------------------------------
+
+
+#: same-process serialisation of calibration saves (``flock`` below only
+#: excludes other processes), keyed per target path
+_SAVE_LOCKS: dict[str, threading.Lock] = {}
+_SAVE_LOCKS_GUARD = threading.Lock()
+
+
+@contextmanager
+def _calibration_lock(target: Path):
+    """Best-effort cross-process + in-process exclusive lock for a table.
+
+    Uses ``fcntl.flock`` on a sidecar ``.lock`` file where available;
+    platforms without ``fcntl`` still get in-process serialisation plus
+    the atomic-replace guarantee (a reader can never observe a torn
+    file, only a slightly stale one).
+    """
+    with _SAVE_LOCKS_GUARD:
+        local = _SAVE_LOCKS.setdefault(str(target), threading.Lock())
+    with local:
+        lock_path = target.with_name(target.name + ".lock")
+        fh = None
+        try:
+            try:
+                import fcntl
+
+                fh = open(lock_path, "a+")
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            except (ImportError, OSError):
+                fh = None
+            yield
+        finally:
+            if fh is not None:
+                try:
+                    import fcntl
+
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+                except (ImportError, OSError):
+                    pass
+                fh.close()
 
 
 def default_calibration_path() -> Path:
@@ -185,17 +227,37 @@ class CalibrationTable:
             pass
         return cls(path=path, entries=entries, host=host)
 
-    def save(self, path: Path | str | None = None) -> Path:
+    def save(self, path: Path | str | None = None, merge: bool = True) -> Path:
+        """Persist the table atomically; concurrent writers cannot corrupt it.
+
+        A server worker folding calibration observations and a
+        ``calibrate fit`` run may save to the same per-user path at the
+        same time, so persistence is write-temp + :func:`os.replace`
+        (readers always see a complete JSON document) under a
+        best-effort ``.lock`` file.  With ``merge=True`` the on-disk
+        entries are re-read inside the lock and keys this table never
+        observed are kept — per-key last-writer-wins instead of
+        whole-file clobbering.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise CheckerError("calibration table has no path to save to")
         target.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "version": 1,
-            "host": self.host or host_fingerprint(),
-            "entries": self.entries,
-        }
-        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        with _calibration_lock(target):
+            entries = dict(self.entries)
+            if merge:
+                for key, ent in CalibrationTable.load(target).entries.items():
+                    entries.setdefault(key, ent)
+            payload = {
+                "version": 1,
+                "host": self.host or host_fingerprint(),
+                "entries": entries,
+            }
+            tmp = target.with_name(
+                f".{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, target)
         return target
 
     # -- the predict → measure → correct loop ------------------------------
@@ -486,6 +548,13 @@ _CACHE_MAX = 256
 def clear_decision_cache() -> None:
     with _CACHE_LOCK:
         _DECISION_CACHE.clear()
+
+
+def decision_cache_size() -> int:
+    """Memoised dispatch decisions alive in this process (warm-state
+    introspection for ``cuzchecker explain --session`` and ``/metrics``)."""
+    with _CACHE_LOCK:
+        return len(_DECISION_CACHE)
 
 
 def _table_token(table: CalibrationTable | None):

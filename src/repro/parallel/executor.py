@@ -40,12 +40,15 @@ from repro.parallel.shm import shared_fields, shm_available
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = [
+    "active_pool_counts",
     "auto_workers",
     "cost_aware_workers",
     "parallel_assess_dataset",
     "parallel_compare_pairs",
     "process_available",
+    "reset_fallback_warnings",
     "resolve_executor",
+    "shutdown_pools",
     "warm_process_pool",
 ]
 
@@ -154,12 +157,25 @@ def process_available() -> bool:
     return "spawn" in multiprocessing.get_all_start_methods() and shm_available()
 
 
+#: fallback reasons already reported; a long-lived owner (server, batch
+#: loop) submitting many jobs on a host without shared memory should see
+#: one RuntimeWarning, not one per job
+_WARNED_FALLBACKS: set[str] = set()
+
+
+def reset_fallback_warnings() -> None:
+    """Forget which fallback reasons were already warned about (tests)."""
+    _WARNED_FALLBACKS.clear()
+
+
 def _fallback_to_threads(reason: str) -> str:
-    warnings.warn(
-        f"process executor unavailable ({reason}); falling back to threads",
-        RuntimeWarning,
-        stacklevel=3,
-    )
+    if reason not in _WARNED_FALLBACKS:
+        _WARNED_FALLBACKS.add(reason)
+        warnings.warn(
+            f"process executor unavailable ({reason}); falling back to threads",
+            RuntimeWarning,
+            stacklevel=3,
+        )
     return "thread"
 
 
@@ -224,18 +240,31 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
     return pool
 
 
-def _discard_pool(workers: int) -> None:
+def _discard_pool(workers: int, wait: bool = False) -> None:
     pool = _POOLS.pop(workers, None)
     if pool is not None:
-        pool.shutdown(wait=False, cancel_futures=True)
+        pool.shutdown(wait=wait, cancel_futures=True)
 
 
-def _shutdown_pools() -> None:
+def shutdown_pools(wait: bool = False) -> None:
+    """Release every persistent process pool.
+
+    The explicit owner hook: a :class:`~repro.service.session.CheckerSession`
+    calls this on close (``wait=True`` so worker interpreters are really
+    gone before the caller asserts leak-freedom), and ``atexit`` calls it
+    as the backstop for one-shot CLI runs.  Idempotent — pools rebuild
+    lazily on the next batch.
+    """
     for workers in list(_POOLS):
-        _discard_pool(workers)
+        _discard_pool(workers, wait=wait)
 
 
-atexit.register(_shutdown_pools)
+def active_pool_counts() -> tuple[int, ...]:
+    """Worker counts of the pools currently alive (leak probes)."""
+    return tuple(sorted(_POOLS))
+
+
+atexit.register(shutdown_pools)
 
 
 def _noop(_: int) -> None:
@@ -508,6 +537,7 @@ def parallel_assess_dataset(
     on_error: str = "raise",
     tracer: Tracer | None = None,
     executor: str | None = None,
+    session=None,
 ) -> BatchAssessment:
     """Parallel counterpart of :func:`repro.core.batch.assess_dataset`.
 
@@ -550,8 +580,14 @@ def parallel_assess_dataset(
     # serial / thread path: one shared checker — the execution plan is
     # built (and the config validated) once, then every worker thread
     # executes it; plans are immutable and each execution gets its own
-    # backend context
-    checker = CuZChecker(config=config, with_baselines=with_baselines, tracer=tracer)
+    # backend context.  A session hands over its persistent checker so
+    # consecutive batches keep the warm plan memo.
+    if session is not None:
+        checker = session.checker_for(config, with_baselines)
+    else:
+        checker = CuZChecker(
+            config=config, with_baselines=with_baselines, tracer=tracer
+        )
     tasks = [
         (
             f.name,
@@ -576,6 +612,7 @@ def parallel_compare_pairs(
     dataset_name: str = "pairs",
     tracer: Tracer | None = None,
     executor: str | None = None,
+    session=None,
 ) -> BatchAssessment:
     """Assess pre-decompressed ``(name, orig, dec)`` pairs in parallel.
 
@@ -614,7 +651,12 @@ def parallel_compare_pairs(
                 task_nbytes=task_nbytes,
             )
 
-    checker = CuZChecker(config=config, with_baselines=with_baselines, tracer=tracer)
+    if session is not None:
+        checker = session.checker_for(config, with_baselines)
+    else:
+        checker = CuZChecker(
+            config=config, with_baselines=with_baselines, tracer=tracer
+        )
     tasks = [
         (name, lambda o=o, d=d: compare_data(o, d, checker=checker))
         for name, o, d in pairs

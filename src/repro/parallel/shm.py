@@ -25,6 +25,7 @@ Ownership rules (the leak-proofing contract):
 from __future__ import annotations
 
 import secrets
+import threading
 from contextlib import contextmanager
 from multiprocessing import shared_memory
 
@@ -32,7 +33,24 @@ import numpy as np
 
 from repro.errors import CheckerError
 
-__all__ = ["SharedField", "shared_fields", "shm_available"]
+__all__ = [
+    "SharedField",
+    "active_segment_count",
+    "shared_fields",
+    "shm_available",
+]
+
+#: names of segments this process created and has not yet unlinked; the
+#: leak probe for long-lived owners (server smoke tests assert this is
+#: empty after shutdown) and for BrokenProcessPool recovery paths
+_LIVE_SEGMENTS: set[str] = set()
+_LIVE_LOCK = threading.Lock()
+
+
+def active_segment_count() -> int:
+    """Segments created by this process that are still linked."""
+    with _LIVE_LOCK:
+        return len(_LIVE_SEGMENTS)
 
 
 class _AttachedArray(np.ndarray):
@@ -91,6 +109,8 @@ class SharedField:
         handle = cls(shm.name, array.shape, array.dtype)
         handle._shm = shm
         handle._owner = True
+        with _LIVE_LOCK:
+            _LIVE_SEGMENTS.add(shm.name)
         return handle
 
     def attach(self) -> np.ndarray:
@@ -126,6 +146,9 @@ class SharedField:
             shm.unlink()
         except FileNotFoundError:
             pass
+        finally:
+            with _LIVE_LOCK:
+                _LIVE_SEGMENTS.discard(self.name)
 
     def destroy(self) -> None:
         """Owner teardown: unlink the name, then drop the local mapping."""

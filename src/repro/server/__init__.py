@@ -1,0 +1,12 @@
+"""``cuzchecker serve``: a resident asyncio assessment server."""
+
+from repro.server.app import AssessmentServer
+from repro.server.jobs import Job, JobQueue, QueueFullError, execute_job
+
+__all__ = [
+    "AssessmentServer",
+    "Job",
+    "JobQueue",
+    "QueueFullError",
+    "execute_job",
+]

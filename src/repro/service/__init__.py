@@ -1,0 +1,5 @@
+"""Warm-state service layer: resident assessment sessions."""
+
+from repro.service.session import CheckerSession, SessionClosedError
+
+__all__ = ["CheckerSession", "SessionClosedError"]

@@ -1,0 +1,71 @@
+"""Hypothesis properties of the CheckerSession warm path.
+
+The service-layer contract under test: N sequential assessments on one
+resident session — whatever mix of shapes and dtypes, with the dispatch
+memo and scratch pool warm from earlier jobs — are *bit-identical* to N
+fresh one-shot :class:`~repro.core.checker.CuZChecker` runs on the same
+bytes.  Warm state may only change cost, never results.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import CuZChecker
+from repro.service.session import CheckerSession
+
+SETTINGS = settings(max_examples=8, deadline=None)
+
+# all valid for every default kernel (min extent clears the stencil reach)
+SHAPES = ((12, 24, 24), (14, 24, 28), (12, 26, 24), (16, 24, 24))
+DTYPES = ("float32", "float64")
+
+
+def _pair(seed: int, shape, dtype):
+    rng = np.random.default_rng(seed)
+    orig = rng.normal(size=shape).astype(dtype)
+    dec = (orig + rng.normal(scale=1e-3, size=shape)).astype(dtype)
+    return orig, dec
+
+
+job_specs = st.lists(
+    st.tuples(
+        st.integers(0, 2**31 - 1),
+        st.sampled_from(SHAPES),
+        st.sampled_from(DTYPES),
+    ),
+    min_size=2,
+    max_size=4,
+)
+
+
+class TestWarmSessionBitIdentical:
+    @SETTINGS
+    @given(jobs=job_specs)
+    def test_sequence_matches_fresh_one_shot_runs(self, jobs):
+        pairs = [_pair(seed, shape, dtype) for seed, shape, dtype in jobs]
+        with CheckerSession() as session:
+            warm = [session.assess(o, d).to_dict() for o, d in pairs]
+        cold = [CuZChecker().assess(o, d).to_dict() for o, d in pairs]
+        assert warm == cold
+
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        shape=st.sampled_from(SHAPES),
+        dtype=st.sampled_from(DTYPES),
+        repeats=st.integers(2, 4),
+    )
+    def test_repeat_jobs_hit_plan_memo_without_drift(
+        self, seed, shape, dtype, repeats
+    ):
+        orig, dec = _pair(seed, shape, dtype)
+        with CheckerSession() as session:
+            reports = [
+                session.assess(orig, dec).to_dict() for _ in range(repeats)
+            ]
+            stats = session.stats()
+        assert all(r == reports[0] for r in reports)
+        # one build for the shape, every repeat a memo hit
+        assert stats["plan_cache_misses"] == 1
+        assert stats["plan_cache_hits"] == repeats - 1

@@ -114,6 +114,82 @@ class TestCalibrationTable:
         assert doc["entries"]["k"]["samples"] == 2
 
 
+class TestCalibrationConcurrency:
+    """Regression: concurrent saves must never corrupt the table."""
+
+    def test_merge_keeps_disk_only_keys(self, tmp_path):
+        path = tmp_path / "cal.json"
+        first = CalibrationTable.load(path)
+        first.fold("a.pattern1.whole", 2.0, 1.0)
+        first.save(path)
+        # a second writer that never observed key "a..." must not clobber it
+        second = CalibrationTable.load(tmp_path / "elsewhere.json")
+        second.fold("b.pattern2.slab", 3.0, 1.0)
+        second.save(path)
+        loaded = CalibrationTable.load(path)
+        assert loaded.ratio("a.pattern1.whole") == pytest.approx(2.0)
+        assert loaded.ratio("b.pattern2.slab") == pytest.approx(3.0)
+
+    def test_merge_is_per_key_last_writer_wins(self, tmp_path):
+        path = tmp_path / "cal.json"
+        stale = CalibrationTable.load(path)
+        stale.fold("k", 2.0, 1.0)
+        stale.save(path)
+        fresh = CalibrationTable.load(path)
+        fresh.fold("k", 8.0, 1.0)  # EMA from 2.0 toward 8.0
+        fresh.save(path)
+        # the writer's own observation of a shared key wins over disk
+        assert CalibrationTable.load(path).ratio("k") == pytest.approx(
+            fresh.ratio("k")
+        )
+
+    def test_save_without_merge_clobbers(self, tmp_path):
+        path = tmp_path / "cal.json"
+        first = CalibrationTable.load(path)
+        first.fold("a", 2.0, 1.0)
+        first.save(path)
+        second = CalibrationTable.load(tmp_path / "other.json")
+        second.fold("b", 3.0, 1.0)
+        second.save(path, merge=False)
+        loaded = CalibrationTable.load(path)
+        assert loaded.ratio("a") == 1.0  # gone: whole-file replace
+        assert loaded.ratio("b") == pytest.approx(3.0)
+
+    def test_concurrent_savers_never_corrupt(self, tmp_path):
+        import threading
+
+        path = tmp_path / "cal.json"
+        n_writers, rounds = 8, 5
+        errors: list[BaseException] = []
+
+        def writer(i: int):
+            try:
+                for r in range(rounds):
+                    table = CalibrationTable.load(path)
+                    table.fold(f"w{i}.pattern1.whole", 1.0 + i + r, 1.0)
+                    table.save(path)
+                    # every intermediate state must be complete JSON —
+                    # os.replace guarantees no reader ever sees a torn file
+                    json.loads(path.read_text())
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,))
+            for i in range(n_writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        final = CalibrationTable.load(path)
+        # merge semantics: every writer's (distinct) key survived
+        for i in range(n_writers):
+            assert f"w{i}.pattern1.whole" in final.entries
+        assert not list(tmp_path.glob(".cal.json.*.tmp"))  # no litter
+
+
 class TestResolveCalibration:
     def test_off_is_none(self):
         assert resolve_calibration("off") is None

@@ -109,8 +109,26 @@ class TestResolveExecutor:
         from repro.parallel import executor as mod
 
         monkeypatch.setattr(mod, "process_available", lambda: False)
+        mod.reset_fallback_warnings()
         with pytest.warns(RuntimeWarning, match="falling back to threads"):
             assert resolve_executor("process") == "thread"
+
+    def test_fallback_warns_once_not_per_job(self, monkeypatch):
+        # a resident session submitting many jobs on a host without
+        # shared memory must see one RuntimeWarning, not job-count many
+        from repro.parallel import executor as mod
+
+        monkeypatch.setattr(mod, "process_available", lambda: False)
+        mod.reset_fallback_warnings()
+        with pytest.warns(RuntimeWarning, match="falling back to threads"):
+            resolve_executor("process")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any repeat warning -> failure
+            for _ in range(5):
+                assert resolve_executor("process") == "thread"
+        mod.reset_fallback_warnings()
+        with pytest.warns(RuntimeWarning, match="falling back to threads"):
+            resolve_executor("process")
 
 
 @needs_process
@@ -201,6 +219,9 @@ class TestProcessAssessDataset:
                 assert s[key] == p[key], key
 
     def test_unpicklable_compressor_falls_back_to_threads(self):
+        from repro.parallel.executor import reset_fallback_warnings
+
+        reset_fallback_warnings()
         dataset = generate_dataset("hurricane", scale=0.12, n_fields=2)
         with pytest.warns(RuntimeWarning, match="does not pickle"):
             batch = parallel_assess_dataset(
@@ -277,3 +298,27 @@ class TestExecutorPlumbing:
                 if key.endswith("_throughput"):
                     continue  # wall-clock of this run, not a metric
                 assert s[key] == pytest.approx(r[key], rel=1e-12), key
+
+
+@needs_process
+class TestPoolLifecycle:
+    def test_shutdown_pools_releases_workers_and_is_idempotent(self):
+        from repro.parallel import warm_process_pool
+        from repro.parallel.executor import active_pool_counts, shutdown_pools
+
+        warm_process_pool(2)
+        assert 2 in active_pool_counts()
+        shutdown_pools(wait=True)
+        assert active_pool_counts() == ()
+        shutdown_pools(wait=True)  # second call is a no-op
+
+    def test_pools_rebuild_lazily_after_shutdown(self, pairs):
+        from repro.parallel.executor import active_pool_counts, shutdown_pools
+
+        shutdown_pools(wait=True)
+        batch = parallel_compare_pairs(
+            pairs, config=small_config(), workers=2, executor="process"
+        )
+        assert len(batch.reports) == len(pairs)
+        shutdown_pools(wait=True)
+        assert active_pool_counts() == ()

@@ -1,0 +1,195 @@
+"""Tests for the server job model: admission, fairness, spec execution."""
+
+from __future__ import annotations
+
+import base64
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckerError
+from repro.server.jobs import Job, JobQueue, QueueFullError, execute_job
+from repro.service.session import CheckerSession
+
+
+def _npy_b64(arr: np.ndarray) -> str:
+    buf = io.BytesIO()
+    np.save(buf, arr)
+    return base64.b64encode(buf.getvalue()).decode("ascii")
+
+
+@pytest.fixture()
+def session():
+    with CheckerSession() as s:
+        yield s
+
+
+class TestJob:
+    def test_defaults(self):
+        job = Job(spec={"dataset": "miranda"})
+        assert job.status == "queued"
+        assert job.id.startswith("job-")
+        assert job.tenant == "default"
+
+    def test_to_dict_shapes(self):
+        job = Job(spec={}, tenant="acme")
+        d = job.to_dict()
+        assert d["status"] == "queued"
+        assert d["tenant"] == "acme"
+        assert "report" not in d
+        assert "error" not in d
+        assert d["progress"]["spans"] == 0
+
+    def test_summary_never_carries_report(self, session, noisy_pair):
+        orig, dec = noisy_pair
+        job = Job(
+            spec={
+                "original_npy_b64": _npy_b64(orig),
+                "decompressed_npy_b64": _npy_b64(dec),
+            }
+        )
+        job.report = execute_job(session, job)
+        assert "report" in job.to_dict()
+        assert "report" not in job.summary()
+
+    def test_progress_reads_span_feed(self, session, noisy_pair):
+        orig, dec = noisy_pair
+        job = Job(
+            spec={
+                "original_npy_b64": _npy_b64(orig),
+                "decompressed_npy_b64": _npy_b64(dec),
+            }
+        )
+        execute_job(session, job)
+        prog = job.progress()
+        assert prog["spans"] > 0
+        assert "last_span" in prog
+
+
+class TestJobQueue:
+    def test_bounded_admission(self):
+        q = JobQueue(max_pending=2)
+        q.submit(Job(spec={}))
+        q.submit(Job(spec={}))
+        with pytest.raises(QueueFullError):
+            q.submit(Job(spec={}))
+
+    def test_bound_frees_up_after_dispatch(self):
+        q = JobQueue(max_pending=1)
+        q.submit(Job(spec={}))
+        assert q.next_job() is not None
+        q.submit(Job(spec={}))  # no raise
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(CheckerError):
+            JobQueue(max_pending=0)
+
+    def test_fifo_within_tenant(self):
+        q = JobQueue()
+        jobs = [Job(spec={"n": i}) for i in range(3)]
+        for job in jobs:
+            q.submit(job)
+        assert [q.next_job() for _ in range(3)] == jobs
+
+    def test_round_robin_across_tenants(self):
+        q = JobQueue()
+        a = [Job(spec={}, tenant="a") for _ in range(3)]
+        b = [Job(spec={}, tenant="b") for _ in range(1)]
+        c = [Job(spec={}, tenant="c") for _ in range(1)]
+        for job in a:
+            q.submit(job)
+        for job in b + c:
+            q.submit(job)
+        # a flooding tenant gets every k-th slot, not a monopoly
+        order = [q.next_job().tenant for _ in range(5)]
+        assert order == ["a", "b", "c", "a", "a"]
+        assert q.next_job() is None
+
+    def test_depths_and_len(self):
+        q = JobQueue()
+        q.submit(Job(spec={}, tenant="a"))
+        q.submit(Job(spec={}, tenant="a"))
+        q.submit(Job(spec={}, tenant="b"))
+        assert len(q) == 3
+        assert q.depths() == {"a": 2, "b": 1}
+        q.next_job()
+        assert len(q) == 2
+
+
+class TestExecuteJob:
+    def test_npy_job_matches_direct_assess(self, session, noisy_pair):
+        orig, dec = noisy_pair
+        job = Job(
+            spec={
+                "original_npy_b64": _npy_b64(orig),
+                "decompressed_npy_b64": _npy_b64(dec),
+            }
+        )
+        report = execute_job(session, job)
+        direct = session.assess(orig, dec)
+        assert report.to_dict() == direct.to_dict()
+
+    def test_path_job(self, session, tmp_path, noisy_pair):
+        orig, dec = noisy_pair
+        op, dp = tmp_path / "o.bin", tmp_path / "d.bin"
+        op.write_bytes(orig.tobytes())
+        dp.write_bytes(dec.tobytes())
+        job = Job(
+            spec={
+                "original_path": str(op),
+                "decompressed_path": str(dp),
+                "shape": list(orig.shape),
+            }
+        )
+        report = execute_job(session, job)
+        assert report.to_dict() == session.assess(orig, dec).to_dict()
+
+    def test_synthetic_job(self, session):
+        job = Job(
+            spec={"dataset": "miranda", "scale": 0.05, "codec": "sz",
+                  "rel_bound": 1e-3}
+        )
+        report = execute_job(session, job)
+        assert report.scalars()["psnr"] > 0
+
+    def test_metric_override_flows_through(self, session, noisy_pair):
+        orig, dec = noisy_pair
+        job = Job(
+            spec={
+                "original_npy_b64": _npy_b64(orig),
+                "decompressed_npy_b64": _npy_b64(dec),
+                "metrics": "psnr,nrmse",
+            }
+        )
+        report = execute_job(session, job)
+        scalars = report.scalars()
+        assert "psnr" in scalars
+        assert "ssim" not in scalars
+
+    def test_path_job_needs_both_paths(self, session):
+        with pytest.raises(CheckerError, match="both"):
+            execute_job(session, Job(spec={"original_path": "/x"}))
+
+    def test_path_job_needs_3d_shape(self, session, tmp_path):
+        p = tmp_path / "x.bin"
+        p.write_bytes(b"\0" * 16)
+        spec = {
+            "original_path": str(p),
+            "decompressed_path": str(p),
+            "shape": [2, 2],
+        }
+        with pytest.raises(CheckerError, match="3-element shape"):
+            execute_job(session, Job(spec=spec))
+
+    def test_npy_job_rejects_bad_base64(self, session):
+        spec = {
+            "original_npy_b64": "!!!not-base64!!!",
+            "decompressed_npy_b64": "!!!not-base64!!!",
+        }
+        with pytest.raises(CheckerError, match="invalid .npy upload"):
+            execute_job(session, Job(spec=spec))
+
+    def test_unknown_spec_rejected(self, session):
+        with pytest.raises(CheckerError, match="unrecognised job spec"):
+            execute_job(session, Job(spec={"bogus": True}))

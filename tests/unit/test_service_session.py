@@ -1,0 +1,280 @@
+"""Tests for the CheckerSession warm-state service layer.
+
+The service contract: an explicit lifecycle (open -> assess -> close),
+warm results bit-identical to cold one-shot runs, observable cache
+counters, and leak-free teardown (no resident pools or scratch bytes
+after close).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.checker import CuZChecker
+from repro.core.workspace import scratch_pool_bytes
+from repro.parallel.executor import active_pool_counts
+from repro.service.session import CheckerSession, SessionClosedError
+from repro.telemetry.tracer import Tracer
+
+
+class TestLifecycle:
+    def test_open_close_states(self):
+        s = CheckerSession()
+        assert not s.is_open
+        s.open()
+        assert s.is_open
+        s.close()
+        assert not s.is_open
+
+    def test_context_manager_opens_and_closes(self):
+        with CheckerSession() as s:
+            assert s.is_open
+        assert not s.is_open
+
+    def test_close_is_idempotent(self):
+        s = CheckerSession().open()
+        s.close()
+        s.close()
+
+    def test_closed_session_refuses_jobs(self, noisy_pair):
+        orig, dec = noisy_pair
+        s = CheckerSession().open()
+        s.close()
+        with pytest.raises(SessionClosedError):
+            s.assess(orig, dec)
+
+    def test_closed_session_cannot_reopen(self):
+        s = CheckerSession().open()
+        s.close()
+        with pytest.raises(SessionClosedError):
+            s.open()
+
+    def test_assess_auto_opens_new_session(self, noisy_pair):
+        orig, dec = noisy_pair
+        s = CheckerSession()
+        report = s.assess(orig, dec)
+        assert s.is_open
+        assert report.scalars()["psnr"] > 0
+        s.close()
+
+    def test_close_releases_pools_and_scratch(self, noisy_pair):
+        orig, dec = noisy_pair
+        with CheckerSession() as s:
+            s.assess(orig, dec)
+        assert active_pool_counts() == ()
+        assert scratch_pool_bytes() == 0
+
+
+class TestWarmEquality:
+    def test_warm_assess_matches_cold_bitwise(self, noisy_pair):
+        orig, dec = noisy_pair
+        with CheckerSession() as s:
+            warm1 = s.assess(orig, dec)
+            warm2 = s.assess(orig, dec)
+        cold = CuZChecker().assess(orig, dec)
+        assert warm1.to_dict() == cold.to_dict()
+        assert warm2.to_dict() == cold.to_dict()
+
+    def test_warm_assess_compressor_matches_cold(self, smooth_field):
+        from repro.compressors.registry import get_compressor
+        from repro.core.compare import assess_compressor
+
+        codec = get_compressor("sz", rel_bound=1e-3)
+        with CheckerSession() as s:
+            warm = s.assess_compressor(smooth_field, codec)
+        cold = assess_compressor(smooth_field, codec)
+        w, c = warm.scalars(), cold.scalars()
+        assert w.keys() == c.keys()
+        for key in w:
+            if key.endswith("_throughput"):
+                continue  # wall-clock of this run, not a metric
+            assert w[key] == c[key], key
+
+    def test_with_baselines_flows_through(self, noisy_pair):
+        orig, dec = noisy_pair
+        with CheckerSession(with_baselines=True) as s:
+            report = s.assess(orig, dec)
+        cold = CuZChecker(with_baselines=True).assess(orig, dec)
+        assert report.timings  # baseline framework timings present
+        assert report.to_dict() == cold.to_dict()
+
+
+class TestWarmCounters:
+    def test_plan_memo_hits_on_repeat_shape(self, noisy_pair):
+        orig, dec = noisy_pair
+        with CheckerSession() as s:
+            s.assess(orig, dec)
+            stats1 = s.stats()
+            s.assess(orig, dec)
+            stats2 = s.stats()
+        assert stats1["plan_cache_misses"] == 1
+        assert stats1["plan_cache_hits"] == 0
+        assert stats2["plan_cache_hits"] == 1
+        assert stats2["plan_cache_misses"] == 1  # no new build
+
+    def test_checker_cache_reuses_default(self, noisy_pair):
+        orig, dec = noisy_pair
+        with CheckerSession() as s:
+            c1 = s.checker_for()
+            s.assess(orig, dec)
+            c2 = s.checker_for()
+            assert c1 is c2
+            assert s.checker_cache_hits >= 2
+            assert s.checker_cache_misses == 1
+
+    def test_distinct_configs_get_distinct_checkers(self):
+        from dataclasses import replace
+
+        from repro.config.defaults import default_config
+
+        with CheckerSession() as s:
+            base = s.checker_for()
+            other = s.checker_for(
+                config=replace(default_config(), metrics=("psnr",))
+            )
+            assert base is not other
+
+    def test_job_span_records_plan_cache_attr(self, noisy_pair):
+        orig, dec = noisy_pair
+        tracer = Tracer()
+        with CheckerSession(tracer=tracer) as s:
+            s.assess(orig, dec)
+            s.assess(orig, dec)
+        jobs = [sp for sp in tracer.spans if sp.category == "job"]
+        assert len(jobs) == 2
+        assert jobs[0].attrs["plan_cache"] == "miss"
+        assert jobs[1].attrs["plan_cache"] == "hit"
+        assert all(sp.attrs["session"] == s.session_id for sp in jobs)
+        assert all("job_id" in sp.attrs for sp in jobs)
+
+    def test_explicit_job_id_lands_on_span(self, noisy_pair):
+        orig, dec = noisy_pair
+        tracer = Tracer()
+        with CheckerSession(tracer=tracer) as s:
+            s.assess(orig, dec, name="job:x", job_id="job-42")
+        sp = [sp for sp in tracer.spans if sp.category == "job"][0]
+        assert sp.attrs["job_id"] == "job-42"
+        assert sp.name == "job:x"
+
+
+class TestBatchRouting:
+    def test_assess_dataset_through_session_matches_direct(self):
+        from repro.compressors.registry import get_compressor
+        from repro.core.batch import assess_dataset
+        from repro.datasets.registry import generate_dataset
+
+        dataset = generate_dataset("hurricane", scale=0.1, n_fields=2)
+        codec = get_compressor("sz", rel_bound=1e-3)
+        direct = assess_dataset(dataset, codec, executor="serial")
+        with CheckerSession() as s:
+            warm = s.assess_dataset(dataset, codec, executor="serial")
+        assert list(warm.reports) == list(direct.reports)
+        for name in direct.reports:
+            w = warm.reports[name].scalars()
+            d = direct.reports[name].scalars()
+            for key in d:
+                if key.endswith("_throughput"):
+                    continue
+                assert w[key] == d[key], key
+
+    def test_compare_pairs_through_session(self, noisy_pair):
+        orig, dec = noisy_pair
+        with CheckerSession() as s:
+            batch = s.compare_pairs(
+                [("a", orig, dec), ("b", orig, dec)], executor="serial"
+            )
+        assert list(batch.reports) == ["a", "b"]
+        assert batch.reports["a"].to_dict() == batch.reports["b"].to_dict()
+
+    def test_open_stream_returns_streaming_checker(self):
+        from repro.core.streaming import StreamingChecker
+
+        with CheckerSession() as s:
+            stream = s.open_stream((24, 28), max_lag=4)
+        assert isinstance(stream, StreamingChecker)
+
+
+class TestIntrospection:
+    def test_stats_keys(self):
+        with CheckerSession() as s:
+            stats = s.stats()
+        for key in (
+            "session_id",
+            "state",
+            "uptime_s",
+            "jobs",
+            "plan_cache_hits",
+            "plan_cache_misses",
+            "checker_cache_size",
+            "dispatch_decision_cache",
+            "scratch_pool_bytes",
+            "process_pools",
+            "calibration",
+        ):
+            assert key in stats, key
+
+    def test_describe_warm_state_mentions_shape_verdict(self, noisy_pair):
+        orig, dec = noisy_pair
+        with CheckerSession() as s:
+            s.assess(orig, dec)
+            text = s.describe_warm_state(orig.shape)
+            assert s.session_id in text
+            assert "warm (dispatch skipped)" in text
+            cold_text = s.describe_warm_state((12, 24, 24))
+            assert "cold on first job" in cold_text
+
+
+class TestThreadSafety:
+    def test_concurrent_assess_bit_identical(self, noisy_pair):
+        orig, dec = noisy_pair
+        cold = CuZChecker().assess(orig, dec).to_dict()
+        results: list[dict] = []
+        errors: list[BaseException] = []
+
+        with CheckerSession() as s:
+
+            def job():
+                try:
+                    results.append(s.assess(orig, dec).to_dict())
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=job) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert len(results) == 4
+        assert all(r == cold for r in results)
+
+    def test_concurrent_distinct_shapes(self):
+        rng = np.random.default_rng(3)
+        shapes = [(12, 24, 24), (14, 24, 28), (12, 26, 24), (13, 25, 24)]
+        pairs = []
+        for shape in shapes:
+            o = rng.normal(size=shape).astype(np.float32)
+            d = (o + rng.normal(scale=1e-3, size=shape)).astype(np.float32)
+            pairs.append((o, d))
+        cold = [CuZChecker().assess(o, d).to_dict() for o, d in pairs]
+        warm: dict[int, dict] = {}
+
+        with CheckerSession() as s:
+
+            def job(i):
+                o, d = pairs[i]
+                warm[i] = s.assess(o, d).to_dict()
+
+            threads = [
+                threading.Thread(target=job, args=(i,))
+                for i in range(len(pairs))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for i, expected in enumerate(cold):
+            assert warm[i] == expected

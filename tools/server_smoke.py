@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""CI smoke test for ``cuzchecker serve``.
+
+Boots the real server as a subprocess on an ephemeral port, then proves
+the service contract end to end:
+
+1. the CLI and the server produce the *same* report for the same bytes
+   (``cuzchecker analyze --json`` vs a path-reference job over HTTP);
+2. a second identical job hits the warm plan memo (``/metrics`` cache
+   counters move) and returns a byte-identical report;
+3. ``POST /shutdown`` exits cleanly — exit code 0, no orphan worker
+   processes, no leaked shared-memory segments.
+
+Run from the repo root: ``PYTHONPATH=src python tools/server_smoke.py``.
+Exits non-zero with a diagnostic on the first failed check.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SHAPE = (16, 24, 28)
+TIMEOUT_S = 180
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(url: str, payload: dict | None = None) -> dict:
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method="POST" if data else "GET")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return json.loads(resp.read().decode())
+    except urllib.error.HTTPError as err:
+        fail(f"{req.method} {url} -> HTTP {err.code}: {err.read().decode()}")
+
+
+def wait_for(base: str, job_id: str) -> dict:
+    deadline = time.monotonic() + TIMEOUT_S
+    while time.monotonic() < deadline:
+        job = request(f"{base}/jobs/{job_id}")
+        if job["status"] == "done":
+            return job
+        if job["status"] == "failed":
+            fail(f"job {job_id} failed: {job.get('error')}")
+        time.sleep(0.2)
+    fail(f"job {job_id} did not finish within {TIMEOUT_S}s")
+
+
+def comparable(report: dict) -> str:
+    """Canonical JSON of a report minus modelled baseline timings (the
+    CLI runs ``analyze`` with baselines on; server jobs default off)."""
+    return json.dumps(
+        {k: v for k, v in report.items() if k != "timings"}, sort_keys=True
+    )
+
+
+def main() -> int:
+    import numpy as np
+
+    workdir = Path(tempfile.mkdtemp(prefix="cuzchecker-smoke-"))
+    rng = np.random.default_rng(20210921)
+    orig = rng.normal(size=SHAPE).astype(np.float32)
+    dec = (orig + rng.normal(scale=1e-3, size=SHAPE)).astype(np.float32)
+    orig_path = workdir / "orig.bin"
+    dec_path = workdir / "dec.bin"
+    orig_path.write_bytes(orig.tobytes())
+    dec_path.write_bytes(dec.tobytes())
+
+    # -- 1. the CLI's view of this pair ------------------------------------
+    cli_json = workdir / "cli_report.json"
+    shape_arg = ",".join(str(x) for x in SHAPE)
+    cli = subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", str(orig_path),
+         str(dec_path), "--shape", shape_arg, "--json", str(cli_json)],
+        capture_output=True, text=True, timeout=TIMEOUT_S,
+    )
+    if cli.returncode != 0:
+        fail(f"cuzchecker analyze exited {cli.returncode}:\n{cli.stderr}")
+    cli_report = json.loads(cli_json.read_text())
+
+    # -- 2. boot the server ------------------------------------------------
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    base = None
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            match = re.search(r"serving on (http://\S+)", line)
+            if match:
+                base = match.group(1)
+                break
+        if base is None:
+            fail("server never printed its address")
+        print(f"server up at {base}")
+
+        health = request(f"{base}/healthz")
+        if health.get("status") != "ok":
+            fail(f"healthz not ok: {health}")
+
+        spec = {
+            "original_path": str(orig_path),
+            "decompressed_path": str(dec_path),
+            "shape": list(SHAPE),
+        }
+        job1 = wait_for(base, request(f"{base}/jobs", spec)["id"])
+        if comparable(job1["report"]) != comparable(cli_report):
+            fail("server report differs from CLI analyze report")
+        print("server report matches CLI analyze output")
+
+        before = request(f"{base}/metrics")["session"]
+        job2 = wait_for(base, request(f"{base}/jobs", spec)["id"])
+        after = request(f"{base}/metrics")["session"]
+        if json.dumps(job1["report"], sort_keys=True) != json.dumps(
+            job2["report"], sort_keys=True
+        ):
+            fail("second identical job was not byte-identical")
+        if after["plan_cache_hits"] <= before["plan_cache_hits"]:
+            fail(
+                "second identical job did not hit the plan memo: "
+                f"{before['plan_cache_hits']} -> {after['plan_cache_hits']}"
+            )
+        if after["plan_cache_misses"] != before["plan_cache_misses"]:
+            fail("second identical job rebuilt the plan")
+        print(
+            "second identical job: byte-identical, plan memo hit "
+            f"({before['plan_cache_hits']} -> {after['plan_cache_hits']} hits)"
+        )
+
+        # -- 3. clean shutdown ---------------------------------------------
+        request(f"{base}/shutdown", {})
+        out, _ = proc.communicate(timeout=60)
+        if proc.returncode != 0:
+            fail(f"server exited {proc.returncode}:\n{out}")
+        match = re.search(r"live shm segments: (\d+)", out)
+        if not match:
+            fail(f"server never reported its shutdown leak probe:\n{out}")
+        if int(match.group(1)) != 0:
+            fail(f"{match.group(1)} shared-memory segment(s) leaked")
+        children = subprocess.run(
+            ["pgrep", "-P", str(proc.pid)], capture_output=True, text=True
+        )
+        if children.stdout.strip():
+            fail(f"orphan worker processes survive: {children.stdout}")
+        print("clean shutdown: exit 0, no orphan workers, no shm segments")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    print("server smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
