@@ -1,0 +1,134 @@
+"""Audit checkpoint files: exact state, atomically replaced.
+
+A checkpoint is one JSON document holding the audit's progress — which
+fields are finished (with their final metric values) and, when a field
+is mid-stream, the exact :class:`~repro.core.streaming.StreamingChecker`
+state after the last completed chunk.  Two properties make kill/resume
+bit-identical to an uninterrupted run:
+
+* **exact serialisation** — NumPy arrays are embedded as base64 of their
+  raw little-endian bytes, and Python floats survive JSON because
+  ``json`` emits ``repr``-style shortest round-trip representations
+  (including ``Infinity`` for the accumulator's initial extrema);
+* **atomic persistence** — like the calibration table, every save writes
+  a temp file in the target directory and ``os.replace``\\ s it over the
+  checkpoint, so a SIGKILL at any instant leaves either the previous or
+  the new consistent snapshot, never a torn file.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataIOError
+
+__all__ = ["AuditCheckpoint", "encode_state", "decode_state", "CHECKPOINT_FORMAT"]
+
+CHECKPOINT_FORMAT = "cuzchecker-audit-checkpoint-v1"
+
+_NDARRAY_KEY = "__ndarray__"
+
+
+def encode_state(obj):
+    """Recursively convert a state structure into JSON-safe values.
+
+    Arrays become ``{"__ndarray__": <base64>, "dtype": ..., "shape": ...}``
+    with explicit little-endian byte order, so the encoding is identical
+    across hosts and decodes to bit-identical arrays.
+    """
+    if isinstance(obj, np.ndarray):
+        little = obj.astype(obj.dtype.newbyteorder("<"), copy=False)
+        return {
+            _NDARRAY_KEY: base64.b64encode(
+                np.ascontiguousarray(little).tobytes()
+            ).decode("ascii"),
+            "dtype": str(obj.dtype.newbyteorder("<")),
+            "shape": list(obj.shape),
+        }
+    if isinstance(obj, dict):
+        return {str(k): encode_state(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [encode_state(v) for v in obj]
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    return obj
+
+
+def decode_state(obj):
+    """Inverse of :func:`encode_state` (arrays come back bit-identical)."""
+    if isinstance(obj, dict):
+        if _NDARRAY_KEY in obj:
+            raw = base64.b64decode(obj[_NDARRAY_KEY])
+            arr = np.frombuffer(raw, dtype=np.dtype(obj["dtype"]))
+            arr = arr.reshape(tuple(int(s) for s in obj["shape"]))
+            return arr.astype(arr.dtype.newbyteorder("="), copy=True)
+        return {k: decode_state(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [decode_state(v) for v in obj]
+    return obj
+
+
+class AuditCheckpoint:
+    """One audit's checkpoint file with atomic save/load/delete."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, payload: dict) -> None:
+        """Atomically replace the checkpoint with ``payload``.
+
+        The temp file lives in the checkpoint's directory so the
+        ``os.replace`` stays on one filesystem (a cross-device rename
+        would not be atomic).
+        """
+        doc = dict(payload)
+        doc["format"] = CHECKPOINT_FORMAT
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_name(
+                f".{self.path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            # json.dump streams to the file, so peak memory stays near the
+            # largest single array's base64, not the whole document — the
+            # out-of-core audit checkpoints between every chunk
+            with tmp.open("w") as fh:
+                json.dump(encode_state(doc), fh, sort_keys=True)
+            os.replace(tmp, self.path)
+
+    def load(self) -> dict | None:
+        """The decoded checkpoint, or ``None`` when absent."""
+        if not self.path.exists():
+            return None
+        try:
+            doc = decode_state(json.loads(self.path.read_text()))
+        except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
+            raise DataIOError(
+                f"corrupt audit checkpoint {self.path}: {exc}"
+            ) from exc
+        if doc.get("format") != CHECKPOINT_FORMAT:
+            raise DataIOError(
+                f"{self.path} is not a {CHECKPOINT_FORMAT} file "
+                f"(format={doc.get('format')!r})"
+            )
+        return doc
+
+    def delete(self) -> None:
+        """Remove the checkpoint (idempotent)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,426 @@
+"""The archive-fleet auditor: walk, stream, checkpoint, resume.
+
+``run_audit`` assesses every field of every bundle under a directory
+tree with bounded memory:
+
+* bundles are discovered deterministically (sorted manifest paths) and
+  fields run in manifest order, so two runs over the same tree do the
+  same work in the same order;
+* each field streams through
+  :meth:`~repro.io.bundle.DatasetBundle.iter_field_chunks` — one z-slab
+  chunk resident at a time, verified against its manifest SHA-256 —
+  into a :class:`~repro.core.streaming.StreamingChecker` obtained from
+  a warm :class:`~repro.service.session.CheckerSession`;
+* the decompressed side is produced chunk-wise by an error-bounded
+  codec (compress + decompress per chunk), which keeps the pipeline
+  deterministic per chunk and therefore replayable after a kill;
+* after every chunk the exact stream state lands in an
+  :class:`~repro.audit.checkpoint.AuditCheckpoint` (atomic replace), so
+  a SIGKILL at any instant loses at most the chunk in flight — resuming
+  replays from the last completed chunk and the final report is
+  byte-for-byte identical to an uninterrupted run.
+
+SSIM streams exactly when the bundle manifest carries the field's value
+range (v2 bundles record it at write time — the global dynamic range a
+mid-stream checker cannot otherwise know); v1 bundles audit without
+SSIM rather than paying a second pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import replace
+from pathlib import Path
+
+from repro.audit.checkpoint import AuditCheckpoint
+from repro.errors import CheckerError, DataIOError
+from repro.io.bundle import load_bundle
+from repro.telemetry.tracer import NULL_TRACER
+
+__all__ = [
+    "AuditInterrupted",
+    "REPORT_FORMAT",
+    "discover_bundles",
+    "run_audit",
+]
+
+REPORT_FORMAT = "cuzchecker-audit-report-v1"
+
+
+class AuditInterrupted(CheckerError):
+    """Raised by the ``stop_after_chunks`` test hook: the deterministic
+    stand-in for a SIGKILL, thrown *after* the chunk's checkpoint is on
+    disk so tests can resume exactly like a killed process would."""
+
+    def __init__(self, chunks_processed: int):
+        self.chunks_processed = chunks_processed
+        super().__init__(
+            f"audit interrupted after {chunks_processed} chunk(s) (test hook)"
+        )
+
+
+def discover_bundles(root: str | Path) -> list[Path]:
+    """Bundle directories under ``root``, sorted by relative path."""
+    root = Path(root)
+    if not root.is_dir():
+        raise DataIOError(f"audit root {root} is not a directory")
+    found = sorted(p.parent for p in root.rglob("manifest.json"))
+    if not found:
+        raise DataIOError(f"no bundles (manifest.json) found under {root}")
+    return found
+
+
+def _codec_for(codec: str, codec_args: dict | None):
+    from repro.compressors.registry import get_compressor
+
+    return get_compressor(codec, **(codec_args or {}))
+
+
+def _fingerprint(
+    root: Path,
+    bundles: list[Path],
+    codec: str,
+    codec_args: dict,
+    chunk_nz: int | None,
+    max_lag: int,
+    use_ssim: bool,
+) -> dict:
+    """Everything the resumed run must agree on with the killed run."""
+    listing = []
+    for path in bundles:
+        b = load_bundle(path)
+        listing.append(
+            {
+                "rel": path.relative_to(root).as_posix(),
+                "name": b.name,
+                "shape": list(b.shape),
+                "dtype": b.dtype,
+                "version": b.version,
+                "fields": list(b.field_names),
+            }
+        )
+    return {
+        "codec": codec,
+        "codec_args": json.loads(json.dumps(codec_args, sort_keys=True)),
+        "chunk_nz": chunk_nz,
+        "max_lag": max_lag,
+        "use_ssim": use_ssim,
+        "bundles": listing,
+    }
+
+
+def _write_report_atomic(report: dict, out_path: Path) -> None:
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out_path.with_name(
+        f".{out_path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    tmp.write_text(text)
+    os.replace(tmp, out_path)
+
+
+def run_audit(
+    root: str | Path,
+    out_path: str | Path | None = None,
+    checkpoint_path: str | Path | None = None,
+    codec: str = "sz",
+    codec_args: dict | None = None,
+    chunk_nz: int | None = None,
+    max_lag: int | None = None,
+    use_ssim: bool = True,
+    verify: bool = True,
+    resume: bool = True,
+    session=None,
+    tracer=None,
+    progress=None,
+    stop_after_chunks: int | None = None,
+) -> dict:
+    """Assess every field under ``root``; resumable, bounded memory.
+
+    Parameters
+    ----------
+    root:
+        Directory tree containing bundle directories (any nesting).
+    out_path:
+        Final JSON report (default ``<root>/audit_report.json``),
+        written atomically; byte-for-byte deterministic for a given
+        tree + configuration, which is what the kill/resume CI job
+        asserts.
+    checkpoint_path:
+        Checkpoint file (default ``<root>/.audit_checkpoint.json``),
+        replaced atomically after every chunk and deleted once the
+        report is on disk.
+    codec / codec_args:
+        The chunk-wise compressor under assessment (registry name +
+        constructor kwargs).  Compression is applied per chunk, so the
+        error structure is chunk-local — documented audit semantics,
+        and the property that makes resume exact.
+    chunk_nz:
+        Slab depth for v1 (unchunked) bundles; v2 bundles always stream
+        their manifest chunk table.
+    max_lag:
+        Autocorrelation lags (default: the session config's
+        ``pattern2.max_lag``), clamped per field to fit the plane.
+    use_ssim:
+        Stream SSIM for fields whose manifest records a value range.
+    verify:
+        Check per-chunk SHA-256 digests while streaming (v2 bundles).
+    resume:
+        Continue from an existing checkpoint; ``False`` starts fresh.
+    session:
+        A :class:`~repro.service.session.CheckerSession` to run on (one
+        is created and closed internally when omitted).
+    progress:
+        Optional callback ``(event: str, payload: dict)`` for CLI
+        progress lines.
+    stop_after_chunks:
+        Test hook — raise :class:`AuditInterrupted` after this many
+        chunks were processed *in this run* (checkpoint already saved).
+    """
+    root = Path(root)
+    out_path = Path(out_path) if out_path else root / "audit_report.json"
+    checkpoint = AuditCheckpoint(
+        checkpoint_path if checkpoint_path else root / ".audit_checkpoint.json"
+    )
+    if codec_args is None and codec in ("sz", "sz2", "uniform_quant"):
+        codec_args = {"rel_bound": 1e-3}
+    codec_args = dict(codec_args or {})
+    compressor = _codec_for(codec, codec_args)
+
+    own_session = session is None
+    if own_session:
+        from repro.service.session import CheckerSession
+
+        session = CheckerSession()
+        session.open()
+    tracer = tracer if tracer is not None else session.tracer
+    if tracer is None:
+        tracer = NULL_TRACER
+    notify = progress or (lambda event, payload: None)
+
+    try:
+        bundles = discover_bundles(root)
+        cfg = session.config
+        lag_default = cfg.pattern2.max_lag if max_lag is None else int(max_lag)
+        fingerprint = _fingerprint(
+            root, bundles, codec, codec_args, chunk_nz, lag_default, use_ssim
+        )
+
+        completed: dict[str, dict] = {}
+        in_progress: dict | None = None
+        if resume:
+            snapshot = checkpoint.load()
+            if snapshot is not None:
+                if snapshot["fingerprint"] != fingerprint:
+                    raise CheckerError(
+                        f"checkpoint {checkpoint.path} was written by a "
+                        "different audit configuration or bundle tree; "
+                        "rerun with resume disabled (--fresh) to discard it"
+                    )
+                completed = {r["key"]: r for r in snapshot["completed"]}
+                in_progress = snapshot.get("in_progress")
+                notify(
+                    "resume",
+                    {
+                        "completed": len(completed),
+                        "mid_field": in_progress is not None,
+                    },
+                )
+        else:
+            checkpoint.delete()
+
+        def save_checkpoint(current: dict | None) -> None:
+            checkpoint.save(
+                {
+                    "fingerprint": fingerprint,
+                    "completed": list(completed.values()),
+                    "in_progress": current,
+                }
+            )
+
+        processed_chunks = 0
+        results: list[dict] = []
+        for bundle_path in bundles:
+            bundle = load_bundle(bundle_path)
+            rel = bundle_path.relative_to(root).as_posix()
+            for field_name in bundle.field_names:
+                key = f"{rel}::{field_name}"
+                if key in completed:
+                    results.append(completed[key])
+                    continue
+                result, processed_chunks = _audit_field(
+                    bundle,
+                    rel,
+                    field_name,
+                    key,
+                    compressor,
+                    session,
+                    tracer,
+                    cfg,
+                    lag_default,
+                    use_ssim,
+                    verify,
+                    chunk_nz,
+                    in_progress,
+                    save_checkpoint,
+                    notify,
+                    processed_chunks,
+                    stop_after_chunks,
+                )
+                in_progress = None
+                completed[key] = result
+                results.append(result)
+                save_checkpoint(None)
+                notify("field_done", {"key": key, "result": result})
+
+        report = {
+            "format": REPORT_FORMAT,
+            "codec": codec,
+            "codec_args": codec_args,
+            "chunk_nz": chunk_nz,
+            "max_lag": lag_default,
+            "use_ssim": use_ssim,
+            "fields": results,
+            "totals": {
+                "bundles": len(bundles),
+                "fields": len(results),
+                "chunks": sum(r["chunks"] for r in results),
+                "bytes_streamed": sum(r["bytes_streamed"] for r in results),
+            },
+        }
+        _write_report_atomic(report, out_path)
+        checkpoint.delete()
+        notify("done", {"out": str(out_path), "totals": report["totals"]})
+        return report
+    finally:
+        if own_session:
+            session.close(wait=True)
+
+
+def _ssim_config(bundle, field_name, cfg, use_ssim):
+    """The streaming SSIM configuration for one field, or ``None``.
+
+    Streaming SSIM needs the global dynamic range up front; only v2
+    manifests record it.  Degenerate (constant) fields and fields
+    smaller than the window skip SSIM deterministically.
+    """
+    if not use_ssim:
+        return None
+    rng = bundle.value_range(field_name)
+    if rng is None or rng[1] <= rng[0]:
+        return None
+    p3 = cfg.pattern3
+    if min(bundle.shape) < p3.window:
+        return None
+    return replace(p3, dynamic_range=rng[1] - rng[0])
+
+
+def _audit_field(
+    bundle,
+    rel,
+    field_name,
+    key,
+    compressor,
+    session,
+    tracer,
+    cfg,
+    lag_default,
+    use_ssim,
+    verify,
+    chunk_nz,
+    in_progress,
+    save_checkpoint,
+    notify,
+    processed_chunks,
+    stop_after_chunks,
+):
+    ny, nx = bundle.shape[1], bundle.shape[2]
+    lag = max(0, min(lag_default, min(ny, nx) - 1))
+    ssim_cfg = _ssim_config(bundle, field_name, cfg, use_ssim)
+    checker = session.open_stream(
+        (ny, nx),
+        max_lag=lag,
+        ssim=ssim_cfg,
+        pwr_floor=cfg.pattern1.pwr_floor,
+        tracer=tracer,
+    )
+    start = 0
+    bytes_streamed = 0
+    if (
+        in_progress is not None
+        and in_progress.get("key") == key
+    ):
+        checker.load_state(in_progress["stream"])
+        start = int(in_progress["chunks_done"])
+        bytes_streamed = int(in_progress["bytes_streamed"])
+
+    chunk_table = bundle.field_chunks(field_name, chunk_nz)
+    with tracer.span(
+        "audit_field",
+        category="job",
+        bundle=rel,
+        field=field_name,
+        chunks=len(chunk_table),
+        resumed_at=start,
+    ) as field_span:
+        for info, block in bundle.iter_field_chunks(
+            field_name, chunk_nz=chunk_nz, verify=verify, start=start
+        ):
+            with tracer.span(
+                "chunk_read",
+                category="chunk",
+                bytes=info.nbytes,
+                bundle=rel,
+                field=field_name,
+                chunk=info.index,
+                z0=info.z0,
+            ):
+                dec = compressor.decompress(compressor.compress(block))
+            checker.update(block, dec)
+            bytes_streamed += info.nbytes
+            save_checkpoint(
+                {
+                    "key": key,
+                    "chunks_done": info.index + 1,
+                    "bytes_streamed": bytes_streamed,
+                    "stream": checker.state_dict(),
+                }
+            )
+            processed_chunks += 1
+            notify(
+                "chunk",
+                {
+                    "key": key,
+                    "chunk": info.index + 1,
+                    "of": len(chunk_table),
+                    "bytes": bytes_streamed,
+                },
+            )
+            if (
+                stop_after_chunks is not None
+                and processed_chunks >= stop_after_chunks
+            ):
+                raise AuditInterrupted(processed_chunks)
+        field_span.attrs["bytes_streamed"] = bytes_streamed
+
+    res = checker.finalize()
+    scalars = {k: float(v) for k, v in res.scalars().items()}
+    result = {
+        "key": key,
+        "bundle": rel,
+        "field": field_name,
+        "shape": list(bundle.shape),
+        "dtype": bundle.dtype,
+        "chunks": len(chunk_table),
+        "bytes_streamed": bytes_streamed,
+        "scalars": scalars,
+        "autocorrelation": (
+            [float(v) for v in res.autocorrelation]
+            if res.autocorrelation is not None
+            else None
+        ),
+        "ssim": float(res.ssim) if res.ssim is not None else None,
+    }
+    return result, processed_chunks

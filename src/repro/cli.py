@@ -5,6 +5,7 @@ Subcommands
 
 ``analyze``      assess an original/decompressed raw-binary pair
 ``assess``       compress a synthetic field with a codec and assess it
+``audit``        resumable out-of-core assessment of a bundle tree
 ``check``        assess + acceptance criteria (exit code for CI gates)
 ``estimate``     predict SZ compression ratio without compressing
 ``explain``      print the execution plan for a metric selection
@@ -100,6 +101,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, help="bundle directory")
     p.add_argument("--scale", type=float, default=0.125)
     p.add_argument("--fields", type=int, default=None, help="limit field count")
+    p.add_argument("--chunk", type=int, default=None, metavar="NZ",
+                   help="write a chunked v2 bundle with NZ-slab chunks "
+                        "(per-chunk checksums; streamable by `audit`)")
+    p.add_argument("--dtype", choices=("float32", "float64"), default=None,
+                   help="on-disk dtype (default: the fields' own dtype)")
+
+    p = sub.add_parser(
+        "audit",
+        help="walk a directory tree of bundles and assess every field "
+        "chunk-by-chunk with checkpoint/resume (bounded memory)",
+    )
+    p.add_argument("root", help="directory tree containing bundle directories")
+    p.add_argument("--out", default=None,
+                   help="final JSON report (default <root>/audit_report.json)")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint file, replaced atomically after every "
+                        "chunk (default <root>/.audit_checkpoint.json)")
+    p.add_argument("--codec", default="sz",
+                   help="chunk-wise codec under assessment: "
+                        "sz|zfp|uniform_quant|decimate")
+    p.add_argument("--rel-bound", type=float, default=1e-3)
+    p.add_argument("--rate", type=float, default=8.0, help="zfp bits/value")
+    p.add_argument("--chunk", type=int, default=None, metavar="NZ",
+                   help="slab depth for v1 (unchunked) bundles")
+    p.add_argument("--max-lag", type=int, default=None,
+                   help="autocorrelation lags (default: config pattern2)")
+    p.add_argument("--no-ssim", action="store_true",
+                   help="skip streaming SSIM even when the manifest has "
+                        "the field's value range")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip per-chunk checksum verification while reading")
+    p.add_argument("--fresh", action="store_true",
+                   help="ignore and discard an existing checkpoint")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="also export the chunk-read spans as a chrome trace")
 
     sub.add_parser("table1", help="print the metric pattern classification")
 
@@ -347,14 +383,94 @@ def _cmd_explain(args) -> int:
 
 def _cmd_generate(args) -> int:
     from repro.datasets.registry import generate_dataset
-    from repro.io.bundle import save_bundle
+    from repro.io.bundle import save_bundle, save_bundle_chunked
 
     ds = generate_dataset(args.dataset, scale=args.scale, n_fields=args.fields)
-    bundle = save_bundle(ds, args.out)
+    if args.chunk is not None:
+        bundle = save_bundle_chunked(
+            ds, args.out, chunk_nz=args.chunk, dtype=args.dtype
+        )
+        n_chunks = sum(len(bundle.chunks[f]) for f in bundle.field_names)
+        print(
+            f"wrote {len(bundle.field_names)} fields of shape {bundle.shape} "
+            f"to {bundle.root} (chunked v2: {n_chunks} chunks of "
+            f"{args.chunk} slabs, per-chunk sha256)"
+        )
+    else:
+        bundle = save_bundle(ds, args.out, dtype=args.dtype)
+        print(
+            f"wrote {len(bundle.field_names)} fields of shape {bundle.shape} "
+            f"to {bundle.root}"
+        )
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.audit.runner import run_audit
+    from repro.service.session import CheckerSession
+    from repro.telemetry import Tracer
+    from repro.telemetry.tracer import NULL_TRACER
+
+    if args.codec == "zfp":
+        codec_args = {"rate": args.rate}
+    elif args.codec == "decimate":
+        codec_args = {}
+    else:
+        codec_args = {"rel_bound": args.rel_bound}
+    tracer = Tracer() if args.trace else NULL_TRACER
+
+    def progress(event, payload):
+        if event == "resume":
+            extra = " mid-field" if payload["mid_field"] else ""
+            print(
+                f"resuming from checkpoint: {payload['completed']} field(s) "
+                f"already done{extra}",
+                flush=True,
+            )
+        elif event == "field_done":
+            r = payload["result"]
+            psnr = r["scalars"].get("psnr")
+            ssim = r["ssim"]
+            line = (
+                f"  {r['bundle']}/{r['field']}: {r['chunks']} chunks, "
+                f"{r['bytes_streamed'] / 1e6:.1f} MB"
+            )
+            if psnr is not None:
+                line += f", psnr {psnr:.2f}"
+            if ssim is not None:
+                line += f", ssim {ssim:.4f}"
+            print(line, flush=True)
+
+    with CheckerSession(tracer=tracer) as session:
+        report = run_audit(
+            args.root,
+            out_path=args.out,
+            checkpoint_path=args.checkpoint,
+            codec=args.codec,
+            codec_args=codec_args,
+            chunk_nz=args.chunk,
+            max_lag=args.max_lag,
+            use_ssim=not args.no_ssim,
+            verify=not args.no_verify,
+            resume=not args.fresh,
+            session=session,
+            tracer=tracer,
+            progress=progress,
+        )
+    totals = report["totals"]
     print(
-        f"wrote {len(bundle.field_names)} fields of shape {bundle.shape} "
-        f"to {bundle.root}"
+        f"audited {totals['fields']} field(s) in {totals['bundles']} "
+        f"bundle(s): {totals['chunks']} chunks, "
+        f"{totals['bytes_streamed'] / 1e6:.1f} MB streamed"
     )
+    if args.trace:
+        from repro.telemetry import write_chrome_trace
+
+        path = write_chrome_trace(
+            tracer.spans, args.trace,
+            process_name=f"cuzchecker audit: {args.root}",
+        )
+        print(f"chunk-span trace -> {path}")
     return 0
 
 
@@ -653,6 +769,7 @@ def _cmd_serve(args) -> int:
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "assess": _cmd_assess,
+    "audit": _cmd_audit,
     "explain": _cmd_explain,
     "generate": _cmd_generate,
     "table1": _cmd_table1,

@@ -221,6 +221,47 @@ class StreamingChecker:
         self._ssim_total += float(local.sum())
         self._ssim_count += local.size
 
+    # -- checkpoint/resume -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exact mid-stream state (accumulator, SSIM FIFO, cursors).
+
+        Restoring this snapshot onto a same-configuration checker and
+        feeding the remaining chunks is bit-identical to feeding the
+        whole stream uninterrupted — the resumable audit's contract,
+        property-tested in ``tests/property/test_property_audit.py``.
+        """
+        state = {
+            "acc": self._acc.state_dict(),
+            "z": self._z,
+            "chunk_index": self._chunk_index,
+            "finalized": self._finalized,
+        }
+        if self.ssim_config is not None:
+            state["ssim"] = {
+                "total": self._ssim_total,
+                "count": self._ssim_count,
+                "fifo": self._fifo.state_dict(),
+            }
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (same configuration)."""
+        if bool(state.get("finalized")):
+            raise CheckerError("cannot restore a finalised stream state")
+        has_ssim = "ssim" in state and state["ssim"] is not None
+        if has_ssim != (self.ssim_config is not None):
+            raise CheckerError(
+                "stream state and checker disagree on SSIM configuration"
+            )
+        self._acc.load_state(state["acc"])
+        self._z = int(state["z"])
+        self._chunk_index = int(state["chunk_index"])
+        if has_ssim:
+            self._ssim_total = float(state["ssim"]["total"])
+            self._ssim_count = int(state["ssim"]["count"])
+            self._fifo.load_state(state["ssim"]["fifo"])
+
     # -- finishing -------------------------------------------------------------
 
     def finalize(self) -> StreamingResult:

@@ -26,7 +26,9 @@ class Field:
             raise ShapeError(
                 f"field {self.name!r} must be 3-D, got shape {self.data.shape}"
             )
-        if self.data.dtype != np.float32:
+        if self.data.dtype not in (np.float32, np.float64):
+            # floats keep their precision (float64 bundles round-trip);
+            # everything else is normalised to the SDRBench default
             self.data = self.data.astype(np.float32)
 
     @property

@@ -357,6 +357,80 @@ class TileAccumulator:
             )
         return out
 
+    # -- checkpoint/resume -------------------------------------------------
+
+    _STATE_SCALARS = (
+        "z", "n",
+        "min_e", "max_e", "sum_e", "sum_abs_e", "sum_sq_e",
+        "min_o", "max_o", "sum_o", "sum_sq_o", "sum_d",
+        "min_r", "max_r", "sum_r", "cnt_r",
+    )
+
+    def state_dict(self) -> dict:
+        """The exact accumulation state after some number of blocks.
+
+        Everything the resumable audit needs to survive a kill: the 14+
+        pattern-1 registers, the per-lag autocorrelation raw sums, the
+        trailing error-slice carry, and the derivative partials.  All
+        values are exact (floats and raw arrays, no rounding), so
+        ``load_state`` followed by the remaining blocks is bit-identical
+        to an uninterrupted run.
+        """
+        state: dict = {k: getattr(self, k) for k in self._STATE_SCALARS}
+        state["arrays"] = {
+            "ac_ab": self.ac_ab.copy(),
+            "ac_a": self.ac_a.copy(),
+            "ac_b": self.ac_b.copy(),
+            "ac_n": self.ac_n.copy(),
+        }
+        if self._carry is not None:
+            state["arrays"]["carry"] = self._carry.copy()
+        state["deriv"] = {
+            str(w): dict(acc) for w, acc in self._deriv.items()
+        }
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a same-geometry
+        accumulator (same plane shape, max_lag, and deriv selection)."""
+        for k in self._STATE_SCALARS:
+            value = state[k]
+            setattr(self, k, int(value) if k in ("z", "n") else float(value))
+        arrays = state["arrays"]
+        for name, target in (
+            ("ac_ab", self.ac_ab), ("ac_a", self.ac_a), ("ac_b", self.ac_b),
+        ):
+            src = np.asarray(arrays[name], dtype=np.float64)
+            if src.shape != target.shape:
+                raise ShapeError(
+                    f"accumulator state {name} has shape {src.shape}, "
+                    f"expected {target.shape}"
+                )
+            np.copyto(target, src)
+        ac_n = np.asarray(arrays["ac_n"], dtype=np.int64)
+        if ac_n.shape != self.ac_n.shape:
+            raise ShapeError("accumulator state ac_n shape mismatch")
+        np.copyto(self.ac_n, ac_n)
+        if self._carry is not None:
+            carry = np.asarray(arrays["carry"], dtype=np.float64)
+            if carry.shape != self._carry.shape:
+                raise ShapeError(
+                    f"accumulator carry has shape {carry.shape}, "
+                    f"expected {self._carry.shape}"
+                )
+            np.copyto(self._carry, carry)
+        deriv = state.get("deriv", {})
+        if set(deriv) != {str(w) for w in self.deriv_whichs}:
+            raise ShapeError(
+                f"accumulator state tracks derivatives {sorted(deriv)}, "
+                f"expected {sorted(str(w) for w in self.deriv_whichs)}"
+            )
+        for w in self.deriv_whichs:
+            src = deriv[str(w)]
+            dst = self._deriv[w]
+            for key in dst:
+                dst[key] = int(src[key]) if key == "count" else float(src[key])
+
 
 def _pdf_from_counts(counts: np.ndarray, edges: np.ndarray) -> Pdf:
     # same expression np.histogram(density=True) evaluates, so the tiled

@@ -107,3 +107,16 @@ class SmemFifo:
     def window_view(self) -> np.ndarray:
         """The raw ring contents (testing/diagnostics)."""
         return self._buf.copy()
+
+    def state_dict(self) -> dict:
+        """Exact ring state for checkpoint/resume (bit-identical restore)."""
+        return {"buf": self._buf.copy(), "filled": self._filled}
+
+    def load_state(self, state: dict) -> None:
+        buf = np.asarray(state["buf"], dtype=np.float64)
+        if buf.shape != self._buf.shape:
+            raise ValueError(
+                f"FIFO state shape {buf.shape} does not match {self._buf.shape}"
+            )
+        np.copyto(self._buf, buf)
+        self._filled = int(state["filled"])

@@ -1,19 +1,34 @@
 """Input/output engine (Z-checker's input/output-engine modules).
 
 Readers for SDRBench raw binaries and NumPy containers, plus dataset
-bundles with manifests for multi-field applications.
+bundles with manifests for multi-field applications — including the
+chunked v2 container that streams z-slabs with per-chunk checksums.
 """
 
 from repro.io.raw import read_raw, write_raw
 from repro.io.npyio import read_array, write_array
-from repro.io.bundle import DatasetBundle, load_bundle, save_bundle
+from repro.io.bundle import (
+    ChunkInfo,
+    ChunkedFieldWriter,
+    DatasetBundle,
+    DEFAULT_CHUNK_NZ,
+    load_bundle,
+    save_bundle,
+    save_bundle_chunked,
+    verify_bundle,
+)
 
 __all__ = [
     "read_raw",
     "write_raw",
     "read_array",
     "write_array",
+    "ChunkInfo",
+    "ChunkedFieldWriter",
     "DatasetBundle",
+    "DEFAULT_CHUNK_NZ",
     "load_bundle",
     "save_bundle",
+    "save_bundle_chunked",
+    "verify_bundle",
 ]

@@ -1,45 +1,309 @@
 """Multi-field dataset bundles with a JSON manifest.
 
-A bundle is a directory of raw binaries plus ``manifest.json`` recording
-the application name, shape, and field list — how this library stores the
-synthetic SDRBench stand-ins on disk, and how it would wrap the real
-downloads.
+A bundle is a directory of raw binaries plus ``manifest.json``.  Two
+manifest generations coexist:
+
+**v1** (``raw-f32-little-c`` / ``raw-f64-little-c``) records the
+application name, shape, and field list — one headerless raw binary per
+field, read whole.
+
+**v2** (``chunked-v2``) is the out-of-core container: every field is
+split into consecutive z-slab chunks and the manifest records, per
+chunk, the byte offset, slab extent, byte count, and SHA-256 — plus a
+whole-file SHA-256 and the field's value range.  The data files keep the
+exact v1 raw layout (chunks are contiguous in z order), so a v2 bundle
+is still readable by any v1 raw reader; what v2 adds is the ability to
+*stream* a field block-by-block with per-chunk integrity verification,
+the way qcow2 tooling walks L2 clusters, without ever materialising the
+whole array.  :meth:`DatasetBundle.iter_field_chunks` is the reader the
+resumable archive auditor (:mod:`repro.audit`) feeds straight into a
+:class:`~repro.engine.tiling.TileAccumulator`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
+
+import numpy as np
 
 from repro.datasets.fields import Dataset, Field
 from repro.errors import DataIOError
 from repro.io.raw import read_raw, write_raw
 
-__all__ = ["DatasetBundle", "save_bundle", "load_bundle"]
+__all__ = [
+    "ChunkInfo",
+    "ChunkedFieldWriter",
+    "DatasetBundle",
+    "save_bundle",
+    "save_bundle_chunked",
+    "load_bundle",
+    "verify_bundle",
+    "DEFAULT_CHUNK_NZ",
+]
 
 _MANIFEST = "manifest.json"
+_V2_FORMAT = "chunked-v2"
+_V1_FORMATS = ("raw-f32-little-c", "raw-f64-little-c")
+_SUFFIX = {"float32": ".f32", "float64": ".f64"}
+_NP_DTYPE = {"float32": np.dtype("<f4"), "float64": np.dtype("<f8")}
+
+#: default z-slab depth per chunk for v2 bundles
+DEFAULT_CHUNK_NZ = 16
+
+
+def _check_dtype(dtype: str) -> str:
+    if dtype not in _SUFFIX:
+        raise DataIOError(f"unsupported bundle dtype {dtype!r}; use float32/float64")
+    return dtype
+
+
+@dataclass(frozen=True)
+class ChunkInfo:
+    """One z-slab of a chunked field: location, extent, and integrity."""
+
+    index: int
+    z0: int
+    nz: int
+    offset: int
+    nbytes: int
+    sha256: str | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "z0": self.z0,
+            "nz": self.nz,
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+        }
+        if self.sha256 is not None:
+            out["sha256"] = self.sha256
+        return out
+
+
+class ChunkedFieldWriter:
+    """Streams one field to disk as consecutive z-blocks.
+
+    The writer is itself out-of-core: callers append blocks of any depth
+    (a generator producing a 100 GB field never holds more than one
+    block) and the writer maintains the per-chunk SHA-256 table, the
+    whole-file SHA-256, and the running value range for the manifest.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        name: str,
+        shape: tuple[int, int, int],
+        dtype: str = "float32",
+    ):
+        self.root = Path(root)
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        if len(self.shape) != 3 or min(self.shape) < 1:
+            raise DataIOError(f"chunked fields must be 3-D, got {shape}")
+        self.dtype = _check_dtype(dtype)
+        self.path = self.root / f"{name}{_SUFFIX[dtype]}"
+        self._np_dtype = _NP_DTYPE[dtype]
+        self._fh = self.path.open("wb")
+        self._file_sha = hashlib.sha256()
+        self._chunks: list[ChunkInfo] = []
+        self._z = 0
+        self._offset = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._closed = False
+
+    @property
+    def z_written(self) -> int:
+        return self._z
+
+    def append(self, block: np.ndarray) -> ChunkInfo:
+        """Write the next z-block and record its chunk entry."""
+        if self._closed:
+            raise DataIOError(f"writer for {self.path} is closed")
+        block = np.asarray(block)
+        nz, ny, nx = self.shape
+        if block.ndim != 3 or block.shape[1:] != (ny, nx):
+            raise DataIOError(
+                f"block must be (cz, {ny}, {nx}), got {block.shape}"
+            )
+        cz = block.shape[0]
+        if self._z + cz > nz:
+            raise DataIOError(
+                f"field {self.name!r} overflows shape {self.shape}: "
+                f"{self._z} slices written, block adds {cz}"
+            )
+        raw = np.ascontiguousarray(block).astype(self._np_dtype).tobytes()
+        self._fh.write(raw)
+        self._file_sha.update(raw)
+        info = ChunkInfo(
+            index=len(self._chunks),
+            z0=self._z,
+            nz=cz,
+            offset=self._offset,
+            nbytes=len(raw),
+            sha256=hashlib.sha256(raw).hexdigest(),
+        )
+        self._chunks.append(info)
+        self._z += cz
+        self._offset += len(raw)
+        self._min = min(self._min, float(block.min()))
+        self._max = max(self._max, float(block.max()))
+        return info
+
+    def close(self) -> dict:
+        """Finish the field; returns its manifest entry fragments."""
+        if self._closed:
+            raise DataIOError(f"writer for {self.path} already closed")
+        self._fh.close()
+        self._closed = True
+        if self._z != self.shape[0]:
+            raise DataIOError(
+                f"field {self.name!r} is incomplete: {self._z} of "
+                f"{self.shape[0]} slices written"
+            )
+        return {
+            "chunks": [c.to_dict() for c in self._chunks],
+            "sha256": self._file_sha.hexdigest(),
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def __enter__(self) -> "ChunkedFieldWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> bool:
+        if exc_type is None:
+            self.close()
+        elif not self._closed:
+            self._fh.close()
+            self._closed = True
+        return False
 
 
 @dataclass(frozen=True)
 class DatasetBundle:
-    """Handle to an on-disk dataset directory."""
+    """Handle to an on-disk dataset directory (v1 whole-file or v2 chunked)."""
 
     root: Path
     name: str
     shape: tuple[int, int, int]
     field_names: tuple[str, ...]
+    dtype: str = "float32"
+    version: int = 1
+    #: per-field chunk tables (v2 only; ``None`` for v1 bundles)
+    chunks: dict | None = None
+    #: per-field whole-file SHA-256 (v2 only)
+    file_sha256: dict | None = None
+    #: per-field (min, max) value range (v2 only)
+    stats: dict | None = None
 
     def field_path(self, field_name: str) -> Path:
-        return self.root / f"{field_name}.f32"
+        # the suffix follows the manifest dtype — a float64 bundle's files
+        # are .f64, and round-trip through save/load without a cast
+        return self.root / f"{field_name}{_SUFFIX[self.dtype]}"
 
-    def load_field(self, field_name: str) -> Field:
+    def _require_field(self, field_name: str) -> None:
         if field_name not in self.field_names:
             raise DataIOError(
                 f"bundle {self.name!r} has no field {field_name!r}; "
                 f"known: {list(self.field_names)}"
             )
-        data = read_raw(self.field_path(field_name), self.shape)
+
+    def value_range(self, field_name: str) -> tuple[float, float] | None:
+        """(min, max) recorded at write time, or ``None`` for v1 bundles."""
+        self._require_field(field_name)
+        if not self.stats or field_name not in self.stats:
+            return None
+        lo, hi = self.stats[field_name]
+        return float(lo), float(hi)
+
+    def field_chunks(self, field_name: str, chunk_nz: int | None = None):
+        """The chunk table for one field.
+
+        v2 bundles return the manifest's table (offsets + checksums);
+        v1 bundles synthesise a table of ``chunk_nz``-deep slabs from the
+        contiguous raw layout (no checksums — nothing to verify against).
+        """
+        self._require_field(field_name)
+        if self.chunks is not None:
+            return tuple(self.chunks[field_name])
+        nz, ny, nx = self.shape
+        depth = int(chunk_nz or DEFAULT_CHUNK_NZ)
+        if depth < 1:
+            raise DataIOError(f"chunk_nz must be >= 1, got {chunk_nz}")
+        itemsize = _NP_DTYPE[self.dtype].itemsize
+        plane = ny * nx * itemsize
+        out = []
+        for index, z0 in enumerate(range(0, nz, depth)):
+            cz = min(depth, nz - z0)
+            out.append(
+                ChunkInfo(
+                    index=index,
+                    z0=z0,
+                    nz=cz,
+                    offset=z0 * plane,
+                    nbytes=cz * plane,
+                )
+            )
+        return tuple(out)
+
+    def iter_field_chunks(
+        self,
+        field_name: str,
+        chunk_nz: int | None = None,
+        verify: bool = True,
+        start: int = 0,
+    ):
+        """Yield ``(ChunkInfo, block)`` for one field, in z order.
+
+        Each block is read by offset (one seek + one read per chunk), so
+        peak memory is one chunk regardless of field size.  With
+        ``verify=True`` every v2 chunk's SHA-256 is checked before the
+        bytes are interpreted; a mismatch raises
+        :class:`~repro.errors.DataIOError` naming the chunk.  ``start``
+        skips the first ``start`` chunks without reading them — the
+        resume path of a checkpointed audit.
+        """
+        chunks = self.field_chunks(field_name, chunk_nz)
+        path = self.field_path(field_name)
+        if not path.exists():
+            raise DataIOError(f"bundle {self.root} is missing {path.name}")
+        dt = _NP_DTYPE[self.dtype]
+        ny, nx = self.shape[1], self.shape[2]
+        native = np.float32 if self.dtype == "float32" else np.float64
+        with path.open("rb") as fh:
+            for info in chunks[start:]:
+                fh.seek(info.offset)
+                raw = fh.read(info.nbytes)
+                if len(raw) != info.nbytes:
+                    raise DataIOError(
+                        f"bundle {self.name!r} field {field_name!r} chunk "
+                        f"{info.index} (z0={info.z0}) is truncated: "
+                        f"{len(raw)} of {info.nbytes} bytes"
+                    )
+                if verify and info.sha256 is not None:
+                    digest = hashlib.sha256(raw).hexdigest()
+                    if digest != info.sha256:
+                        raise DataIOError(
+                            f"bundle {self.name!r} field {field_name!r} chunk "
+                            f"{info.index} (z0={info.z0}) checksum mismatch: "
+                            f"manifest {info.sha256[:12]}…, file {digest[:12]}…"
+                        )
+                block = (
+                    np.frombuffer(raw, dtype=dt)
+                    .reshape(info.nz, ny, nx)
+                    .astype(native)
+                )
+                yield info, block
+
+    def load_field(self, field_name: str) -> Field:
+        self._require_field(field_name)
+        data = read_raw(self.field_path(field_name), self.shape, dtype=self.dtype)
         return Field(name=field_name, data=data)
 
     def load(self) -> Dataset:
@@ -49,23 +313,45 @@ class DatasetBundle:
         return ds
 
 
-def save_bundle(dataset: Dataset, root: str | Path) -> DatasetBundle:
-    """Write a dataset as raw binaries + manifest."""
-    root = Path(root)
-    root.mkdir(parents=True, exist_ok=True)
+def _bundle_dtype(dataset: Dataset, dtype: str | None) -> str:
+    if dtype is not None:
+        return _check_dtype(dtype)
+    dtypes = {str(f.data.dtype) for f in dataset.fields}
+    if len(dtypes) != 1:
+        raise DataIOError(f"bundle fields must share one dtype, got {dtypes}")
+    return _check_dtype(dtypes.pop())
+
+
+def _common_shape(dataset: Dataset) -> tuple[int, int, int]:
     if not dataset.fields:
         raise DataIOError("cannot save an empty dataset")
     shapes = {f.shape for f in dataset.fields}
     if len(shapes) != 1:
         raise DataIOError(f"bundle fields must share one shape, got {shapes}")
-    shape = shapes.pop()
+    return shapes.pop()
+
+
+def save_bundle(
+    dataset: Dataset, root: str | Path, dtype: str | None = None
+) -> DatasetBundle:
+    """Write a dataset as whole raw binaries + a v1 manifest.
+
+    The on-disk dtype defaults to the fields' own dtype, so a float64
+    dataset round-trips losslessly through ``.f64`` files.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    shape = _common_shape(dataset)
+    dtype = _bundle_dtype(dataset, dtype)
+    suffix = _SUFFIX[dtype]
     for f in dataset.fields:
-        write_raw(root / f"{f.name}.f32", f.data)
+        write_raw(root / f"{f.name}{suffix}", f.data, dtype=dtype)
     manifest = {
         "name": dataset.name,
         "shape": list(shape),
         "fields": dataset.field_names,
-        "format": "raw-f32-little-c",
+        "format": f"raw-{suffix[1:]}-little-c",
+        "dtype": dtype,
     }
     (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
     return DatasetBundle(
@@ -73,11 +359,91 @@ def save_bundle(dataset: Dataset, root: str | Path) -> DatasetBundle:
         name=dataset.name,
         shape=shape,
         field_names=tuple(dataset.field_names),
+        dtype=dtype,
     )
 
 
+def save_bundle_chunked(
+    dataset: Dataset,
+    root: str | Path,
+    chunk_nz: int = DEFAULT_CHUNK_NZ,
+    dtype: str | None = None,
+) -> DatasetBundle:
+    """Write a dataset as a chunked v2 bundle.
+
+    Every field is written in ``chunk_nz``-deep z-slabs through a
+    :class:`ChunkedFieldWriter`, so the manifest carries per-chunk byte
+    offsets, extents, and SHA-256 digests plus the whole-file digest and
+    value range per field.
+    """
+    if chunk_nz < 1:
+        raise DataIOError(f"chunk_nz must be >= 1, got {chunk_nz}")
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    shape = _common_shape(dataset)
+    dtype = _bundle_dtype(dataset, dtype)
+    chunks: dict = {}
+    file_sha: dict = {}
+    stats: dict = {}
+    for f in dataset.fields:
+        writer = ChunkedFieldWriter(root, f.name, shape, dtype=dtype)
+        try:
+            for z0 in range(0, shape[0], chunk_nz):
+                writer.append(f.data[z0 : z0 + chunk_nz])
+        except Exception:
+            writer._fh.close()
+            raise
+        entry = writer.close()
+        chunks[f.name] = entry["chunks"]
+        file_sha[f.name] = entry["sha256"]
+        stats[f.name] = [entry["min"], entry["max"]]
+    manifest = {
+        "name": dataset.name,
+        "shape": list(shape),
+        "fields": dataset.field_names,
+        "format": _V2_FORMAT,
+        "dtype": dtype,
+        "endian": "little",
+        "chunk_nz": int(chunk_nz),
+        "chunks": chunks,
+        "file_sha256": file_sha,
+        "stats": stats,
+    }
+    (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return load_bundle(root)
+
+
+def _parse_chunk_table(field_name: str, entries, shape) -> tuple[ChunkInfo, ...]:
+    out = []
+    z = 0
+    offset = 0
+    for index, entry in enumerate(entries):
+        info = ChunkInfo(
+            index=index,
+            z0=int(entry["z0"]),
+            nz=int(entry["nz"]),
+            offset=int(entry["offset"]),
+            nbytes=int(entry["nbytes"]),
+            sha256=entry.get("sha256"),
+        )
+        if info.z0 != z or info.offset != offset or info.nz < 1:
+            raise DataIOError(
+                f"field {field_name!r} chunk {index} is not contiguous "
+                f"(z0={info.z0} expected {z}, offset={info.offset} "
+                f"expected {offset})"
+            )
+        z += info.nz
+        offset += info.nbytes
+        out.append(info)
+    if z != shape[0]:
+        raise DataIOError(
+            f"field {field_name!r} chunk table covers {z} of {shape[0]} slices"
+        )
+    return tuple(out)
+
+
 def load_bundle(root: str | Path) -> DatasetBundle:
-    """Open a bundle directory by reading its manifest."""
+    """Open a bundle directory by reading its manifest (v1 or v2)."""
     root = Path(root)
     manifest_path = root / _MANIFEST
     if not manifest_path.exists():
@@ -87,11 +453,104 @@ def load_bundle(root: str | Path) -> DatasetBundle:
         name = manifest["name"]
         shape = tuple(int(s) for s in manifest["shape"])
         fields = tuple(manifest["fields"])
+        fmt = manifest.get("format", _V1_FORMATS[0])
+        dtype = _check_dtype(manifest.get("dtype", "float32"))
     except (KeyError, ValueError, TypeError) as exc:
         raise DataIOError(f"malformed manifest in {root}: {exc}") from exc
     if len(shape) != 3:
         raise DataIOError(f"bundle shape must be 3-D, got {shape}")
-    missing = [f for f in fields if not (root / f"{f}.f32").exists()]
+
+    if fmt == _V2_FORMAT:
+        try:
+            chunks = {
+                f: _parse_chunk_table(f, manifest["chunks"][f], shape)
+                for f in fields
+            }
+            file_sha = {f: str(manifest["file_sha256"][f]) for f in fields}
+            stats = {
+                f: (float(manifest["stats"][f][0]), float(manifest["stats"][f][1]))
+                for f in fields
+            }
+        except (KeyError, ValueError, TypeError, IndexError) as exc:
+            raise DataIOError(f"malformed v2 manifest in {root}: {exc}") from exc
+        bundle = DatasetBundle(
+            root=root,
+            name=name,
+            shape=shape,
+            field_names=fields,
+            dtype=dtype,
+            version=2,
+            chunks=chunks,
+            file_sha256=file_sha,
+            stats=stats,
+        )
+    elif fmt in _V1_FORMATS:
+        bundle = DatasetBundle(
+            root=root,
+            name=name,
+            shape=shape,
+            field_names=fields,
+            dtype=dtype,
+            version=1,
+        )
+    else:
+        raise DataIOError(f"unknown bundle format {fmt!r} in {root}")
+
+    suffix = _SUFFIX[bundle.dtype]
+    missing = [f for f in fields if not (root / f"{f}{suffix}").exists()]
     if missing:
         raise DataIOError(f"bundle {root} is missing field files: {missing}")
-    return DatasetBundle(root=root, name=name, shape=shape, field_names=fields)
+    return bundle
+
+
+def verify_bundle(bundle: DatasetBundle | str | Path, deep: bool = True) -> dict:
+    """Integrity-check every field of a bundle.
+
+    Always checks file sizes against the manifest geometry.  With
+    ``deep=True`` (default) v2 bundles additionally verify every chunk's
+    SHA-256 *and* the whole-file SHA-256 in one sequential read.  Raises
+    :class:`~repro.errors.DataIOError` naming the first bad chunk;
+    returns ``{"fields": n, "chunks": n, "bytes": n}`` on success.
+    """
+    if not isinstance(bundle, DatasetBundle):
+        bundle = load_bundle(bundle)
+    itemsize = _NP_DTYPE[bundle.dtype].itemsize
+    expected_size = math.prod(bundle.shape) * itemsize
+    total_chunks = 0
+    total_bytes = 0
+    for field_name in bundle.field_names:
+        path = bundle.field_path(field_name)
+        actual = path.stat().st_size
+        if actual != expected_size:
+            raise DataIOError(
+                f"bundle {bundle.name!r} field {field_name!r}: size {actual} B "
+                f"does not match shape {bundle.shape} ({expected_size} B)"
+            )
+        total_bytes += actual
+        if not deep or bundle.version < 2:
+            continue
+        file_sha = hashlib.sha256()
+        with path.open("rb") as fh:
+            for info in bundle.field_chunks(field_name):
+                raw = fh.read(info.nbytes)
+                digest = hashlib.sha256(raw).hexdigest()
+                if digest != info.sha256:
+                    raise DataIOError(
+                        f"bundle {bundle.name!r} field {field_name!r} chunk "
+                        f"{info.index} (z0={info.z0}) checksum mismatch: "
+                        f"manifest {info.sha256[:12]}…, file {digest[:12]}…"
+                    )
+                file_sha.update(raw)
+                total_chunks += 1
+        if bundle.file_sha256 is not None:
+            expected_sha = bundle.file_sha256[field_name]
+            if file_sha.hexdigest() != expected_sha:
+                raise DataIOError(
+                    f"bundle {bundle.name!r} field {field_name!r}: whole-file "
+                    f"checksum mismatch"
+                )
+    return {
+        "fields": len(bundle.field_names),
+        "chunks": total_chunks,
+        "bytes": total_bytes,
+    }

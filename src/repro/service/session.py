@@ -306,10 +306,12 @@ class CheckerSession:
             session=self,
         )
 
-    def open_stream(self, plane_shape, max_lag=10, ssim=None, pwr_floor=0.0):
+    def open_stream(
+        self, plane_shape, max_lag=10, ssim=None, pwr_floor=0.0, tracer=None
+    ):
         """A :class:`~repro.core.streaming.StreamingChecker` recording
         into the session tracer (chunk spans land on the same feed the
-        server streams job progress from)."""
+        server streams job progress from), or into an explicit one."""
         self._require_open()
         from repro.core.streaming import StreamingChecker
 
@@ -318,8 +320,21 @@ class CheckerSession:
             max_lag=max_lag,
             ssim=ssim,
             pwr_floor=pwr_floor,
-            tracer=self.tracer,
+            tracer=tracer if tracer is not None else self.tracer,
         )
+
+    def audit_archive(self, root, out_path=None, **kwargs):
+        """Resumable out-of-core audit of a bundle tree on this session.
+
+        Thin wrapper over :func:`repro.audit.runner.run_audit`: every
+        field under ``root`` streams chunk-by-chunk through this
+        session's warm state with checkpoint/resume; see the runner for
+        the full parameter set.
+        """
+        self._require_open()
+        from repro.audit.runner import run_audit
+
+        return run_audit(root, out_path=out_path, session=self, **kwargs)
 
     def explain(self, shape=None) -> str:
         """Execution schedule of the session's default configuration."""

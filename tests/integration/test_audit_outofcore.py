@@ -1,0 +1,145 @@
+"""Out-of-core proof: a field larger than the process's address-space
+cap assesses through the chunked audit path.
+
+The subprocess warms up every lazy import with a tiny audit, sets
+``RLIMIT_AS`` to its current footprint plus three quarters of the
+field's bytes, then shows that (a) materialising the whole array fails with
+``MemoryError`` under that cap, while (b) the chunked audit — which
+holds one z-slab at a time — completes and produces the same report it
+produces uncapped.
+"""
+
+import json
+import resource
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.audit import run_audit
+from repro.datasets.fields import Dataset, Field
+from repro.io.bundle import save_bundle_chunked
+
+pytestmark = pytest.mark.skipif(
+    sys.platform != "linux" or not hasattr(resource, "RLIMIT_AS"),
+    reason="RLIMIT_AS memory capping is Linux-specific",
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: (384, 128, 128) float32 = 24 MiB on disk; the subprocess caps its
+#: address space ~18 MiB above its warmed-up footprint, so one whole
+#: copy cannot fit, while the audit path peaks at one 8-slice chunk
+#: (512 KiB raw) plus its float64 working copies and the per-chunk
+#: checkpoint (whose biggest array is the 4-slice autocorrelation carry)
+SHAPE = (384, 128, 128)
+CHUNK_NZ = 8
+
+#: shared by the capped and uncapped runs so the reports are comparable;
+#: SSIM stays off (its slice FIFO is sized by the plane, not the chunk),
+#: the autocorrelation carry is kept to 4 trailing slices, and the codec
+#: is the numpy-only decimator — the SZ chain's Python-level Huffman
+#: structures transiently need ~100x the chunk, which would say nothing
+#: about the streaming path this test is pinning down
+AUDIT_KWARGS = {"use_ssim": False, "max_lag": 4, "codec": "decimate"}
+
+_SUBPROCESS = r"""
+import json, resource, sys
+import numpy as np
+
+sys.path.insert(0, "@SRC@")
+from repro.audit import run_audit
+from repro.io.bundle import load_bundle
+from repro.service.session import CheckerSession
+
+root = "@ROOT@"
+shape = tuple(@SHAPE@)
+kwargs = dict(@KWARGS@)
+field_bytes = int(np.prod(shape)) * 4
+
+# touch every lazy import (session, codecs, kernels) and allocate the
+# session's threads/arenas before the cap — module loading and session
+# start-up need address space the capped phase no longer has
+session = CheckerSession()
+run_audit("@WARMUP@", out_path="@WARMUP@/report.json",
+          checkpoint_path="@WARMUP@/ck.json", session=session, **kwargs)
+
+def vm_size_bytes():
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith("VmSize:"):
+                return int(line.split()[1]) * 1024
+    raise RuntimeError("no VmSize in /proc/self/status")
+
+cap = vm_size_bytes() + field_bytes * 3 // 4
+resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+
+try:
+    arr = load_bundle(root + "/big").load_field("density").data
+    whole_load = "unexpectedly fit (" + str(arr.nbytes) + " B)"
+    del arr
+except MemoryError:
+    whole_load = "MemoryError"
+
+report = run_audit(root, out_path=root + "/capped_report.json",
+                   checkpoint_path=root + "/capped_ck.json",
+                   session=session, **kwargs)
+session.close()
+print(json.dumps({
+    "whole_load": whole_load,
+    "chunks": report["totals"]["chunks"],
+    "bytes_streamed": report["totals"]["bytes_streamed"],
+}))
+"""
+
+
+def _synthetic(shape):
+    nz, ny, nx = shape
+    z = np.arange(nz, dtype=np.float32).reshape(-1, 1, 1)
+    y = np.linspace(0.0, 3.0, ny, dtype=np.float32).reshape(1, -1, 1)
+    x = np.linspace(0.0, 2.0, nx, dtype=np.float32).reshape(1, 1, -1)
+    return (np.sin(0.1 * z) * np.cos(y) + 0.05 * x).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def trees(tmp_path_factory):
+    base = tmp_path_factory.mktemp("outofcore")
+    archive = base / "archive"
+    ds = Dataset(name="big")
+    ds.add(Field("density", _synthetic(SHAPE)))
+    save_bundle_chunked(ds, archive / "big", chunk_nz=CHUNK_NZ)
+    tiny = Dataset(name="tiny")
+    tiny.add(Field("t", _synthetic((8, 16, 16))))
+    save_bundle_chunked(tiny, base / "warmup" / "tiny", chunk_nz=4)
+    return archive, base / "warmup"
+
+
+def test_field_larger_than_memory_cap_audits(trees):
+    archive, warmup = trees
+    code = (
+        _SUBPROCESS.replace("@SRC@", str(SRC))
+        .replace("@ROOT@", str(archive))
+        .replace("@WARMUP@", str(warmup))
+        .replace("@SHAPE@", repr(SHAPE))
+        .replace("@KWARGS@", repr(AUDIT_KWARGS))
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, f"capped audit failed:\n{proc.stderr[-3000:]}"
+    result = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert result["whole_load"] == "MemoryError", result
+    assert result["chunks"] == SHAPE[0] // CHUNK_NZ
+    assert result["bytes_streamed"] == int(np.prod(SHAPE)) * 4
+
+    # the capped run's report matches an uncapped run in this process
+    run_audit(
+        archive, out_path=archive / "uncapped_report.json",
+        checkpoint_path=archive / "uncapped_ck.json", **AUDIT_KWARGS,
+    )
+    assert (archive / "capped_report.json").read_bytes() == (
+        archive / "uncapped_report.json"
+    ).read_bytes()

@@ -1,0 +1,106 @@
+"""CLI integration: ``generate --chunk`` + ``audit`` end to end,
+including resume, ``--fresh``, and the chunk-span trace artifact."""
+
+import json
+
+import pytest
+
+from repro.audit import AuditInterrupted, run_audit
+from repro.cli import main
+from repro.errors import CheckerError, DataIOError
+from repro.io.bundle import load_bundle
+
+
+@pytest.fixture()
+def chunked_tree(tmp_path):
+    for rel, dataset in (("setA/m", "miranda"), ("setB/n", "nyx")):
+        rc = main([
+            "generate", "--dataset", dataset, "--scale", "0.06",
+            "--fields", "1", "--chunk", "4",
+            "--out", str(tmp_path / "tree" / rel),
+        ])
+        assert rc == 0
+    return tmp_path / "tree"
+
+
+class TestGenerateChunked:
+    def test_generate_writes_v2(self, chunked_tree, capsys):
+        bundle = load_bundle(chunked_tree / "setA/m")
+        assert bundle.version == 2
+        assert bundle.chunks is not None
+
+    def test_generate_float64(self, tmp_path, capsys):
+        rc = main([
+            "generate", "--dataset", "nyx", "--scale", "0.05", "--fields", "1",
+            "--dtype", "float64", "--out", str(tmp_path / "d64"),
+        ])
+        assert rc == 0
+        bundle = load_bundle(tmp_path / "d64")
+        assert bundle.dtype == "float64"
+        assert bundle.field_path(bundle.field_names[0]).suffix == ".f64"
+
+
+class TestAuditCommand:
+    def test_audit_tree(self, chunked_tree, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        trace = tmp_path / "trace.json"
+        rc = main([
+            "audit", str(chunked_tree), "--out", str(out),
+            "--checkpoint", str(tmp_path / "ck.json"),
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "audited 2 field(s) in 2 bundle(s)" in text
+        report = json.loads(out.read_text())
+        assert report["format"] == "cuzchecker-audit-report-v1"
+        assert report["totals"]["bundles"] == 2
+        assert not (tmp_path / "ck.json").exists()
+        # the trace carries per-chunk read spans with byte counts
+        events = json.loads(trace.read_text())["traceEvents"]
+        reads = [e for e in events if e.get("name") == "chunk_read"]
+        assert len(reads) == report["totals"]["chunks"]
+        assert all(e["args"]["bytes"] > 0 for e in reads)
+
+    def test_audit_resume_matches_uninterrupted(self, chunked_tree, tmp_path, capsys):
+        ref = tmp_path / "ref.json"
+        rc = main([
+            "audit", str(chunked_tree), "--out", str(ref),
+            "--checkpoint", str(tmp_path / "ck_ref.json"),
+        ])
+        assert rc == 0
+
+        out = tmp_path / "resumed.json"
+        ck = tmp_path / "ck.json"
+        with pytest.raises(AuditInterrupted):
+            run_audit(chunked_tree, out_path=out, checkpoint_path=ck,
+                      stop_after_chunks=3)
+        rc = main([
+            "audit", str(chunked_tree), "--out", str(out),
+            "--checkpoint", str(ck),
+        ])
+        assert rc == 0
+        assert "resuming from checkpoint" in capsys.readouterr().out
+        assert out.read_bytes() == ref.read_bytes()
+
+    def test_audit_fresh_discards_checkpoint(self, chunked_tree, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        ck = tmp_path / "ck.json"
+        with pytest.raises(AuditInterrupted):
+            run_audit(chunked_tree, out_path=out, checkpoint_path=ck,
+                      stop_after_chunks=2)
+        # changed codec settings make the checkpoint stale
+        with pytest.raises(CheckerError, match="fresh"):
+            run_audit(chunked_tree, out_path=out, checkpoint_path=ck,
+                      codec_args={"rel_bound": 1e-4})
+        rc = main([
+            "audit", str(chunked_tree), "--out", str(out),
+            "--checkpoint", str(ck), "--rel-bound", "1e-4", "--fresh",
+        ])
+        assert rc == 0
+        assert json.loads(out.read_text())["codec_args"] == {"rel_bound": 1e-4}
+
+    def test_audit_empty_tree_fails(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(DataIOError, match="no bundles"):
+            main(["audit", str(tmp_path / "empty")])

@@ -1,0 +1,96 @@
+"""The resumable audit's crash contract, property-tested: killing the
+run after *any* chunk and resuming from the checkpoint must produce a
+report byte-for-byte equal to an uninterrupted run.  The kill point is
+drawn by hypothesis; ``stop_after_chunks`` stands in for the SIGKILL
+(the checkpoint on disk is exactly what a kill would leave, because it
+is written *before* the interrupt fires — the real-signal version runs
+in CI via ``tools/audit_smoke.py``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit import AuditInterrupted, run_audit
+from repro.datasets.fields import Dataset, Field
+from repro.errors import CheckerError
+from repro.io.bundle import save_bundle_chunked
+
+SETTINGS = settings(max_examples=8, deadline=None)
+
+#: 2 fields x 4 chunks + 1 field x 4 chunks = 12 chunks in the tree
+TOTAL_CHUNKS = 12
+
+
+def _tree(root):
+    rng = np.random.default_rng(7)
+    a = Dataset(name="alpha")
+    for name in ("u", "v"):
+        a.add(Field(name, rng.normal(5.0, 2.0, size=(10, 12, 12)).astype(np.float32)))
+    save_bundle_chunked(a, root / "alpha", chunk_nz=3)
+    b = Dataset(name="beta")
+    b.add(Field("w", rng.normal(0.0, 1.0, size=(10, 12, 12)).astype(np.float32)))
+    save_bundle_chunked(b, root / "nested" / "beta", chunk_nz=3)
+    return root
+
+
+@pytest.fixture(scope="module")
+def audit_tree(tmp_path_factory):
+    root = _tree(tmp_path_factory.mktemp("audit_tree"))
+    ref = root / "reference.json"
+    run_audit(root, out_path=ref, checkpoint_path=root / "ck_ref.json")
+    return root, ref.read_bytes()
+
+
+@SETTINGS
+@given(kill_after=st.integers(min_value=1, max_value=TOTAL_CHUNKS - 1))
+def test_kill_resume_report_byte_identical(audit_tree, kill_after):
+    root, ref_bytes = audit_tree
+    out = root / f"report_k{kill_after}.json"
+    ck = root / f"ck_k{kill_after}.json"
+    with pytest.raises(AuditInterrupted) as exc:
+        run_audit(root, out_path=out, checkpoint_path=ck,
+                  stop_after_chunks=kill_after)
+    assert exc.value.chunks_processed == kill_after
+    assert ck.exists()
+    assert not out.exists()
+
+    run_audit(root, out_path=out, checkpoint_path=ck)
+    assert out.read_bytes() == ref_bytes
+    assert not ck.exists()  # consumed on success
+
+
+@SETTINGS
+@given(kill_points=st.lists(
+    st.integers(min_value=1, max_value=3), min_size=1, max_size=4,
+))
+def test_repeated_kills_still_converge(audit_tree, kill_points):
+    """A run killed several times (each resume killed again after a few
+    more chunks) still lands on the reference report."""
+    root, ref_bytes = audit_tree
+    out = root / "report_multi.json"
+    ck = root / "ck_multi.json"
+    ck.unlink(missing_ok=True)
+    for step in kill_points:
+        try:
+            run_audit(root, out_path=out, checkpoint_path=ck,
+                      stop_after_chunks=step)
+        except AuditInterrupted:
+            continue
+        break
+    run_audit(root, out_path=out, checkpoint_path=ck)
+    assert out.read_bytes() == ref_bytes
+
+
+def test_resume_rejects_changed_configuration(audit_tree):
+    root, _ = audit_tree
+    out = root / "report_cfg.json"
+    ck = root / "ck_cfg.json"
+    with pytest.raises(AuditInterrupted):
+        run_audit(root, out_path=out, checkpoint_path=ck, stop_after_chunks=2)
+    with pytest.raises(CheckerError, match="fresh"):
+        run_audit(root, out_path=out, checkpoint_path=ck, chunk_nz=5)
+    # --fresh semantics: resume=False discards the stale checkpoint
+    run_audit(root, out_path=out, checkpoint_path=ck, chunk_nz=5, resume=False)
+    assert out.exists()

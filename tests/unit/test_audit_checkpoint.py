@@ -1,0 +1,171 @@
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.audit.checkpoint import (
+    CHECKPOINT_FORMAT,
+    AuditCheckpoint,
+    decode_state,
+    encode_state,
+)
+from repro.core.streaming import StreamingChecker
+from repro.engine.tiling import TileAccumulator
+from repro.errors import CheckerError, DataIOError, ShapeError
+from repro.kernels.pattern3 import Pattern3Config
+
+
+class TestStateCodec:
+    def test_arrays_roundtrip_bit_identical(self, rng):
+        for dtype in (np.float32, np.float64, np.int64):
+            arr = rng.normal(size=(3, 4, 5)).astype(dtype)
+            back = decode_state(json.loads(json.dumps(encode_state(arr))))
+            assert back.dtype == np.dtype(dtype).newbyteorder("=")
+            assert back.shape == arr.shape
+            assert np.array_equal(
+                back.view(np.uint8), arr.astype(back.dtype).view(np.uint8)
+            )
+
+    def test_infinities_survive_json(self):
+        state = {"min_e": math.inf, "max_e": -math.inf, "sum": 0.1 + 0.2}
+        back = decode_state(json.loads(json.dumps(encode_state(state))))
+        assert back["min_e"] == math.inf
+        assert back["max_e"] == -math.inf
+        assert back["sum"] == state["sum"]  # exact repr round-trip
+
+    def test_numpy_scalars_become_python(self):
+        enc = encode_state(
+            {"f": np.float64(1.5), "i": np.int32(7), "b": np.bool_(True)}
+        )
+        assert type(enc["f"]) is float
+        assert type(enc["i"]) is int
+        assert type(enc["b"]) is bool
+
+    def test_nested_structures(self, rng):
+        state = {"a": [1, {"b": rng.normal(size=(2, 2))}], "c": None}
+        back = decode_state(json.loads(json.dumps(encode_state(state))))
+        assert back["a"][0] == 1
+        assert np.array_equal(back["a"][1]["b"], state["a"][1]["b"])
+        assert back["c"] is None
+
+
+class TestAuditCheckpointFile:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        ck = AuditCheckpoint(tmp_path / "ck.json")
+        assert ck.load() is None
+        payload = {"completed": ["a::x"], "arr": rng.normal(size=(2, 3))}
+        ck.save(payload)
+        doc = ck.load()
+        assert doc["format"] == CHECKPOINT_FORMAT
+        assert doc["completed"] == ["a::x"]
+        assert np.array_equal(doc["arr"], payload["arr"])
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        ck = AuditCheckpoint(tmp_path / "ck.json")
+        ck.save({"completed": []})
+        ck.save({"completed": ["one"]})
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json")
+        with pytest.raises(DataIOError, match="corrupt"):
+            AuditCheckpoint(path).load()
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(DataIOError, match="format"):
+            AuditCheckpoint(path).load()
+
+    def test_delete_idempotent(self, tmp_path):
+        ck = AuditCheckpoint(tmp_path / "ck.json")
+        ck.save({})
+        ck.delete()
+        assert not ck.exists()
+        ck.delete()  # no error
+
+
+def _feed(checker, orig, dec, chunk_nz):
+    for z0 in range(0, orig.shape[0], chunk_nz):
+        checker.update(orig[z0 : z0 + chunk_nz], dec[z0 : z0 + chunk_nz])
+
+
+class TestAccumulatorStateRoundtrip:
+    def test_tile_accumulator_bit_identical(self, rng):
+        orig = rng.normal(size=(12, 9, 9))
+        dec = orig + rng.normal(scale=1e-3, size=orig.shape)
+        err = dec - orig
+
+        ref = TileAccumulator((9, 9), max_lag=3, pwr_floor=1e-6)
+        for z0 in range(0, 12, 4):
+            ref.add_block(orig[z0 : z0 + 4], dec[z0 : z0 + 4], err[z0 : z0 + 4])
+
+        a = TileAccumulator((9, 9), max_lag=3, pwr_floor=1e-6)
+        a.add_block(orig[:4], dec[:4], err[:4])
+        snapshot = json.loads(json.dumps(encode_state(a.state_dict())))
+        b = TileAccumulator((9, 9), max_lag=3, pwr_floor=1e-6)
+        b.load_state(decode_state(snapshot))
+        for z0 in range(4, 12, 4):
+            b.add_block(orig[z0 : z0 + 4], dec[z0 : z0 + 4], err[z0 : z0 + 4])
+
+        assert b.n == ref.n and b.z == ref.z
+        assert b.sum_sq_e == ref.sum_sq_e
+        assert b.min_e == ref.min_e and b.max_e == ref.max_e
+        assert np.array_equal(b.finalize_autocorr(), ref.finalize_autocorr())
+
+    def test_load_state_rejects_wrong_deriv_keys(self):
+        a = TileAccumulator((6, 6), max_lag=0)
+        state = a.state_dict()
+        state["deriv"] = {"3": {"count": 0}}
+        b = TileAccumulator((6, 6), max_lag=0)
+        with pytest.raises(ShapeError):
+            b.load_state(state)
+
+
+class TestStreamingCheckerStateRoundtrip:
+    @pytest.mark.parametrize("kill_after", [1, 2, 3])
+    def test_resume_bit_identical(self, rng, kill_after):
+        nz, ny, nx = 16, 10, 10
+        orig = rng.normal(size=(nz, ny, nx))
+        dec = orig + rng.normal(scale=1e-3, size=orig.shape)
+        rng_cfg = Pattern3Config(window=8, dynamic_range=float(np.ptp(orig)))
+
+        def fresh():
+            return StreamingChecker(
+                (ny, nx), max_lag=4, ssim=rng_cfg, pwr_floor=1e-6
+            )
+
+        ref = fresh()
+        _feed(ref, orig, dec, 4)
+        ref_result = ref.finalize()
+
+        a = fresh()
+        _feed(a, orig[: kill_after * 4], dec[: kill_after * 4], 4)
+        snapshot = json.loads(json.dumps(encode_state(a.state_dict())))
+
+        b = fresh()
+        b.load_state(decode_state(snapshot))
+        _feed(b, orig[kill_after * 4 :], dec[kill_after * 4 :], 4)
+        result = b.finalize()
+
+        assert result.scalars() == ref_result.scalars()
+        assert np.array_equal(result.autocorrelation, ref_result.autocorrelation)
+
+    def test_restore_rejects_finalized_state(self, rng):
+        checker = StreamingChecker((8, 8), max_lag=0)
+        checker.update(rng.normal(size=(2, 8, 8)), rng.normal(size=(2, 8, 8)))
+        state = checker.state_dict()
+        checker.finalize()
+        state["finalized"] = True
+        with pytest.raises(CheckerError, match="finalised"):
+            StreamingChecker((8, 8), max_lag=0).load_state(state)
+
+    def test_restore_rejects_ssim_mismatch(self, rng):
+        cfg = Pattern3Config(window=8, dynamic_range=1.0)
+        checker = StreamingChecker((10, 10), max_lag=0, ssim=cfg)
+        checker.update(rng.normal(size=(2, 10, 10)), rng.normal(size=(2, 10, 10)))
+        state = checker.state_dict()
+        with pytest.raises(CheckerError, match="SSIM"):
+            StreamingChecker((10, 10), max_lag=0).load_state(state)

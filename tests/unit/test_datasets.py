@@ -148,8 +148,12 @@ class TestDatasetContainers:
             Field("bad", np.zeros((4, 4)))
 
     def test_field_casts_to_float32(self):
-        f = Field("x", np.zeros((2, 2, 2), dtype=np.float64))
+        f = Field("x", np.zeros((2, 2, 2), dtype=np.int32))
         assert f.data.dtype == np.float32
+
+    def test_field_preserves_float_precision(self):
+        f = Field("x", np.zeros((2, 2, 2), dtype=np.float64))
+        assert f.data.dtype == np.float64
 
     def test_nbytes(self):
         ds = generate_dataset("nyx", scale=0.02, n_fields=2)

@@ -1,0 +1,247 @@
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.fields import Dataset, Field
+from repro.errors import DataIOError
+from repro.io.bundle import (
+    DEFAULT_CHUNK_NZ,
+    ChunkedFieldWriter,
+    load_bundle,
+    save_bundle,
+    save_bundle_chunked,
+    verify_bundle,
+)
+
+
+def _dataset(rng, shape=(11, 6, 7), n_fields=2, dtype=np.float32):
+    ds = Dataset(name="mini", description="test")
+    for i in range(n_fields):
+        ds.add(Field(f"field{i}", rng.normal(size=shape).astype(dtype)))
+    return ds
+
+
+class TestChunkedRoundtrip:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        ds = _dataset(rng)
+        bundle = save_bundle_chunked(ds, tmp_path / "c", chunk_nz=4)
+        assert bundle.version == 2
+        assert bundle.field_names == ("field0", "field1")
+        back = bundle.load()
+        for f in ds.fields:
+            assert np.array_equal(back[f.name].data, f.data)
+
+    def test_manifest_records_chunk_geometry(self, tmp_path, rng):
+        save_bundle_chunked(_dataset(rng, shape=(10, 4, 5)), tmp_path / "c", chunk_nz=4)
+        manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
+        assert manifest["format"] == "chunked-v2"
+        table = manifest["chunks"]["field0"]
+        # 10 slices in 4-deep slabs -> 4 + 4 + 2
+        assert [c["nz"] for c in table] == [4, 4, 2]
+        assert [c["z0"] for c in table] == [0, 4, 8]
+        plane = 4 * 5 * 4  # ny * nx * itemsize
+        assert [c["offset"] for c in table] == [0, 4 * plane, 8 * plane]
+        assert all(len(c["sha256"]) == 64 for c in table)
+        assert len(manifest["file_sha256"]["field0"]) == 64
+
+    def test_manifest_records_value_range(self, tmp_path, rng):
+        ds = _dataset(rng, n_fields=1)
+        bundle = save_bundle_chunked(ds, tmp_path / "c", chunk_nz=3)
+        lo, hi = bundle.value_range("field0")
+        data = ds["field0"].data
+        assert lo == pytest.approx(float(data.min()))
+        assert hi == pytest.approx(float(data.max()))
+
+    def test_iter_chunks_reassembles_exactly(self, tmp_path, rng):
+        ds = _dataset(rng, n_fields=1)
+        bundle = save_bundle_chunked(ds, tmp_path / "c", chunk_nz=3)
+        blocks = [b for _, b in bundle.iter_field_chunks("field0")]
+        assert np.array_equal(np.concatenate(blocks), ds["field0"].data)
+
+    def test_iter_chunks_start_skips(self, tmp_path, rng):
+        ds = _dataset(rng, n_fields=1)
+        bundle = save_bundle_chunked(ds, tmp_path / "c", chunk_nz=3)
+        rest = list(bundle.iter_field_chunks("field0", start=2))
+        assert rest[0][0].index == 2
+        assert rest[0][0].z0 == 6
+        assert np.array_equal(
+            np.concatenate([b for _, b in rest]), ds["field0"].data[6:]
+        )
+
+    def test_data_files_stay_v1_readable(self, tmp_path, rng):
+        """v2 keeps the raw contiguous layout, so a v1 reader still works."""
+        ds = _dataset(rng, n_fields=1)
+        save_bundle_chunked(ds, tmp_path / "c", chunk_nz=4)
+        manifest_path = tmp_path / "c" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        for key in ("chunks", "file_sha256", "stats", "chunk_nz", "endian"):
+            manifest.pop(key)
+        manifest["format"] = "raw-f32-little-c"
+        manifest_path.write_text(json.dumps(manifest))
+        v1 = load_bundle(tmp_path / "c")
+        assert v1.version == 1
+        assert np.array_equal(v1.load_field("field0").data, ds["field0"].data)
+
+    def test_v1_bundle_synthesises_chunk_table(self, tmp_path, rng):
+        ds = _dataset(rng, n_fields=1)
+        bundle = save_bundle(ds, tmp_path / "v1")
+        assert bundle.version == 1
+        assert bundle.value_range("field0") is None
+        table = load_bundle(tmp_path / "v1").field_chunks("field0", chunk_nz=4)
+        assert [c.nz for c in table] == [4, 4, 3]
+        assert all(c.sha256 is None for c in table)
+        blocks = [
+            b for _, b in load_bundle(tmp_path / "v1").iter_field_chunks(
+                "field0", chunk_nz=4
+            )
+        ]
+        assert np.array_equal(np.concatenate(blocks), ds["field0"].data)
+
+    def test_default_chunk_depth(self, tmp_path, rng):
+        ds = _dataset(rng, shape=(DEFAULT_CHUNK_NZ + 1, 4, 4), n_fields=1)
+        bundle = save_bundle_chunked(ds, tmp_path / "c")
+        assert [c.nz for c in bundle.field_chunks("field0")] == [DEFAULT_CHUNK_NZ, 1]
+
+
+class TestFloat64Bundles:
+    def test_field_path_follows_dtype(self, tmp_path, rng):
+        """Regression: field_path hardcoded .f32, breaking float64 bundles."""
+        ds = _dataset(rng, dtype=np.float64, n_fields=1)
+        bundle = save_bundle(ds, tmp_path / "d")
+        assert bundle.dtype == "float64"
+        assert bundle.field_path("field0").suffix == ".f64"
+        assert bundle.field_path("field0").exists()
+
+    def test_float64_roundtrip_lossless(self, tmp_path, rng):
+        ds = _dataset(rng, dtype=np.float64, n_fields=1)
+        save_bundle(ds, tmp_path / "d")
+        back = load_bundle(tmp_path / "d").load_field("field0")
+        assert back.data.dtype == np.float64
+        assert np.array_equal(back.data, ds["field0"].data)
+
+    def test_float64_chunked_roundtrip(self, tmp_path, rng):
+        ds = _dataset(rng, dtype=np.float64, n_fields=1)
+        bundle = save_bundle_chunked(ds, tmp_path / "d", chunk_nz=4)
+        assert bundle.dtype == "float64"
+        blocks = [b for _, b in bundle.iter_field_chunks("field0")]
+        joined = np.concatenate(blocks)
+        assert joined.dtype == np.float64
+        assert np.array_equal(joined, ds["field0"].data)
+
+    def test_mixed_dtypes_rejected(self, tmp_path, rng):
+        ds = Dataset(name="mixed")
+        ds.add(Field("a", rng.normal(size=(3, 4, 5)).astype(np.float32)))
+        ds.add(Field("b", rng.normal(size=(3, 4, 5)).astype(np.float64)))
+        with pytest.raises(DataIOError):
+            save_bundle(ds, tmp_path / "m")
+
+
+class TestChunkedFieldWriter:
+    def test_overflow_rejected(self, tmp_path, rng):
+        writer = ChunkedFieldWriter(tmp_path, "f", (4, 3, 3))
+        writer.append(rng.normal(size=(3, 3, 3)))
+        with pytest.raises(DataIOError, match="overflows"):
+            writer.append(rng.normal(size=(2, 3, 3)))
+
+    def test_incomplete_field_rejected(self, tmp_path, rng):
+        writer = ChunkedFieldWriter(tmp_path, "f", (4, 3, 3))
+        writer.append(rng.normal(size=(2, 3, 3)))
+        with pytest.raises(DataIOError, match="incomplete"):
+            writer.close()
+
+    def test_wrong_plane_rejected(self, tmp_path, rng):
+        writer = ChunkedFieldWriter(tmp_path, "f", (4, 3, 3))
+        with pytest.raises(DataIOError):
+            writer.append(rng.normal(size=(2, 3, 4)))
+
+    def test_closed_writer_rejects_append(self, tmp_path, rng):
+        writer = ChunkedFieldWriter(tmp_path, "f", (2, 3, 3))
+        writer.append(rng.normal(size=(2, 3, 3)))
+        writer.close()
+        with pytest.raises(DataIOError, match="closed"):
+            writer.append(rng.normal(size=(1, 3, 3)))
+
+    def test_bad_dtype_rejected(self, tmp_path):
+        with pytest.raises(DataIOError):
+            ChunkedFieldWriter(tmp_path, "f", (2, 3, 3), dtype="int8")
+
+
+class TestVerifyBundle:
+    def test_verify_counts(self, tmp_path, rng):
+        bundle = save_bundle_chunked(
+            _dataset(rng, shape=(10, 4, 5)), tmp_path / "c", chunk_nz=4
+        )
+        report = verify_bundle(bundle)
+        assert report["fields"] == 2
+        assert report["chunks"] == 6  # 3 chunks x 2 fields
+        assert report["bytes"] == 2 * 10 * 4 * 5 * 4
+
+    def test_verify_accepts_path(self, tmp_path, rng):
+        save_bundle_chunked(_dataset(rng), tmp_path / "c", chunk_nz=4)
+        assert verify_bundle(tmp_path / "c")["fields"] == 2
+
+    def test_corrupt_chunk_named(self, tmp_path, rng):
+        bundle = save_bundle_chunked(
+            _dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3
+        )
+        path = bundle.field_path("field0")
+        target = bundle.field_chunks("field0")[2]
+        raw = bytearray(path.read_bytes())
+        raw[target.offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(DataIOError, match="chunk 2"):
+            verify_bundle(bundle)
+        with pytest.raises(DataIOError, match="chunk 2"):
+            list(bundle.iter_field_chunks("field0"))
+        # verification is opt-out for already-trusted data
+        blocks = [b for _, b in bundle.iter_field_chunks("field0", verify=False)]
+        assert len(blocks) == 4
+
+    def test_truncated_file_detected(self, tmp_path, rng):
+        bundle = save_bundle_chunked(
+            _dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3
+        )
+        path = bundle.field_path("field0")
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(DataIOError, match="size"):
+            verify_bundle(bundle)
+
+    def test_shallow_verify_skips_checksums(self, tmp_path, rng):
+        bundle = save_bundle_chunked(
+            _dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3
+        )
+        path = bundle.field_path("field0")
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert verify_bundle(bundle, deep=False)["chunks"] == 0
+
+
+class TestManifestValidation:
+    def test_non_contiguous_chunk_table_rejected(self, tmp_path, rng):
+        save_bundle_chunked(_dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3)
+        manifest_path = tmp_path / "c" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["chunks"]["field0"][1]["z0"] += 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(DataIOError, match="contiguous"):
+            load_bundle(tmp_path / "c")
+
+    def test_short_chunk_table_rejected(self, tmp_path, rng):
+        save_bundle_chunked(_dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3)
+        manifest_path = tmp_path / "c" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["chunks"]["field0"].pop()
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(DataIOError, match="covers"):
+            load_bundle(tmp_path / "c")
+
+    def test_unknown_format_rejected(self, tmp_path, rng):
+        save_bundle(_dataset(rng, n_fields=1), tmp_path / "c")
+        manifest_path = tmp_path / "c" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = "parquet"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(DataIOError, match="format"):
+            load_bundle(tmp_path / "c")

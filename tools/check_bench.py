@@ -187,11 +187,24 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="maximum tolerated fractional slowdown (default 0.15)")
+    parser.add_argument(
+        "--require-multicore", action="store_true",
+        help="fail unless the fresh run saw >= 2 usable cores, so the "
+        "process gate's >1x speedup floor (not just the single-core "
+        "parity floor) is the one actually exercised",
+    )
     args = parser.parse_args(argv)
 
     fresh = _load_runs(args.fresh)[-1]
     baseline_runs = _load_runs(args.baseline)
     table, failures = compare(fresh, baseline_runs, args.threshold)
+    if args.require_multicore:
+        cores = int(fresh.get("avail_cores") or 1)
+        if cores < 2:
+            failures.append(
+                f"--require-multicore: fresh run saw only {cores} usable "
+                f"core(s); the >1x process-executor floor was not exercised"
+            )
     failures += process_gate(fresh)
     failures += dispatch_gate(fresh)
 
