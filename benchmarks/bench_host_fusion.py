@@ -14,7 +14,11 @@ Measures, on real NumPy execution (no modelled costs):
   explicit per-window oracle;
 * **adaptive dispatch** — every static (backend, tiling) candidate vs
   the calibrated cost-model choice (``dispatch`` section; gated to be
-  within 5% of the best static by ``tools/check_bench.py``).
+  within 5% of the best static by ``tools/check_bench.py``);
+* **parallel archive audit** — ``run_audit`` over a tree of zlib-packed
+  chunked bundles, serial vs two forced worker processes, with an
+  in-bench byte-identity assertion on the two reports
+  (``audit_parallel`` section; core-aware gate in ``check_bench.py``).
 
 Appends one entry to the ``runs`` trajectory in ``BENCH_host_fusion.json``
 (repo root by default) so successive PRs can track the speedups.  Exits
@@ -220,6 +224,70 @@ def bench_tiled(shape, repeats, quick):
     }
 
 
+def bench_audit(shape, n_bundles, repeats):
+    """Parallel archive audit vs the serial loop over the same tree.
+
+    Builds a throwaway tree of single-field zlib-packed chunked bundles,
+    audits it serially and with two forced worker processes (pool warmed
+    so the timed region is steady-state), and asserts the two reports
+    are byte-identical — the bench doubles as an end-to-end check of the
+    coordinator's checkpoint merge.  ``speedup_vs_serial`` is the gated
+    quantity (``check_bench.py::audit_gate``): >1x on multi-core hosts,
+    an overhead floor on single-core ones.
+    """
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.audit import run_audit
+    from repro.datasets.fields import Dataset, Field
+    from repro.io.bundle import save_bundle_chunked
+    from repro.parallel import process_available, warm_process_pool
+
+    root = Path(tempfile.mkdtemp(prefix="cuzchecker_bench_audit_"))
+    try:
+        rng = np.random.default_rng(2024)
+        for i in range(n_bundles):
+            ds = Dataset(name=f"bundle{i}", description="bench")
+            ds.add(Field(
+                f"field{i}",
+                (rng.standard_normal(shape) * 50).astype(np.float32),
+            ))
+            save_bundle_chunked(
+                ds, root / f"bundle{i}", chunk_nz=max(shape[0] // 4, 1),
+                codec="zlib",
+            )
+        out = root / "report.json"
+        t_serial = _best_of(
+            lambda: run_audit(root, out_path=out, workers="serial"), repeats
+        )
+        serial_bytes = out.read_bytes()
+        result = {
+            "shape": list(shape),
+            "n_bundles": n_bundles,
+            "codec": "zlib",
+            "serial_seconds": t_serial,
+        }
+        if process_available():
+            warm_process_pool(2)
+            t_parallel = _best_of(
+                lambda: run_audit(root, out_path=out, workers=2), repeats
+            )
+            if out.read_bytes() != serial_bytes:
+                raise SystemExit(
+                    "parallel audit report differs from the serial report"
+                )
+            result.update(
+                workers=2,
+                parallel_seconds=t_parallel,
+                speedup_vs_serial=t_serial / t_parallel,
+            )
+        return result
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def bench_dispatch(shapes, repeats):
     """Adaptive dispatch vs every static (backend, tiling) candidate.
 
@@ -334,6 +402,11 @@ def main(argv=None) -> int:
         "ssim": bench_ssim((10, 28, 28), repeats),
         "tiled": bench_tiled(tiled_shape, repeats, args.quick),
         "dispatch": bench_dispatch(dispatch_shapes, repeats),
+        "audit_parallel": bench_audit(
+            (16, 48, 48) if args.quick else (32, 96, 96),
+            n_bundles=4,
+            repeats=max(repeats - 1, 1),
+        ),
     }
 
     from repro.parallel import process_available
@@ -391,6 +464,15 @@ def main(argv=None) -> int:
         f"-> {t['speedup']:.2f}x; peak {t['peak_tiled_mb']:.1f} MB vs "
         f"{t['peak_whole_mb']:.1f} MB ({t['peak_ratio']:.2f}x)"
     )
+    a = entry["audit_parallel"]
+    if "parallel_seconds" in a:
+        print(
+            f"audit serial {a['serial_seconds']:.3f}s vs x{a['workers']} "
+            f"{a['parallel_seconds']:.3f}s -> {a['speedup_vs_serial']:.2f}x "
+            f"({a['n_bundles']} {a['codec']} bundles)"
+        )
+    else:
+        print(f"audit serial {a['serial_seconds']:.3f}s (process pool unavailable)")
     for case in entry["dispatch"]["cases"]:
         mark = "==" if case["matched_best"] else "~"
         print(

@@ -12,6 +12,7 @@ from repro.audit.checkpoint import AuditCheckpoint, decode_state, encode_state
 from repro.audit.runner import (
     AuditInterrupted,
     discover_bundles,
+    resolve_audit_workers,
     run_audit,
 )
 
@@ -21,5 +22,6 @@ __all__ = [
     "decode_state",
     "encode_state",
     "discover_bundles",
+    "resolve_audit_workers",
     "run_audit",
 ]

@@ -19,8 +19,10 @@ bit-identical to an uninterrupted run:
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 import os
+import shutil
 import threading
 from pathlib import Path
 
@@ -28,7 +30,15 @@ import numpy as np
 
 from repro.errors import DataIOError
 
-__all__ = ["AuditCheckpoint", "encode_state", "decode_state", "CHECKPOINT_FORMAT"]
+__all__ = [
+    "AuditCheckpoint",
+    "encode_state",
+    "decode_state",
+    "CHECKPOINT_FORMAT",
+    "part_path_for",
+    "parts_dir_for",
+    "remove_parts",
+]
 
 CHECKPOINT_FORMAT = "cuzchecker-audit-checkpoint-v1"
 
@@ -132,3 +142,32 @@ class AuditCheckpoint:
             self.path.unlink()
         except FileNotFoundError:
             pass
+
+
+# -- per-field part files (parallel audit) ---------------------------------
+#
+# A parallel audit cannot funnel every chunk's state through one file:
+# each atomic save rewrites the whole document, so concurrent workers
+# would clobber each other.  Instead every worker owns one *part* file —
+# an AuditCheckpoint of just its field's progress — in a sibling
+# ``<checkpoint>.parts/`` directory, and the coordinator folds the parts
+# into the single main checkpoint.  A kill between a worker's save and
+# the coordinator's merge therefore loses nothing: resume scans leftover
+# parts and they always carry at least the merged snapshot's progress.
+
+
+def parts_dir_for(checkpoint_path: str | Path) -> Path:
+    """The per-field part directory that rides next to a checkpoint."""
+    checkpoint_path = Path(checkpoint_path)
+    return checkpoint_path.with_name(checkpoint_path.name + ".parts")
+
+
+def part_path_for(parts_dir: str | Path, key: str) -> Path:
+    """One worker-owned part file per audit key (hashed: keys hold '/')."""
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+    return Path(parts_dir) / f"part-{digest}.json"
+
+
+def remove_parts(parts_dir: str | Path) -> None:
+    """Delete a part directory and everything in it (idempotent)."""
+    shutil.rmtree(parts_dir, ignore_errors=True)

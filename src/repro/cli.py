@@ -104,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk", type=int, default=None, metavar="NZ",
                    help="write a chunked v2 bundle with NZ-slab chunks "
                         "(per-chunk checksums; streamable by `audit`)")
+    p.add_argument("--codec", choices=("raw", "zlib", "zstd"), default=None,
+                   help="chunk payload codec (needs --chunk): zlib/zstd "
+                        "write a compressed v3 bundle (uncompressed "
+                        "digests); zstd falls back to zlib when the "
+                        "zstandard package is missing")
     p.add_argument("--dtype", choices=("float32", "float64"), default=None,
                    help="on-disk dtype (default: the fields' own dtype)")
 
@@ -132,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "the field's value range")
     p.add_argument("--no-verify", action="store_true",
                    help="skip per-chunk checksum verification while reading")
+    p.add_argument("--audit-workers", default=None, metavar="N",
+                   help="field-parallel worker processes: auto (cost-model "
+                        "priced, default), serial, or an explicit count; "
+                        "kill/resume and the report bytes are identical "
+                        "whatever the count")
     p.add_argument("--fresh", action="store_true",
                    help="ignore and discard an existing checkpoint")
     p.add_argument("--trace", default=None, metavar="PATH",
@@ -388,14 +398,31 @@ def _cmd_generate(args) -> int:
     ds = generate_dataset(args.dataset, scale=args.scale, n_fields=args.fields)
     if args.chunk is not None:
         bundle = save_bundle_chunked(
-            ds, args.out, chunk_nz=args.chunk, dtype=args.dtype
+            ds, args.out, chunk_nz=args.chunk, dtype=args.dtype,
+            codec=args.codec,
         )
         n_chunks = sum(len(bundle.chunks[f]) for f in bundle.field_names)
-        print(
+        line = (
             f"wrote {len(bundle.field_names)} fields of shape {bundle.shape} "
-            f"to {bundle.root} (chunked v2: {n_chunks} chunks of "
-            f"{args.chunk} slabs, per-chunk sha256)"
+            f"to {bundle.root} (chunked v{bundle.version}: {n_chunks} chunks "
+            f"of {args.chunk} slabs, per-chunk sha256"
         )
+        if bundle.codec != "raw":
+            raw = sum(
+                c.nbytes for f in bundle.field_names for c in bundle.chunks[f]
+            )
+            stored = sum(
+                c.stored for f in bundle.field_names for c in bundle.chunks[f]
+            )
+            line += (
+                f", {bundle.codec}-packed {stored / 1e6:.1f} of "
+                f"{raw / 1e6:.1f} MB = {raw / max(stored, 1):.2f}x"
+            )
+        print(line + ")")
+    elif args.codec is not None:
+        from repro.errors import CheckerError
+
+        raise CheckerError("--codec requires --chunk (chunked bundles only)")
     else:
         bundle = save_bundle(ds, args.out, dtype=args.dtype)
         print(
@@ -453,6 +480,7 @@ def _cmd_audit(args) -> int:
             use_ssim=not args.no_ssim,
             verify=not args.no_verify,
             resume=not args.fresh,
+            workers=args.audit_workers,
             session=session,
             tracer=tracer,
             progress=progress,

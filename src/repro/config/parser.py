@@ -49,7 +49,7 @@ _ALIASES = {
 _KNOWN = {
     "GLOBAL": {
         "metrics", "patterns", "device", "auxiliary", "fused", "backend",
-        "tiling", "executor", "calibration",
+        "tiling", "executor", "calibration", "audit_workers",
     },
     "PATTERN1": {"pdf_bins", "pwr_floor"},
     "PATTERN2": {"max_lag", "orders"},
@@ -109,6 +109,19 @@ def parse_config_text(text: str) -> CheckerConfig:
                 f"tiling must be 'auto', 'off' or a slab depth, got {tiling_raw!r}"
             ) from exc
 
+    audit_raw = g.get("audit_workers", "auto").strip()
+    audit_workers: str | int
+    if audit_raw.lower() in ("auto", "serial"):
+        audit_workers = audit_raw.lower()
+    else:
+        try:
+            audit_workers = int(audit_raw)
+        except ValueError as exc:
+            raise ConfigError(
+                f"audit_workers must be 'auto', 'serial' or a count, "
+                f"got {audit_raw!r}"
+            ) from exc
+
     try:
         metrics_raw = g.get("metrics", "all")
         metrics: tuple[str, ...] | str
@@ -128,6 +141,7 @@ def parse_config_text(text: str) -> CheckerConfig:
             tiling=tiling,
             executor=g.get("executor", "").lower(),
             calibration=g.get("calibration", "auto"),
+            audit_workers=audit_workers,
             pattern1=Pattern1Config(
                 pdf_bins=int(p1.get("pdf_bins", 1024)),
                 pwr_floor=float(p1.get("pwr_floor", 0.0)),
@@ -186,6 +200,11 @@ def format_config(config: CheckerConfig) -> str:
         *(
             [f"calibration = {config.calibration}"]
             if config.calibration != "auto"
+            else []
+        ),
+        *(
+            [f"audit_workers = {config.audit_workers}"]
+            if config.audit_workers != "auto"
             else []
         ),
         "",

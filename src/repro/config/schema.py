@@ -54,6 +54,11 @@ class CheckerConfig:
     #: ``"off"`` disables measured-ratio correction (raw roofline
     #: predictions), anything else is an explicit table path
     calibration: str = "auto"
+    #: archive-audit worker processes: ``"auto"`` prices a process pool
+    #: with the dispatch cost model and stays serial when it would not
+    #: amortise, ``"serial"`` forces the single-process loop, an integer
+    #: forces that worker count (honoured even on one core)
+    audit_workers: str | int = "auto"
 
     def validate(self) -> None:
         if self.executor not in ("", "auto", "serial", "thread", "process"):
@@ -65,6 +70,21 @@ class CheckerConfig:
             raise ConfigError(
                 f"calibration must be 'auto', 'off' or a table path, "
                 f"got {self.calibration!r}"
+            )
+        if isinstance(self.audit_workers, bool) or (
+            isinstance(self.audit_workers, int) and self.audit_workers < 1
+        ):
+            raise ConfigError(
+                f"audit_workers must be 'auto', 'serial' or a count >= 1, "
+                f"got {self.audit_workers!r}"
+            )
+        if isinstance(self.audit_workers, str) and self.audit_workers not in (
+            "auto",
+            "serial",
+        ):
+            raise ConfigError(
+                f"audit_workers must be 'auto', 'serial' or a count >= 1, "
+                f"got {self.audit_workers!r}"
             )
         if isinstance(self.tiling, bool) or (
             isinstance(self.tiling, int) and self.tiling < 1

@@ -18,6 +18,15 @@ the way qcow2 tooling walks L2 clusters, without ever materialising the
 whole array.  :meth:`DatasetBundle.iter_field_chunks` is the reader the
 resumable archive auditor (:mod:`repro.audit`) feeds straight into a
 :class:`~repro.engine.tiling.TileAccumulator`.
+
+**v3** (``chunked-v3``) keeps the v2 manifest but stores each chunk's
+payload compressed (zlib or zstd — see :mod:`repro.io.chunkcodec`).
+Every digest stays over the *uncompressed* bytes, so corrupt-chunk
+naming, resume semantics, and whole-file checksums are identical across
+codecs; the manifest additionally records each chunk's stored (on-disk)
+byte count next to its raw one.  Readers decompress transparently —
+:meth:`DatasetBundle.iter_field_chunks` yields the same blocks whatever
+the codec.
 """
 
 from __future__ import annotations
@@ -32,6 +41,13 @@ import numpy as np
 
 from repro.datasets.fields import Dataset, Field
 from repro.errors import DataIOError
+from repro.io.chunkcodec import (
+    check_chunk_codec,
+    decode_chunk,
+    encode_chunk,
+    resolve_chunk_codec,
+    zstd_available,
+)
 from repro.io.raw import read_raw, write_raw
 
 __all__ = [
@@ -47,6 +63,7 @@ __all__ = [
 
 _MANIFEST = "manifest.json"
 _V2_FORMAT = "chunked-v2"
+_V3_FORMAT = "chunked-v3"
 _V1_FORMATS = ("raw-f32-little-c", "raw-f64-little-c")
 _SUFFIX = {"float32": ".f32", "float64": ".f64"}
 _NP_DTYPE = {"float32": np.dtype("<f4"), "float64": np.dtype("<f8")}
@@ -63,7 +80,13 @@ def _check_dtype(dtype: str) -> str:
 
 @dataclass(frozen=True)
 class ChunkInfo:
-    """One z-slab of a chunked field: location, extent, and integrity."""
+    """One z-slab of a chunked field: location, extent, and integrity.
+
+    ``nbytes`` is always the *raw* (uncompressed) payload size and
+    ``sha256`` the digest of those raw bytes; ``stored_nbytes`` is the
+    on-disk size when the bundle's codec compresses payloads (``None``
+    for raw layouts, where stored == raw).
+    """
 
     index: int
     z0: int
@@ -71,6 +94,12 @@ class ChunkInfo:
     offset: int
     nbytes: int
     sha256: str | None = None
+    stored_nbytes: int | None = None
+
+    @property
+    def stored(self) -> int:
+        """On-disk byte count (== ``nbytes`` for uncompressed chunks)."""
+        return self.nbytes if self.stored_nbytes is None else self.stored_nbytes
 
     def to_dict(self) -> dict:
         out = {
@@ -81,6 +110,8 @@ class ChunkInfo:
         }
         if self.sha256 is not None:
             out["sha256"] = self.sha256
+        if self.stored_nbytes is not None:
+            out["stored_nbytes"] = self.stored_nbytes
         return out
 
 
@@ -91,6 +122,12 @@ class ChunkedFieldWriter:
     (a generator producing a 100 GB field never holds more than one
     block) and the writer maintains the per-chunk SHA-256 table, the
     whole-file SHA-256, and the running value range for the manifest.
+
+    ``codec`` selects the on-disk payload layout: ``"raw"`` (default)
+    writes the v2-identical uncompressed stream; ``"zlib"``/``"zstd"``
+    compress each chunk independently (zstd degrades to zlib with a
+    warning when the package is missing).  Digests always cover the raw
+    bytes, whatever the codec.
     """
 
     def __init__(
@@ -99,6 +136,7 @@ class ChunkedFieldWriter:
         name: str,
         shape: tuple[int, int, int],
         dtype: str = "float32",
+        codec: str = "raw",
     ):
         self.root = Path(root)
         self.name = name
@@ -106,6 +144,7 @@ class ChunkedFieldWriter:
         if len(self.shape) != 3 or min(self.shape) < 1:
             raise DataIOError(f"chunked fields must be 3-D, got {shape}")
         self.dtype = _check_dtype(dtype)
+        self.codec = resolve_chunk_codec(codec)
         self.path = self.root / f"{name}{_SUFFIX[dtype]}"
         self._np_dtype = _NP_DTYPE[dtype]
         self._fh = self.path.open("wb")
@@ -138,7 +177,9 @@ class ChunkedFieldWriter:
                 f"{self._z} slices written, block adds {cz}"
             )
         raw = np.ascontiguousarray(block).astype(self._np_dtype).tobytes()
-        self._fh.write(raw)
+        stored = encode_chunk(self.codec, raw)
+        self._fh.write(stored)
+        # digests cover the raw stream — identical for every codec
         self._file_sha.update(raw)
         info = ChunkInfo(
             index=len(self._chunks),
@@ -147,10 +188,11 @@ class ChunkedFieldWriter:
             offset=self._offset,
             nbytes=len(raw),
             sha256=hashlib.sha256(raw).hexdigest(),
+            stored_nbytes=len(stored) if self.codec != "raw" else None,
         )
         self._chunks.append(info)
         self._z += cz
-        self._offset += len(raw)
+        self._offset += len(stored)
         self._min = min(self._min, float(block.min()))
         self._max = max(self._max, float(block.max()))
         return info
@@ -187,7 +229,8 @@ class ChunkedFieldWriter:
 
 @dataclass(frozen=True)
 class DatasetBundle:
-    """Handle to an on-disk dataset directory (v1 whole-file or v2 chunked)."""
+    """Handle to an on-disk dataset directory (v1 whole-file, v2 chunked,
+    or v3 compressed-chunk)."""
 
     root: Path
     name: str
@@ -195,12 +238,14 @@ class DatasetBundle:
     field_names: tuple[str, ...]
     dtype: str = "float32"
     version: int = 1
-    #: per-field chunk tables (v2 only; ``None`` for v1 bundles)
+    #: per-field chunk tables (v2/v3 only; ``None`` for v1 bundles)
     chunks: dict | None = None
-    #: per-field whole-file SHA-256 (v2 only)
+    #: per-field whole-file SHA-256 over raw bytes (v2/v3 only)
     file_sha256: dict | None = None
-    #: per-field (min, max) value range (v2 only)
+    #: per-field (min, max) value range (v2/v3 only)
     stats: dict | None = None
+    #: chunk payload codec ("raw" for v1/v2; zlib/zstd for v3)
+    codec: str = "raw"
 
     def field_path(self, field_name: str) -> Path:
         # the suffix follows the manifest dtype — a float64 bundle's files
@@ -262,9 +307,11 @@ class DatasetBundle:
         """Yield ``(ChunkInfo, block)`` for one field, in z order.
 
         Each block is read by offset (one seek + one read per chunk), so
-        peak memory is one chunk regardless of field size.  With
-        ``verify=True`` every v2 chunk's SHA-256 is checked before the
-        bytes are interpreted; a mismatch raises
+        peak memory is one chunk regardless of field size.  Compressed
+        (v3) payloads are decompressed transparently — callers always see
+        raw blocks.  With ``verify=True`` every v2/v3 chunk's SHA-256 is
+        checked (over the *raw* bytes) before they are interpreted; a
+        mismatch — or a payload that will not decompress — raises
         :class:`~repro.errors.DataIOError` naming the chunk.  ``start``
         skips the first ``start`` chunks without reading them — the
         resume path of a checkpointed audit.
@@ -273,19 +320,33 @@ class DatasetBundle:
         path = self.field_path(field_name)
         if not path.exists():
             raise DataIOError(f"bundle {self.root} is missing {path.name}")
+        # fail up front with a clear message rather than per chunk when the
+        # optional zstd reader is missing
+        if self.codec == "zstd" and not zstd_available():
+            raise DataIOError(
+                f"bundle {self.name!r} stores zstd-packed chunks; reading "
+                "it requires the zstandard package (pip install zstandard)"
+            )
         dt = _NP_DTYPE[self.dtype]
         ny, nx = self.shape[1], self.shape[2]
         native = np.float32 if self.dtype == "float32" else np.float64
         with path.open("rb") as fh:
             for info in chunks[start:]:
                 fh.seek(info.offset)
-                raw = fh.read(info.nbytes)
-                if len(raw) != info.nbytes:
+                stored = fh.read(info.stored)
+                if len(stored) != info.stored:
                     raise DataIOError(
                         f"bundle {self.name!r} field {field_name!r} chunk "
                         f"{info.index} (z0={info.z0}) is truncated: "
-                        f"{len(raw)} of {info.nbytes} bytes"
+                        f"{len(stored)} of {info.stored} bytes"
                     )
+                try:
+                    raw = decode_chunk(self.codec, stored, info.nbytes)
+                except DataIOError as exc:
+                    raise DataIOError(
+                        f"bundle {self.name!r} field {field_name!r} chunk "
+                        f"{info.index} (z0={info.z0}) is corrupt: {exc}"
+                    ) from exc
                 if verify and info.sha256 is not None:
                     digest = hashlib.sha256(raw).hexdigest()
                     if digest != info.sha256:
@@ -303,6 +364,14 @@ class DatasetBundle:
 
     def load_field(self, field_name: str) -> Field:
         self._require_field(field_name)
+        if self.codec != "raw":
+            # compressed layouts have no whole-file raw image to mmap;
+            # assemble from streamed chunks instead
+            native = np.float32 if self.dtype == "float32" else np.float64
+            data = np.empty(self.shape, dtype=native)
+            for info, block in self.iter_field_chunks(field_name):
+                data[info.z0 : info.z0 + info.nz] = block
+            return Field(name=field_name, data=data)
         data = read_raw(self.field_path(field_name), self.shape, dtype=self.dtype)
         return Field(name=field_name, data=data)
 
@@ -368,16 +437,21 @@ def save_bundle_chunked(
     root: str | Path,
     chunk_nz: int = DEFAULT_CHUNK_NZ,
     dtype: str | None = None,
+    codec: str | None = None,
 ) -> DatasetBundle:
-    """Write a dataset as a chunked v2 bundle.
+    """Write a dataset as a chunked v2 (raw) or v3 (compressed) bundle.
 
     Every field is written in ``chunk_nz``-deep z-slabs through a
     :class:`ChunkedFieldWriter`, so the manifest carries per-chunk byte
     offsets, extents, and SHA-256 digests plus the whole-file digest and
-    value range per field.
+    value range per field.  ``codec=None`` or ``"raw"`` emits the exact
+    v2 layout (data files stay v1-readable); ``"zlib"``/``"zstd"``
+    compress each chunk and emit a v3 manifest recording the codec and
+    per-chunk stored byte counts.
     """
     if chunk_nz < 1:
         raise DataIOError(f"chunk_nz must be >= 1, got {chunk_nz}")
+    codec_resolved = resolve_chunk_codec(codec) if codec is not None else "raw"
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     shape = _common_shape(dataset)
@@ -386,7 +460,9 @@ def save_bundle_chunked(
     file_sha: dict = {}
     stats: dict = {}
     for f in dataset.fields:
-        writer = ChunkedFieldWriter(root, f.name, shape, dtype=dtype)
+        writer = ChunkedFieldWriter(
+            root, f.name, shape, dtype=dtype, codec=codec_resolved
+        )
         try:
             for z0 in range(0, shape[0], chunk_nz):
                 writer.append(f.data[z0 : z0 + chunk_nz])
@@ -401,7 +477,7 @@ def save_bundle_chunked(
         "name": dataset.name,
         "shape": list(shape),
         "fields": dataset.field_names,
-        "format": _V2_FORMAT,
+        "format": _V2_FORMAT if codec_resolved == "raw" else _V3_FORMAT,
         "dtype": dtype,
         "endian": "little",
         "chunk_nz": int(chunk_nz),
@@ -409,6 +485,8 @@ def save_bundle_chunked(
         "file_sha256": file_sha,
         "stats": stats,
     }
+    if codec_resolved != "raw":
+        manifest["codec"] = codec_resolved
     (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
     return load_bundle(root)
 
@@ -418,6 +496,7 @@ def _parse_chunk_table(field_name: str, entries, shape) -> tuple[ChunkInfo, ...]
     z = 0
     offset = 0
     for index, entry in enumerate(entries):
+        stored = entry.get("stored_nbytes")
         info = ChunkInfo(
             index=index,
             z0=int(entry["z0"]),
@@ -425,6 +504,7 @@ def _parse_chunk_table(field_name: str, entries, shape) -> tuple[ChunkInfo, ...]
             offset=int(entry["offset"]),
             nbytes=int(entry["nbytes"]),
             sha256=entry.get("sha256"),
+            stored_nbytes=int(stored) if stored is not None else None,
         )
         if info.z0 != z or info.offset != offset or info.nz < 1:
             raise DataIOError(
@@ -433,7 +513,9 @@ def _parse_chunk_table(field_name: str, entries, shape) -> tuple[ChunkInfo, ...]
                 f"expected {offset})"
             )
         z += info.nz
-        offset += info.nbytes
+        # chunks pack back-to-back on disk, so the next offset advances by
+        # the stored (possibly compressed) size
+        offset += info.stored
         out.append(info)
     if z != shape[0]:
         raise DataIOError(
@@ -460,7 +542,16 @@ def load_bundle(root: str | Path) -> DatasetBundle:
     if len(shape) != 3:
         raise DataIOError(f"bundle shape must be 3-D, got {shape}")
 
-    if fmt == _V2_FORMAT:
+    if fmt in (_V2_FORMAT, _V3_FORMAT):
+        version = 2 if fmt == _V2_FORMAT else 3
+        codec = "raw"
+        if version == 3:
+            try:
+                codec = check_chunk_codec(str(manifest["codec"]))
+            except KeyError as exc:
+                raise DataIOError(
+                    f"malformed v3 manifest in {root}: missing codec"
+                ) from exc
         try:
             chunks = {
                 f: _parse_chunk_table(f, manifest["chunks"][f], shape)
@@ -472,17 +563,20 @@ def load_bundle(root: str | Path) -> DatasetBundle:
                 for f in fields
             }
         except (KeyError, ValueError, TypeError, IndexError) as exc:
-            raise DataIOError(f"malformed v2 manifest in {root}: {exc}") from exc
+            raise DataIOError(
+                f"malformed v{version} manifest in {root}: {exc}"
+            ) from exc
         bundle = DatasetBundle(
             root=root,
             name=name,
             shape=shape,
             field_names=fields,
             dtype=dtype,
-            version=2,
+            version=version,
             chunks=chunks,
             file_sha256=file_sha,
             stats=stats,
+            codec=codec,
         )
     elif fmt in _V1_FORMATS:
         bundle = DatasetBundle(
@@ -507,50 +601,90 @@ def verify_bundle(bundle: DatasetBundle | str | Path, deep: bool = True) -> dict
     """Integrity-check every field of a bundle.
 
     Always checks file sizes against the manifest geometry.  With
-    ``deep=True`` (default) v2 bundles additionally verify every chunk's
-    SHA-256 *and* the whole-file SHA-256 in one sequential read.  Raises
-    :class:`~repro.errors.DataIOError` naming the first bad chunk;
-    returns ``{"fields": n, "chunks": n, "bytes": n}`` on success.
+    ``deep=True`` (default) chunked bundles additionally verify every
+    chunk's SHA-256 (over the raw bytes, decompressing v3 payloads
+    first) *and* the whole-file SHA-256 in one sequential read per
+    field.  The pass does **not** stop at the first failure: every
+    corrupt chunk across every field is collected — bad chunks are
+    skipped over by their manifest offsets — and a single
+    :class:`~repro.errors.DataIOError` names them all.  On success
+    returns ``{"fields", "chunks", "bytes", "bytes_raw",
+    "bytes_stored", "codec"}`` where ``bytes`` == ``bytes_stored`` is
+    the on-disk total and ``bytes_raw`` the uncompressed total.
     """
     if not isinstance(bundle, DatasetBundle):
         bundle = load_bundle(bundle)
+    if deep and bundle.codec == "zstd" and not zstd_available():
+        raise DataIOError(
+            f"bundle {bundle.name!r} stores zstd-packed chunks; verifying "
+            "it requires the zstandard package (pip install zstandard)"
+        )
     itemsize = _NP_DTYPE[bundle.dtype].itemsize
-    expected_size = math.prod(bundle.shape) * itemsize
+    raw_size = math.prod(bundle.shape) * itemsize
     total_chunks = 0
-    total_bytes = 0
+    total_stored = 0
+    total_raw = 0
+    failures: list[str] = []
     for field_name in bundle.field_names:
         path = bundle.field_path(field_name)
         actual = path.stat().st_size
+        if bundle.codec == "raw":
+            expected_size = raw_size
+        else:
+            table = bundle.field_chunks(field_name)
+            expected_size = table[-1].offset + table[-1].stored if table else 0
         if actual != expected_size:
             raise DataIOError(
                 f"bundle {bundle.name!r} field {field_name!r}: size {actual} B "
-                f"does not match shape {bundle.shape} ({expected_size} B)"
+                f"does not match manifest ({expected_size} B "
+                f"for shape {bundle.shape}, codec {bundle.codec!r})"
             )
-        total_bytes += actual
+        total_stored += actual
+        total_raw += raw_size
         if not deep or bundle.version < 2:
             continue
         file_sha = hashlib.sha256()
+        field_bad = 0
         with path.open("rb") as fh:
             for info in bundle.field_chunks(field_name):
-                raw = fh.read(info.nbytes)
+                fh.seek(info.offset)
+                stored = fh.read(info.stored)
+                total_chunks += 1
+                try:
+                    raw = decode_chunk(bundle.codec, stored, info.nbytes)
+                except DataIOError as exc:
+                    failures.append(
+                        f"field {field_name!r} chunk {info.index} "
+                        f"(z0={info.z0}) is corrupt: {exc}"
+                    )
+                    field_bad += 1
+                    continue
                 digest = hashlib.sha256(raw).hexdigest()
                 if digest != info.sha256:
-                    raise DataIOError(
-                        f"bundle {bundle.name!r} field {field_name!r} chunk "
-                        f"{info.index} (z0={info.z0}) checksum mismatch: "
-                        f"manifest {info.sha256[:12]}…, file {digest[:12]}…"
+                    failures.append(
+                        f"field {field_name!r} chunk {info.index} "
+                        f"(z0={info.z0}) checksum mismatch: manifest "
+                        f"{info.sha256[:12]}…, file {digest[:12]}…"
                     )
+                    field_bad += 1
+                    continue
                 file_sha.update(raw)
-                total_chunks += 1
-        if bundle.file_sha256 is not None:
+        if field_bad == 0 and bundle.file_sha256 is not None:
             expected_sha = bundle.file_sha256[field_name]
             if file_sha.hexdigest() != expected_sha:
-                raise DataIOError(
-                    f"bundle {bundle.name!r} field {field_name!r}: whole-file "
-                    f"checksum mismatch"
+                failures.append(
+                    f"field {field_name!r}: whole-file checksum mismatch"
                 )
+    if failures:
+        raise DataIOError(
+            f"bundle {bundle.name!r}: {len(failures)} integrity "
+            "failure(s):\n  " + "\n  ".join(failures)
+        )
     return {
         "fields": len(bundle.field_names),
         "chunks": total_chunks,
-        "bytes": total_bytes,
+        "bytes": total_stored,
+        "bytes_raw": total_raw,
+        "bytes_stored": total_stored,
+        "codec": bundle.codec,
     }

@@ -1,0 +1,140 @@
+"""Chunk payload codecs for chunked-v3 bundles.
+
+A v3 bundle stores each z-slab chunk's payload compressed on disk while
+every integrity digest (per-chunk SHA-256 and the whole-file SHA-256)
+stays over the *uncompressed* bytes.  That split is what keeps the rest
+of the system codec-agnostic: corrupt-chunk naming, resume offsets, and
+cross-codec report identity all compare raw digests, so a zlib bundle
+and a zstd bundle of the same field carry identical checksums.
+
+``zstd`` is an optional dependency (the ``zstandard`` package).  When it
+is absent, *writing* falls back to zlib with a one-time
+``RuntimeWarning`` — mirroring the executor's thread-fallback policy —
+while *reading* a zstd bundle without the package is a hard
+:class:`~repro.errors.DataIOError` (silently returning wrong bytes is
+not an option for an integrity checker).
+"""
+
+from __future__ import annotations
+
+import warnings
+import zlib
+
+from repro.errors import DataIOError
+
+__all__ = [
+    "CHUNK_CODECS",
+    "check_chunk_codec",
+    "decode_chunk",
+    "encode_chunk",
+    "reset_codec_warnings",
+    "resolve_chunk_codec",
+    "zstd_available",
+]
+
+#: codecs a chunked bundle may declare (``raw`` means v2's identity layout)
+CHUNK_CODECS = ("raw", "zlib", "zstd")
+
+_ZLIB_LEVEL = 6
+_ZSTD_LEVEL = 3
+_WARNED_FALLBACKS: set[str] = set()
+
+
+def zstd_available() -> bool:
+    """Whether the optional ``zstandard`` package can be imported."""
+    try:
+        import zstandard  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def reset_codec_warnings() -> None:
+    """Re-arm the one-time fallback warning (test hook)."""
+    _WARNED_FALLBACKS.clear()
+
+
+def check_chunk_codec(codec: str) -> str:
+    if codec not in CHUNK_CODECS:
+        raise DataIOError(
+            f"unknown chunk codec {codec!r}; use one of {'/'.join(CHUNK_CODECS)}"
+        )
+    return codec
+
+
+def resolve_chunk_codec(codec: str) -> str:
+    """The codec this host will actually *write*.
+
+    ``zstd`` degrades to ``zlib`` (warning once per process) when the
+    ``zstandard`` package is missing, so ``--codec zstd`` stays usable on
+    minimal installs; the manifest records the resolved codec, never the
+    requested one.
+    """
+    codec = check_chunk_codec(codec)
+    if codec == "zstd" and not zstd_available():
+        if "zstd" not in _WARNED_FALLBACKS:
+            _WARNED_FALLBACKS.add("zstd")
+            warnings.warn(
+                "zstandard is not installed; writing zlib-packed chunks "
+                "instead (reading existing zstd bundles still requires "
+                "the zstandard package)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "zlib"
+    return codec
+
+
+def encode_chunk(codec: str, raw: bytes) -> bytes:
+    """Compress one chunk payload with ``codec`` (``raw`` is identity)."""
+    check_chunk_codec(codec)
+    if codec == "raw":
+        return raw
+    if codec == "zlib":
+        return zlib.compress(raw, _ZLIB_LEVEL)
+    try:
+        import zstandard
+    except ImportError as exc:
+        raise DataIOError(
+            "encoding zstd chunks requires the zstandard package "
+            "(pip install zstandard), or resolve the codec first"
+        ) from exc
+    return zstandard.ZstdCompressor(level=_ZSTD_LEVEL).compress(raw)
+
+
+def decode_chunk(codec: str, stored: bytes, expected_nbytes: int) -> bytes:
+    """Decompress one stored payload back to its raw bytes.
+
+    Any decompression failure — torn stream, flipped byte, wrong codec —
+    raises :class:`~repro.errors.DataIOError`; callers wrap it with the
+    chunk's identity so corruption is named the same way as a checksum
+    mismatch.
+    """
+    check_chunk_codec(codec)
+    if codec == "raw":
+        raw = stored
+    elif codec == "zlib":
+        try:
+            raw = zlib.decompress(stored)
+        except zlib.error as exc:
+            raise DataIOError(f"zlib payload does not decompress: {exc}") from exc
+    else:
+        try:
+            import zstandard
+        except ImportError as exc:
+            raise DataIOError(
+                "this bundle stores zstd-packed chunks; reading it "
+                "requires the zstandard package (pip install zstandard)"
+            ) from exc
+        try:
+            raw = zstandard.ZstdDecompressor().decompress(
+                stored, max_output_size=expected_nbytes
+            )
+        except zstandard.ZstdError as exc:
+            raise DataIOError(f"zstd payload does not decompress: {exc}") from exc
+    if len(raw) != expected_nbytes:
+        raise DataIOError(
+            f"decompressed payload is {len(raw)} B, manifest says "
+            f"{expected_nbytes} B"
+        )
+    return raw

@@ -83,13 +83,19 @@ def _available_ram_bytes() -> int | None:
     return None
 
 
-#: per-worker working set as a multiple of one task's input bytes.  The
-#: fused workspace keeps o64 + d64 + err live concurrently (24 bytes per
-#: float32 input element = 6x the 4-byte input); the remaining
-#: intermediates are transient scratch-pool checkouts that never overlap
-#: them at peak.  The earlier 8x was over-conservative and cost a worker
-#: on RAM-tight multicore hosts (ROADMAP multicore-gate note).
-_WORKER_FOOTPRINT_FACTOR = 6
+#: per-worker working set as a multiple of one task's input bytes
+#: (``task_nbytes`` = the orig+dec pair for batch jobs, one field for
+#: audit workers).  Earlier values (8x, then 6x) modelled only the
+#: o64/d64/err trio, but a tracemalloc high-water sweep on the reference
+#: container (EXPERIMENTS.md "worker footprint") measured ~20x the pair
+#: for a full-metric assessment — the fused workspace materialises the
+#: whole derived-array family in float64 (pattern 1 alone peaks at 10x
+#: the pair) — and ~16x the *field* for a streamed audit (the spectral
+#: and SSIM accumulators are field-sized even when chunks stream).  20x
+#: covers both shapes; on typical CI RAM (~7 GB free) it still admits
+#: ~19 concurrent 9-MiB-pair workers, so the clamp only bites where it
+#: should — genuinely RAM-tight multicore hosts.
+_WORKER_FOOTPRINT_FACTOR = 20
 
 
 def auto_workers(

@@ -147,7 +147,19 @@ _SPEC_KINDS = (
     "original_path/decompressed_path (+shape)",
     "original_npy_b64/decompressed_npy_b64",
     "dataset (+codec)",
+    "audit_root (+codec/audit_workers)",
 )
+
+
+class _AuditReport:
+    """Adapter giving a run_audit dict the ``.to_dict()`` face the job
+    serialiser expects from assessment reports."""
+
+    def __init__(self, report: dict):
+        self.report = report
+
+    def to_dict(self) -> dict:
+        return self.report
 
 
 def _decode_npy(b64_text: str) -> np.ndarray:
@@ -201,7 +213,13 @@ def execute_job(session, job: Job):
       base64-encoded ``.npy`` payloads carried in the JSON body;
     * **synthetic** — ``dataset`` (+ ``field``/``scale``/``codec``/
       ``rel_bound``/``rate``): generate a field, compress it with a
-      registered codec, and assess the round trip.
+      registered codec, and assess the round trip;
+    * **archive audit** — ``audit_root`` (+ ``codec``/``rel_bound``/
+      ``rate``/``chunk_nz``/``audit_workers``/``use_ssim``/``fresh``/
+      ``out_path``/``checkpoint_path``): a resumable
+      :meth:`~repro.service.session.CheckerSession.audit_archive` over a
+      bundle tree on the server's filesystem; the job report is the
+      audit report, and the job's span feed carries the chunk progress.
     """
     spec = job.spec
     config = _job_config(session, spec)
@@ -241,6 +259,31 @@ def execute_job(session, job: Job):
             orig, dec, name=f"job:{job.id}", job_id=job.id,
             config=config, tracer=job.tracer,
         )
+
+    if "audit_root" in spec:
+        codec = spec.get("codec", "sz")
+        if codec == "zfp":
+            codec_args = {"rate": float(spec.get("rate", 8.0))}
+        elif codec == "decimate":
+            codec_args = {}
+        else:
+            codec_args = {"rel_bound": float(spec.get("rel_bound", 1e-3))}
+        report = session.audit_archive(
+            spec["audit_root"],
+            out_path=spec.get("out_path"),
+            checkpoint_path=spec.get("checkpoint_path"),
+            codec=codec,
+            codec_args=codec_args,
+            chunk_nz=(
+                int(spec["chunk_nz"]) if spec.get("chunk_nz") is not None
+                else None
+            ),
+            use_ssim=bool(spec.get("use_ssim", True)),
+            resume=not bool(spec.get("fresh", False)),
+            workers=spec.get("audit_workers"),
+            tracer=job.tracer,
+        )
+        return _AuditReport(report)
 
     if "dataset" in spec:
         from repro.datasets.registry import (

@@ -104,3 +104,62 @@ class TestAuditCommand:
         (tmp_path / "empty").mkdir()
         with pytest.raises(DataIOError, match="no bundles"):
             main(["audit", str(tmp_path / "empty")])
+
+    def test_audit_workers_flag(self, chunked_tree, tmp_path, capsys):
+        from repro.parallel import process_available
+
+        if not process_available():
+            pytest.skip("process pools unavailable")
+        ref = tmp_path / "ref.json"
+        assert main([
+            "audit", str(chunked_tree), "--out", str(ref),
+            "--checkpoint", str(tmp_path / "ck_ref.json"),
+            "--audit-workers", "serial",
+        ]) == 0
+        out = tmp_path / "par.json"
+        assert main([
+            "audit", str(chunked_tree), "--out", str(out),
+            "--checkpoint", str(tmp_path / "ck_par.json"),
+            "--audit-workers", "2",
+        ]) == 0
+        assert out.read_bytes() == ref.read_bytes()
+
+    def test_audit_workers_rejects_garbage(self, chunked_tree, tmp_path):
+        with pytest.raises(CheckerError, match="audit workers"):
+            main([
+                "audit", str(chunked_tree),
+                "--out", str(tmp_path / "r.json"),
+                "--checkpoint", str(tmp_path / "ck.json"),
+                "--audit-workers", "warp-speed",
+            ])
+
+
+class TestGenerateCodec:
+    def test_generate_codec_writes_v3_and_audits(self, tmp_path, capsys):
+        rc = main([
+            "generate", "--dataset", "miranda", "--scale", "0.06",
+            "--fields", "1", "--chunk", "4", "--codec", "zlib",
+            "--out", str(tmp_path / "tree" / "m"),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "zlib-packed" in text
+        bundle = load_bundle(tmp_path / "tree" / "m")
+        assert bundle.version == 3
+        assert bundle.codec == "zlib"
+        rc = main([
+            "audit", str(tmp_path / "tree"),
+            "--out", str(tmp_path / "report.json"),
+            "--checkpoint", str(tmp_path / "ck.json"),
+        ])
+        assert rc == 0
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["totals"]["fields"] == 1
+
+    def test_codec_requires_chunk(self, tmp_path):
+        with pytest.raises(CheckerError, match="--chunk"):
+            main([
+                "generate", "--dataset", "miranda", "--scale", "0.06",
+                "--fields", "1", "--codec", "zlib",
+                "--out", str(tmp_path / "m"),
+            ])

@@ -16,6 +16,7 @@ from repro.audit import AuditInterrupted, run_audit
 from repro.datasets.fields import Dataset, Field
 from repro.errors import CheckerError
 from repro.io.bundle import save_bundle_chunked
+from repro.parallel import process_available
 
 SETTINGS = settings(max_examples=8, deadline=None)
 
@@ -94,3 +95,71 @@ def test_resume_rejects_changed_configuration(audit_tree):
     # --fresh semantics: resume=False discards the stale checkpoint
     run_audit(root, out_path=out, checkpoint_path=ck, chunk_nz=5, resume=False)
     assert out.exists()
+
+
+# ---------------------------------------------------------------------------
+# parallel audit: same contract, two worker processes
+# ---------------------------------------------------------------------------
+
+needs_processes = pytest.mark.skipif(
+    not process_available(),
+    reason="process pools unavailable on this host",
+)
+
+#: pool spawns are the dominant cost — few, deliberately chosen examples
+PARALLEL_SETTINGS = settings(max_examples=3, deadline=None)
+
+
+@needs_processes
+def test_parallel_report_byte_identical_to_serial(audit_tree):
+    """Worker count is invisible in the output: a two-worker audit of
+    the tree produces the byte-for-byte serial report."""
+    root, ref_bytes = audit_tree
+    out = root / "report_par.json"
+    run_audit(root, out_path=out, checkpoint_path=root / "ck_par.json",
+              workers=2)
+    assert out.read_bytes() == ref_bytes
+
+
+@needs_processes
+@PARALLEL_SETTINGS
+@given(
+    kill_after=st.integers(min_value=1, max_value=3),
+    resume_workers=st.sampled_from(["serial", 2]),
+)
+def test_kill_mid_parallel_run_resumes_byte_identical(
+    audit_tree, kill_after, resume_workers
+):
+    """Killing a *parallel* run (per-worker ``stop_after_chunks`` — the
+    checkpoint plus worker part files on disk are exactly what a SIGKILL
+    leaves) and resuming — serially or with workers again — lands on the
+    reference bytes.  The serial-resume leg proves worker part files are
+    readable by the plain loop, i.e. the two paths share one on-disk
+    contract."""
+    root, ref_bytes = audit_tree
+    out = root / "report_park.json"
+    ck = root / "ck_park.json"
+    ck.unlink(missing_ok=True)
+    out.unlink(missing_ok=True)
+    with pytest.raises(AuditInterrupted):
+        run_audit(root, out_path=out, checkpoint_path=ck, workers=2,
+                  stop_after_chunks=kill_after)
+    assert ck.exists()
+    assert not out.exists()
+
+    run_audit(root, out_path=out, checkpoint_path=ck, workers=resume_workers)
+    assert out.read_bytes() == ref_bytes
+    assert not ck.exists()
+    assert not ck.with_name(ck.name + ".parts").exists()
+
+
+@needs_processes
+def test_kill_serial_run_resumes_parallel(audit_tree):
+    root, ref_bytes = audit_tree
+    out = root / "report_serk.json"
+    ck = root / "ck_serk.json"
+    with pytest.raises(AuditInterrupted):
+        run_audit(root, out_path=out, checkpoint_path=ck, workers="serial",
+                  stop_after_chunks=5)
+    run_audit(root, out_path=out, checkpoint_path=ck, workers=2)
+    assert out.read_bytes() == ref_bytes

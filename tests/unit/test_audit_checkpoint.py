@@ -169,3 +169,39 @@ class TestStreamingCheckerStateRoundtrip:
         state = checker.state_dict()
         with pytest.raises(CheckerError, match="SSIM"):
             StreamingChecker((10, 10), max_lag=0).load_state(state)
+
+
+class TestResolveAuditWorkers:
+    """Worker-count resolution: explicit counts honoured, "auto" priced
+    by the dispatch cost model, tiny archives stay serial."""
+
+    def test_serial_and_explicit(self):
+        from repro.audit import resolve_audit_workers
+
+        assert resolve_audit_workers("serial", 8, 1 << 20, 1 << 16) == 1
+        assert resolve_audit_workers(3, 8, 1 << 20, 1 << 16) == 3
+        assert resolve_audit_workers("3", 8, 1 << 20, 1 << 16) == 3
+
+    def test_explicit_capped_by_pending_fields(self):
+        from repro.audit import resolve_audit_workers
+
+        assert resolve_audit_workers(8, 2, 1 << 20, 1 << 16) == 2
+
+    def test_nonpositive_rejected(self):
+        from repro.audit import resolve_audit_workers
+
+        with pytest.raises(CheckerError, match="audit workers"):
+            resolve_audit_workers(0, 4, 1 << 20, 1 << 16)
+        with pytest.raises(CheckerError, match="audit workers"):
+            resolve_audit_workers("banana", 4, 1 << 20, 1 << 16)
+
+    def test_auto_single_pending_field_is_serial(self):
+        from repro.audit import resolve_audit_workers
+
+        assert resolve_audit_workers("auto", 1, 1 << 30, 1 << 20) == 1
+
+    def test_auto_tiny_archive_prices_out_serial(self):
+        from repro.audit import resolve_audit_workers
+
+        # two 4 KiB fields can never amortise a process-pool spawn
+        assert resolve_audit_workers("auto", 2, 4096, 1024) == 1

@@ -107,3 +107,38 @@ class TestParser:
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(ConfigError):
             load_config(tmp_path / "absent.cfg")
+
+
+class TestAuditWorkers:
+    def test_default_is_auto(self):
+        assert default_config().audit_workers == "auto"
+
+    @pytest.mark.parametrize("value", ["auto", "serial", 1, 4])
+    def test_valid_values_accepted(self, value):
+        CheckerConfig(audit_workers=value).validate()
+
+    @pytest.mark.parametrize("value", [0, -2, True, "many", ""])
+    def test_invalid_values_rejected(self, value):
+        with pytest.raises(ConfigError, match="audit_workers"):
+            CheckerConfig(audit_workers=value).validate()
+
+    def test_parse_count(self):
+        cfg = parse_config_text("[GLOBAL]\naudit_workers = 3\n")
+        assert cfg.audit_workers == 3
+
+    def test_parse_serial(self):
+        cfg = parse_config_text("[GLOBAL]\naudit_workers = Serial\n")
+        assert cfg.audit_workers == "serial"
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(ConfigError, match="audit_workers"):
+            parse_config_text("[GLOBAL]\naudit_workers = faster\n")
+
+    def test_format_roundtrip(self):
+        from repro.config.parser import format_config
+
+        cfg = CheckerConfig(audit_workers=2)
+        assert "audit_workers = 2" in format_config(cfg)
+        assert parse_config_text(format_config(cfg)) == cfg
+        # the default stays out of the serialised form
+        assert "audit_workers" not in format_config(default_config())

@@ -1,10 +1,12 @@
 import json
+import warnings
 
 import numpy as np
 import pytest
 
 from repro.datasets.fields import Dataset, Field
 from repro.errors import DataIOError
+from repro.io.chunkcodec import zstd_available
 from repro.io.bundle import (
     DEFAULT_CHUNK_NZ,
     ChunkedFieldWriter,
@@ -245,3 +247,154 @@ class TestManifestValidation:
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(DataIOError, match="format"):
             load_bundle(tmp_path / "c")
+
+
+class TestCompressedChunks:
+    """chunked-v3: zlib/zstd-packed chunk payloads, raw-byte digests."""
+
+    def test_zlib_roundtrip(self, tmp_path, rng):
+        ds = _dataset(rng)
+        bundle = save_bundle_chunked(ds, tmp_path / "c", chunk_nz=4, codec="zlib")
+        assert bundle.version == 3
+        assert bundle.codec == "zlib"
+        loaded = load_bundle(tmp_path / "c")
+        assert loaded.codec == "zlib"
+        for name in ds.field_names:
+            assert np.array_equal(loaded.load_field(name).data, ds[name].data)
+            blocks = [b for _, b in loaded.iter_field_chunks(name)]
+            assert np.concatenate(blocks).tobytes() == ds[name].data.tobytes()
+
+    def test_compressible_data_stores_fewer_bytes(self, tmp_path, rng):
+        ds = Dataset(name="flat")
+        ds.add(Field("f", np.zeros((8, 16, 16), dtype=np.float32)))
+        bundle = save_bundle_chunked(ds, tmp_path / "c", chunk_nz=4, codec="zlib")
+        report = verify_bundle(bundle)
+        assert report["codec"] == "zlib"
+        assert report["bytes_stored"] < report["bytes_raw"]
+        assert report["bytes_raw"] == 8 * 16 * 16 * 4
+        infos = bundle.field_chunks("f")
+        assert all(i.stored_nbytes is not None for i in infos)
+        assert all(i.stored < i.nbytes for i in infos)
+
+    def test_manifest_carries_codec_and_stored_nbytes(self, tmp_path, rng):
+        save_bundle_chunked(
+            _dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3, codec="zlib"
+        )
+        manifest = json.loads((tmp_path / "c" / "manifest.json").read_text())
+        assert manifest["format"] == "chunked-v3"
+        assert manifest["codec"] == "zlib"
+        assert all(
+            "stored_nbytes" in entry for entry in manifest["chunks"]["field0"]
+        )
+
+    def test_raw_codec_manifest_unchanged(self, tmp_path, rng):
+        """codec="raw" must emit a byte-identical v2 manifest — the knob
+        cannot disturb the committed format."""
+        ds = _dataset(rng, n_fields=1)
+        save_bundle_chunked(ds, tmp_path / "a", chunk_nz=3)
+        save_bundle_chunked(ds, tmp_path / "b", chunk_nz=3, codec="raw")
+        a = (tmp_path / "a" / "manifest.json").read_bytes()
+        b = (tmp_path / "b" / "manifest.json").read_bytes()
+        assert a == b
+
+    def test_digests_cover_uncompressed_bytes(self, tmp_path, rng):
+        ds = _dataset(rng, n_fields=1)
+        raw = save_bundle_chunked(ds, tmp_path / "raw", chunk_nz=3)
+        zl = save_bundle_chunked(ds, tmp_path / "zl", chunk_nz=3, codec="zlib")
+        assert [c.sha256 for c in raw.field_chunks("field0")] == [
+            c.sha256 for c in zl.field_chunks("field0")
+        ]
+        assert raw.file_sha256["field0"] == zl.file_sha256["field0"]
+
+    def test_verify_reports_every_corrupt_chunk(self, tmp_path, rng):
+        bundle = save_bundle_chunked(
+            _dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3, codec="zlib"
+        )
+        path = bundle.field_path("field0")
+        raw = bytearray(path.read_bytes())
+        infos = bundle.field_chunks("field0")
+        for target in (infos[1], infos[3]):
+            raw[target.offset + 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(DataIOError, match="2 integrity failure") as exc:
+            verify_bundle(bundle)
+        msg = str(exc.value)
+        assert "chunk 1" in msg and "chunk 3" in msg
+
+    def test_verify_reports_failures_across_fields(self, tmp_path, rng):
+        bundle = save_bundle_chunked(_dataset(rng), tmp_path / "c", chunk_nz=4)
+        for name in ("field0", "field1"):
+            path = bundle.field_path(name)
+            raw = bytearray(path.read_bytes())
+            raw[0] ^= 0xFF
+            path.write_bytes(bytes(raw))
+        with pytest.raises(DataIOError) as exc:
+            verify_bundle(bundle)
+        msg = str(exc.value)
+        assert "'field0'" in msg and "'field1'" in msg
+
+    def test_zstd_write_falls_back_to_zlib_when_missing(self, tmp_path, rng):
+        from repro.io import chunkcodec
+
+        if chunkcodec.zstd_available():
+            pytest.skip("zstandard installed; fallback path not reachable")
+        chunkcodec.reset_codec_warnings()
+        with pytest.warns(RuntimeWarning, match="zstandard is not installed"):
+            bundle = save_bundle_chunked(
+                _dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3,
+                codec="zstd",
+            )
+        assert bundle.codec == "zlib"
+        # the warning fires once per process, not once per bundle
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            save_bundle_chunked(
+                _dataset(rng, n_fields=1), tmp_path / "d", chunk_nz=3,
+                codec="zstd",
+            )
+
+    def test_reading_zstd_without_package_is_a_clear_error(self, tmp_path, rng):
+        from repro.io import chunkcodec
+
+        if chunkcodec.zstd_available():
+            pytest.skip("zstandard installed; missing-reader path unreachable")
+        save_bundle_chunked(
+            _dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3, codec="zlib"
+        )
+        manifest_path = tmp_path / "c" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["codec"] = "zstd"
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = load_bundle(tmp_path / "c")
+        with pytest.raises(DataIOError, match="zstandard"):
+            list(loaded.iter_field_chunks("field0"))
+        with pytest.raises(DataIOError, match="zstandard"):
+            verify_bundle(loaded)
+
+    @pytest.mark.skipif(not zstd_available(), reason="zstandard not installed")
+    def test_zstd_roundtrip(self, tmp_path, rng):
+        ds = _dataset(rng, n_fields=1)
+        bundle = save_bundle_chunked(ds, tmp_path / "c", chunk_nz=3, codec="zstd")
+        assert bundle.codec == "zstd"
+        loaded = load_bundle(tmp_path / "c")
+        assert np.array_equal(loaded.load_field("field0").data, ds["field0"].data)
+        report = verify_bundle(loaded)
+        assert report["codec"] == "zstd"
+
+    def test_v3_manifest_missing_codec_rejected(self, tmp_path, rng):
+        save_bundle_chunked(
+            _dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3, codec="zlib"
+        )
+        manifest_path = tmp_path / "c" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["codec"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(DataIOError, match="codec"):
+            load_bundle(tmp_path / "c")
+
+    def test_unknown_codec_rejected(self, tmp_path, rng):
+        with pytest.raises(DataIOError, match="codec"):
+            save_bundle_chunked(
+                _dataset(rng, n_fields=1), tmp_path / "c", chunk_nz=3,
+                codec="lz4",
+            )

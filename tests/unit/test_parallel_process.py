@@ -51,9 +51,9 @@ class TestAutoWorkersExecutor:
         from repro.parallel import executor as mod
 
         monkeypatch.setattr(mod, "_available_cores", lambda: 16)
-        # half of 1 GiB free / (8 x 32 MiB per task) -> 2 affordable workers
+        # half of 1 GiB free / (20 x 8 MiB per task) -> 3 affordable workers
         monkeypatch.setattr(mod, "_available_ram_bytes", lambda: 1 << 30)
-        assert auto_workers(16, executor="process", task_nbytes=32 << 20) == 2
+        assert auto_workers(16, executor="process", task_nbytes=8 << 20) == 3
 
     def test_thread_mode_ignores_ram(self, monkeypatch):
         from repro.parallel import executor as mod

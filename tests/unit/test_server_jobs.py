@@ -193,3 +193,26 @@ class TestExecuteJob:
     def test_unknown_spec_rejected(self, session):
         with pytest.raises(CheckerError, match="unrecognised job spec"):
             execute_job(session, Job(spec={"bogus": True}))
+
+    def test_audit_job(self, session, tmp_path):
+        from repro.datasets.fields import Dataset, Field
+        from repro.io.bundle import save_bundle_chunked
+
+        rng = np.random.default_rng(3)
+        ds = Dataset(name="tree")
+        ds.add(Field("f", rng.normal(size=(6, 8, 8)).astype(np.float32)))
+        save_bundle_chunked(ds, tmp_path / "tree" / "b", chunk_nz=3)
+
+        job = Job(spec={
+            "audit_root": str(tmp_path / "tree"),
+            "audit_workers": "serial",
+            "use_ssim": False,
+        })
+        report = execute_job(session, job)
+        doc = report.to_dict()
+        assert doc["format"] == "cuzchecker-audit-report-v1"
+        assert doc["totals"]["fields"] == 1
+        job.report = report
+        assert job.to_dict()["report"]["totals"]["fields"] == 1
+        # the job's tracer carried the per-chunk progress spans
+        assert any(s.name == "chunk_read" for s in job.tracer.spans)

@@ -13,9 +13,15 @@ contract with a *real* SIGKILL:
 Exit code 0 on success.  On failure the workdir keeps the checkpoints,
 reports, and chunk-span traces for the CI artifact upload.
 
+``--workers`` forwards to ``--audit-workers`` on every run (so CI can
+SIGKILL a *parallel* audit and prove the part-file merge resumes it
+byte-identically) and ``--bundle-codec`` packs the generated tree's
+chunks with zlib/zstd.
+
 Usage::
 
     PYTHONPATH=src python tools/audit_smoke.py [--workdir audit_work]
+        [--workers 2] [--bundle-codec zlib]
 """
 
 from __future__ import annotations
@@ -33,13 +39,18 @@ REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 
 
-def _audit_cmd(root: Path, out: Path, ckpt: Path, trace: Path) -> list[str]:
-    return [
+def _audit_cmd(
+    root: Path, out: Path, ckpt: Path, trace: Path, workers: str | None = None
+) -> list[str]:
+    cmd = [
         sys.executable, "-m", "repro", "audit", str(root),
         "--out", str(out), "--checkpoint", str(ckpt),
         "--codec", "sz", "--rel-bound", "1e-3",
         "--trace", str(trace),
     ]
+    if workers is not None:
+        cmd += ["--audit-workers", str(workers)]
+    return cmd
 
 
 def _env() -> dict:
@@ -50,7 +61,7 @@ def _env() -> dict:
     return env
 
 
-def build_tree(root: Path) -> None:
+def build_tree(root: Path, codec: str | None = None) -> None:
     sys.path.insert(0, str(SRC))
     from repro.datasets.registry import generate_dataset
     from repro.io.bundle import save_bundle, save_bundle_chunked, verify_bundle
@@ -62,7 +73,9 @@ def build_tree(root: Path) -> None:
     ]
     for rel, dataset, scale, n_fields, chunk_nz in specs:
         ds = generate_dataset(dataset, scale=scale, n_fields=n_fields)
-        bundle = save_bundle_chunked(ds, root / rel, chunk_nz=chunk_nz)
+        bundle = save_bundle_chunked(
+            ds, root / rel, chunk_nz=chunk_nz, codec=codec
+        )
         verify_bundle(bundle)
     # one v1 (unchunked) bundle proves the audit walks mixed generations
     ds = generate_dataset("scale_letkf", scale=0.05, n_fields=1)
@@ -72,7 +85,12 @@ def build_tree(root: Path) -> None:
 
 
 def checkpoint_progress(ckpt: Path) -> tuple[int, int]:
-    """(completed fields, chunks done in the in-flight field)."""
+    """(completed fields, max chunks done across in-flight fields).
+
+    A serial run carries one ``in_progress`` field; a parallel run's
+    coordinator merges the worker part files into an ``in_flight`` map
+    on every poll.  Both shapes count as progress here.
+    """
     if not ckpt.exists():
         return (0, 0)
     try:
@@ -80,7 +98,10 @@ def checkpoint_progress(ckpt: Path) -> tuple[int, int]:
     except (json.JSONDecodeError, OSError):
         return (0, 0)  # mid-replace on some exotic fs; treat as no progress
     progress = doc.get("in_progress") or {}
-    return (len(doc.get("completed", [])), int(progress.get("chunks_done", 0)))
+    chunks = int(progress.get("chunks_done", 0))
+    for state in (doc.get("in_flight") or {}).values():
+        chunks = max(chunks, int(state.get("chunks_done", 0)))
+    return (len(doc.get("completed", [])), chunks)
 
 
 def main(argv=None) -> int:
@@ -92,13 +113,22 @@ def main(argv=None) -> int:
         "committed (or once any field completed)",
     )
     parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument(
+        "--workers", default=None,
+        help="forwarded to --audit-workers on every audit invocation "
+        "(default: the config default, 'auto')",
+    )
+    parser.add_argument(
+        "--bundle-codec", default=None, choices=("raw", "zlib", "zstd"),
+        help="chunk codec for the generated bundle tree (default raw)",
+    )
     args = parser.parse_args(argv)
 
     work = args.workdir
     work.mkdir(parents=True, exist_ok=True)
     archive = work / "archive"
     if not (archive / "setA/miranda/manifest.json").exists():
-        build_tree(archive)
+        build_tree(archive, codec=args.bundle_codec)
 
     ref = work / "report_reference.json"
     killed = work / "report_killed.json"
@@ -109,7 +139,10 @@ def main(argv=None) -> int:
     # 1. uninterrupted reference
     t0 = time.monotonic()
     subprocess.run(
-        _audit_cmd(archive, ref, ck_ref, work / "trace_reference.json"),
+        _audit_cmd(
+            archive, ref, ck_ref, work / "trace_reference.json",
+            workers=args.workers,
+        ),
         env=env, check=True, timeout=args.timeout,
     )
     print(f"reference audit: {time.monotonic() - t0:.1f}s")
@@ -119,7 +152,10 @@ def main(argv=None) -> int:
 
     # 2. SIGKILL a second run mid-flight
     proc = subprocess.Popen(
-        _audit_cmd(archive, killed, ck_kill, work / "trace_killed.json"),
+        _audit_cmd(
+            archive, killed, ck_kill, work / "trace_killed.json",
+            workers=args.workers,
+        ),
         env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
     )
     deadline = time.monotonic() + args.timeout
@@ -154,7 +190,10 @@ def main(argv=None) -> int:
     # 3. resume
     t0 = time.monotonic()
     subprocess.run(
-        _audit_cmd(archive, killed, ck_kill, work / "trace_resumed.json"),
+        _audit_cmd(
+            archive, killed, ck_kill, work / "trace_resumed.json",
+            workers=args.workers,
+        ),
         env=env, check=True, timeout=args.timeout,
     )
     print(f"resumed audit: {time.monotonic() - t0:.1f}s")
@@ -162,6 +201,13 @@ def main(argv=None) -> int:
     # 4. byte-for-byte equality + checkpoint cleanup
     if ck_kill.exists():
         print("FAIL: resumed run left its checkpoint behind", file=sys.stderr)
+        return 1
+    parts = ck_kill.with_name(ck_kill.name + ".parts")
+    if parts.exists():
+        print(
+            "FAIL: resumed run left its worker part files behind",
+            file=sys.stderr,
+        )
         return 1
     ref_bytes = ref.read_bytes()
     killed_bytes = killed.read_bytes()

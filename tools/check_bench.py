@@ -23,6 +23,11 @@ The ``dispatch`` section passes through :func:`dispatch_gate`: on every
 case the calibrated adaptive plan must either pick the measured-best
 static (backend, tiling) candidate or land within 5% of its wall-clock.
 
+The ``audit_parallel`` section passes through :func:`audit_gate`, the
+same core-aware split as :func:`process_gate`: a multi-core host must
+audit faster with two workers than serially, a single-core host only
+has its coordinator/part-file overhead bounded.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_host_fusion.py --quick --output fresh.json
@@ -65,6 +70,11 @@ ROWS = [
      ("parallel_process", "workers", "4", "seconds"), False),
     ("process slab x4 seconds",
      ("slab_process", "workers", "4", "seconds"), False),
+    ("audit parallel speedup",
+     ("audit_parallel", "speedup_vs_serial"), False),
+    ("audit serial seconds", ("audit_parallel", "serial_seconds"), False),
+    ("audit parallel seconds",
+     ("audit_parallel", "parallel_seconds"), False),
 ]
 
 #: absolute floors on the process executor's best speedup-vs-serial
@@ -77,6 +87,15 @@ ROWS = [
 #: task-size dependent — the smaller the field, the larger the IPC share).
 PROCESS_FLOOR_MULTI_CORE = 1.0
 PROCESS_FLOOR_SINGLE_CORE = 0.5
+
+#: absolute floors on the parallel audit's speedup over the serial loop
+#: (same core-aware split as the process-executor gate).  Audits stream
+#: from disk through per-chunk checkpoints, so the single-core floor is
+#: lower than the in-memory pools': the coordinator's poll/merge loop
+#: and the per-worker part-file writes are pure overhead when both
+#: workers share one core (measured ~0.4-0.7x there).
+AUDIT_FLOOR_MULTI_CORE = 1.0
+AUDIT_FLOOR_SINGLE_CORE = 0.4
 
 #: adaptive dispatch must land within this factor of the measured-best
 #: static candidate on every ``dispatch`` section case (unless it chose
@@ -126,6 +145,23 @@ def process_gate(fresh: dict) -> list[str]:
                 f"{kind} floor {floor} ({cores} usable cores)"
             )
     return failures
+
+
+def audit_gate(fresh: dict) -> list[str]:
+    """Core-aware absolute gate on the parallel archive audit."""
+    speedup = _lookup(fresh, ("audit_parallel", "speedup_vs_serial"))
+    if speedup is None:
+        return []  # host cannot run the process executor at all
+    cores = int(fresh.get("avail_cores") or 1)
+    multi = cores >= 2
+    floor = AUDIT_FLOOR_MULTI_CORE if multi else AUDIT_FLOOR_SINGLE_CORE
+    kind = "speedup" if multi else "parity"
+    if speedup <= floor:
+        return [
+            f"parallel audit: speedup_vs_serial {speedup:.3f} is below the "
+            f"{kind} floor {floor} ({cores} usable cores)"
+        ]
+    return []
 
 
 def _lookup(entry: dict, path: tuple[str, ...]) -> float | None:
@@ -207,6 +243,7 @@ def main(argv=None) -> int:
             )
     failures += process_gate(fresh)
     failures += dispatch_gate(fresh)
+    failures += audit_gate(fresh)
 
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     try:
